@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact (table or figure) through
+the full pipeline — content synthesis, packaging, player model,
+event-driven simulation — and asserts the artifact reproduces before
+timing is accepted. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,9 @@
+"""X4 — the four practice-compliant ABR algorithms."""
+
+from repro.experiments.algorithms import run_algorithms
+
+
+def test_bench_algorithms(benchmark):
+    report = benchmark(run_algorithms)
+    assert report.passed
+    assert len(report.rows) == 3 * 4  # 3 profiles x 4 algorithms

@@ -1,0 +1,13 @@
+"""X2 — the Section-4 best practices head-to-head and their ablations."""
+
+from repro.experiments.best_practices import run_ablations, run_best_practices
+
+
+def test_bench_best_practices(benchmark):
+    report = benchmark(run_best_practices)
+    assert report.passed
+
+
+def test_bench_ablations(benchmark):
+    report = benchmark(run_ablations)
+    assert report.passed

@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not paper artifacts — these size the substrate itself: how fast the
+event-driven simulator plays a session, how expensive each estimator
+and manifest codec is. Useful when extending the library (e.g. running
+thousands of sessions for a trace study).
+"""
+
+from repro.core.combinations import hsub_combinations
+from repro.core.player import RecommendedPlayer
+from repro.manifest.dash import parse_mpd, write_mpd
+from repro.manifest.hls import parse_master_playlist, write_master_playlist
+from repro.manifest.packager import package_dash, package_hls
+from repro.media.content import drama_show
+from repro.net.link import shared
+from repro.net.traces import constant, random_walk
+from repro.players.dashjs import DashJsPlayer
+from repro.players.estimators import ShakaEstimator
+from repro.players.exoplayer import ExoPlayerDash
+from repro.players.shaka import ShakaPlayer
+from repro.sim.session import simulate
+
+CONTENT = drama_show()
+DASH = package_dash(CONTENT)
+HLS = package_hls(CONTENT)
+
+
+def test_bench_content_synthesis(benchmark):
+    content = benchmark(drama_show)
+    assert content.n_chunks == 60
+
+
+def test_bench_session_exoplayer(benchmark):
+    def run():
+        return simulate(CONTENT, ExoPlayerDash(DASH), shared(constant(900.0)))
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_bench_session_shaka(benchmark):
+    def run():
+        return simulate(CONTENT, ShakaPlayer.from_hls(HLS.master), shared(constant(1000.0)))
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_bench_session_dashjs(benchmark):
+    def run():
+        return simulate(CONTENT, DashJsPlayer(DASH), shared(constant(700.0)))
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_bench_session_recommended_variable_link(benchmark):
+    combos = hsub_combinations(CONTENT)
+    trace = random_walk(800, seed=3)
+
+    def run():
+        return simulate(CONTENT, RecommendedPlayer(combos), shared(trace))
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_bench_mpd_roundtrip(benchmark):
+    def run():
+        return parse_mpd(write_mpd(DASH))
+
+    parsed = benchmark(run)
+    assert len(parsed.adaptation_sets) == 2
+
+
+def test_bench_hls_master_roundtrip(benchmark):
+    def run():
+        return parse_master_playlist(write_master_playlist(HLS.master))
+
+    parsed = benchmark(run)
+    assert len(parsed.variants) == 18
+
+
+def test_bench_shaka_estimator_sampling(benchmark):
+    from repro.sim.records import DownloadRecord, ProgressSegment
+
+    records = [
+        DownloadRecord(
+            medium=track.media_type,
+            track_id=track.track_id,
+            chunk_index=0,
+            size_bits=2_000_000.0,
+            started_at=i * 2.0,
+            completed_at=i * 2.0 + 1.0,
+            segments=(
+                ProgressSegment(start_s=i * 2.0, end_s=i * 2.0 + 1.0, bits=2_000_000.0),
+            ),
+        )
+        for i, track in enumerate(list(CONTENT.video) + list(CONTENT.audio))
+    ]
+
+    def run():
+        estimator = ShakaEstimator()
+        for record in records:
+            estimator.observe_download(record)
+        return estimator.get_estimate_kbps()
+
+    estimate = benchmark(run)
+    assert estimate > 500.0

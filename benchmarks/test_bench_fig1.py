@@ -1,0 +1,8 @@
+"""Fig. 1 — demuxed streaming structure, storage and CDN effects."""
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_bench_fig1(benchmark):
+    report = benchmark(run_fig1)
+    assert report.passed

@@ -1,0 +1,13 @@
+"""Fig. 2 — ExoPlayer DASH predetermined-combination limitations."""
+
+from repro.experiments.fig2 import run_fig2a, run_fig2b
+
+
+def test_bench_fig2a(benchmark):
+    report = benchmark(run_fig2a)
+    assert report.passed
+
+
+def test_bench_fig2b(benchmark):
+    report = benchmark(run_fig2b)
+    assert report.passed

@@ -1,0 +1,13 @@
+"""Fig. 3 — ExoPlayer HLS fixed-audio stalls and manifest non-conformance."""
+
+from repro.experiments.fig3 import run_fig3, run_fig3_a1_first
+
+
+def test_bench_fig3(benchmark):
+    report = benchmark(run_fig3)
+    assert report.passed
+
+
+def test_bench_fig3_a1_first(benchmark):
+    report = benchmark(run_fig3_a1_first)
+    assert report.passed

@@ -1,0 +1,13 @@
+"""Fig. 4 — Shaka bandwidth mis-estimation under demuxed A/V."""
+
+from repro.experiments.fig4 import run_fig4a, run_fig4b
+
+
+def test_bench_fig4a(benchmark):
+    report = benchmark(run_fig4a)
+    assert report.passed
+
+
+def test_bench_fig4b(benchmark):
+    report = benchmark(run_fig4b)
+    assert report.passed

@@ -1,0 +1,8 @@
+"""Fig. 5 — dash.js independent A/V adaptation and buffer imbalance."""
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_bench_fig5(benchmark):
+    report = benchmark(run_fig5)
+    assert report.passed

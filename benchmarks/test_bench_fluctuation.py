@@ -1,0 +1,8 @@
+"""X1 — Shaka's rate-closest rule fluctuation across close combinations."""
+
+from repro.experiments.fluctuation import run_fluctuation
+
+
+def test_bench_fluctuation(benchmark):
+    report = benchmark(run_fluctuation)
+    assert report.passed

@@ -1,0 +1,8 @@
+"""X7 — live-edge latency/quality trade-off."""
+
+from repro.experiments.live import run_live
+
+
+def test_bench_live(benchmark):
+    report = benchmark(run_live)
+    assert report.passed

@@ -1,0 +1,8 @@
+"""X6 — muxed vs demuxed delivery comparison."""
+
+from repro.experiments.muxed import run_muxed_vs_demuxed
+
+
+def test_bench_muxed_vs_demuxed(benchmark):
+    report = benchmark(run_muxed_vs_demuxed)
+    assert report.passed

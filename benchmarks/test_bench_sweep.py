@@ -1,0 +1,9 @@
+"""X3 — the fixed-bandwidth sweep across all players."""
+
+from repro.experiments.sweeps import run_sweep
+
+
+def test_bench_sweep(benchmark):
+    report = benchmark(run_sweep)
+    assert report.passed
+    assert len(report.rows) == 7 * 5  # 7 link rates x 5 players

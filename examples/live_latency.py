@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Live streaming: how far behind the live edge should a client join?
+
+HLS guidance says to start three target durations behind the live edge.
+This example quantifies why, using the library's live mode (chunks
+publish as the packager finishes them): joining closer to the edge
+caps the client's buffer, which caps the achievable quality — joining
+farther back buys quality and stability with latency.
+"""
+
+from repro import MediaType, drama_show, shared, simulate
+from repro.core import RecommendedPlayer, hsub_combinations
+from repro.net import constant
+from repro.sim import SessionConfig
+
+LIVE_OFFSET_S = 2.0  # encoder+packager pipeline delay
+LINK_KBPS = 1000.0
+
+
+def main() -> None:
+    content = drama_show()
+    hsub = hsub_combinations(content)
+    chunk_s = content.chunk_duration_s
+    print(
+        f"live stream: {chunk_s:.0f} s chunks, {LIVE_OFFSET_S:.0f} s packaging "
+        f"offset, {LINK_KBPS:.0f} kbps link\n"
+    )
+    header = (
+        f"{'join behind':>12} {'latency s':>10} {'stalls':>7} {'rebuf s':>8} "
+        f"{'video kbps':>11} {'audio kbps':>11} {'steady combo':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    for join_chunks in (1, 2, 3, 4, 5):
+        config = SessionConfig(
+            live_offset_s=LIVE_OFFSET_S,
+            startup_threshold_s=join_chunks * chunk_s,
+        )
+        result = simulate(
+            content, RecommendedPlayer(hsub), shared(constant(LINK_KBPS)), config
+        )
+        latency = result.ended_at_s - content.duration_s
+        names = result.combination_names()
+        steady = max(set(names[30:]), key=names[30:].count)
+        print(
+            f"{join_chunks:>9} ch {latency:>10.2f} {result.n_stalls:>7d} "
+            f"{result.total_rebuffer_s:>8.1f} "
+            f"{result.time_weighted_bitrate_kbps(MediaType.VIDEO):>11.0f} "
+            f"{result.time_weighted_bitrate_kbps(MediaType.AUDIO):>11.0f} "
+            f"{steady:>13}"
+        )
+    print(
+        "\nJoining at the edge pins both tracks at the bottom rung — the "
+        "decision-time buffer never exceeds ~1 s, under every higher "
+        "combination's download time. Three chunks back (the HLS rule) is "
+        "the first join distance that sustains the VOD steady state."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Player shootout: the three measured players vs the best practices.
+
+Re-creates the paper's Section-3 comparison as one table: each player
+streams the same drama show over the same links; the columns show the
+failure modes the paper documents (stalls for ExoPlayer-HLS, pinned
+bandwidth for Shaka, undesirable pairs and unbalanced buffers for
+dash.js) and how the Section-4 player avoids them.
+"""
+
+from repro import MediaType, drama_show, shared, simulate
+from repro.core import RecommendedPlayer, hsub_combinations
+from repro.experiments.traces import fig3_trace
+from repro.manifest import package_dash, package_hls
+from repro.net import constant
+from repro.players import DashJsPlayer, ExoPlayerDash, ExoPlayerHls, ShakaPlayer
+from repro.qoe import compute_qoe
+
+HEADER = (
+    f"{'link':<14} {'player':<16} {'video':>6} {'audio':>6} {'stalls':>6} "
+    f"{'rebuf s':>8} {'switch':>6} {'imbal s':>8} {'bad':>4} {'QoE':>8}"
+)
+
+
+def run(content, name, player, network):
+    result = simulate(content, player, network)
+    qoe = compute_qoe(result, content)
+    return (
+        f"{name:<16} "
+        f"{result.time_weighted_bitrate_kbps(MediaType.VIDEO):>6.0f} "
+        f"{result.time_weighted_bitrate_kbps(MediaType.AUDIO):>6.0f} "
+        f"{result.n_stalls:>6d} {result.total_rebuffer_s:>8.1f} "
+        f"{qoe.video_switches + qoe.audio_switches:>6d} "
+        f"{result.max_buffer_imbalance_s():>8.1f} "
+        f"{qoe.undesirable_chunks:>4d} {qoe.score:>8.1f}"
+    )
+
+
+def main() -> None:
+    content = drama_show()
+    dash = package_dash(content)
+    hall = package_hls(content).master
+    hsub = hsub_combinations(content)
+    hsub_a3_first = package_hls(
+        content, combinations=hsub, audio_order=["A3", "A2", "A1"]
+    ).master
+
+    scenarios = [
+        ("700 kbps", lambda: shared(constant(700.0))),
+        ("1 Mbps", lambda: shared(constant(1000.0))),
+        ("vary ~600", lambda: shared(fig3_trace())),
+        ("3 Mbps", lambda: shared(constant(3000.0))),
+    ]
+
+    print(HEADER)
+    print("-" * len(HEADER))
+    for label, make_network in scenarios:
+        rows = [
+            ("exoplayer-dash", lambda: ExoPlayerDash(dash)),
+            ("exoplayer-hls", lambda: ExoPlayerHls(hsub_a3_first)),
+            ("shaka", lambda: ShakaPlayer.from_hls(hall)),
+            ("dashjs", lambda: DashJsPlayer(dash)),
+            ("recommended", lambda: RecommendedPlayer(hsub)),
+        ]
+        for name, make_player in rows:
+            print(f"{label:<14} " + run(content, name, make_player(), make_network()))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — reproduction of "ABR Streaming with Separate Audio and Video
+Tracks: Measurements and Best Practices" (Qin, Sen, Wang; CoNEXT 2019).
+
+The library simulates ABR streaming of *demuxed* audio and video tracks
+through behavioural models of ExoPlayer, Shaka Player and dash.js, plus
+a best-practices player implementing the paper's Section-4
+recommendations. Quick start::
+
+    from repro import drama_show, simulate, constant, shared
+    from repro.manifest import package_dash
+    from repro.players import ExoPlayerDash
+
+    content = drama_show()
+    player = ExoPlayerDash(package_dash(content))
+    result = simulate(content, player, shared(constant(900)))
+    print(result.summary())
+"""
+
+from .errors import (
+    ExperimentError,
+    ManifestError,
+    ManifestParseError,
+    MediaError,
+    PlayerError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from .media import Content, MediaType, drama_show, synthetic_content
+from .net import constant, from_pairs, random_walk, shared, square_wave
+from .sim import Session, SessionConfig, SessionResult, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Content",
+    "ExperimentError",
+    "ManifestError",
+    "ManifestParseError",
+    "MediaError",
+    "MediaType",
+    "PlayerError",
+    "ReproError",
+    "Session",
+    "SessionConfig",
+    "SessionResult",
+    "SimulationError",
+    "TraceError",
+    "__version__",
+    "constant",
+    "drama_show",
+    "from_pairs",
+    "random_walk",
+    "shared",
+    "simulate",
+    "square_wave",
+    "synthetic_content",
+]

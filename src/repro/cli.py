@@ -1,0 +1,331 @@
+"""Command-line interface.
+
+::
+
+    repro-abr list                 # available experiments
+    repro-abr run fig4a            # one experiment, full report
+    repro-abr run --all            # everything, summary + reports
+    repro-abr simulate --player shaka --bandwidth 1000
+    repro-abr manifest --format hls --combinations hsub
+
+Exit status is non-zero when any executed experiment fails its
+shape-level checks, so CI can gate on reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.combinations import all_combinations, hsub_combinations
+from .core.player import RecommendedPlayer
+from .experiments import experiment_names, run_experiment
+from .manifest.dash import write_mpd
+from .manifest.packager import package_dash, package_hls
+from .manifest.validate import (
+    Severity,
+    lint_dash_manifest,
+    lint_hls_package,
+    worst_severity,
+)
+from .media.content import drama_show
+from .net.link import shared
+from .net.traces import constant
+from .players.dashjs import DashJsPlayer
+from .players.exoplayer import ExoPlayerDash, ExoPlayerHls
+from .players.shaka import ShakaPlayer
+from .qoe.metrics import compute_qoe
+from .sim.session import simulate
+
+
+def _build_player(name: str, content, combinations: str):
+    combos = (
+        hsub_combinations(content)
+        if combinations == "hsub"
+        else all_combinations(content)
+    )
+    if name == "exoplayer-dash":
+        return ExoPlayerDash(package_dash(content))
+    if name == "exoplayer-hls":
+        return ExoPlayerHls(package_hls(content, combinations=combos).master)
+    if name == "shaka":
+        return ShakaPlayer.from_hls(package_hls(content, combinations=combos).master)
+    if name == "dashjs":
+        return DashJsPlayer(package_dash(content))
+    if name == "recommended":
+        return RecommendedPlayer(combos)
+    raise SystemExit(f"unknown player {name!r}")
+
+
+def cmd_list(_args) -> int:
+    for name in experiment_names():
+        print(name)
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .experiments.plotting import render_report_charts
+
+    names = experiment_names() if args.all else args.names
+    if not names:
+        print("nothing to run: give experiment names or --all", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in names:
+        report = run_experiment(name)
+        print(report.render())
+        if args.plot and report.series:
+            print()
+            print(render_report_charts(report))
+        print()
+        if not report.passed:
+            failures += 1
+    print(f"{len(names) - failures}/{len(names)} experiments reproduced")
+    return 1 if failures else 0
+
+
+def cmd_simulate(args) -> int:
+    from .qoe.diagnosis import diagnose
+    from .sim.session import SessionConfig
+
+    content = drama_show()
+    player = _build_player(args.player, content, args.combinations)
+    config = SessionConfig(live_offset_s=args.live_offset)
+    result = simulate(content, player, shared(constant(args.bandwidth)), config)
+    summary = result.summary()
+    qoe = compute_qoe(result, content)
+    for key, value in summary.items():
+        print(f"{key}: {value}")
+    print("qoe:", qoe.as_dict())
+    findings = diagnose(result, content)
+    if findings:
+        print("diagnosis:")
+        for finding in findings:
+            print(f"  {finding}")
+    else:
+        print("diagnosis: clean (no known pathologies)")
+    return 0
+
+
+def cmd_manifest(args) -> int:
+    content = drama_show()
+    if args.format == "dash":
+        print(write_mpd(package_dash(content)))
+        return 0
+    combos = (
+        hsub_combinations(content)
+        if args.combinations == "hsub"
+        else all_combinations(content)
+    )
+    package = package_hls(content, combinations=combos)
+    for filename, text in package.write_all().items():
+        print(f"### {filename}")
+        print(text)
+    return 0
+
+
+def cmd_lint(args) -> int:
+    """Lint a packaging of the reference title against Section 4.1."""
+    content = drama_show()
+    if args.format == "dash":
+        combos = hsub_combinations(content) if args.curated else None
+        manifest = package_dash(content, allowed_combinations=combos)
+        findings = lint_dash_manifest(manifest)
+    else:
+        combos = hsub_combinations(content) if args.curated else None
+        package = package_hls(
+            content,
+            combinations=combos,
+            single_file=not args.chunk_files,
+            include_bitrate_tag=args.bitrate_tags,
+        )
+        findings = lint_hls_package(package)
+    if not findings:
+        print("clean: every Section-4.1 practice satisfied")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 1 if worst_severity(findings) is Severity.ERROR else 0
+
+
+def cmd_compare(args) -> int:
+    """All players on one link, one table."""
+    from .media.tracks import MediaType
+    from .qoe.metrics import compute_qoe
+
+    content = drama_show()
+    header = (
+        f"{'player':<16} {'video':>6} {'audio':>6} {'stalls':>6} "
+        f"{'rebuf s':>8} {'switches':>8} {'imbal s':>8} {'QoE':>8}"
+    )
+    print(f"link: constant {args.bandwidth:.0f} kbps")
+    print(header)
+    print("-" * len(header))
+    for name in ("exoplayer-dash", "exoplayer-hls", "shaka", "dashjs", "recommended"):
+        player = _build_player(name, content, args.combinations)
+        result = simulate(content, player, shared(constant(args.bandwidth)))
+        qoe = compute_qoe(result, content)
+        print(
+            f"{name:<16} "
+            f"{result.time_weighted_bitrate_kbps(MediaType.VIDEO):>6.0f} "
+            f"{result.time_weighted_bitrate_kbps(MediaType.AUDIO):>6.0f} "
+            f"{result.n_stalls:>6d} {result.total_rebuffer_s:>8.1f} "
+            f"{qoe.video_switches + qoe.audio_switches:>8d} "
+            f"{result.max_buffer_imbalance_s():>8.1f} {qoe.score:>8.1f}"
+        )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Generate or convert bandwidth traces."""
+    from .net.mahimahi import load_mahimahi, save_mahimahi
+    from .net.markov import hspa_preset, lte_preset
+    from .net.traces import load_trace, random_walk, save_trace
+
+    if args.input:
+        trace = (
+            load_mahimahi(args.input)
+            if args.input_format == "mahimahi"
+            else load_trace(args.input)
+        )
+    elif args.preset == "lte":
+        trace = lte_preset(duration_s=args.duration, seed=args.seed)
+    elif args.preset == "hspa":
+        trace = hspa_preset(duration_s=args.duration, seed=args.seed)
+    else:  # random
+        trace = random_walk(mean_kbps=args.mean, seed=args.seed)
+
+    print(
+        f"trace: {len(trace.segments)} segments, period {trace.period_s:.1f} s, "
+        f"avg {trace.average_kbps():.0f} kbps "
+        f"(min {trace.min_kbps():.0f}, max {trace.max_kbps():.0f})"
+    )
+    if args.output:
+        if args.format == "mahimahi":
+            save_mahimahi(trace, args.output, duration_s=args.duration)
+        else:
+            save_trace(trace, args.output)
+        print(f"wrote {args.output} ({args.format})")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .experiments.reporting import write_reports
+
+    outcomes = write_reports(
+        args.output,
+        names=args.names or None,
+        include_charts=not args.no_charts,
+    )
+    for name, passed in sorted(outcomes.items()):
+        print(f"{name}: {'REPRODUCED' if passed else 'MISMATCH'}")
+    print(f"wrote {len(outcomes)} reports to {args.output}/")
+    return 0 if all(outcomes.values()) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-abr",
+        description="Reproduction of 'ABR Streaming with Separate Audio and "
+        "Video Tracks' (CoNEXT 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=cmd_list)
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument("names", nargs="*", help="experiment names")
+    run_parser.add_argument("--all", action="store_true", help="run everything")
+    run_parser.add_argument(
+        "--plot", action="store_true", help="render time-series as ASCII charts"
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    sim_parser = sub.add_parser("simulate", help="one ad-hoc session")
+    sim_parser.add_argument(
+        "--player",
+        default="recommended",
+        choices=["exoplayer-dash", "exoplayer-hls", "shaka", "dashjs", "recommended"],
+    )
+    sim_parser.add_argument("--bandwidth", type=float, default=1000.0, help="kbps")
+    sim_parser.add_argument(
+        "--combinations", default="hsub", choices=["hsub", "all"]
+    )
+    sim_parser.add_argument(
+        "--live-offset",
+        type=float,
+        default=None,
+        help="live mode: packaging delay in seconds (omit for VOD)",
+    )
+    sim_parser.set_defaults(func=cmd_simulate)
+
+    man_parser = sub.add_parser("manifest", help="emit manifests for the title")
+    man_parser.add_argument("--format", default="dash", choices=["dash", "hls"])
+    man_parser.add_argument(
+        "--combinations", default="all", choices=["hsub", "all"]
+    )
+    man_parser.set_defaults(func=cmd_manifest)
+
+    lint_parser = sub.add_parser(
+        "lint", help="lint a packaging against the Section-4.1 practices"
+    )
+    lint_parser.add_argument("--format", default="hls", choices=["dash", "hls"])
+    lint_parser.add_argument(
+        "--curated",
+        action="store_true",
+        help="package the curated H_sub subset instead of all combinations",
+    )
+    lint_parser.add_argument(
+        "--chunk-files",
+        action="store_true",
+        help="package one file per chunk (no byte ranges)",
+    )
+    lint_parser.add_argument(
+        "--bitrate-tags",
+        action="store_true",
+        help="emit EXT-X-BITRATE tags",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
+
+    report_parser = sub.add_parser(
+        "report", help="write Markdown+JSON reports for experiments"
+    )
+    report_parser.add_argument("names", nargs="*", help="experiment names (default all)")
+    report_parser.add_argument("--output", default="results", help="output directory")
+    report_parser.add_argument(
+        "--no-charts", action="store_true", help="omit ASCII charts"
+    )
+    report_parser.set_defaults(func=cmd_report)
+
+    trace_parser = sub.add_parser("trace", help="generate/convert bandwidth traces")
+    trace_parser.add_argument(
+        "--preset", default="hspa", choices=["lte", "hspa", "random"]
+    )
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--duration", type=float, default=300.0)
+    trace_parser.add_argument("--mean", type=float, default=600.0, help="random preset mean kbps")
+    trace_parser.add_argument("--input", help="convert an existing trace file instead")
+    trace_parser.add_argument(
+        "--input-format", default="csv", choices=["csv", "mahimahi"]
+    )
+    trace_parser.add_argument("--output", help="write the trace to this path")
+    trace_parser.add_argument("--format", default="csv", choices=["csv", "mahimahi"])
+    trace_parser.set_defaults(func=cmd_trace)
+
+    compare_parser = sub.add_parser("compare", help="all players on one link")
+    compare_parser.add_argument("--bandwidth", type=float, default=700.0, help="kbps")
+    compare_parser.add_argument(
+        "--combinations", default="hsub", choices=["hsub", "all"]
+    )
+    compare_parser.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The paper's constructive contribution: combination curation and the
+best-practices joint A/V player."""
+
+from .balancer import PrefetchBalancer, other_medium
+from .bola_joint import JointBolaPlayer
+from .chunk_aware import ChunkAwarePlayer
+from .combinations import (
+    Combination,
+    CombinationSet,
+    HSUB_PAIRS,
+    all_combinations,
+    combinations_from_pairs,
+    curated_combinations,
+    hsub_combinations,
+    proportional_pairing,
+)
+from .mpc import MpcConfig, MpcPlayer
+from .player import RecommendedPlayer
+from .policy import (
+    ACTION_MOVIE,
+    DRAMA,
+    HOME_THEATER,
+    MOBILE_HANDSET,
+    MUSIC_SHOW,
+    ContentPolicy,
+    DeviceProfile,
+    policy_for,
+)
+
+__all__ = [
+    "ACTION_MOVIE",
+    "ChunkAwarePlayer",
+    "Combination",
+    "JointBolaPlayer",
+    "MpcConfig",
+    "MpcPlayer",
+    "CombinationSet",
+    "ContentPolicy",
+    "DeviceProfile",
+    "DRAMA",
+    "HOME_THEATER",
+    "HSUB_PAIRS",
+    "MOBILE_HANDSET",
+    "MUSIC_SHOW",
+    "PrefetchBalancer",
+    "RecommendedPlayer",
+    "all_combinations",
+    "combinations_from_pairs",
+    "curated_combinations",
+    "hsub_combinations",
+    "other_medium",
+    "policy_for",
+    "proportional_pairing",
+]

@@ -1,0 +1,57 @@
+"""Audio/video prefetch balancing.
+
+Implements the Section-4.2 practice "Maintain balance between audio and
+video prefetching": "the balance can be achieved by synchronizing the
+duration of prefetched audio and video content at a fine granularity,
+e.g., at the chunk level or in terms of a small number of chunks."
+
+:class:`PrefetchBalancer` gates a medium's next fetch so its downloaded
+frontier never leads the other medium's by more than ``max_lead_chunks``
+chunks. With the default of 1, audio and video advance in lock-step per
+position (possibly downloading one position's pair concurrently).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import PlayerError
+from ..media.tracks import MediaType
+from ..sim.decisions import Wait
+
+
+def other_medium(medium: MediaType) -> MediaType:
+    return MediaType.AUDIO if medium is MediaType.VIDEO else MediaType.VIDEO
+
+
+class PrefetchBalancer:
+    """Chunk-granularity A/V download synchronization."""
+
+    def __init__(self, max_lead_chunks: int = 1):
+        if max_lead_chunks < 1:
+            raise PlayerError(
+                f"max_lead_chunks must be at least 1, got {max_lead_chunks}"
+            )
+        self.max_lead_chunks = max_lead_chunks
+
+    def gate(self, medium: MediaType, ctx) -> Optional[Wait]:
+        """Return a :class:`Wait` when the medium must let the other
+        catch up, or ``None`` when it may fetch now.
+
+        The comparison is on *completed* chunks: a medium may begin
+        chunk ``i`` only while ``i < other_completed + max_lead``. The
+        wait is event-driven (``until=inf``): the other medium's next
+        completion re-triggers scheduling.
+        """
+        mine = ctx.completed_chunks(medium)
+        others = ctx.completed_chunks(other_medium(medium))
+        if mine - others >= self.max_lead_chunks:
+            return Wait(until=math.inf)
+        return None
+
+    def imbalance_chunks(self, ctx) -> int:
+        """Current signed lead of video over audio, in chunks."""
+        return ctx.completed_chunks(MediaType.VIDEO) - ctx.completed_chunks(
+            MediaType.AUDIO
+        )

@@ -1,0 +1,103 @@
+"""Content-type combination policies.
+
+Section 2.1: "for music shows, the sound quality may be relatively more
+important than video quality, and hence it might be more desirable to
+combine high audio tracks with low/medium video tracks; while for an
+action movie, the desirable combinations may be the opposite. The
+origin server knows the content information, client device types, and
+the business rules, and hence is at a better position for deciding the
+combinations."
+
+A :class:`ContentPolicy` encodes that domain knowledge as an audio-bias
+applied to the proportional ladder pairing, plus device constraints
+(maximum useful resolution / channel count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import MediaError
+from ..media.content import Content
+from ..media.tracks import Ladder, MediaType, Track, make_ladder
+from .combinations import (
+    CombinationSet,
+    combinations_from_pairs,
+    proportional_pairing,
+)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """What the target device can usefully render."""
+
+    name: str
+    max_video_height: Optional[int] = None  # e.g. 480 on a small phone
+    max_audio_channels: Optional[int] = None  # e.g. 2 on headphones
+
+    def usable_video(self, ladder: Ladder) -> List[Track]:
+        tracks = [
+            t
+            for t in ladder
+            if self.max_video_height is None
+            or t.height is None
+            or t.height <= self.max_video_height
+        ]
+        return tracks or [ladder.lowest]
+
+    def usable_audio(self, ladder: Ladder) -> List[Track]:
+        tracks = [
+            t
+            for t in ladder
+            if self.max_audio_channels is None
+            or t.channels is None
+            or t.channels <= self.max_audio_channels
+        ]
+        return tracks or [ladder.lowest]
+
+
+#: A large-screen device with a surround sound system: no restrictions.
+HOME_THEATER = DeviceProfile(name="home-theater")
+#: A phone with headphones: stereo only, 480p is plenty.
+MOBILE_HANDSET = DeviceProfile(name="mobile", max_video_height=480, max_audio_channels=2)
+
+
+@dataclass(frozen=True)
+class ContentPolicy:
+    """Content-provider curation rules for one content type."""
+
+    name: str
+    #: Fraction of the audio ladder to shift pairings by: positive for
+    #: audio-first content (music), negative for video-first (action).
+    audio_bias: float = 0.0
+
+    def curate(
+        self, content: Content, device: DeviceProfile = HOME_THEATER
+    ) -> CombinationSet:
+        """The allowed combinations for this content on this device."""
+        video_tracks = device.usable_video(content.video)
+        audio_tracks = device.usable_audio(content.audio)
+        video = make_ladder(MediaType.VIDEO, video_tracks)
+        audio = make_ladder(MediaType.AUDIO, audio_tracks)
+        pairs = proportional_pairing(video, audio, audio_bias=self.audio_bias)
+        return combinations_from_pairs(content, pairs)
+
+
+#: Stock policies for the content archetypes the paper names.
+DRAMA = ContentPolicy(name="drama", audio_bias=0.0)
+MUSIC_SHOW = ContentPolicy(name="music-show", audio_bias=0.5)
+ACTION_MOVIE = ContentPolicy(name="action-movie", audio_bias=-0.5)
+
+_POLICIES = {p.name: p for p in (DRAMA, MUSIC_SHOW, ACTION_MOVIE)}
+
+
+def policy_for(content_type: str) -> ContentPolicy:
+    """Look up a stock policy by content-type name."""
+    try:
+        return _POLICIES[content_type]
+    except KeyError:
+        raise MediaError(
+            f"unknown content type {content_type!r}; "
+            f"known: {sorted(_POLICIES)}"
+        ) from None

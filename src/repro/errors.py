@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers
+can catch everything the library raises with one ``except`` clause while
+still being able to distinguish manifest problems from simulation
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MediaError(ReproError):
+    """Invalid media description (tracks, ladders, chunk tables)."""
+
+
+class ManifestError(ReproError):
+    """A manifest could not be built, serialized or parsed."""
+
+
+class ManifestParseError(ManifestError):
+    """A DASH MPD or HLS playlist document is malformed."""
+
+
+class TraceError(ReproError):
+    """A bandwidth trace is malformed or cannot be evaluated."""
+
+
+class SimulationError(ReproError):
+    """The playback simulation reached an inconsistent state."""
+
+
+class PlayerError(ReproError):
+    """A player model was misconfigured or made an invalid decision."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was invoked with invalid parameters."""

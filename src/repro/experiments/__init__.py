@@ -1,0 +1,37 @@
+"""Experiment registry: one runner per paper table/figure.
+
+Importing this package registers every experiment; use
+:func:`run_experiment` / :func:`experiment_names` to drive them.
+"""
+
+from .base import Check, ExperimentReport, experiment_names, run_experiment
+
+# Importing the modules populates the registry.
+from . import (  # noqa: F401
+    algorithms,
+    best_practices,
+    corpus,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fluctuation,
+    live,
+    muxed,
+    resilience,
+    sweeps,
+    tables,
+)
+
+__all__ = [
+    "Check",
+    "ExperimentReport",
+    "experiment_names",
+    "run_experiment",
+]
+
+
+def run_all() -> dict:
+    """Run every registered experiment; returns name -> report."""
+    return {name: run_experiment(name) for name in experiment_names()}

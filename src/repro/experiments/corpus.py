@@ -1,0 +1,134 @@
+"""X5 — trace-corpus study: distributions, not anecdotes.
+
+Each Section-3 figure is one run over one profile. A service evaluates
+players over *corpora*: here, seeded Markov cellular traces (HSPA-grade,
+where the drama show's audio bitrates really compete with video). Every
+player streams the same corpus; the report shows mean/median/p10 QoE,
+stall ratio and pairing hygiene per player. The paper's per-player
+pathologies should survive aggregation: dash.js keeps emitting
+undesirable pairs, Shaka keeps under-using the link, and the
+best-practices player should dominate the tail (p10), which is where
+stalls live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.combinations import hsub_combinations
+from ..core.player import RecommendedPlayer
+from ..manifest.packager import package_dash, package_hls
+from ..media.content import drama_show
+from ..net.link import shared
+from ..net.markov import hspa_preset
+from ..players.dashjs import DashJsPlayer
+from ..players.exoplayer import ExoPlayerDash, ExoPlayerHls
+from ..players.shaka import ShakaPlayer
+from ..qoe.aggregate import QoEAggregate
+from ..qoe.metrics import compute_qoe
+from ..sim.session import simulate
+from .base import ExperimentReport, register
+
+N_TRACES = 12
+
+
+@register("corpus")
+def run_corpus() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="corpus",
+        title=f"HSPA trace corpus ({N_TRACES} seeded traces) across all players",
+        params={"n_traces": N_TRACES, "profile": "hspa_preset"},
+        paper_claim=(
+            "the per-player failure modes persist across a trace "
+            "population, not just the hand-picked profiles of Section 3"
+        ),
+        header=(
+            "Player",
+            "Mean QoE",
+            "Median",
+            "p10",
+            "Stall ratio",
+            "Rebuf s",
+            "Switches",
+            "Undesirable",
+        ),
+    )
+    content = drama_show()
+    dash = package_dash(content)
+    hall = package_hls(content).master
+    hsub = hsub_combinations(content)
+    hsub_master = package_hls(
+        content, combinations=hsub, audio_order=["A3", "A2", "A1"]
+    ).master
+
+    players = {
+        "exoplayer-dash": lambda: ExoPlayerDash(dash),
+        "exoplayer-hls": lambda: ExoPlayerHls(hsub_master),
+        "shaka": lambda: ShakaPlayer.from_hls(hall),
+        "dashjs": lambda: DashJsPlayer(dash),
+        # Abandonment is off here: aborting a chunk mid-position can
+        # leave that position with a mixed (already-downloaded audio,
+        # re-fetched lower video) pair, trading pairing purity for stall
+        # protection. The corpus checks assert pairing purity; the
+        # abandonment trade-off is exercised in its own test module.
+        "recommended": lambda: RecommendedPlayer(hsub),
+    }
+
+    aggregates: Dict[str, QoEAggregate] = {name: QoEAggregate() for name in players}
+    for seed in range(N_TRACES):
+        trace = hspa_preset(seed=seed)
+        for name, make_player in players.items():
+            result = simulate(content, make_player(), shared(trace))
+            aggregates[name].add(compute_qoe(result, content))
+
+    for name, aggregate in aggregates.items():
+        summary = aggregate.summary()
+        report.rows.append(
+            (
+                name,
+                summary["mean_qoe"],
+                summary["median_qoe"],
+                summary["p10_qoe"],
+                summary["stall_ratio"],
+                summary["mean_rebuffer_s"],
+                summary["mean_switches"],
+                summary["undesirable_ratio"],
+            )
+        )
+
+    recommended = aggregates["recommended"].summary()
+    report.check(
+        "recommended has the best mean QoE over the corpus",
+        recommended["mean_qoe"]
+        >= max(a.summary()["mean_qoe"] for a in aggregates.values()) - 1e-9,
+        detail={n: a.summary()["mean_qoe"] for n, a in aggregates.items()}.__repr__(),
+    )
+    report.check(
+        "recommended carries the lowest rebuffering burden",
+        recommended["mean_rebuffer_s"]
+        <= min(a.summary()["mean_rebuffer_s"] for a in aggregates.values()) + 1e-9,
+        detail={
+            n: a.summary()["mean_rebuffer_s"] for n, a in aggregates.items()
+        }.__repr__(),
+    )
+    report.check(
+        "recommended emits zero undesirable pairs corpus-wide",
+        recommended["undesirable_ratio"] == 0.0,
+    )
+    report.check(
+        "dash.js keeps emitting undesirable pairs across the corpus",
+        aggregates["dashjs"].summary()["undesirable_ratio"] > 0.05,
+        detail=f"{aggregates['dashjs'].summary()['undesirable_ratio']:.2%}",
+    )
+    report.check(
+        "ExoPlayer-HLS's pinned A3 mismatches every chunk of every session",
+        aggregates["exoplayer-hls"].summary()["undesirable_ratio"] == 1.0,
+    )
+    report.check(
+        "Shaka's estimator failure stalls every session on this corpus "
+        "(its 1400 kbps state passes the 16 KB filter on solo downloads, "
+        "over-driving the ~700 kbps average link)",
+        aggregates["shaka"].summary()["stall_ratio"] == 1.0,
+        detail=f"mean rebuffer {aggregates['shaka'].summary()['mean_rebuffer_s']:.1f} s",
+    )
+    return report

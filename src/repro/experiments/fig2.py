@@ -1,0 +1,125 @@
+"""Fig. 2 — ExoPlayer under DASH: predetermined combinations exclude
+better choices.
+
+Two experiments from Section 3.2, both with the Table-1 video tracks
+and a 900 kbps fixed link:
+
+* **Fig. 2(a)** — low-bitrate audio set B (32/64/128 kbps). ExoPlayer
+  selects V3+B2 although V3+B3 (601 kbps declared) also fits within the
+  link; V3+B3 simply is not among the predetermined combinations.
+* **Fig. 2(b)** — high-bitrate audio set C (196/384/768 kbps).
+  ExoPlayer selects V2+C2 (very low video, high audio) although V3+C1
+  (473+196 = 669 kbps) would give better video at lower audio.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..manifest.packager import package_dash
+from ..media.content import b_audio_ladder, c_audio_ladder, drama_show
+from ..media.tracks import MediaType
+from ..net.link import shared
+from ..net.traces import constant
+from ..players.exoplayer import ExoPlayerDash
+from ..sim.records import SessionResult
+from ..sim.session import simulate
+from .base import ExperimentReport, register
+
+BANDWIDTH_KBPS = 900.0
+
+
+def _run(audio_ladder, steady_from_s: float = 60.0) -> Tuple[ExoPlayerDash, SessionResult]:
+    content = drama_show().with_audio(audio_ladder)
+    player = ExoPlayerDash(package_dash(content))
+    result = simulate(content, player, shared(constant(BANDWIDTH_KBPS)))
+    return player, result
+
+
+def _steady_state_combo(result: SessionResult) -> str:
+    """The combination the player settles on (mode over the last half)."""
+    names = result.combination_names()
+    tail = names[len(names) // 2 :]
+    return max(set(tail), key=tail.count) if tail else ""
+
+
+def _series_from(result: SessionResult, content_chunk_s: float) -> dict:
+    video = [
+        (r.completed_at, r.size_bits / content_chunk_s / 1000.0)
+        for r in result.downloads
+        if r.medium is MediaType.VIDEO
+    ]
+    audio = [
+        (r.completed_at, r.size_bits / content_chunk_s / 1000.0)
+        for r in result.downloads
+        if r.medium is MediaType.AUDIO
+    ]
+    return {"video_kbps": video, "audio_kbps": audio}
+
+
+@register("fig2a")
+def run_fig2a() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="fig2a",
+        title="ExoPlayer DASH, low-bitrate audio set B, 900 kbps link",
+        params={"bandwidth_kbps": BANDWIDTH_KBPS, "audio": "B1/B2/B3 = 32/64/128"},
+        paper_claim=(
+            "V3+B2 is selected, while V3+B3 would be a better choice (601 kbps "
+            "declared, below the link); V3+B3 is not in the predetermined set"
+        ),
+    )
+    player, result = _run(b_audio_ladder())
+    combos = player.combination_names
+    report.note(f"predetermined combinations: {combos}")
+    report.check(
+        "predetermined combinations match Section 3.2",
+        combos
+        == ["V1+B1", "V2+B1", "V2+B2", "V3+B2", "V4+B2", "V5+B2", "V5+B3", "V6+B3"],
+    )
+    steady = _steady_state_combo(result)
+    report.note(f"steady-state selection: {steady}")
+    report.check("steady-state selection is V3+B2", steady == "V3+B2", detail=steady)
+    report.check(
+        "the better V3+B3 is excluded by predetermination", "V3+B3" not in combos
+    )
+    report.check(
+        "V3+B3 would fit the link (473+128 <= 900)",
+        473 + 128 <= BANDWIDTH_KBPS,
+    )
+    report.check("no stalls at a fixed 900 kbps link", result.n_stalls == 0)
+    report.series = _series_from(result, 5.0)
+    report.timelines["combination"] = [
+        (r.completed_at, f"{result.track_for(MediaType.VIDEO, r.chunk_index)}+"
+         f"{result.track_for(MediaType.AUDIO, r.chunk_index)}")
+        for r in result.downloads_of(MediaType.AUDIO)
+    ]
+    return report
+
+
+@register("fig2b")
+def run_fig2b() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="fig2b",
+        title="ExoPlayer DASH, high-bitrate audio set C, 900 kbps link",
+        params={"bandwidth_kbps": BANDWIDTH_KBPS, "audio": "C1/C2/C3 = 196/384/768"},
+        paper_claim=(
+            "ExoPlayer selects V2+C2 (very low video quality, high audio); "
+            "V3+C1 (473+196) would be better but is not predetermined"
+        ),
+    )
+    player, result = _run(c_audio_ladder())
+    combos = player.combination_names
+    report.note(f"predetermined combinations: {combos}")
+    report.check(
+        "predetermined combinations match Section 3.2",
+        combos
+        == ["V1+C1", "V2+C1", "V2+C2", "V3+C2", "V4+C2", "V5+C2", "V5+C3", "V6+C3"],
+    )
+    steady = _steady_state_combo(result)
+    report.note(f"steady-state selection: {steady}")
+    report.check("steady-state selection is V2+C2", steady == "V2+C2", detail=steady)
+    report.check(
+        "the better V3+C1 is excluded by predetermination", "V3+C1" not in combos
+    )
+    report.series = _series_from(result, 5.0)
+    return report

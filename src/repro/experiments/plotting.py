@@ -1,0 +1,87 @@
+"""Text-mode plotting for experiment reports.
+
+The paper's figures are time-series plots (selected bitrate, buffer
+level, bandwidth estimate over time). The library is dependency-free,
+so the CLI renders them as ASCII charts: good enough to eyeball the
+Fig. 3 stall saw-tooth or the Fig. 4(b) estimate staircase directly in
+a terminal, and deterministic enough to test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ExperimentError
+
+Point = Tuple[float, float]
+
+
+def ascii_chart(
+    points: Sequence[Point],
+    width: int = 64,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """Render one series as an ASCII line chart.
+
+    Points are bucketed into ``width`` columns by time; each column
+    shows the mean value of its bucket as a ``*`` on a ``height``-row
+    grid. The y-axis is annotated with min/max, the x-axis with the time
+    span. Empty columns (no samples) stay blank.
+    """
+    if width < 8 or height < 3:
+        raise ExperimentError("chart needs width >= 8 and height >= 3")
+    if not points:
+        return f"{label}: (no data)"
+    times = [t for t, _ in points]
+    values = [v for _, v in points]
+    t_min, t_max = min(times), max(times)
+    v_min, v_max = min(values), max(values)
+    span_t = (t_max - t_min) or 1.0
+    span_v = (v_max - v_min) or 1.0
+
+    # Bucket by column: mean value per column.
+    sums = [0.0] * width
+    counts = [0] * width
+    for t, v in points:
+        column = min(width - 1, int((t - t_min) / span_t * width))
+        sums[column] += v
+        counts[column] += 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for column in range(width):
+        if counts[column] == 0:
+            continue
+        mean = sums[column] / counts[column]
+        row = int(round((mean - v_min) / span_v * (height - 1)))
+        grid[height - 1 - row][column] = "*"
+
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    top_label = f"{v_max:.6g}"
+    bottom_label = f"{v_min:.6g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(pad)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row_cells)}|")
+    axis = f"{t_min:.6g}s".ljust(width - 8) + f"{t_max:.6g}s".rjust(8)
+    lines.append(" " * pad + " +" + "-" * width + "+")
+    lines.append(" " * pad + "  " + axis)
+    return "\n".join(lines)
+
+
+def render_report_charts(report, width: int = 64, height: int = 10) -> str:
+    """All of a report's series, charted."""
+    if not report.series:
+        return "(no series to plot)"
+    charts = [
+        ascii_chart(points, width=width, height=height, label=name)
+        for name, points in report.series.items()
+    ]
+    return "\n\n".join(charts)

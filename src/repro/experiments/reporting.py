@@ -1,0 +1,127 @@
+"""Report persistence: experiment results as Markdown and JSON.
+
+``repro-abr report --output results/`` regenerates every artifact and
+writes one Markdown file per experiment (human review, CI diffs) plus a
+machine-readable ``summary.json`` (dashboards, regression gates).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from .base import ExperimentReport, experiment_names, run_experiment
+from .plotting import render_report_charts
+
+
+def report_to_markdown(report: ExperimentReport, include_charts: bool = True) -> str:
+    """One experiment as a self-contained Markdown document."""
+    lines: List[str] = [f"# {report.experiment_id}: {report.title}", ""]
+    if report.paper_claim:
+        lines += [f"> **Paper:** {report.paper_claim}", ""]
+    if report.params:
+        lines.append("**Parameters:** " + ", ".join(
+            f"`{key}={value}`" for key, value in sorted(report.params.items())
+        ))
+        lines.append("")
+    if report.rows:
+        header = [str(h) for h in report.header] or [
+            f"col{i}" for i in range(len(report.rows[0]))
+        ]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for row in report.rows:
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        lines.append("")
+    for name, points in report.timelines.items():
+        compact = []
+        previous = None
+        for t, label in points:
+            if label != previous:
+                compact.append(f"{label}@{t:.0f}s")
+                previous = label
+        lines.append(f"**{name}:** " + " → ".join(compact))
+        lines.append("")
+    for note in report.notes:
+        lines.append(f"*Note:* {note}")
+        lines.append("")
+    lines.append("## Checks")
+    lines.append("")
+    for check in report.checks:
+        mark = "✅" if check.passed else "❌"
+        detail = f" — {check.detail}" if check.detail else ""
+        lines.append(f"- {mark} {check.description}{detail}")
+    lines.append("")
+    lines.append(
+        f"**Verdict: {'REPRODUCED' if report.passed else 'MISMATCH'}**"
+    )
+    if include_charts and report.series:
+        lines += ["", "## Series", "", "```"]
+        lines.append(render_report_charts(report))
+        lines += ["```", ""]
+    return "\n".join(lines) + "\n"
+
+
+def report_to_dict(report: ExperimentReport) -> Dict:
+    """JSON-serializable view of one report."""
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "params": {key: repr(value) for key, value in report.params.items()},
+        "paper_claim": report.paper_claim,
+        "passed": report.passed,
+        "header": list(report.header),
+        "rows": [list(row) for row in report.rows],
+        "checks": [
+            {
+                "description": check.description,
+                "passed": check.passed,
+                "detail": check.detail,
+            }
+            for check in report.checks
+        ],
+        "notes": list(report.notes),
+        "series": {
+            name: [[t, value] for t, value in points]
+            for name, points in report.series.items()
+        },
+    }
+
+
+def write_reports(
+    output_dir: str,
+    names: Optional[Sequence[str]] = None,
+    include_charts: bool = True,
+) -> Dict[str, bool]:
+    """Run experiments and write Markdown + JSON artifacts.
+
+    Returns ``{experiment_id: passed}``.
+    """
+    os.makedirs(output_dir, exist_ok=True)
+    selected = list(names) if names else experiment_names()
+    outcomes: Dict[str, bool] = {}
+    summary = []
+    for name in selected:
+        report = run_experiment(name)
+        outcomes[name] = report.passed
+        path = os.path.join(output_dir, f"{name}.md")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(report_to_markdown(report, include_charts=include_charts))
+        summary.append(report_to_dict(report))
+    with open(os.path.join(output_dir, "summary.json"), "w", encoding="utf-8") as f:
+        json.dump(
+            {
+                "experiments": summary,
+                "all_passed": all(outcomes.values()),
+            },
+            f,
+            indent=2,
+        )
+    index_lines = ["# Reproduction results", ""]
+    for name in selected:
+        status = "REPRODUCED" if outcomes[name] else "MISMATCH"
+        index_lines.append(f"- [{name}]({name}.md) — {status}")
+    with open(os.path.join(output_dir, "README.md"), "w", encoding="utf-8") as f:
+        f.write("\n".join(index_lines) + "\n")
+    return outcomes

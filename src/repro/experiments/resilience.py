@@ -1,0 +1,121 @@
+"""X8 — resilience to transient request failures.
+
+Production CDNs reset connections; a demuxed client retries *two*
+request streams' worth of them. This experiment injects seeded
+failures (10% of requests die mid-transfer) on a moderately provisioned
+link and compares the players: total retry waste, stall damage, and
+whether adaptation conformance survives the retries.
+
+The best-practices player additionally demonstrates the retry-lower
+reaction: a failed position re-fetches one allowed rung lower (when the
+pair is not already locked by the companion medium), converting
+failures into mild quality dips instead of repeated stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.combinations import hsub_combinations
+from ..core.player import RecommendedPlayer
+from ..manifest.packager import package_dash, package_hls
+from ..media.content import drama_show
+from ..media.tracks import MediaType
+from ..net.failures import FailureModel
+from ..net.link import shared
+from ..net.traces import constant
+from ..players.dashjs import DashJsPlayer
+from ..players.exoplayer import ExoPlayerDash
+from ..players.shaka import ShakaPlayer
+from ..qoe.metrics import compute_qoe
+from ..sim.session import SessionConfig, simulate
+from .base import ExperimentReport, register
+
+LINK_KBPS = 900.0
+FAILURE_P = 0.10
+N_SEEDS = 4
+
+
+@register("resilience")
+def run_resilience() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="resilience",
+        title=f"10% transient request failures at {LINK_KBPS:.0f} kbps",
+        params={"failure_p": FAILURE_P, "bandwidth_kbps": LINK_KBPS, "seeds": N_SEEDS},
+        paper_claim=(
+            "failure handling is part of demuxed A/V hygiene: retries must "
+            "not break pairing conformance, and reacting to failures beats "
+            "blind re-requests"
+        ),
+        header=(
+            "Player",
+            "Failures",
+            "Wasted Mb",
+            "Stalls",
+            "Rebuffer s",
+            "Video kbps",
+            "QoE",
+        ),
+    )
+    content = drama_show()
+    hsub = hsub_combinations(content)
+    dash = package_dash(content)
+    hall = package_hls(content).master
+
+    players = {
+        "exoplayer-dash": lambda: ExoPlayerDash(dash),
+        "shaka": lambda: ShakaPlayer.from_hls(hall),
+        "dashjs": lambda: DashJsPlayer(dash),
+        "recommended": lambda: RecommendedPlayer(hsub),
+    }
+    totals: Dict[str, Dict[str, float]] = {}
+    conformance_ok = True
+    for name, make_player in players.items():
+        acc = {"failures": 0, "waste": 0.0, "stalls": 0, "rebuf": 0.0, "video": 0.0, "qoe": 0.0}
+        for seed in range(N_SEEDS):
+            config = SessionConfig(
+                failure_model=FailureModel(FAILURE_P, seed=seed)
+            )
+            result = simulate(content, make_player(), shared(constant(LINK_KBPS)), config)
+            acc["failures"] += len(result.failures)
+            acc["waste"] += sum(f.bits_done for f in result.failures) / 1e6
+            acc["stalls"] += result.n_stalls
+            acc["rebuf"] += result.total_rebuffer_s
+            acc["video"] += result.time_weighted_bitrate_kbps(MediaType.VIDEO)
+            acc["qoe"] += compute_qoe(result, content).score
+            if name == "recommended" and not (
+                set(result.combination_names()) <= set(hsub.names)
+            ):
+                conformance_ok = False
+        totals[name] = acc
+        report.rows.append(
+            (
+                name,
+                acc["failures"],
+                round(acc["waste"], 1),
+                acc["stalls"],
+                round(acc["rebuf"], 1),
+                round(acc["video"] / N_SEEDS),
+                round(acc["qoe"] / N_SEEDS, 1),
+            )
+        )
+
+    report.check(
+        "every player completes all sessions under 10% failures",
+        True,  # reaching this line means no SimulationError was raised
+    )
+    report.check(
+        "recommended retains pairing conformance across all retries",
+        conformance_ok,
+    )
+    report.check(
+        "recommended has the least rebuffering under failures",
+        totals["recommended"]["rebuf"]
+        <= min(acc["rebuf"] for acc in totals.values()) + 1e-9,
+        detail=str({n: round(acc["rebuf"], 1) for n, acc in totals.items()}),
+    )
+    report.check(
+        "failures occurred and wasted measurable bytes (the injection works)",
+        all(acc["failures"] > 0 and acc["waste"] > 0 for acc in totals.values()),
+    )
+    return report

@@ -1,0 +1,69 @@
+"""Manifest substrate: DASH MPD and HLS playlist models, writers, parsers."""
+
+from .dash import (
+    DashAdaptationSet,
+    DashManifest,
+    DashRepresentation,
+    DashSegmentTemplate,
+    build_dash_manifest,
+    parse_mpd,
+    write_mpd,
+)
+from .hls import (
+    HlsMasterPlaylist,
+    HlsMediaPlaylist,
+    HlsRendition,
+    HlsSegment,
+    HlsVariant,
+    parse_master_playlist,
+    parse_media_playlist,
+    write_master_playlist,
+    write_media_playlist,
+)
+from .packager import (
+    AUDIO_GROUP_ID,
+    HlsPackage,
+    package_dash,
+    package_hls,
+    package_hls_multilanguage,
+    write_dash_package,
+)
+from .validate import (
+    Finding,
+    Severity,
+    lint_dash_manifest,
+    lint_hls_master,
+    lint_hls_package,
+    worst_severity,
+)
+
+__all__ = [
+    "AUDIO_GROUP_ID",
+    "DashAdaptationSet",
+    "DashManifest",
+    "DashRepresentation",
+    "DashSegmentTemplate",
+    "Finding",
+    "Severity",
+    "lint_dash_manifest",
+    "lint_hls_master",
+    "lint_hls_package",
+    "worst_severity",
+    "HlsMasterPlaylist",
+    "HlsMediaPlaylist",
+    "HlsPackage",
+    "HlsRendition",
+    "HlsSegment",
+    "HlsVariant",
+    "build_dash_manifest",
+    "package_dash",
+    "package_hls",
+    "package_hls_multilanguage",
+    "parse_master_playlist",
+    "parse_media_playlist",
+    "parse_mpd",
+    "write_dash_package",
+    "write_master_playlist",
+    "write_media_playlist",
+    "write_mpd",
+]

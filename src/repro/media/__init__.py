@@ -1,0 +1,52 @@
+"""Media substrate: tracks, ladders, chunks and content synthesis."""
+
+from .chunks import Chunk, ChunkTable, build_chunk_table, synthesize_vbr_bitrates
+from .languages import LanguageCatalog, language_track_id, make_catalog
+from .content import (
+    DEFAULT_CHUNK_DURATION_S,
+    DEFAULT_N_CHUNKS,
+    TABLE1_AUDIO,
+    TABLE1_VIDEO,
+    Content,
+    b_audio_ladder,
+    c_audio_ladder,
+    drama_show,
+    synthetic_content,
+    table1_audio_ladder,
+    table1_video_ladder,
+)
+from .tracks import (
+    Ladder,
+    MediaType,
+    Track,
+    audio_track,
+    make_ladder,
+    video_track,
+)
+
+__all__ = [
+    "Chunk",
+    "ChunkTable",
+    "Content",
+    "DEFAULT_CHUNK_DURATION_S",
+    "DEFAULT_N_CHUNKS",
+    "Ladder",
+    "LanguageCatalog",
+    "MediaType",
+    "language_track_id",
+    "make_catalog",
+    "TABLE1_AUDIO",
+    "TABLE1_VIDEO",
+    "Track",
+    "audio_track",
+    "b_audio_ladder",
+    "build_chunk_table",
+    "c_audio_ladder",
+    "drama_show",
+    "make_ladder",
+    "synthesize_vbr_bitrates",
+    "synthetic_content",
+    "table1_audio_ladder",
+    "table1_video_ladder",
+    "video_track",
+]

@@ -1,0 +1,247 @@
+"""Per-chunk size tables and VBR size synthesis.
+
+The paper streams a real YouTube drama show; we do not have its bytes,
+so we synthesize a per-chunk size table for every track that matches the
+track's published *average* and *peak* bitrates exactly (the two
+quantities Table 1 reports and the only ones the paper's findings depend
+on). Synthesis is deterministic given a seed so experiments are
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import MediaError
+from ..units import chunk_bits
+from .tracks import Track
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One downloadable chunk of one track."""
+
+    track_id: str
+    index: int
+    duration_s: float
+    size_bits: float
+
+    @property
+    def bitrate_kbps(self) -> float:
+        """The encoded bitrate of this chunk."""
+        return self.size_bits / self.duration_s / 1000.0
+
+    @property
+    def size_bytes(self) -> float:
+        return self.size_bits / 8.0
+
+
+def synthesize_vbr_bitrates(
+    avg_kbps: float,
+    peak_kbps: float,
+    n_chunks: int,
+    seed: int,
+    burstiness: float = 0.35,
+) -> List[float]:
+    """Synthesize a per-chunk bitrate series with exact mean and peak.
+
+    The series is drawn from a seeded gamma-like process, clipped at the
+    peak and iteratively rescaled so that
+
+    * ``mean(series) == avg_kbps`` (to within float rounding), and
+    * ``max(series) == peak_kbps`` (the peak is actually attained, as a
+      real encoder's reported peak is the max chunk bitrate).
+
+    :param burstiness: coefficient of variation of the raw draw before
+        clipping. Audio is near-CBR (Table 1 peaks are 2-5% over
+        average), so callers pass a small value for audio; video VBR is
+        bursty (V3-V6 peaks are 1.6-1.8x the average).
+    """
+    if n_chunks <= 0:
+        raise MediaError(f"n_chunks must be positive, got {n_chunks}")
+    if not 0 <= burstiness:
+        raise MediaError(f"burstiness must be non-negative, got {burstiness}")
+    if peak_kbps < avg_kbps:
+        raise MediaError(f"peak {peak_kbps} < avg {avg_kbps}")
+
+    if n_chunks == 1:
+        # A single chunk must be simultaneously the mean and the max;
+        # only satisfiable exactly when they coincide, so prefer the mean.
+        return [avg_kbps]
+
+    rng = random.Random(seed)
+    if peak_kbps == avg_kbps or burstiness == 0:
+        return [avg_kbps] * n_chunks
+
+    # Gamma with mean 1 and CV = burstiness: shape k = 1/cv^2, scale = cv^2.
+    shape = 1.0 / (burstiness * burstiness)
+    scale = burstiness * burstiness
+    series = [avg_kbps * rng.gammavariate(shape, scale) for _ in range(n_chunks)]
+
+    floor_kbps = avg_kbps * 0.05  # encoders never emit near-zero chunks
+    for _ in range(64):
+        series = [min(max(x, floor_kbps), peak_kbps) for x in series]
+        mean = sum(series) / n_chunks
+        error = avg_kbps - mean
+        if abs(error) < 1e-9 * avg_kbps:
+            break
+        # Spread the correction over the chunks that have headroom in the
+        # needed direction, proportionally to that headroom.
+        if error > 0:
+            headroom = [peak_kbps - x for x in series]
+        else:
+            headroom = [x - floor_kbps for x in series]
+        total_headroom = sum(headroom)
+        if total_headroom <= 0:
+            raise MediaError(
+                f"cannot reach avg {avg_kbps} within [{floor_kbps}, {peak_kbps}]"
+            )
+        factor = error * n_chunks / total_headroom
+        series = [x + h * factor for x, h in zip(series, headroom)]
+
+    # Pin the maximum chunk to the declared peak, then restore the mean by
+    # adjusting one other chunk (keeps the disturbance minimal).
+    peak_at = max(range(n_chunks), key=series.__getitem__)
+    delta = peak_kbps - series[peak_at]
+    series[peak_at] = peak_kbps
+    # Give the offset to the chunk with the most room that is not the peak.
+    others = [i for i in range(n_chunks) if i != peak_at]
+    donor = max(others, key=lambda i: series[i] - floor_kbps)
+    series[donor] = max(floor_kbps, series[donor] - delta)
+
+    # Final exact mean correction distributed over non-peak chunks.
+    mean = sum(series) / n_chunks
+    correction = (avg_kbps - mean) * n_chunks / (n_chunks - 1)
+    for i in others:
+        series[i] = min(peak_kbps, max(floor_kbps, series[i] + correction))
+    # One last tiny linear fix on the donor chunk for float-exactness.
+    mean = sum(series) / n_chunks
+    series[donor] += (avg_kbps - mean) * n_chunks
+    if not floor_kbps * 0.5 <= series[donor] <= peak_kbps:
+        # Extremely tight ladders can leave the donor out of range; fall
+        # back to a two-level series that satisfies mean and peak exactly
+        # (one chunk at the peak, the rest at the balancing rate).
+        base = (avg_kbps * n_chunks - peak_kbps) / (n_chunks - 1)
+        if base <= 0:
+            return [avg_kbps] * n_chunks
+        series = [base] * n_chunks
+        series[0] = peak_kbps
+    return series
+
+
+class ChunkTable:
+    """Chunk sizes for every track of a title.
+
+    Maps ``track_id -> [size_bits per chunk]``; all tracks share the same
+    chunk duration and chunk count (as in DASH/HLS, where audio and video
+    segment boundaries are aligned to allow seamless switching).
+    """
+
+    def __init__(self, duration_s: float, sizes_bits: Dict[str, Sequence[float]]):
+        if duration_s <= 0:
+            raise MediaError(f"chunk duration must be positive, got {duration_s}")
+        if not sizes_bits:
+            raise MediaError("chunk table must contain at least one track")
+        lengths = {len(v) for v in sizes_bits.values()}
+        if len(lengths) != 1:
+            raise MediaError(f"tracks disagree on chunk count: {sorted(lengths)}")
+        (self._n_chunks,) = lengths
+        if self._n_chunks == 0:
+            raise MediaError("chunk table must contain at least one chunk")
+        for track_id, sizes in sizes_bits.items():
+            for i, size in enumerate(sizes):
+                if size <= 0:
+                    raise MediaError(
+                        f"track {track_id} chunk {i} has non-positive size {size}"
+                    )
+        self._duration_s = float(duration_s)
+        self._sizes: Dict[str, Tuple[float, ...]] = {
+            k: tuple(float(x) for x in v) for k, v in sizes_bits.items()
+        }
+
+    @property
+    def duration_s(self) -> float:
+        """Duration of every chunk, seconds."""
+        return self._duration_s
+
+    @property
+    def n_chunks(self) -> int:
+        return self._n_chunks
+
+    @property
+    def track_ids(self) -> Tuple[str, ...]:
+        return tuple(self._sizes)
+
+    @property
+    def total_duration_s(self) -> float:
+        return self._duration_s * self._n_chunks
+
+    def has_track(self, track_id: str) -> bool:
+        return track_id in self._sizes
+
+    def sizes(self, track_id: str) -> Tuple[float, ...]:
+        """All chunk sizes (bits) of one track."""
+        try:
+            return self._sizes[track_id]
+        except KeyError:
+            raise MediaError(f"no chunk sizes for track {track_id!r}") from None
+
+    def chunk(self, track_id: str, index: int) -> Chunk:
+        sizes = self.sizes(track_id)
+        if not 0 <= index < len(sizes):
+            raise MediaError(
+                f"chunk index {index} out of range [0, {len(sizes)}) "
+                f"for track {track_id!r}"
+            )
+        return Chunk(
+            track_id=track_id,
+            index=index,
+            duration_s=self._duration_s,
+            size_bits=sizes[index],
+        )
+
+    def measured_avg_kbps(self, track_id: str) -> float:
+        sizes = self.sizes(track_id)
+        return sum(sizes) / len(sizes) / self._duration_s / 1000.0
+
+    def measured_peak_kbps(self, track_id: str) -> float:
+        return max(self.sizes(track_id)) / self._duration_s / 1000.0
+
+    def total_bits(self, track_id: str) -> float:
+        return sum(self.sizes(track_id))
+
+
+def build_chunk_table(
+    tracks: Sequence[Track],
+    duration_s: float,
+    n_chunks: int,
+    seed: int = 2019,
+) -> ChunkTable:
+    """Synthesize a :class:`ChunkTable` matching each track's avg/peak.
+
+    Audio tracks get near-CBR series; video tracks get bursty VBR series.
+    Each track's stream is seeded independently (from ``seed`` and the
+    track id) so adding a track does not perturb the others.
+    """
+    sizes: Dict[str, List[float]] = {}
+    for track in tracks:
+        base_burstiness = 0.05 if track.is_audio else 0.35
+        # Cap the spread by the track's actual peak headroom so near-CBR
+        # rungs (e.g. Table 1's V1/V2) stay synthesizable with an exact
+        # mean *and* an attained peak.
+        headroom = (track.peak_kbps - track.avg_kbps) / track.avg_kbps
+        burstiness = min(base_burstiness, 0.6 * headroom)
+        # zlib.crc32 is stable across processes, unlike built-in hash().
+        track_seed = seed ^ zlib.crc32(track.track_id.encode("utf-8"))
+        bitrates = synthesize_vbr_bitrates(
+            avg_kbps=track.avg_kbps,
+            peak_kbps=track.peak_kbps,
+            n_chunks=n_chunks,
+            seed=track_seed,
+            burstiness=burstiness,
+        )
+        sizes[track.track_id] = [chunk_bits(r, duration_s) for r in bitrates]
+    return ChunkTable(duration_s=duration_s, sizes_bits=sizes)

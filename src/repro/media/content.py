@@ -1,0 +1,245 @@
+"""Content model and the paper's reference title.
+
+A :class:`Content` bundles a video ladder, an audio ladder and a
+per-chunk size table. :func:`drama_show` reproduces the 5-minute YouTube
+drama show of the paper's Table 1 exactly (average/peak/declared
+bitrates, resolutions, channel layouts). :func:`b_audio_ladder` and
+:func:`c_audio_ladder` are the alternative audio adaptation sets used in
+the Fig. 2 experiments (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import MediaError
+from .chunks import Chunk, ChunkTable, build_chunk_table
+from .tracks import Ladder, MediaType, Track, audio_track, make_ladder, video_track
+
+#: Chunk duration used for the reference title. YouTube's DASH packaging
+#: uses ~5 s segments; the paper's title is "around 5 minutes".
+DEFAULT_CHUNK_DURATION_S = 5.0
+#: 60 chunks x 5 s = 300 s = 5 minutes of content.
+DEFAULT_N_CHUNKS = 60
+
+
+@dataclass(frozen=True)
+class Content:
+    """A demuxed title: one video ladder, one audio ladder, chunk sizes."""
+
+    name: str
+    video: Ladder
+    audio: Ladder
+    chunk_table: ChunkTable
+
+    def __post_init__(self) -> None:
+        if self.video.media_type is not MediaType.VIDEO:
+            raise MediaError("video ladder must contain video tracks")
+        if self.audio.media_type is not MediaType.AUDIO:
+            raise MediaError("audio ladder must contain audio tracks")
+        for track in list(self.video) + list(self.audio):
+            if not self.chunk_table.has_track(track.track_id):
+                raise MediaError(f"chunk table missing track {track.track_id!r}")
+
+    @property
+    def chunk_duration_s(self) -> float:
+        return self.chunk_table.duration_s
+
+    @property
+    def n_chunks(self) -> int:
+        return self.chunk_table.n_chunks
+
+    @property
+    def duration_s(self) -> float:
+        return self.chunk_table.total_duration_s
+
+    def ladder(self, media_type: MediaType) -> Ladder:
+        return self.video if media_type is MediaType.VIDEO else self.audio
+
+    def track(self, track_id: str) -> Track:
+        """Look up a track of either medium by id."""
+        for ladder in (self.video, self.audio):
+            for track in ladder:
+                if track.track_id == track_id:
+                    return track
+        raise MediaError(f"content {self.name!r} has no track {track_id!r}")
+
+    def chunk(self, track_id: str, index: int) -> Chunk:
+        self.track(track_id)  # validate the id belongs to this content
+        return self.chunk_table.chunk(track_id, index)
+
+    def with_audio(self, audio: Ladder, name: Optional[str] = None, seed: int = 2019) -> "Content":
+        """A copy of this content with a different audio adaptation set.
+
+        Used by the Fig. 2 experiments, which keep the Table-1 video
+        tracks but swap in the B or C audio ladder. Chunk sizes for the
+        new audio tracks are synthesized; video sizes are kept.
+        """
+        new_tracks = list(self.video) + list(audio)
+        table = build_chunk_table(
+            new_tracks,
+            duration_s=self.chunk_duration_s,
+            n_chunks=self.n_chunks,
+            seed=seed,
+        )
+        # Preserve the existing video chunk sizes so only audio changes.
+        sizes: Dict[str, Sequence[float]] = {
+            t.track_id: (
+                self.chunk_table.sizes(t.track_id)
+                if self.chunk_table.has_track(t.track_id) and t.is_video
+                else table.sizes(t.track_id)
+            )
+            for t in new_tracks
+        }
+        merged = ChunkTable(duration_s=self.chunk_duration_s, sizes_bits=sizes)
+        return Content(
+            name=name or f"{self.name}+{'/'.join(audio.track_ids)}",
+            video=self.video,
+            audio=audio,
+            chunk_table=merged,
+        )
+
+    def storage_bits_demuxed(self) -> float:
+        """Origin storage if audio and video are stored demuxed (M+N tracks)."""
+        return sum(
+            self.chunk_table.total_bits(t.track_id)
+            for t in list(self.video) + list(self.audio)
+        )
+
+    def storage_bits_muxed(self) -> float:
+        """Origin storage if every A x V combination is stored muxed (M x N)."""
+        video_bits = sum(self.chunk_table.total_bits(t.track_id) for t in self.video)
+        audio_bits = sum(self.chunk_table.total_bits(t.track_id) for t in self.audio)
+        return video_bits * len(self.audio) + audio_bits * len(self.video)
+
+
+#: The Table-1 ladder: (id, avg, peak, declared, height) for video and
+#: (id, avg, peak, declared, channels, sampling kHz) for audio.
+TABLE1_VIDEO: Tuple[Tuple[str, float, float, float, int], ...] = (
+    ("V1", 111, 119, 111, 144),
+    ("V2", 246, 261, 246, 240),
+    ("V3", 362, 641, 473, 360),
+    ("V4", 734, 1190, 914, 480),
+    ("V5", 1421, 2382, 1852, 720),
+    ("V6", 2728, 4447, 3746, 1080),
+)
+
+TABLE1_AUDIO: Tuple[Tuple[str, float, float, float, int, float], ...] = (
+    ("A1", 128, 134, 128, 2, 44.0),
+    ("A2", 196, 199, 196, 6, 48.0),
+    ("A3", 384, 391, 384, 6, 48.0),
+)
+
+
+def table1_video_ladder() -> Ladder:
+    """The six Table-1 video tracks, V1 (144p) through V6 (1080p)."""
+    return make_ladder(
+        MediaType.VIDEO,
+        [
+            video_track(tid, avg, peak, declared, height)
+            for tid, avg, peak, declared, height in TABLE1_VIDEO
+        ],
+    )
+
+
+def table1_audio_ladder() -> Ladder:
+    """The three Table-1 audio tracks A1-A3 (128/196/384 kbps)."""
+    return make_ladder(
+        MediaType.AUDIO,
+        [
+            audio_track(tid, avg, peak, declared, channels=ch, sampling_khz=khz)
+            for tid, avg, peak, declared, ch, khz in TABLE1_AUDIO
+        ],
+    )
+
+
+def b_audio_ladder() -> Ladder:
+    """The low-bitrate audio set of the first Fig. 2 experiment.
+
+    "three audio tracks B1, B2 and B3 with the declared bitrate as 32,
+    64 and 128 Kbps" (Section 3.2).
+    """
+    return make_ladder(
+        MediaType.AUDIO,
+        [
+            audio_track("B1", 32, channels=2, sampling_khz=44.0),
+            audio_track("B2", 64, channels=2, sampling_khz=44.0),
+            audio_track("B3", 128, channels=2, sampling_khz=44.0),
+        ],
+    )
+
+
+def c_audio_ladder() -> Ladder:
+    """The high-bitrate audio set of the second Fig. 2 experiment.
+
+    "three audio tracks ... C1, C2 and C3 with the declared bitrate as
+    196, 384 and 768 Kbps" (Section 3.2). 768 kbps corresponds to Dolby
+    Atmos-grade audio.
+    """
+    return make_ladder(
+        MediaType.AUDIO,
+        [
+            audio_track("C1", 196, channels=6, sampling_khz=48.0),
+            audio_track("C2", 384, channels=6, sampling_khz=48.0),
+            audio_track("C3", 768, channels=8, sampling_khz=48.0),
+        ],
+    )
+
+
+def drama_show(
+    chunk_duration_s: float = DEFAULT_CHUNK_DURATION_S,
+    n_chunks: int = DEFAULT_N_CHUNKS,
+    seed: int = 2019,
+) -> Content:
+    """The paper's reference title: a 5-minute YouTube drama show.
+
+    Six video tracks (144p-1080p) and three audio tracks with the exact
+    Table-1 average, peak and declared bitrates; per-chunk sizes are
+    synthesized deterministically from ``seed``.
+    """
+    video = table1_video_ladder()
+    audio = table1_audio_ladder()
+    table = build_chunk_table(
+        list(video) + list(audio),
+        duration_s=chunk_duration_s,
+        n_chunks=n_chunks,
+        seed=seed,
+    )
+    return Content(name="drama-show", video=video, audio=audio, chunk_table=table)
+
+
+def synthetic_content(
+    name: str,
+    video_kbps: Sequence[float],
+    audio_kbps: Sequence[float],
+    chunk_duration_s: float = DEFAULT_CHUNK_DURATION_S,
+    n_chunks: int = DEFAULT_N_CHUNKS,
+    video_peak_factor: float = 1.6,
+    seed: int = 2019,
+) -> Content:
+    """Build a synthetic title from plain bitrate lists.
+
+    Video peaks default to ``video_peak_factor`` x average, which matches
+    the VBR spread of the Table-1 higher rungs; audio is near-CBR.
+    """
+    if not video_kbps or not audio_kbps:
+        raise MediaError("need at least one video and one audio bitrate")
+    video = make_ladder(
+        MediaType.VIDEO,
+        [
+            video_track(f"V{i + 1}", kbps, kbps * video_peak_factor)
+            for i, kbps in enumerate(sorted(video_kbps))
+        ],
+    )
+    audio = make_ladder(
+        MediaType.AUDIO,
+        [audio_track(f"A{i + 1}", kbps) for i, kbps in enumerate(sorted(audio_kbps))],
+    )
+    table = build_chunk_table(
+        list(video) + list(audio),
+        duration_s=chunk_duration_s,
+        n_chunks=n_chunks,
+        seed=seed,
+    )
+    return Content(name=name, video=video, audio=audio, chunk_table=table)

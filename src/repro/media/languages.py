@@ -1,0 +1,154 @@
+"""Multi-language audio catalogues.
+
+The paper's opening motivation for demuxed storage is "services that
+need to have more than one audio variant — e.g., to support multiple
+languages, or multiple audio quality levels or both" (Section 1). A
+:class:`LanguageCatalog` models the "both" case: every language carries
+the full audio quality ladder, so a title with M video tracks, N audio
+rungs and L languages stores M + N·L demuxed tracks versus M·N·L muxed
+objects.
+
+Per-language playback reduces to the single-language model (the ladder
+shape is identical across languages), so the simulator is reused
+unchanged via :meth:`LanguageCatalog.content_for`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import MediaError
+from .chunks import ChunkTable
+from .content import Content
+from .tracks import Ladder, MediaType, Track, make_ladder
+
+
+def language_track_id(rung_id: str, lang: str) -> str:
+    """Track id of one audio rung in one language, e.g. ``"A2-es"``."""
+    return f"{rung_id}-{lang}"
+
+
+@dataclass(frozen=True)
+class LanguageCatalog:
+    """A title whose audio ladder is replicated across languages."""
+
+    base: Content
+    languages: Tuple[str, ...]
+    default_lang: str
+
+    def __post_init__(self) -> None:
+        if not self.languages:
+            raise MediaError("catalog needs at least one language")
+        if len(set(self.languages)) != len(self.languages):
+            raise MediaError(f"duplicate languages: {self.languages}")
+        if self.default_lang not in self.languages:
+            raise MediaError(
+                f"default language {self.default_lang!r} not in {self.languages}"
+            )
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def n_video_tracks(self) -> int:
+        return len(self.base.video)
+
+    @property
+    def n_audio_rungs(self) -> int:
+        return len(self.base.audio)
+
+    @property
+    def n_languages(self) -> int:
+        return len(self.languages)
+
+    def audio_track_ids(self) -> List[str]:
+        """Every (rung, language) audio track id."""
+        return [
+            language_track_id(track.track_id, lang)
+            for track in self.base.audio
+            for lang in self.languages
+        ]
+
+    def audio_ladder_for(self, lang: str) -> Ladder:
+        """The audio ladder of one language, with language-scoped ids."""
+        self._check_lang(lang)
+        tracks = [
+            Track(
+                track_id=language_track_id(track.track_id, lang),
+                media_type=MediaType.AUDIO,
+                avg_kbps=track.avg_kbps,
+                peak_kbps=track.peak_kbps,
+                declared_kbps=track.declared_kbps,
+                channels=track.channels,
+                sampling_khz=track.sampling_khz,
+            )
+            for track in self.base.audio
+        ]
+        return make_ladder(MediaType.AUDIO, tracks)
+
+    def content_for(self, lang: str) -> Content:
+        """A playable single-language view of the catalogue."""
+        self._check_lang(lang)
+        audio = self.audio_ladder_for(lang)
+        sizes = {
+            track.track_id: self.base.chunk_table.sizes(track.track_id)
+            for track in self.base.video
+        }
+        for base_track, lang_track in zip(self.base.audio, audio):
+            sizes[lang_track.track_id] = self.base.chunk_table.sizes(
+                base_track.track_id
+            )
+        table = ChunkTable(duration_s=self.base.chunk_duration_s, sizes_bits=sizes)
+        return Content(
+            name=f"{self.base.name}[{lang}]",
+            video=self.base.video,
+            audio=audio,
+            chunk_table=table,
+        )
+
+    def _check_lang(self, lang: str) -> None:
+        if lang not in self.languages:
+            raise MediaError(f"unknown language {lang!r}; have {self.languages}")
+
+    # -- storage accounting (the Section-1 argument, with L languages) -----
+
+    def storage_bits_demuxed(self) -> float:
+        """M video tracks + N·L audio tracks."""
+        video_bits = sum(
+            self.base.chunk_table.total_bits(track.track_id)
+            for track in self.base.video
+        )
+        audio_bits = sum(
+            self.base.chunk_table.total_bits(track.track_id)
+            for track in self.base.audio
+        )
+        return video_bits + audio_bits * self.n_languages
+
+    def storage_bits_muxed(self) -> float:
+        """M·N·L muxed objects, each embedding video + one audio."""
+        video_bits = sum(
+            self.base.chunk_table.total_bits(track.track_id)
+            for track in self.base.video
+        )
+        audio_bits = sum(
+            self.base.chunk_table.total_bits(track.track_id)
+            for track in self.base.audio
+        )
+        n, l_count, m = self.n_audio_rungs, self.n_languages, self.n_video_tracks
+        return video_bits * n * l_count + audio_bits * l_count * m
+
+    def storage_ratio(self) -> float:
+        """Muxed-to-demuxed storage blow-up factor."""
+        return self.storage_bits_muxed() / self.storage_bits_demuxed()
+
+
+def make_catalog(
+    base: Content, languages: Sequence[str], default_lang: str = ""
+) -> LanguageCatalog:
+    """Build a catalogue; the first language is the default if unset."""
+    langs = tuple(languages)
+    return LanguageCatalog(
+        base=base,
+        languages=langs,
+        default_lang=default_lang or (langs[0] if langs else ""),
+    )

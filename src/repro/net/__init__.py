@@ -1,0 +1,46 @@
+"""Network substrate: bandwidth traces, path models, origin/CDN."""
+
+from .failures import FailureModel, NoFailures, RequestFailure
+from .link import NetworkModel, SeparatePaths, SharedBottleneck, shared
+from .mahimahi import load_mahimahi, save_mahimahi, trace_from_timestamps
+from .markov import MarkovState, hspa_preset, lte_preset, markov_trace
+from .server import CdnCache, ChunkKey, OriginServer, TransferStats
+from .traces import (
+    BandwidthTrace,
+    TraceSegment,
+    constant,
+    from_pairs,
+    load_trace,
+    random_walk,
+    save_trace,
+    square_wave,
+)
+
+__all__ = [
+    "BandwidthTrace",
+    "CdnCache",
+    "ChunkKey",
+    "FailureModel",
+    "MarkovState",
+    "NoFailures",
+    "RequestFailure",
+    "hspa_preset",
+    "load_mahimahi",
+    "lte_preset",
+    "markov_trace",
+    "save_mahimahi",
+    "trace_from_timestamps",
+    "NetworkModel",
+    "OriginServer",
+    "SeparatePaths",
+    "SharedBottleneck",
+    "TraceSegment",
+    "TransferStats",
+    "constant",
+    "from_pairs",
+    "load_trace",
+    "random_walk",
+    "save_trace",
+    "shared",
+    "square_wave",
+]

@@ -1,0 +1,74 @@
+"""Transient request-failure injection.
+
+Real CDNs time out, reset connections and serve 5xxs; a player's
+QoE story is incomplete without them. A :class:`FailureModel` decides,
+per request, whether (and after what fraction of the transfer) the
+request dies. The simulator discards the partial data — HTTP
+range-resume is deliberately not assumed — frees the slot and asks the
+player again, so a failure is also an adaptation opportunity (players
+commonly re-request one rung lower).
+
+Deterministic: failures are drawn from a seeded RNG keyed by request
+ordinals, so a given scenario replays identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class RequestFailure:
+    """Verdict for one request: fail after ``fraction`` of its bytes."""
+
+    fraction: float  # in [0, 1): how much of the chunk arrives first
+
+
+class FailureModel:
+    """Seeded per-request failure generator.
+
+    :param failure_probability: chance any single request fails.
+    :param seed: RNG seed; requests are numbered in issue order.
+    :param max_fraction: failures occur uniformly within the first
+        ``max_fraction`` of the transfer (a connection reset mid-chunk).
+    """
+
+    def __init__(
+        self,
+        failure_probability: float,
+        seed: int = 0,
+        max_fraction: float = 0.9,
+    ):
+        if not 0.0 <= failure_probability <= 1.0:
+            raise TraceError(
+                f"failure probability must be in [0,1], got {failure_probability}"
+            )
+        if not 0.0 < max_fraction <= 1.0:
+            raise TraceError(f"max_fraction must be in (0,1], got {max_fraction}")
+        self.failure_probability = failure_probability
+        self.max_fraction = max_fraction
+        self._rng = random.Random(seed)
+
+    def next_request(self) -> Optional[RequestFailure]:
+        """Verdict for the next request (``None`` = it succeeds)."""
+        # Draw both values unconditionally so the stream of outcomes for
+        # request N does not depend on earlier verdicts' branches.
+        p = self._rng.random()
+        fraction = self._rng.random() * self.max_fraction
+        if p < self.failure_probability:
+            return RequestFailure(fraction=fraction)
+        return None
+
+
+class NoFailures(FailureModel):
+    """The default: requests always succeed."""
+
+    def __init__(self):
+        super().__init__(failure_probability=0.0)
+
+    def next_request(self) -> Optional[RequestFailure]:
+        return None

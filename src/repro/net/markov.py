@@ -1,0 +1,113 @@
+"""Markov-modulated bandwidth traces.
+
+Cellular links (the environment the paper's Dolby-Atmos-on-mobile
+motivation lives in) are well approximated by a Markov chain over a few
+rate states. :func:`markov_trace` generates deterministic, seeded
+piecewise-constant traces from a state model, and two presets model
+typical 3G/LTE envelopes. These feed the sweep experiments and give the
+library realistic non-square profiles without external trace files.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import TraceError
+from .traces import BandwidthTrace, from_pairs
+
+
+@dataclass(frozen=True)
+class MarkovState:
+    """One rate state of the chain."""
+
+    kbps: float
+    mean_holding_s: float
+
+    def __post_init__(self) -> None:
+        if self.kbps < 0:
+            raise TraceError(f"state rate must be non-negative, got {self.kbps}")
+        if self.mean_holding_s <= 0:
+            raise TraceError(
+                f"mean holding time must be positive, got {self.mean_holding_s}"
+            )
+
+
+def markov_trace(
+    states: Sequence[MarkovState],
+    transition: Sequence[Sequence[float]],
+    duration_s: float,
+    seed: int,
+    jitter: float = 0.1,
+) -> BandwidthTrace:
+    """Generate a trace by walking the chain for ``duration_s`` seconds.
+
+    :param transition: row-stochastic matrix; ``transition[i][j]`` is the
+        probability of moving to state *j* when state *i*'s holding time
+        expires. Self-transitions are allowed (they extend the stay).
+    :param jitter: multiplicative uniform jitter (+-fraction) applied to
+        each visit's rate, so repeated visits to one state do not produce
+        byte-identical plateaus.
+    """
+    if not states:
+        raise TraceError("need at least one state")
+    if len(transition) != len(states) or any(
+        len(row) != len(states) for row in transition
+    ):
+        raise TraceError("transition matrix shape must be n_states x n_states")
+    for i, row in enumerate(transition):
+        if any(p < 0 for p in row):
+            raise TraceError(f"negative probability in row {i}")
+        if abs(sum(row) - 1.0) > 1e-9:
+            raise TraceError(f"row {i} sums to {sum(row)}, expected 1")
+    if duration_s <= 0:
+        raise TraceError(f"duration must be positive, got {duration_s}")
+    if not 0 <= jitter < 1:
+        raise TraceError(f"jitter must be in [0, 1), got {jitter}")
+
+    rng = random.Random(seed)
+    state_index = 0
+    elapsed = 0.0
+    pairs: List[tuple] = []
+    while elapsed < duration_s:
+        state = states[state_index]
+        holding = rng.expovariate(1.0 / state.mean_holding_s)
+        holding = min(max(holding, 0.25), duration_s - elapsed)
+        rate = state.kbps * (1.0 + jitter * (2.0 * rng.random() - 1.0))
+        pairs.append((holding, max(rate, 0.0)))
+        elapsed += holding
+        state_index = rng.choices(
+            range(len(states)), weights=transition[state_index]
+        )[0]
+    return from_pairs(pairs)
+
+
+def lte_preset(duration_s: float = 300.0, seed: int = 1) -> BandwidthTrace:
+    """An LTE-like profile: mostly good, occasional deep fades."""
+    states = [
+        MarkovState(kbps=6000, mean_holding_s=20.0),
+        MarkovState(kbps=2500, mean_holding_s=12.0),
+        MarkovState(kbps=600, mean_holding_s=6.0),
+    ]
+    transition = [
+        [0.6, 0.35, 0.05],
+        [0.4, 0.4, 0.2],
+        [0.3, 0.5, 0.2],
+    ]
+    return markov_trace(states, transition, duration_s, seed)
+
+
+def hspa_preset(duration_s: float = 300.0, seed: int = 1) -> BandwidthTrace:
+    """A 3G/HSPA-like profile: tight rates where audio choice matters."""
+    states = [
+        MarkovState(kbps=1400, mean_holding_s=15.0),
+        MarkovState(kbps=700, mean_holding_s=10.0),
+        MarkovState(kbps=250, mean_holding_s=8.0),
+    ]
+    transition = [
+        [0.5, 0.4, 0.1],
+        [0.35, 0.4, 0.25],
+        [0.2, 0.5, 0.3],
+    ]
+    return markov_trace(states, transition, duration_s, seed)

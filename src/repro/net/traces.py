@@ -1,0 +1,225 @@
+"""Bandwidth traces.
+
+A trace is a piecewise-constant bandwidth profile — the software
+equivalent of the paper's ``tc``-shaped server-to-client link: "The
+network bandwidths from the server to client are controlled by using tc
+at the server" (Section 3.1). Piecewise-constant profiles let the
+simulator compute download completions exactly instead of numerically.
+
+Traces loop by default, so a session can outlast the profile (as a
+``tc`` schedule would be replayed).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One constant-bandwidth interval."""
+
+    duration_s: float
+    kbps: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise TraceError(f"segment duration must be positive, got {self.duration_s}")
+        if self.kbps < 0:
+            raise TraceError(f"segment bandwidth must be non-negative, got {self.kbps}")
+
+
+class BandwidthTrace:
+    """A piecewise-constant bandwidth profile, looping by default."""
+
+    def __init__(self, segments: Iterable[TraceSegment], loop: bool = True):
+        self._segments: Tuple[TraceSegment, ...] = tuple(segments)
+        if not self._segments:
+            raise TraceError("trace must contain at least one segment")
+        self._loop = loop
+        self._period = sum(s.duration_s for s in self._segments)
+        # Cumulative start offsets of each segment within one period.
+        self._starts: List[float] = []
+        offset = 0.0
+        for segment in self._segments:
+            self._starts.append(offset)
+            offset += segment.duration_s
+
+    @property
+    def segments(self) -> Tuple[TraceSegment, ...]:
+        return self._segments
+
+    @property
+    def loops(self) -> bool:
+        return self._loop
+
+    @property
+    def period_s(self) -> float:
+        """Total duration of one pass through the segments."""
+        return self._period
+
+    def _locate(self, t: float) -> Tuple[int, float]:
+        """(segment index, time offset within that segment) at time ``t``."""
+        if t < 0:
+            raise TraceError(f"time must be non-negative, got {t}")
+        if self._loop:
+            t = math.fmod(t, self._period)
+        elif t >= self._period:
+            # Past the end of a non-looping trace the last rate holds.
+            return len(self._segments) - 1, t - self._starts[-1]
+        # Linear scan is fine: traces have few segments and the simulator
+        # advances monotonically; bisect would be over-engineering here.
+        for i in range(len(self._segments) - 1, -1, -1):
+            if t >= self._starts[i] - 1e-12:
+                return i, t - self._starts[i]
+        return 0, t
+
+    def bandwidth_at(self, t: float) -> float:
+        """Link bandwidth in kbps at absolute time ``t``."""
+        index, _ = self._locate(t)
+        return self._segments[index].kbps
+
+    def next_change_after(self, t: float) -> float:
+        """Absolute time of the next rate change strictly after ``t``.
+
+        Returns ``inf`` when the rate never changes again (constant
+        trace, or non-looping trace past its end).
+        """
+        if len(self._segments) == 1 and self._loop:
+            return math.inf
+        if not self._loop and t >= self._period:
+            return math.inf
+        if self._loop:
+            cycle = math.floor(t / self._period)
+            within = t - cycle * self._period
+        else:
+            cycle, within = 0, t
+        boundary = (cycle + 1) * self._period
+        for i, start in enumerate(self._starts):
+            end = start + self._segments[i].duration_s
+            if within < end - 1e-12:
+                candidate = cycle * self._period + end
+                if candidate > t + 1e-12:
+                    boundary = candidate
+                    break
+        # Float guard: cycle arithmetic can land the boundary at or
+        # before t (e.g. t sitting a few ulps past a period multiple);
+        # a boundary in the past would freeze an event-driven caller.
+        while self._loop and boundary <= t + 1e-12:
+            boundary += self._period
+        return boundary
+
+    def average_kbps(self, duration_s: float = 0.0) -> float:
+        """Time-average bandwidth over ``duration_s`` (one period if 0)."""
+        if duration_s <= 0:
+            total_bits = sum(s.duration_s * s.kbps for s in self._segments)
+            return total_bits / self._period
+        t = 0.0
+        acc = 0.0
+        while t < duration_s - 1e-12:
+            horizon = min(self.next_change_after(t), duration_s)
+            acc += (horizon - t) * self.bandwidth_at(t)
+            t = horizon
+        return acc / duration_s
+
+    def min_kbps(self) -> float:
+        return min(s.kbps for s in self._segments)
+
+    def max_kbps(self) -> float:
+        return max(s.kbps for s in self._segments)
+
+    def scaled(self, factor: float) -> "BandwidthTrace":
+        """A copy with every rate multiplied by ``factor``."""
+        if factor <= 0:
+            raise TraceError(f"scale factor must be positive, got {factor}")
+        return BandwidthTrace(
+            (TraceSegment(s.duration_s, s.kbps * factor) for s in self._segments),
+            loop=self._loop,
+        )
+
+    def to_pairs(self) -> List[Tuple[float, float]]:
+        return [(s.duration_s, s.kbps) for s in self._segments]
+
+
+def constant(kbps: float) -> BandwidthTrace:
+    """A fixed-bandwidth link — the paper's preferred controlled setting."""
+    return BandwidthTrace([TraceSegment(duration_s=1.0, kbps=kbps)])
+
+
+def from_pairs(
+    pairs: Sequence[Tuple[float, float]], loop: bool = True
+) -> BandwidthTrace:
+    """Build a trace from ``(duration_s, kbps)`` pairs."""
+    return BandwidthTrace(
+        (TraceSegment(duration_s=d, kbps=k) for d, k in pairs), loop=loop
+    )
+
+
+def square_wave(
+    low_kbps: float, high_kbps: float, half_period_s: float = 20.0
+) -> BandwidthTrace:
+    """Alternate between two rates; average is their midpoint."""
+    return from_pairs([(half_period_s, low_kbps), (half_period_s, high_kbps)])
+
+
+def random_walk(
+    mean_kbps: float,
+    seed: int,
+    n_segments: int = 30,
+    segment_duration_s: float = 10.0,
+    spread: float = 0.8,
+    floor_kbps: float = 50.0,
+) -> BandwidthTrace:
+    """A seeded random time-varying profile with a given mean.
+
+    Rates are drawn uniformly in ``mean*(1±spread)``, clipped at
+    ``floor_kbps``, then rescaled so the time-average equals
+    ``mean_kbps`` exactly. Used for the paper's "time-varying, with the
+    average as 600 Kbps" experiments (Figs. 3 and 4(b)).
+    """
+    if n_segments < 2:
+        raise TraceError("random walk needs at least two segments")
+    rng = random.Random(seed)
+    rates = [
+        max(floor_kbps, mean_kbps * (1.0 + spread * (2.0 * rng.random() - 1.0)))
+        for _ in range(n_segments)
+    ]
+    actual_mean = sum(rates) / n_segments
+    rates = [max(floor_kbps, r * mean_kbps / actual_mean) for r in rates]
+    # Clipping at the floor can leave a residual error; fold it into the
+    # largest segment where it is proportionally smallest.
+    residual = mean_kbps * n_segments - sum(rates)
+    top = max(range(n_segments), key=rates.__getitem__)
+    rates[top] = max(floor_kbps, rates[top] + residual)
+    return from_pairs([(segment_duration_s, r) for r in rates])
+
+
+def save_trace(trace: BandwidthTrace, path: str) -> None:
+    """Write a trace as ``duration_s,kbps`` CSV lines."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# duration_s,kbps\n")
+        for segment in trace.segments:
+            f.write(f"{segment.duration_s:.6f},{segment.kbps:.6f}\n")
+
+
+def load_trace(path: str, loop: bool = True) -> BandwidthTrace:
+    """Read a trace written by :func:`save_trace`."""
+    pairs: List[Tuple[float, float]] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                duration_text, kbps_text = line.split(",")
+                pairs.append((float(duration_text), float(kbps_text)))
+            except ValueError as exc:
+                raise TraceError(f"{path}:{lineno}: bad trace line {line!r}") from exc
+    if not pairs:
+        raise TraceError(f"{path}: no trace segments found")
+    return from_pairs(pairs, loop=loop)

@@ -1,0 +1,51 @@
+"""Player models: ExoPlayer, Shaka, dash.js, plus building blocks."""
+
+from .allocation import (
+    RungPair,
+    exoplayer_predetermined_combinations,
+    normalized_switch_points,
+)
+from .base import BasePlayer
+from .bola import (
+    BolaState,
+    bola_quality,
+    build_bola_state,
+    min_buffer_for_quality,
+)
+from .dashjs import DashJsPlayer
+from .estimators import (
+    Ewma,
+    ExoBandwidthMeter,
+    HarmonicMeanEstimator,
+    ShakaEstimator,
+    SharedThroughputEstimator,
+    SlidingPercentile,
+)
+from .exoplayer import ExoPlayerDash, ExoPlayerHls
+from .fixed import FixedTracksPlayer
+from .shaka import ShakaPlayer, VariantOption, variants_from_dash, variants_from_hls
+
+__all__ = [
+    "BasePlayer",
+    "BolaState",
+    "DashJsPlayer",
+    "Ewma",
+    "ExoBandwidthMeter",
+    "ExoPlayerDash",
+    "ExoPlayerHls",
+    "FixedTracksPlayer",
+    "HarmonicMeanEstimator",
+    "RungPair",
+    "ShakaEstimator",
+    "ShakaPlayer",
+    "SharedThroughputEstimator",
+    "SlidingPercentile",
+    "VariantOption",
+    "bola_quality",
+    "build_bola_state",
+    "exoplayer_predetermined_combinations",
+    "min_buffer_for_quality",
+    "normalized_switch_points",
+    "variants_from_dash",
+    "variants_from_hls",
+]

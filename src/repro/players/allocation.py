@@ -1,0 +1,123 @@
+"""ExoPlayer's joint-adaptation allocation algorithm.
+
+ExoPlayer v2.10 introduced joint audio+video adaptation for DASH by
+*predetermining* a subset of audio/video combinations from the per-track
+declared bitrates (Section 3.2). The algorithm (ExoPlayer's
+``AdaptiveTrackSelection.getAllocationCheckpoints``):
+
+1. take log bitrates, "to treat all resolution update steps with equal
+   importance";
+2. for each medium, compute a *switch point* between each pair of
+   adjacent rungs — the midpoint of their log bitrates, normalized into
+   [0, 1] by the medium's total log-bitrate range;
+3. merge all switch points in increasing order and walk a staircase from
+   (lowest video, lowest audio) to (highest, highest), stepping up one
+   medium at a time in switch-point order.
+
+This yields M + N - 1 combinations in which "two adjacent combinations
+have either the same video or audio track". For the paper's Table-1
+ladder it produces exactly V1+A1, V2+A1, V2+A2, V3+A2, V4+A2, V4+A3,
+V5+A3, V6+A3 — and the B/C-ladder variants listed in Section 3.2
+(verified in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import PlayerError
+
+
+@dataclass(frozen=True)
+class RungPair:
+    """One predetermined (video, audio) pair with declared bitrates."""
+
+    video_id: str
+    audio_id: str
+    video_kbps: float
+    audio_kbps: float
+
+    @property
+    def total_kbps(self) -> float:
+        return self.video_kbps + self.audio_kbps
+
+    @property
+    def name(self) -> str:
+        return f"{self.video_id}+{self.audio_id}"
+
+
+def normalized_switch_points(bitrates_kbps: Sequence[float]) -> List[float]:
+    """Switch points between adjacent rungs, normalized to [0, 1].
+
+    Point *i* sits at the log-midpoint between rung *i* and rung *i+1*,
+    measured as a fraction of the ladder's total log-bitrate range. A
+    single-rung ladder has no switch points; a ladder whose rungs all
+    share one bitrate puts every switch point at 1.0 (ExoPlayer's
+    degenerate-range rule).
+    """
+    if not bitrates_kbps:
+        raise PlayerError("ladder must not be empty")
+    for rate in bitrates_kbps:
+        if rate <= 0:
+            raise PlayerError(f"bitrates must be positive, got {rate}")
+    if any(b < a for a, b in zip(bitrates_kbps, bitrates_kbps[1:])):
+        raise PlayerError(f"ladder must be sorted ascending: {list(bitrates_kbps)}")
+    logs = [math.log(rate) for rate in bitrates_kbps]
+    total_range = logs[-1] - logs[0]
+    points: List[float] = []
+    for low, high in zip(logs, logs[1:]):
+        if total_range == 0:
+            points.append(1.0)
+        else:
+            midpoint = 0.5 * (low + high)
+            points.append((midpoint - logs[0]) / total_range)
+    return points
+
+
+def exoplayer_predetermined_combinations(
+    video: Sequence[Tuple[str, float]],
+    audio: Sequence[Tuple[str, float]],
+) -> List[RungPair]:
+    """The predetermined combinations, lowest to highest.
+
+    :param video: ``(track_id, declared_kbps)`` per video rung, ascending.
+    :param audio: likewise for audio.
+    :returns: ``len(video) + len(audio) - 1`` pairs forming a monotone
+        staircase; adjacent pairs differ in exactly one medium.
+    """
+    if not video or not audio:
+        raise PlayerError("need at least one video and one audio rung")
+    video_points = normalized_switch_points([kbps for _, kbps in video])
+    audio_points = normalized_switch_points([kbps for _, kbps in audio])
+
+    # Merge switch points; ties resolved in selection order (ExoPlayer
+    # iterates selections in renderer order, video before audio).
+    steps: List[Tuple[float, int]] = [(p, 0) for p in video_points]
+    steps += [(p, 1) for p in audio_points]
+    steps.sort(key=lambda s: (s[0], s[1]))
+
+    iv = ia = 0
+    pairs = [
+        RungPair(
+            video_id=video[0][0],
+            audio_id=audio[0][0],
+            video_kbps=video[0][1],
+            audio_kbps=audio[0][1],
+        )
+    ]
+    for _, selection in steps:
+        if selection == 0:
+            iv += 1
+        else:
+            ia += 1
+        pairs.append(
+            RungPair(
+                video_id=video[iv][0],
+                audio_id=audio[ia][0],
+                video_kbps=video[iv][1],
+                audio_kbps=audio[ia][1],
+            )
+        )
+    return pairs

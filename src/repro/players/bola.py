@@ -1,0 +1,103 @@
+"""BOLA — Lyapunov-based buffer-level adaptation (dash.js BolaRule).
+
+Implements the production formulas of dash.js's ``BolaRule`` (derived
+from Spiteri et al., INFOCOM'16 / MMSys'18), which the paper's dash.js
+DYNAMIC description builds on: utilities are log bitrate ratios offset
+so the lowest rung has utility 1; the control parameters ``gp`` and
+``Vp`` are derived from a buffer target; the chosen rung maximizes
+``(Vp * (utility + gp) - buffer_level) / bitrate``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import PlayerError
+
+#: dash.js BolaRule constants.
+MINIMUM_BUFFER_S = 10.0
+MINIMUM_BUFFER_PER_BITRATE_LEVEL_S = 2.0
+
+
+@dataclass(frozen=True)
+class BolaState:
+    """Precomputed BOLA parameters for one ladder."""
+
+    bitrates_kbps: tuple
+    utilities: tuple
+    gp: float
+    vp: float
+
+    @property
+    def n_rungs(self) -> int:
+        return len(self.bitrates_kbps)
+
+
+def build_bola_state(
+    bitrates_kbps: Sequence[float], stable_buffer_time_s: float = 12.0
+) -> BolaState:
+    """Derive utilities and (gp, Vp) exactly as dash.js does.
+
+    ``bufferTime = max(stableBufferTime, MINIMUM_BUFFER_S +
+    MINIMUM_BUFFER_PER_BITRATE_LEVEL_S * n)``; then
+    ``gp = (u_max - 1) / (bufferTime / MINIMUM_BUFFER_S - 1)`` and
+    ``Vp = MINIMUM_BUFFER_S / gp``.
+    """
+    if len(bitrates_kbps) < 1:
+        raise PlayerError("BOLA needs at least one rung")
+    rates = list(bitrates_kbps)
+    if rates != sorted(rates):
+        raise PlayerError(f"bitrates must be ascending: {rates}")
+    if rates[0] <= 0:
+        raise PlayerError("bitrates must be positive")
+    utilities = [math.log(rate) for rate in rates]
+    utilities = [u - utilities[0] + 1.0 for u in utilities]
+    buffer_time = max(
+        stable_buffer_time_s,
+        MINIMUM_BUFFER_S + MINIMUM_BUFFER_PER_BITRATE_LEVEL_S * len(rates),
+    )
+    if len(rates) == 1 or utilities[-1] == 1.0:
+        # Degenerate one-rung (or flat) ladder: any positive parameters
+        # work, the argmax is constant.
+        gp, vp = 1.0, MINIMUM_BUFFER_S
+    else:
+        gp = (utilities[-1] - 1.0) / (buffer_time / MINIMUM_BUFFER_S - 1.0)
+        vp = MINIMUM_BUFFER_S / gp
+    return BolaState(
+        bitrates_kbps=tuple(rates), utilities=tuple(utilities), gp=gp, vp=vp
+    )
+
+
+def bola_quality(state: BolaState, buffer_level_s: float) -> int:
+    """The rung BOLA selects at a given buffer level.
+
+    ``argmax_i (Vp * (utilities[i] + gp) - bufferLevel) / bitrates[i]``,
+    ties resolved toward the higher rung (as dash.js's >= scan does).
+    """
+    if buffer_level_s < 0:
+        raise PlayerError(f"buffer level must be non-negative, got {buffer_level_s}")
+    best, best_score = 0, -math.inf
+    for i in range(state.n_rungs):
+        score = (
+            state.vp * (state.utilities[i] + state.gp) - buffer_level_s
+        ) / state.bitrates_kbps[i]
+        if score >= best_score:
+            best, best_score = i, score
+    return best
+
+
+def min_buffer_for_quality(state: BolaState, rung: int) -> float:
+    """Smallest buffer level at which BOLA would pick at least ``rung``.
+
+    Useful in tests: BOLA's choices are monotone in buffer level.
+    """
+    if not 0 <= rung < state.n_rungs:
+        raise PlayerError(f"rung {rung} out of range")
+    level, step = 0.0, 0.25
+    while level < 120.0:
+        if bola_quality(state, level) >= rung:
+            return level
+        level += step
+    return math.inf

@@ -1,0 +1,178 @@
+"""dash.js v2.9 behavioural model.
+
+Reproduces the mechanisms Section 3.4 traces dash.js's behaviour to:
+
+* the DYNAMIC rule "switches between two schemes, THROUGHPUT and BOLA
+  ... It switches to BOLA when the buffer level is above 12 s and BOLA
+  selects a bitrate at least as high as that selected by THROUGHPUT; it
+  switches back to THROUGHPUT if the buffer is less than 6 s and BOLA
+  selects a bitrate lower than that selected by THROUGHPUT";
+* dash.js "utilizes DYNAMIC strategy for both audio and video, and
+  performs rate adaptation for audio and video separately. In addition,
+  the bandwidth estimation for audio (video) is based on past audio
+  (video) downloading only";
+* no cross-medium download synchronization — each medium free-runs to
+  its own buffer target (``stableBufferTime`` = 12 s, raised to
+  ``bufferTimeAtTopQuality`` = 30 s while at the top rung), which is how
+  the unbalanced buffers of Fig. 5(b) arise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PlayerError
+from ..manifest.dash import DashManifest
+from ..media.tracks import MediaType
+from ..sim.decisions import Decision, Download
+from ..sim.records import DownloadRecord
+from .base import BasePlayer
+from .bola import BolaState, bola_quality, build_bola_state
+from .estimators import HarmonicMeanEstimator
+
+#: dash.js MediaPlayerModel defaults.
+DEFAULT_STABLE_BUFFER_TIME_S = 12.0
+DEFAULT_BUFFER_TIME_AT_TOP_QUALITY_S = 30.0
+#: dash.js AbrController bandwidth safety factor.
+DEFAULT_BANDWIDTH_SAFETY_FACTOR = 0.9
+#: DYNAMIC switching thresholds (as stated in the paper; Section 3.4).
+DYNAMIC_TO_BOLA_BUFFER_S = 12.0
+DYNAMIC_TO_THROUGHPUT_BUFFER_S = 6.0
+
+
+@dataclass
+class _MediumState:
+    """Per-medium adaptation state — deliberately fully independent."""
+
+    track_ids: List[str]
+    bitrates_kbps: List[float]
+    estimator: HarmonicMeanEstimator
+    bola: BolaState
+    using_bola: bool = False
+    current_rung: int = 0
+    decided_once: bool = False
+
+    @property
+    def top_rung(self) -> int:
+        return len(self.track_ids) - 1
+
+
+class DashJsPlayer(BasePlayer):
+    """dash.js reference player over a DASH MPD."""
+
+    name = "dashjs"
+
+    def __init__(
+        self,
+        manifest: DashManifest,
+        stable_buffer_time_s: float = DEFAULT_STABLE_BUFFER_TIME_S,
+        buffer_time_at_top_quality_s: float = DEFAULT_BUFFER_TIME_AT_TOP_QUALITY_S,
+        bandwidth_safety_factor: float = DEFAULT_BANDWIDTH_SAFETY_FACTOR,
+        throughput_window: int = 3,
+    ):
+        if not 0 < bandwidth_safety_factor <= 1:
+            raise PlayerError(
+                f"safety factor must be in (0,1], got {bandwidth_safety_factor}"
+            )
+        self.stable_buffer_time_s = stable_buffer_time_s
+        self.buffer_time_at_top_quality_s = buffer_time_at_top_quality_s
+        self.bandwidth_safety_factor = bandwidth_safety_factor
+        self._media: Dict[MediaType, _MediumState] = {}
+        for medium, aset in (
+            (MediaType.VIDEO, manifest.video),
+            (MediaType.AUDIO, manifest.audio),
+        ):
+            reps = sorted(aset.representations, key=lambda r: r.bandwidth_bps)
+            bitrates = [rep.bandwidth_kbps for rep in reps]
+            self._media[medium] = _MediumState(
+                track_ids=[rep.rep_id for rep in reps],
+                bitrates_kbps=bitrates,
+                estimator=HarmonicMeanEstimator(window=throughput_window),
+                bola=build_bola_state(bitrates, stable_buffer_time_s),
+            )
+
+    # -- the two constituent rules -----------------------------------------
+
+    def _throughput_rung(self, state: _MediumState) -> int:
+        """THROUGHPUT: highest rung under safety-scaled estimated rate."""
+        estimate = state.estimator.get_estimate_kbps()
+        if estimate is None:
+            return 0  # dash.js starts at the lowest quality
+        budget = estimate * self.bandwidth_safety_factor
+        rung = 0
+        for i, rate in enumerate(state.bitrates_kbps):
+            if rate <= budget:
+                rung = i
+        return rung
+
+    def _dynamic_rung(self, state: _MediumState, buffer_level_s: float) -> int:
+        """DYNAMIC: run both rules, manage the active-rule flip-flop."""
+        throughput_choice = self._throughput_rung(state)
+        bola_choice = bola_quality(state.bola, buffer_level_s)
+        if state.using_bola:
+            if (
+                buffer_level_s < DYNAMIC_TO_THROUGHPUT_BUFFER_S
+                and bola_choice < throughput_choice
+            ):
+                state.using_bola = False
+        else:
+            if (
+                buffer_level_s >= DYNAMIC_TO_BOLA_BUFFER_S
+                and bola_choice >= throughput_choice
+            ):
+                state.using_bola = True
+        return bola_choice if state.using_bola else throughput_choice
+
+    # -- player interface ----------------------------------------------------
+
+    def _buffer_target_s(self, state: _MediumState) -> float:
+        if state.current_rung == state.top_rung:
+            return self.buffer_time_at_top_quality_s
+        return self.stable_buffer_time_s
+
+    def choose_next(self, medium: MediaType, ctx) -> Decision:
+        state = self._media[medium]
+        gate = self.buffer_gate(ctx, medium, self._buffer_target_s(state))
+        if gate is not None:
+            return gate
+        # dash.js evaluates quality on each fragment-load completion
+        # (AbrController.checkPlaybackQuality), i.e. right after the
+        # append when the buffer sits at its local maximum; the request
+        # then uses that cached quality. Re-evaluating here, at the
+        # moment the buffer has drained back to the target, would deny
+        # BOLA the buffer overshoot it relies on (in real dash.js,
+        # BOLA-E's placeholder buffer preserves that effective level).
+        # So the fetch uses the completion-time decision, refreshed here
+        # only if no decision exists yet (session start).
+        if not state.decided_once:
+            state.current_rung = self._dynamic_rung(
+                state, ctx.buffer_level_s(medium)
+            )
+            state.decided_once = True
+        if medium is MediaType.VIDEO:
+            estimate = state.estimator.get_estimate_kbps()
+            if estimate is not None:
+                ctx.log_estimate(estimate)
+        return Download(track_id=state.track_ids[state.current_rung])
+
+    def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
+        # Per-medium estimation: "based on past audio (video) downloading only".
+        state = self._media[record.medium]
+        state.estimator.observe_download(record)
+        # checkPlaybackQuality: decide the next quality now, post-append.
+        state.current_rung = self._dynamic_rung(
+            state, ctx.buffer_level_s(record.medium)
+        )
+        state.decided_once = True
+
+    # -- introspection (used by tests/experiments) ----------------------------
+
+    def rung_of(self, medium: MediaType, track_id: str) -> int:
+        return self._media[medium].track_ids.index(track_id)
+
+    def estimator_of(self, medium: MediaType) -> HarmonicMeanEstimator:
+        return self._media[medium].estimator
+
+    def is_using_bola(self, medium: MediaType) -> bool:
+        return self._media[medium].using_bola

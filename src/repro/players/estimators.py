@@ -1,0 +1,313 @@
+"""Bandwidth estimators used by the player models.
+
+Three families, matching the three players the paper studies plus the
+building blocks the best-practices player uses:
+
+* :class:`ShakaEstimator` — Shaka's interval-sampled dual-EWMA with the
+  16 KB validity filter and 500 kbps default (Section 3.3). Its failure
+  modes under concurrent demuxed downloads are the subject of Fig. 4.
+* :class:`ExoBandwidthMeter` — ExoPlayer's sliding-percentile meter over
+  whole-transfer throughput samples, weighted by sqrt(bytes).
+* :class:`HarmonicMeanEstimator` — the last-N harmonic mean used by
+  dash.js's THROUGHPUT rule (and, with a shared byte stream, by the
+  best-practices player).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import PlayerError
+from ..units import kilobytes_to_bits
+from ..sim.records import DownloadRecord, ProgressSegment
+
+
+class Ewma:
+    """Exponentially weighted moving average with a half-life in seconds.
+
+    Matches Shaka's ``Ewma`` class: each sample carries a weight (its
+    duration in seconds); the smoothing coefficient per sample is
+    ``0.5 ** (weight / half_life)``. The estimate is corrected for
+    startup bias (``zero adjustment``), as in Shaka.
+    """
+
+    def __init__(self, half_life_s: float):
+        if half_life_s <= 0:
+            raise PlayerError(f"half life must be positive, got {half_life_s}")
+        self.half_life_s = half_life_s
+        self._estimate = 0.0
+        self._total_weight = 0.0
+
+    def sample(self, weight_s: float, value: float) -> None:
+        if weight_s <= 0:
+            raise PlayerError(f"sample weight must be positive, got {weight_s}")
+        alpha = math.pow(0.5, weight_s / self.half_life_s)
+        self._estimate = value * (1 - alpha) + alpha * self._estimate
+        self._total_weight += weight_s
+
+    @property
+    def total_weight_s(self) -> float:
+        return self._total_weight
+
+    def get_estimate(self) -> float:
+        if self._total_weight <= 0:
+            return 0.0
+        zero_factor = 1 - math.pow(0.5, self._total_weight / self.half_life_s)
+        return self._estimate / zero_factor
+
+
+class ShakaEstimator:
+    """Shaka Player's bandwidth estimator, per the paper's description.
+
+    "While downloading a video track (the same applies to audio
+    downloading), Shaka considers each interval (δ = 0.125 s),
+    calculates the amount of data d downloaded in that interval, and
+    only counts the resultant throughput as a valid sample if d ≥ 16 KB."
+    Samples from audio and video downloads feed one estimator, but each
+    download is sampled *separately* — so when both media share a
+    bottleneck, each stream's samples see only its half of the link.
+
+    The estimate is the minimum of a fast (2 s half-life) and a slow
+    (5 s half-life) EWMA; until 128 KB of valid-sample bytes have been
+    observed, the 500 kbps default is returned (both per Shaka's
+    ``EwmaBandwidthEstimator``).
+    """
+
+    def __init__(
+        self,
+        default_estimate_kbps: float = 500.0,
+        interval_s: float = 0.125,
+        min_sample_bits: float = kilobytes_to_bits(16),
+        min_total_bits: float = kilobytes_to_bits(128),
+        fast_half_life_s: float = 2.0,
+        slow_half_life_s: float = 5.0,
+    ):
+        if interval_s <= 0:
+            raise PlayerError(f"interval must be positive, got {interval_s}")
+        self.default_estimate_kbps = default_estimate_kbps
+        self.interval_s = interval_s
+        self.min_sample_bits = min_sample_bits
+        self.min_total_bits = min_total_bits
+        self._fast = Ewma(fast_half_life_s)
+        self._slow = Ewma(slow_half_life_s)
+        self._bits_sampled = 0.0
+        self.valid_samples = 0
+        self.discarded_samples = 0
+
+    def _intervals_of(
+        self, segments: Sequence[ProgressSegment], started_at: float
+    ) -> List[float]:
+        """Bits received per δ-interval, aligned to the download start."""
+        if not segments:
+            return []
+        end = max(s.end_s for s in segments)
+        n_intervals = max(1, math.ceil((end - started_at) / self.interval_s - 1e-12))
+        bits = [0.0] * n_intervals
+        for segment in segments:
+            if segment.bits <= 0 or segment.duration_s <= 0:
+                continue
+            rate = segment.bits / segment.duration_s
+            # Spread the segment's bits over the δ-grid it overlaps.
+            first = int((segment.start_s - started_at) / self.interval_s)
+            last = min(
+                n_intervals - 1,
+                int((segment.end_s - started_at - 1e-12) / self.interval_s),
+            )
+            for i in range(max(0, first), last + 1):
+                lo = started_at + i * self.interval_s
+                hi = lo + self.interval_s
+                overlap = min(hi, segment.end_s) - max(lo, segment.start_s)
+                if overlap > 0:
+                    bits[i] += rate * overlap
+        return bits
+
+    def observe_download(self, record: DownloadRecord) -> None:
+        """Sample one finished download's progress timeline."""
+        for interval_bits in self._intervals_of(record.segments, record.started_at):
+            if interval_bits >= self.min_sample_bits:
+                kbps = interval_bits / self.interval_s / 1000.0
+                self._fast.sample(self.interval_s, kbps)
+                self._slow.sample(self.interval_s, kbps)
+                self._bits_sampled += interval_bits
+                self.valid_samples += 1
+            else:
+                self.discarded_samples += 1
+
+    def get_estimate_kbps(self) -> float:
+        if self._bits_sampled < self.min_total_bits:
+            return self.default_estimate_kbps
+        return min(self._fast.get_estimate(), self._slow.get_estimate())
+
+    @property
+    def has_good_estimate(self) -> bool:
+        return self._bits_sampled >= self.min_total_bits
+
+
+class SlidingPercentile:
+    """ExoPlayer's ``SlidingPercentile``: weighted percentile over a
+    sliding window bounded by total weight."""
+
+    def __init__(self, max_weight: float = 2000.0, percentile: float = 0.5):
+        if max_weight <= 0:
+            raise PlayerError(f"max weight must be positive, got {max_weight}")
+        if not 0 < percentile < 1:
+            raise PlayerError(f"percentile must be in (0,1), got {percentile}")
+        self.max_weight = max_weight
+        self.percentile = percentile
+        self._samples: List[Tuple[float, float]] = []  # (weight, value) FIFO
+        self._total_weight = 0.0
+
+    def add_sample(self, weight: float, value: float) -> None:
+        if weight <= 0:
+            raise PlayerError(f"sample weight must be positive, got {weight}")
+        self._samples.append((weight, value))
+        self._total_weight += weight
+        while self._total_weight > self.max_weight and len(self._samples) > 1:
+            old_weight, _ = self._samples.pop(0)
+            self._total_weight -= old_weight
+
+    def get_percentile(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples, key=lambda s: s[1])
+        threshold = self.percentile * self._total_weight
+        acc = 0.0
+        for weight, value in ordered:
+            acc += weight
+            if acc >= threshold:
+                return value
+        return ordered[-1][1]
+
+
+class ExoBandwidthMeter:
+    """ExoPlayer's ``DefaultBandwidthMeter`` over per-transfer samples.
+
+    Each completed chunk transfer contributes one throughput sample
+    weighted by ``sqrt(bytes)``; the estimate is the weighted median.
+    ExoPlayer's meter aggregates audio and video transfers into the one
+    meter ("estimates the available network bandwidth by considering
+    both video and audio downloading", Section 3.2).
+    """
+
+    def __init__(self, initial_estimate_kbps: float = 1000.0):
+        self._percentile = SlidingPercentile()
+        self.initial_estimate_kbps = initial_estimate_kbps
+
+    def observe_download(self, record: DownloadRecord) -> None:
+        # Exclude request dead time the same way ExoPlayer only counts
+        # time while data flows on the transfer.
+        active = [s for s in record.segments if s.bits > 0]
+        if active:
+            elapsed = record.completed_at - min(s.start_s for s in active)
+        else:
+            elapsed = record.duration_s
+        if elapsed <= 0:
+            return
+        kbps = record.size_bits / elapsed / 1000.0
+        weight = math.sqrt(record.size_bits / 8.0 / 1024.0)  # sqrt(KB)
+        self._percentile.add_sample(weight, kbps)
+
+    def get_estimate_kbps(self) -> float:
+        estimate = self._percentile.get_percentile()
+        return self.initial_estimate_kbps if estimate is None else estimate
+
+
+class HarmonicMeanEstimator:
+    """Harmonic mean of the last N per-chunk throughput samples.
+
+    This is the dash.js THROUGHPUT rule's estimator (Spiteri et al.,
+    MMSys'18). The harmonic mean is robust to single fast outliers,
+    which matters for VBR chunks.
+    """
+
+    def __init__(self, window: int = 3, initial_estimate_kbps: Optional[float] = None):
+        if window <= 0:
+            raise PlayerError(f"window must be positive, got {window}")
+        self.window = window
+        self.initial_estimate_kbps = initial_estimate_kbps
+        self._samples: List[float] = []
+
+    def add_sample_kbps(self, kbps: float) -> None:
+        if kbps <= 0:
+            raise PlayerError(f"throughput sample must be positive, got {kbps}")
+        self._samples.append(kbps)
+        if len(self._samples) > self.window:
+            self._samples.pop(0)
+
+    def observe_download(self, record: DownloadRecord) -> None:
+        if record.duration_s > 0:
+            self.add_sample_kbps(record.throughput_kbps)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)
+
+    def get_estimate_kbps(self) -> Optional[float]:
+        if not self._samples:
+            return self.initial_estimate_kbps
+        return len(self._samples) / sum(1.0 / s for s in self._samples)
+
+
+class SharedThroughputEstimator:
+    """Wall-clock pooled-link estimator for the best-practices player.
+
+    Pools *all* bytes received across both media within a sliding
+    wall-clock window and divides by the merged union of the busy
+    intervals in that window. Overlapping audio/video downloads
+    therefore contribute their summed bytes over shared time counted
+    once, so concurrency does not halve the estimate — fixing the Shaka
+    failure mode of Section 3.3. Idle gaps (buffers full) are excluded
+    by the busy-interval union, so the estimate tracks link capacity,
+    not demand.
+    """
+
+    def __init__(
+        self, window_s: float = 20.0, initial_estimate_kbps: Optional[float] = None
+    ):
+        if window_s <= 0:
+            raise PlayerError(f"window must be positive, got {window_s}")
+        self.window_s = window_s
+        self.initial_estimate_kbps = initial_estimate_kbps
+        self._segments: List[Tuple[float, float, float]] = []  # (t0, t1, bits)
+        self._now = 0.0
+
+    def observe_download(self, record: DownloadRecord) -> None:
+        for segment in record.segments:
+            if segment.bits > 0:
+                self._segments.append(
+                    (segment.start_s, segment.end_s, segment.bits)
+                )
+        self._now = max(self._now, record.completed_at)
+        # Drop segments that can no longer enter the window.
+        horizon = self._now - self.window_s
+        self._segments = [s for s in self._segments if s[1] > horizon]
+
+    def get_estimate_kbps(self) -> Optional[float]:
+        if not self._segments:
+            return self.initial_estimate_kbps
+        horizon = self._now - self.window_s
+        bits = 0.0
+        intervals: List[Tuple[float, float]] = []
+        for t0, t1, segment_bits in self._segments:
+            if t1 <= horizon:
+                continue
+            if t0 < horizon:
+                # Count only the in-window fraction of a straddling segment.
+                segment_bits *= (t1 - horizon) / (t1 - t0)
+                t0 = horizon
+            bits += segment_bits
+            intervals.append((t0, t1))
+        if not intervals:
+            return self.initial_estimate_kbps
+        intervals.sort()
+        merged: List[Tuple[float, float]] = []
+        for t0, t1 in intervals:
+            if merged and t0 <= merged[-1][1] + 1e-9:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], t1))
+            else:
+                merged.append((t0, t1))
+        busy_time = sum(t1 - t0 for t0, t1 in merged)
+        if busy_time <= 0:
+            return self.initial_estimate_kbps
+        return bits / busy_time / 1000.0

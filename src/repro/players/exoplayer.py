@@ -1,0 +1,233 @@
+"""ExoPlayer v2.10 behavioural model (DASH and HLS modes).
+
+Reproduces the mechanisms Section 3.2 traces ExoPlayer's behaviour to:
+
+* **DASH** — joint adaptation restricted to the *predetermined
+  combinations* computed from per-track declared bitrates
+  (:mod:`repro.players.allocation`); a single bandwidth meter fed by
+  both media; a conservative ``bandwidth_fraction`` of 0.75; and
+  buffered-duration hysteresis (don't up-switch below 10 s of buffer,
+  don't down-switch above 25 s).
+* **HLS** — the same adaptation code, starved of per-track audio
+  bitrates by the top-level playlist: the model locks onto the first
+  audio rendition listed ("ExoPlayer simply assumes that all the audio
+  tracks have the same quality, thereby leading to a fixed audio track
+  selection") and prices each video track at the aggregate ``BANDWIDTH``
+  of the first variant containing it ("which is clearly an
+  overestimation").
+
+Downloading is synchronized per chunk — video chunk *i*, audio chunk
+*i*, then position *i+1* — which the paper singles out as ExoPlayer's
+virtue ("synchronize them on a finer granularity (e.g., on per chunk
+level as in ExoPlayer)"). The strict alternation also means each
+transfer sees the full link, so the shared meter measures total
+available bandwidth, as ExoPlayer's aggregated ``DefaultBandwidthMeter``
+does for overlapping transfers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PlayerError
+from ..manifest.dash import DashManifest
+from ..manifest.hls import HlsMasterPlaylist
+from ..media.tracks import MediaType
+from ..sim.decisions import Decision, Download, Wait
+from ..sim.records import DownloadRecord
+from .allocation import RungPair, exoplayer_predetermined_combinations
+from .base import BasePlayer
+from .estimators import ExoBandwidthMeter
+
+#: ExoPlayer AdaptiveTrackSelection defaults.
+DEFAULT_BANDWIDTH_FRACTION = 0.75
+DEFAULT_MIN_DURATION_FOR_QUALITY_INCREASE_S = 10.0
+DEFAULT_MAX_DURATION_FOR_QUALITY_DECREASE_S = 25.0
+#: ExoPlayer DefaultLoadControl.DEFAULT_MAX_BUFFER_MS.
+DEFAULT_MAX_BUFFER_S = 50.0
+
+
+class _ExoAdaptiveBase(BasePlayer):
+    """Shared chunk-locked scheduling + hysteresis machinery."""
+
+    def __init__(
+        self,
+        bandwidth_fraction: float = DEFAULT_BANDWIDTH_FRACTION,
+        min_duration_for_quality_increase_s: float = (
+            DEFAULT_MIN_DURATION_FOR_QUALITY_INCREASE_S
+        ),
+        max_duration_for_quality_decrease_s: float = (
+            DEFAULT_MAX_DURATION_FOR_QUALITY_DECREASE_S
+        ),
+        max_buffer_s: float = DEFAULT_MAX_BUFFER_S,
+        initial_estimate_kbps: float = 1000.0,
+    ):
+        if not 0 < bandwidth_fraction <= 1:
+            raise PlayerError(
+                f"bandwidth_fraction must be in (0,1], got {bandwidth_fraction}"
+            )
+        self.bandwidth_fraction = bandwidth_fraction
+        self.min_duration_for_quality_increase_s = min_duration_for_quality_increase_s
+        self.max_duration_for_quality_decrease_s = max_duration_for_quality_decrease_s
+        self.max_buffer_s = max_buffer_s
+        self.meter = ExoBandwidthMeter(initial_estimate_kbps=initial_estimate_kbps)
+        #: Decision cache: chunk position -> selected rung index, so both
+        #: media of one position use the same joint decision.
+        self._selection_for_position: Dict[int, int] = {}
+        self._current_rung = 0
+
+    # -- selection over an ordered list of options -------------------------
+
+    def _n_rungs(self) -> int:
+        raise NotImplementedError
+
+    def _rung_bitrate_kbps(self, rung: int) -> float:
+        """Declared bitrate ExoPlayer compares against allocated bandwidth."""
+        raise NotImplementedError
+
+    def _ideal_rung(self, effective_kbps: float) -> int:
+        ideal = 0
+        for rung in range(self._n_rungs()):
+            if self._rung_bitrate_kbps(rung) <= effective_kbps:
+                ideal = rung
+        return ideal
+
+    def _adapt(self, ctx) -> int:
+        """ExoPlayer's ``updateSelectedTrack``: ideal rung + hysteresis."""
+        estimate = self.meter.get_estimate_kbps()
+        ctx.log_estimate(estimate)
+        effective = estimate * self.bandwidth_fraction
+        ideal = self._ideal_rung(effective)
+        current = self._current_rung
+        buffered = min(
+            ctx.buffer_level_s(MediaType.VIDEO), ctx.buffer_level_s(MediaType.AUDIO)
+        )
+        if ideal > current and buffered < self.min_duration_for_quality_increase_s:
+            ideal = current
+        elif ideal < current and buffered >= self.max_duration_for_quality_decrease_s:
+            ideal = current
+        self._current_rung = ideal
+        return ideal
+
+    def _selection_at(self, position: int, ctx) -> int:
+        if position not in self._selection_for_position:
+            self._selection_for_position[position] = self._adapt(ctx)
+        return self._selection_for_position[position]
+
+    # -- chunk-locked scheduling -------------------------------------------
+
+    def choose_next(self, medium: MediaType, ctx) -> Decision:
+        video_done = ctx.completed_chunks(MediaType.VIDEO)
+        audio_done = ctx.completed_chunks(MediaType.AUDIO)
+        if medium is MediaType.VIDEO:
+            # Video leads each position; it may start position i only
+            # once audio has caught up to position i.
+            if audio_done < video_done:
+                return Wait(until=math.inf)
+            gate = self.buffer_gate(ctx, medium, self.max_buffer_s)
+            if gate is not None:
+                return gate
+            position = video_done
+            rung = self._selection_at(position, ctx)
+            return Download(track_id=self._video_id_for(rung))
+        # Audio trails: it may fetch position i only after video finished i.
+        if video_done <= audio_done:
+            return Wait(until=math.inf)
+        position = audio_done
+        rung = self._selection_at(position, ctx)
+        return Download(track_id=self._audio_id_for(rung))
+
+    def _video_id_for(self, rung: int) -> str:
+        raise NotImplementedError
+
+    def _audio_id_for(self, rung: int) -> str:
+        raise NotImplementedError
+
+    def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
+        self.meter.observe_download(record)
+
+
+class ExoPlayerDash(_ExoAdaptiveBase):
+    """ExoPlayer streaming a demuxed DASH manifest."""
+
+    name = "exoplayer-dash"
+
+    def __init__(self, manifest: DashManifest, **kwargs):
+        super().__init__(**kwargs)
+        video = [
+            (rep.rep_id, rep.bandwidth_kbps) for rep in manifest.video.representations
+        ]
+        audio = [
+            (rep.rep_id, rep.bandwidth_kbps) for rep in manifest.audio.representations
+        ]
+        video.sort(key=lambda r: r[1])
+        audio.sort(key=lambda r: r[1])
+        #: The predetermined combinations; rate adaptation "only
+        #: considers these predetermined combinations".
+        self.combinations: List[RungPair] = exoplayer_predetermined_combinations(
+            video, audio
+        )
+
+    def _n_rungs(self) -> int:
+        return len(self.combinations)
+
+    def _rung_bitrate_kbps(self, rung: int) -> float:
+        return self.combinations[rung].total_kbps
+
+    def _video_id_for(self, rung: int) -> str:
+        return self.combinations[rung].video_id
+
+    def _audio_id_for(self, rung: int) -> str:
+        return self.combinations[rung].audio_id
+
+    @property
+    def combination_names(self) -> List[str]:
+        return [pair.name for pair in self.combinations]
+
+
+class ExoPlayerHls(_ExoAdaptiveBase):
+    """ExoPlayer streaming an HLS master playlist.
+
+    The same adaptation code as DASH, but the top-level playlist gives
+    no per-track audio bitrates, so audio collapses to the first listed
+    rendition and video rungs are priced at the first containing
+    variant's aggregate ``BANDWIDTH``.
+    """
+
+    name = "exoplayer-hls"
+
+    def __init__(self, master: HlsMasterPlaylist, **kwargs):
+        super().__init__(**kwargs)
+        renditions = master.renditions
+        if not renditions:
+            raise PlayerError("HLS master playlist lists no audio renditions")
+        #: "the first audio track in the manifest file" — used throughout.
+        self.fixed_audio_id = renditions[0].name
+
+        seen: List[str] = []
+        for variant in master.variants:
+            if variant.video_id is None:
+                raise PlayerError(f"variant {variant.uri!r} has no video id")
+            if variant.video_id not in seen:
+                seen.append(variant.video_id)
+        #: (video_id, overestimated kbps) per rung, ascending by estimate.
+        self.video_rungs: List[Tuple[str, float]] = sorted(
+            (
+                (video_id, master.first_variant_bandwidth(video_id) / 1000.0)
+                for video_id in seen
+            ),
+            key=lambda r: r[1],
+        )
+
+    def _n_rungs(self) -> int:
+        return len(self.video_rungs)
+
+    def _rung_bitrate_kbps(self, rung: int) -> float:
+        return self.video_rungs[rung][1]
+
+    def _video_id_for(self, rung: int) -> str:
+        return self.video_rungs[rung][0]
+
+    def _audio_id_for(self, rung: int) -> str:
+        return self.fixed_audio_id

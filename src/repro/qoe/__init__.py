@@ -1,0 +1,29 @@
+"""QoE metrics for demuxed A/V streaming sessions."""
+
+from .aggregate import QoEAggregate, percentile
+from .diagnosis import Diagnosis, DiagnosisThresholds, Pathology, diagnose
+from .metrics import (
+    DEFAULT_WEIGHTS,
+    QoEReport,
+    QoEWeights,
+    combination_utility,
+    compute_qoe,
+    is_undesirable,
+    track_utility,
+)
+
+__all__ = [
+    "DEFAULT_WEIGHTS",
+    "Diagnosis",
+    "DiagnosisThresholds",
+    "Pathology",
+    "QoEAggregate",
+    "QoEReport",
+    "diagnose",
+    "percentile",
+    "QoEWeights",
+    "combination_utility",
+    "compute_qoe",
+    "is_undesirable",
+    "track_utility",
+]

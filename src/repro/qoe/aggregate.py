@@ -1,0 +1,101 @@
+"""Population-level QoE statistics.
+
+One session is an anecdote; services care about distributions — mean
+and tail QoE, the fraction of sessions that stall at all, switch rates.
+:class:`QoEAggregate` folds many :class:`~repro.qoe.metrics.QoEReport`
+objects into those statistics for the corpus experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import ReproError
+from .metrics import QoEReport
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile (``fraction`` in [0, 1])."""
+    if not values:
+        raise ReproError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ReproError(f"fraction must be in [0,1], got {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass
+class QoEAggregate:
+    """Statistics over a set of session QoE reports."""
+
+    reports: List[QoEReport] = field(default_factory=list)
+
+    def add(self, report: QoEReport) -> None:
+        self.reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def _require_reports(self) -> None:
+        if not self.reports:
+            raise ReproError("aggregate has no reports")
+
+    @property
+    def scores(self) -> List[float]:
+        return [r.score for r in self.reports]
+
+    def mean_score(self) -> float:
+        self._require_reports()
+        return sum(self.scores) / len(self.reports)
+
+    def p10_score(self) -> float:
+        """Tail QoE: the bottom-decile session."""
+        self._require_reports()
+        return percentile(self.scores, 0.10)
+
+    def median_score(self) -> float:
+        self._require_reports()
+        return percentile(self.scores, 0.50)
+
+    def stall_ratio(self) -> float:
+        """Fraction of sessions that stalled at least once."""
+        self._require_reports()
+        return sum(1 for r in self.reports if r.n_stalls > 0) / len(self.reports)
+
+    def mean_rebuffer_s(self) -> float:
+        self._require_reports()
+        return sum(r.rebuffer_s for r in self.reports) / len(self.reports)
+
+    def mean_switches(self) -> float:
+        self._require_reports()
+        return sum(r.video_switches + r.audio_switches for r in self.reports) / len(
+            self.reports
+        )
+
+    def undesirable_ratio(self) -> float:
+        """Fraction of scored chunks across sessions with mismatched pairs."""
+        self._require_reports()
+        chunks = sum(r.chunks_scored for r in self.reports)
+        if chunks == 0:
+            return 0.0
+        return sum(r.undesirable_chunks for r in self.reports) / chunks
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "sessions": len(self.reports),
+            "mean_qoe": round(self.mean_score(), 2),
+            "median_qoe": round(self.median_score(), 2),
+            "p10_qoe": round(self.p10_score(), 2),
+            "stall_ratio": round(self.stall_ratio(), 3),
+            "mean_rebuffer_s": round(self.mean_rebuffer_s(), 2),
+            "mean_switches": round(self.mean_switches(), 2),
+            "undesirable_ratio": round(self.undesirable_ratio(), 4),
+        }

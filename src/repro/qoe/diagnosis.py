@@ -1,0 +1,278 @@
+"""Automatic pathology diagnosis for streaming sessions.
+
+The paper's methodology is detective work: run a controlled session,
+inspect the timelines, name the root cause. This module packages that
+detective work: :func:`diagnose` inspects a finished
+:class:`~repro.sim.records.SessionResult` and reports which of the
+paper's documented pathologies the session exhibits —
+
+* ``FIXED_AUDIO`` — no audio adaptation despite multiple audio rungs
+  (ExoPlayer under HLS, Section 3.2);
+* ``ESTIMATOR_PINNED`` — the bandwidth estimate never moved off its
+  initial value while downloads succeeded (Shaka's dead filter,
+  Fig. 4a);
+* ``ESTIMATE_OVERSHOOT`` — the estimate substantially exceeded what the
+  session actually sustained, with rebuffering to match (Fig. 4b);
+* ``UNDESIRABLE_PAIRS`` — mismatched audio/video combinations
+  (Section 2.1's "clearly undesirable" pairs, Fig. 5);
+* ``BUFFER_IMBALANCE`` — audio/video buffer divergence beyond a few
+  chunks (Fig. 5b);
+* ``FREQUENT_SWITCHING`` — track oscillation (Section 3.3's fluctuation);
+* ``REBUFFERING`` — material stall time of any cause.
+
+Each finding carries the evidence used, so a diagnosis reads like the
+paper's analysis paragraphs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..media.content import Content
+from ..media.tracks import MediaType
+from ..sim.records import SessionResult
+from .metrics import is_undesirable
+
+
+class Pathology(enum.Enum):
+    FIXED_AUDIO = "fixed-audio"
+    ESTIMATOR_PINNED = "estimator-pinned"
+    ESTIMATE_OVERSHOOT = "estimate-overshoot"
+    UNDESIRABLE_PAIRS = "undesirable-pairs"
+    BUFFER_IMBALANCE = "buffer-imbalance"
+    FREQUENT_SWITCHING = "frequent-switching"
+    REBUFFERING = "rebuffering"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """One detected pathology with its evidence."""
+
+    pathology: Pathology
+    evidence: str
+    severity: float  # 0..1, how pronounced the symptom is
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.pathology.value} (severity {self.severity:.2f}): {self.evidence}"
+
+
+@dataclass(frozen=True)
+class DiagnosisThresholds:
+    """Tunable symptom thresholds (defaults match the paper's cases)."""
+
+    rebuffer_material_s: float = 2.0
+    imbalance_chunks: float = 2.0
+    switches_per_minute: float = 2.0
+    overshoot_factor: float = 1.3
+    undesirable_fraction: float = 0.1
+
+
+def pooled_throughput_kbps(result: SessionResult) -> Optional[float]:
+    """Wall-clock delivery rate: all bytes over merged busy intervals.
+
+    This is what the link actually carried — per-transfer throughputs
+    under-read it whenever audio and video downloaded concurrently.
+    """
+    intervals = []
+    bits = 0.0
+    for record in result.downloads:
+        for segment in record.segments:
+            if segment.bits > 0:
+                intervals.append((segment.start_s, segment.end_s))
+                bits += segment.bits
+    if not intervals:
+        return None
+    intervals.sort()
+    merged = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1] + 1e-9:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    busy = sum(end - start for start, end in merged)
+    if busy <= 0:
+        return None
+    return bits / busy / 1000.0
+
+
+def _diagnose_fixed_audio(
+    result: SessionResult, content: Content
+) -> Optional[Diagnosis]:
+    if len(content.audio) < 2:
+        return None
+    usage = result.track_usage(MediaType.AUDIO)
+    if len(usage) != 1:
+        return None
+    # Only a pathology when the *video* side demonstrably adapted: a
+    # session that had no reason to switch anything (steady link, one
+    # sustainable combination) is not evidence of missing audio logic.
+    if len(result.track_usage(MediaType.VIDEO)) < 2:
+        return None
+    (track_id,) = usage
+    return Diagnosis(
+        pathology=Pathology.FIXED_AUDIO,
+        evidence=(
+            f"all {sum(usage.values())} audio chunks used {track_id!r} while "
+            f"video adapted across {len(result.track_usage(MediaType.VIDEO))} "
+            f"tracks ({len(content.audio)} audio rungs exist)"
+        ),
+        severity=1.0,
+    )
+
+
+def _diagnose_estimator_pinned(result: SessionResult) -> Optional[Diagnosis]:
+    estimates = [e.kbps for e in result.estimate_timeline]
+    if len(estimates) < 5:
+        return None
+    if min(estimates) != max(estimates):
+        return None
+    # A pinned estimate is only pathological if the link demonstrably
+    # delivered more. Per-transfer throughputs under-read a shared link
+    # (concurrent downloads each see a share), so compare against the
+    # pooled wall-clock rate.
+    actual = pooled_throughput_kbps(result)
+    if actual is None:
+        return None
+    pinned = estimates[0]
+    if actual < pinned * 1.5:
+        return None
+    return Diagnosis(
+        pathology=Pathology.ESTIMATOR_PINNED,
+        evidence=(
+            f"estimate stayed at {pinned:.0f} kbps for the whole session while "
+            f"transfers reached {actual:.0f} kbps"
+        ),
+        severity=min(1.0, actual / pinned / 4.0),
+    )
+
+
+def _diagnose_overshoot(
+    result: SessionResult, thresholds: DiagnosisThresholds
+) -> Optional[Diagnosis]:
+    estimates = [e.kbps for e in result.estimate_timeline]
+    if not estimates or result.total_rebuffer_s < thresholds.rebuffer_material_s:
+        return None
+    sustained = [
+        record.throughput_kbps
+        for record in result.downloads
+        if record.duration_s > 0.5
+    ]
+    if not sustained:
+        return None
+    typical = sorted(sustained)[len(sustained) // 2]
+    peak_estimate = max(estimates)
+    if peak_estimate < typical * thresholds.overshoot_factor:
+        return None
+    return Diagnosis(
+        pathology=Pathology.ESTIMATE_OVERSHOOT,
+        evidence=(
+            f"peak estimate {peak_estimate:.0f} kbps vs median sustained "
+            f"transfer {typical:.0f} kbps, with {result.total_rebuffer_s:.1f} s "
+            "of rebuffering"
+        ),
+        severity=min(1.0, peak_estimate / typical / 3.0),
+    )
+
+
+def _diagnose_undesirable(
+    result: SessionResult, content: Content, thresholds: DiagnosisThresholds
+) -> Optional[Diagnosis]:
+    pairs = [
+        (video_id, audio_id)
+        for _, video_id, audio_id in result.selected_combinations()
+        if video_id is not None and audio_id is not None
+    ]
+    if not pairs:
+        return None
+    bad = [
+        f"{video_id}+{audio_id}"
+        for video_id, audio_id in pairs
+        if is_undesirable(content, video_id, audio_id)
+    ]
+    fraction = len(bad) / len(pairs)
+    if fraction < thresholds.undesirable_fraction:
+        return None
+    worst = max(set(bad), key=bad.count)
+    return Diagnosis(
+        pathology=Pathology.UNDESIRABLE_PAIRS,
+        evidence=(
+            f"{len(bad)}/{len(pairs)} chunk positions used mismatched pairs "
+            f"(most common: {worst})"
+        ),
+        severity=min(1.0, fraction),
+    )
+
+
+def _diagnose_imbalance(
+    result: SessionResult, content: Content, thresholds: DiagnosisThresholds
+) -> Optional[Diagnosis]:
+    limit = thresholds.imbalance_chunks * content.chunk_duration_s
+    worst = result.max_buffer_imbalance_s()
+    if worst <= limit:
+        return None
+    return Diagnosis(
+        pathology=Pathology.BUFFER_IMBALANCE,
+        evidence=(
+            f"audio/video buffer levels diverged up to {worst:.1f} s "
+            f"(mean {result.mean_buffer_imbalance_s():.1f} s)"
+        ),
+        severity=min(1.0, worst / (6 * content.chunk_duration_s)),
+    )
+
+
+def _diagnose_switching(
+    result: SessionResult, content: Content, thresholds: DiagnosisThresholds
+) -> Optional[Diagnosis]:
+    switches = result.switch_count(MediaType.VIDEO) + result.switch_count(
+        MediaType.AUDIO
+    )
+    minutes = content.duration_s / 60.0
+    rate = switches / minutes if minutes > 0 else 0.0
+    if rate <= thresholds.switches_per_minute:
+        return None
+    return Diagnosis(
+        pathology=Pathology.FREQUENT_SWITCHING,
+        evidence=f"{switches} track changes in {minutes:.1f} minutes "
+        f"({rate:.1f}/min)",
+        severity=min(1.0, rate / 10.0),
+    )
+
+
+def _diagnose_rebuffering(
+    result: SessionResult, thresholds: DiagnosisThresholds
+) -> Optional[Diagnosis]:
+    if result.total_rebuffer_s < thresholds.rebuffer_material_s:
+        return None
+    return Diagnosis(
+        pathology=Pathology.REBUFFERING,
+        evidence=(
+            f"{result.n_stalls} stalls totalling {result.total_rebuffer_s:.1f} s"
+        ),
+        severity=min(1.0, result.total_rebuffer_s / 60.0),
+    )
+
+
+def diagnose(
+    result: SessionResult,
+    content: Content,
+    thresholds: Optional[DiagnosisThresholds] = None,
+) -> List[Diagnosis]:
+    """All pathologies a session exhibits, most severe first."""
+    thresholds = thresholds or DiagnosisThresholds()
+    candidates = [
+        _diagnose_fixed_audio(result, content),
+        _diagnose_estimator_pinned(result),
+        _diagnose_overshoot(result, thresholds),
+        _diagnose_undesirable(result, content, thresholds),
+        _diagnose_imbalance(result, content, thresholds),
+        _diagnose_switching(result, content, thresholds),
+        _diagnose_rebuffering(result, thresholds),
+    ]
+    findings = [d for d in candidates if d is not None]
+    findings.sort(key=lambda d: d.severity, reverse=True)
+    return findings

@@ -1,0 +1,36 @@
+"""Playback simulation: event engine, buffers, session driver."""
+
+from .decisions import Decision, Download, Wait
+from .playback import PlaybackState, PlaybackTracker
+from .records import (
+    AbortRecord,
+    BufferSample,
+    DownloadRecord,
+    EstimateSample,
+    FailureRecord,
+    ProgressSegment,
+    SessionResult,
+    StallEvent,
+)
+from .session import ActiveDownload, Session, SessionConfig, SessionContext, simulate
+
+__all__ = [
+    "AbortRecord",
+    "ActiveDownload",
+    "BufferSample",
+    "FailureRecord",
+    "Decision",
+    "Download",
+    "DownloadRecord",
+    "EstimateSample",
+    "PlaybackState",
+    "PlaybackTracker",
+    "ProgressSegment",
+    "Session",
+    "SessionConfig",
+    "SessionContext",
+    "SessionResult",
+    "StallEvent",
+    "Wait",
+    "simulate",
+]

@@ -1,0 +1,38 @@
+"""Decision types a player returns from ``choose_next``."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import PlayerError
+
+
+@dataclass(frozen=True)
+class Download:
+    """Fetch the next chunk of this medium from ``track_id``."""
+
+    track_id: str
+
+    def __post_init__(self) -> None:
+        if not self.track_id:
+            raise PlayerError("Download decision needs a track id")
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Do not fetch now; re-ask at ``until`` (or at the next event).
+
+    ``until=inf`` means "poll me again whenever anything else happens"
+    — used when the player is blocked on another medium's progress
+    rather than on time (e.g. ExoPlayer's per-chunk A/V locking).
+    """
+
+    until: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.until == self.until:  # NaN guard
+            raise PlayerError("Wait.until must not be NaN")
+
+
+Decision = object  # Download | Wait (typing.Union kept loose for 3.9)

@@ -1,0 +1,120 @@
+"""Playback clock with demuxed-buffer stall semantics.
+
+The defining property of demuxed playback (Section 2.1): playback needs
+*both* media, so "either empty audio or video buffer leads to stalls ...
+even if there is a lot of content in the other buffer." The tracker
+advances a single play position bounded by the *minimum* of the two
+buffered frontiers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from ..errors import SimulationError
+from .records import StallEvent
+
+
+class PlaybackState(enum.Enum):
+    STARTUP = "startup"  # initial buffering, never played yet
+    PLAYING = "playing"
+    STALLED = "stalled"  # rebuffering mid-session
+    ENDED = "ended"
+
+
+class PlaybackTracker:
+    """Tracks play position, startup delay and stall intervals."""
+
+    def __init__(
+        self,
+        content_duration_s: float,
+        startup_threshold_s: float,
+        resume_threshold_s: float,
+    ):
+        if content_duration_s <= 0:
+            raise SimulationError("content duration must be positive")
+        if startup_threshold_s <= 0 or resume_threshold_s <= 0:
+            raise SimulationError("playback thresholds must be positive")
+        self.content_duration_s = content_duration_s
+        self.startup_threshold_s = startup_threshold_s
+        self.resume_threshold_s = resume_threshold_s
+        self.state = PlaybackState.STARTUP
+        self.position_s = 0.0
+        self.startup_delay_s: Optional[float] = None
+        self.stalls: List[StallEvent] = []
+
+    @property
+    def is_playing(self) -> bool:
+        return self.state is PlaybackState.PLAYING
+
+    def buffered_frontier_ok(self, frontier_s: float, threshold_s: float) -> bool:
+        """Is there enough content past the play position to (re)start?
+
+        ``frontier_s`` is the buffered frontier of the *lagging* medium.
+        Near the end of the title less than a full threshold remains, so
+        the requirement shrinks to "everything that is left".
+        """
+        remaining = self.content_duration_s - self.position_s
+        needed = min(threshold_s, remaining)
+        return frontier_s - self.position_s >= needed - 1e-9
+
+    def advance(self, dt: float, frontier_s: float) -> None:
+        """Advance wall time by ``dt``; play if in PLAYING state.
+
+        ``frontier_s`` is min(video frontier, audio frontier): playback
+        can never move past it. The session sizes ``dt`` so the position
+        lands exactly on the frontier at an event boundary rather than
+        overshooting; overshoot means the event schedule was wrong.
+        """
+        if dt < -1e-9:
+            raise SimulationError(f"negative time step {dt}")
+        if self.state is not PlaybackState.PLAYING:
+            return
+        new_position = self.position_s + dt
+        if new_position > frontier_s + 1e-6:
+            raise SimulationError(
+                f"playback overshot buffered frontier: {new_position} > {frontier_s}"
+            )
+        self.position_s = min(new_position, frontier_s)
+
+    def update_state(self, now: float, frontier_s: float, all_downloaded: bool) -> None:
+        """Apply state transitions after an event.
+
+        :param frontier_s: min of the two buffered frontiers (seconds of
+            content playable from the start).
+        :param all_downloaded: every chunk of both media is buffered.
+        """
+        if self.state is PlaybackState.ENDED:
+            return
+        if self.position_s >= self.content_duration_s - 1e-9:
+            self._end(now)
+            return
+        if self.state is PlaybackState.PLAYING:
+            if self.position_s >= frontier_s - 1e-9 and not all_downloaded:
+                self.state = PlaybackState.STALLED
+                self.stalls.append(StallEvent(start_s=now))
+            return
+        # STARTUP or STALLED: can we (re)start?
+        threshold = (
+            self.startup_threshold_s
+            if self.state is PlaybackState.STARTUP
+            else self.resume_threshold_s
+        )
+        if all_downloaded or self.buffered_frontier_ok(frontier_s, threshold):
+            if self.state is PlaybackState.STARTUP:
+                self.startup_delay_s = now
+            else:
+                self.stalls[-1].end_s = now
+            self.state = PlaybackState.PLAYING
+
+    def _end(self, now: float) -> None:
+        if self.state is PlaybackState.STALLED and self.stalls:
+            # A stall can in principle end exactly at content end.
+            self.stalls[-1].end_s = now
+        self.state = PlaybackState.ENDED
+
+    def close(self, now: float) -> None:
+        """Close any open stall at session teardown."""
+        if self.stalls and self.stalls[-1].end_s is None:
+            self.stalls[-1].end_s = now

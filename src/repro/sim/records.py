@@ -1,0 +1,335 @@
+"""Result records produced by a simulated streaming session."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..media.tracks import MediaType
+
+
+@dataclass(frozen=True)
+class ProgressSegment:
+    """Bits received by one download over one constant-rate interval."""
+
+    start_s: float
+    end_s: float
+    bits: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class DownloadRecord:
+    """One completed chunk download."""
+
+    medium: MediaType
+    track_id: str
+    chunk_index: int
+    size_bits: float
+    started_at: float
+    completed_at: float
+    segments: Tuple[ProgressSegment, ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.completed_at - self.started_at
+
+    @property
+    def throughput_kbps(self) -> float:
+        """Observed throughput over the whole request (incl. dead time)."""
+        if self.duration_s <= 0:
+            return math.inf
+        return self.size_bits / self.duration_s / 1000.0
+
+
+@dataclass(frozen=True)
+class AbortRecord:
+    """An in-flight download the player abandoned."""
+
+    medium: MediaType
+    track_id: str
+    chunk_index: int
+    aborted_at: float
+    bits_done: float
+    size_bits: float
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Fraction of the chunk that was fetched and thrown away."""
+        return self.bits_done / self.size_bits if self.size_bits else 0.0
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """A request the (simulated) network killed mid-transfer."""
+
+    medium: MediaType
+    track_id: str
+    chunk_index: int
+    failed_at: float
+    bits_done: float
+
+
+@dataclass
+class StallEvent:
+    """One rebuffering interval (shaded regions of the paper's Fig. 3)."""
+
+    start_s: float
+    end_s: Optional[float] = None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class BufferSample:
+    """Buffer levels (seconds of content) at one instant."""
+
+    t: float
+    video_level_s: float
+    audio_level_s: float
+
+    @property
+    def imbalance_s(self) -> float:
+        """Absolute audio/video buffer difference — the Fig. 5(b) metric."""
+        return abs(self.video_level_s - self.audio_level_s)
+
+
+@dataclass(frozen=True)
+class EstimateSample:
+    """A bandwidth-estimate reading logged by the player."""
+
+    t: float
+    kbps: float
+
+
+class SessionResult:
+    """Everything observed during one simulated session.
+
+    The accessors mirror what the paper plots: selected tracks over time
+    (Figs. 2/3a/4/5a), buffer levels over time (Figs. 3b/5b), bandwidth
+    estimates (Fig. 4), stalls and rebuffering totals.
+    """
+
+    def __init__(
+        self,
+        content_duration_s: float,
+        chunk_duration_s: float,
+        n_chunks: int,
+    ):
+        self.content_duration_s = content_duration_s
+        self.chunk_duration_s = chunk_duration_s
+        self.n_chunks = n_chunks
+        self.downloads: List[DownloadRecord] = []
+        self.aborts: List[AbortRecord] = []
+        self.failures: List[FailureRecord] = []
+        self.stalls: List[StallEvent] = []
+        self.buffer_timeline: List[BufferSample] = []
+        self.estimate_timeline: List[EstimateSample] = []
+        self.startup_delay_s: Optional[float] = None
+        self.ended_at_s: Optional[float] = None
+        self.completed = False
+
+    # -- ingest ----------------------------------------------------------
+
+    def add_download(self, record: DownloadRecord) -> None:
+        self.downloads.append(record)
+
+    def add_abort(self, record: AbortRecord) -> None:
+        self.aborts.append(record)
+
+    def add_failure(self, record: FailureRecord) -> None:
+        self.failures.append(record)
+
+    @property
+    def wasted_bits(self) -> float:
+        """Bytes fetched for chunks that were later abandoned."""
+        return sum(a.bits_done for a in self.aborts)
+
+    def add_buffer_sample(self, sample: BufferSample) -> None:
+        self.buffer_timeline.append(sample)
+
+    def add_estimate(self, t: float, kbps: float) -> None:
+        self.estimate_timeline.append(EstimateSample(t=t, kbps=kbps))
+
+    # -- stalls ----------------------------------------------------------
+
+    @property
+    def n_stalls(self) -> int:
+        return len(self.stalls)
+
+    @property
+    def total_rebuffer_s(self) -> float:
+        return sum(s.duration_s for s in self.stalls)
+
+    # -- selections ------------------------------------------------------
+
+    def downloads_of(self, medium: MediaType) -> List[DownloadRecord]:
+        return [d for d in self.downloads if d.medium is medium]
+
+    def track_for(self, medium: MediaType, chunk_index: int) -> Optional[str]:
+        for record in self.downloads:
+            if record.medium is medium and record.chunk_index == chunk_index:
+                return record.track_id
+        return None
+
+    def selected_combinations(self) -> List[Tuple[int, Optional[str], Optional[str]]]:
+        """Per chunk position: (index, video track, audio track)."""
+        out = []
+        for index in range(self.n_chunks):
+            out.append(
+                (
+                    index,
+                    self.track_for(MediaType.VIDEO, index),
+                    self.track_for(MediaType.AUDIO, index),
+                )
+            )
+        return out
+
+    def combination_names(self) -> List[str]:
+        """Paper-style combination names per downloaded position."""
+        names = []
+        for _, video_id, audio_id in self.selected_combinations():
+            if video_id is not None and audio_id is not None:
+                names.append(f"{video_id}+{audio_id}")
+        return names
+
+    def distinct_combinations(self) -> List[str]:
+        """Distinct combinations in order of first use."""
+        seen: List[str] = []
+        for name in self.combination_names():
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def track_usage(self, medium: MediaType) -> Dict[str, int]:
+        """How many chunks used each track."""
+        usage: Dict[str, int] = {}
+        for record in self.downloads_of(medium):
+            usage[record.track_id] = usage.get(record.track_id, 0) + 1
+        return usage
+
+    def switch_count(self, medium: MediaType) -> int:
+        """Number of track changes between consecutive positions."""
+        records = sorted(self.downloads_of(medium), key=lambda r: r.chunk_index)
+        switches = 0
+        for previous, current in zip(records, records[1:]):
+            if previous.track_id != current.track_id:
+                switches += 1
+        return switches
+
+    # -- buffers ---------------------------------------------------------
+
+    def max_buffer_imbalance_s(self) -> float:
+        if not self.buffer_timeline:
+            return 0.0
+        return max(s.imbalance_s for s in self.buffer_timeline)
+
+    def mean_buffer_imbalance_s(self) -> float:
+        """Time-weighted mean |audio - video| buffer difference."""
+        timeline = self.buffer_timeline
+        if len(timeline) < 2:
+            return 0.0
+        total = 0.0
+        span = timeline[-1].t - timeline[0].t
+        if span <= 0:
+            return timeline[-1].imbalance_s
+        for a, b in zip(timeline, timeline[1:]):
+            total += a.imbalance_s * (b.t - a.t)
+        return total / span
+
+    # -- summary ---------------------------------------------------------
+
+    def time_weighted_bitrate_kbps(self, medium: MediaType) -> float:
+        """Mean encoded bitrate of the *selected* tracks, per chunk."""
+        records = self.downloads_of(medium)
+        if not records:
+            return 0.0
+        return sum(r.size_bits for r in records) / (
+            len(records) * self.chunk_duration_s * 1000.0
+        )
+
+    def to_dict(self, include_timelines: bool = True) -> Dict[str, object]:
+        """JSON-serializable dump of the whole session.
+
+        Enables external analysis (pandas, notebooks) without importing
+        the library: every download, stall, abort, failure, buffer
+        sample and estimate reading, plus the summary.
+        """
+        data: Dict[str, object] = {
+            "content_duration_s": self.content_duration_s,
+            "chunk_duration_s": self.chunk_duration_s,
+            "n_chunks": self.n_chunks,
+            "summary": self.summary(),
+            "downloads": [
+                {
+                    "medium": record.medium.value,
+                    "track_id": record.track_id,
+                    "chunk_index": record.chunk_index,
+                    "size_bits": record.size_bits,
+                    "started_at": record.started_at,
+                    "completed_at": record.completed_at,
+                    "throughput_kbps": record.throughput_kbps,
+                }
+                for record in self.downloads
+            ],
+            "stalls": [
+                {"start_s": stall.start_s, "end_s": stall.end_s}
+                for stall in self.stalls
+            ],
+            "aborts": [
+                {
+                    "medium": abort.medium.value,
+                    "track_id": abort.track_id,
+                    "chunk_index": abort.chunk_index,
+                    "aborted_at": abort.aborted_at,
+                    "bits_done": abort.bits_done,
+                }
+                for abort in self.aborts
+            ],
+            "failures": [
+                {
+                    "medium": failure.medium.value,
+                    "track_id": failure.track_id,
+                    "chunk_index": failure.chunk_index,
+                    "failed_at": failure.failed_at,
+                    "bits_done": failure.bits_done,
+                }
+                for failure in self.failures
+            ],
+        }
+        if include_timelines:
+            data["buffer_timeline"] = [
+                {
+                    "t": sample.t,
+                    "video_level_s": sample.video_level_s,
+                    "audio_level_s": sample.audio_level_s,
+                }
+                for sample in self.buffer_timeline
+            ]
+            data["estimate_timeline"] = [
+                {"t": sample.t, "kbps": sample.kbps}
+                for sample in self.estimate_timeline
+            ]
+        return data
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "completed": self.completed,
+            "startup_delay_s": self.startup_delay_s,
+            "n_stalls": self.n_stalls,
+            "total_rebuffer_s": round(self.total_rebuffer_s, 3),
+            "video_switches": self.switch_count(MediaType.VIDEO),
+            "audio_switches": self.switch_count(MediaType.AUDIO),
+            "video_kbps": round(self.time_weighted_bitrate_kbps(MediaType.VIDEO), 1),
+            "audio_kbps": round(self.time_weighted_bitrate_kbps(MediaType.AUDIO), 1),
+            "combinations": self.distinct_combinations(),
+            "max_buffer_imbalance_s": round(self.max_buffer_imbalance_s(), 2),
+        }

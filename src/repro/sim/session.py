@@ -1,0 +1,521 @@
+"""The event-driven streaming session.
+
+One :class:`Session` plays one title through one player model over one
+network model, producing a :class:`~repro.sim.records.SessionResult`.
+
+The simulation is exact, not time-stepped: bandwidth traces are
+piecewise-constant and at most one download per medium is active, so
+between events every download progresses at a constant rate and the
+next event time (trace change, request dead-time expiry, download
+completion, buffer-frontier hit, scheduled player wake-up) can be
+computed in closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import PlayerError, SimulationError
+from ..media.content import Content
+from ..media.tracks import MediaType
+from ..net.link import NetworkModel
+from .decisions import Download, Wait
+from .playback import PlaybackState, PlaybackTracker
+from .records import (
+    AbortRecord,
+    BufferSample,
+    DownloadRecord,
+    FailureRecord,
+    ProgressSegment,
+    SessionResult,
+)
+
+from ..net.failures import FailureModel  # noqa: F401  (config type)
+
+_MEDIA = (MediaType.VIDEO, MediaType.AUDIO)
+_EPS = 1e-9
+
+
+@dataclass
+class ActiveDownload:
+    """A download in flight."""
+
+    medium: MediaType
+    track_id: str
+    chunk_index: int
+    size_bits: float
+    started_at: float
+    dead_until: float  # request RTT: no bits before this time
+    bits_done: float = 0.0
+    segments: List[ProgressSegment] = field(default_factory=list)
+    #: Injected failure point: the request dies once this many bits have
+    #: arrived. ``None`` = the request succeeds.
+    fail_at_bits: Optional[float] = None
+
+    @property
+    def remaining_bits(self) -> float:
+        return self.size_bits - self.bits_done
+
+    @property
+    def finished(self) -> bool:
+        # The tolerance must absorb absolute-time float cancellation:
+        # crediting rate*(horizon - now) at large `now` loses ~1e-8 bits,
+        # which on a tiny chunk is far more than size*1e-12. A millibit
+        # is physically meaningless at any rate, so snap there.
+        return self.remaining_bits <= max(self.size_bits * 1e-9, 1e-3)
+
+    @property
+    def failed(self) -> bool:
+        return (
+            self.fail_at_bits is not None
+            and self.bits_done >= self.fail_at_bits - 1e-3
+        )
+
+    @property
+    def next_target_bits(self) -> float:
+        """Bits outstanding until the next terminal event (fail or done)."""
+        if self.fail_at_bits is not None and self.fail_at_bits < self.size_bits:
+            return max(0.0, self.fail_at_bits - self.bits_done)
+        return self.remaining_bits
+
+
+@dataclass
+class SessionConfig:
+    """Session-level playback policy knobs.
+
+    Defaults approximate common player settings: begin playback after
+    one chunk of both media is buffered; resume after a stall likewise.
+
+    ``live_offset_s`` switches the session into *live* mode: chunk *i*
+    of every track becomes requestable only at wall time
+    ``i * chunk_duration + live_offset_s`` (the encoder/packager
+    pipeline delay). The client therefore cannot prefetch beyond the
+    live edge — buffers stay inherently shallow, which is exactly the
+    regime where unbalanced audio/video downloading hurts most. ``None``
+    (default) is VOD: everything is available immediately.
+    """
+
+    startup_threshold_s: Optional[float] = None  # default: one chunk
+    resume_threshold_s: Optional[float] = None  # default: one chunk
+    max_sim_time_s: Optional[float] = None  # default: 20x duration + 120
+    max_events: int = 2_000_000
+    live_offset_s: Optional[float] = None
+    #: Transient-failure injection (see :mod:`repro.net.failures`).
+    failure_model: Optional["FailureModel"] = None
+
+    def __post_init__(self) -> None:
+        if self.live_offset_s is not None and self.live_offset_s < 0:
+            raise SimulationError(
+                f"live_offset_s must be non-negative, got {self.live_offset_s}"
+            )
+
+
+class SessionContext:
+    """The player's window into the session state.
+
+    Players must base decisions only on what a real client can see:
+    buffer levels, past download observations (delivered via
+    ``on_chunk_complete``) and manifest data they were built with. The
+    context deliberately does not expose future bandwidth or the true
+    sizes of not-yet-fetched chunks.
+    """
+
+    def __init__(self, session: "Session"):
+        self._session = session
+
+    @property
+    def now(self) -> float:
+        return self._session.now
+
+    @property
+    def chunk_duration_s(self) -> float:
+        return self._session.content.chunk_duration_s
+
+    @property
+    def n_chunks(self) -> int:
+        return self._session.content.n_chunks
+
+    @property
+    def playback_state(self) -> PlaybackState:
+        return self._session.playback.state
+
+    @property
+    def play_position_s(self) -> float:
+        return self._session.playback.position_s
+
+    def buffer_level_s(self, medium: MediaType) -> float:
+        return self._session.buffer_level_s(medium)
+
+    def completed_chunks(self, medium: MediaType) -> int:
+        return self._session.completed[medium]
+
+    def next_chunk_index(self, medium: MediaType) -> int:
+        """Index of the chunk the medium would fetch next."""
+        return self._session.completed[medium] + (
+            1 if self._session.active.get(medium) else 0
+        )
+
+    def in_flight(self, medium: MediaType) -> Optional[ActiveDownload]:
+        return self._session.active.get(medium)
+
+    @property
+    def is_live(self) -> bool:
+        return self._session.config.live_offset_s is not None
+
+    def chunk_available_at(self, index: int) -> float:
+        """Wall time at which chunk ``index`` becomes requestable."""
+        return self._session.chunk_available_at(index)
+
+    def live_edge_index(self) -> int:
+        """Highest chunk index already published (n_chunks-1 for VOD)."""
+        last = self._session.content.n_chunks - 1
+        if not self.is_live:
+            return last
+        for index in range(last, -1, -1):
+            if self.chunk_available_at(index) <= self.now + 1e-9:
+                return index
+        return -1
+
+    def log_estimate(self, kbps: float) -> None:
+        """Record a bandwidth-estimate reading for the result timeline."""
+        self._session.result.add_estimate(self._session.now, kbps)
+
+
+class Session:
+    """Simulate one streaming session to completion."""
+
+    def __init__(
+        self,
+        content: Content,
+        player: "BasePlayer",
+        network: NetworkModel,
+        config: Optional[SessionConfig] = None,
+    ):
+        self.content = content
+        self.player = player
+        self.network = network
+        self.config = config or SessionConfig()
+
+        chunk = content.chunk_duration_s
+        startup = self.config.startup_threshold_s or chunk
+        resume = self.config.resume_threshold_s or chunk
+        self.playback = PlaybackTracker(
+            content_duration_s=content.duration_s,
+            startup_threshold_s=startup,
+            resume_threshold_s=resume,
+        )
+        self.now = 0.0
+        self.completed: Dict[MediaType, int] = {m: 0 for m in _MEDIA}
+        self.active: Dict[MediaType, Optional[ActiveDownload]] = {
+            m: None for m in _MEDIA
+        }
+        self._wake_at: Dict[MediaType, float] = {m: 0.0 for m in _MEDIA}
+        self._abort_counts: Dict[tuple, int] = {}
+        self.result = SessionResult(
+            content_duration_s=content.duration_s,
+            chunk_duration_s=chunk,
+            n_chunks=content.n_chunks,
+        )
+        self.ctx = SessionContext(self)
+
+    # -- state helpers ----------------------------------------------------
+
+    def buffered_frontier_s(self, medium: MediaType) -> float:
+        """Playable content time buffered for one medium."""
+        return self.completed[medium] * self.content.chunk_duration_s
+
+    def buffer_level_s(self, medium: MediaType) -> float:
+        return max(0.0, self.buffered_frontier_s(medium) - self.playback.position_s)
+
+    def _min_frontier_s(self) -> float:
+        return min(self.buffered_frontier_s(m) for m in _MEDIA)
+
+    def _all_downloaded(self) -> bool:
+        return all(self.completed[m] >= self.content.n_chunks for m in _MEDIA)
+
+    def _medium_done(self, medium: MediaType) -> bool:
+        return self.completed[medium] >= self.content.n_chunks
+
+    def chunk_available_at(self, index: int) -> float:
+        """Wall time at which chunk ``index`` becomes requestable."""
+        if self.config.live_offset_s is None:
+            return 0.0
+        return index * self.content.chunk_duration_s + self.config.live_offset_s
+
+    # -- scheduling --------------------------------------------------------
+
+    def _fill_slots(self) -> None:
+        for medium in _MEDIA:
+            if self.active[medium] is not None or self._medium_done(medium):
+                continue
+            wake = self._wake_at[medium]
+            # A finite wake time is a timed wait; an infinite one means
+            # "re-poll on every event", so it never blocks this pass.
+            if math.isfinite(wake) and wake > self.now + _EPS:
+                continue
+            # Live mode: the next chunk may not exist yet; sleep until
+            # the packager publishes it. This is session policy, not a
+            # player decision — a real client simply sees the segment
+            # missing from the refreshed manifest.
+            available_at = self.chunk_available_at(self.completed[medium])
+            if available_at > self.now + _EPS:
+                self._wake_at[medium] = available_at
+                continue
+            decision = self.player.choose_next(medium, self.ctx)
+            if isinstance(decision, Download):
+                self._start_download(medium, decision.track_id)
+            elif isinstance(decision, Wait):
+                if decision.until <= self.now + _EPS and math.isfinite(decision.until):
+                    raise PlayerError(
+                        f"player waited until the past/present "
+                        f"({decision.until} <= {self.now})"
+                    )
+                self._wake_at[medium] = decision.until
+            else:
+                raise PlayerError(
+                    f"choose_next must return Download or Wait, got {decision!r}"
+                )
+
+    def _start_download(self, medium: MediaType, track_id: str) -> None:
+        track = self.content.track(track_id)
+        if track.media_type is not medium:
+            raise PlayerError(
+                f"player chose {track_id!r} ({track.media_type}) for {medium}"
+            )
+        index = self.completed[medium]
+        chunk = self.content.chunk(track_id, index)
+        fail_at: Optional[float] = None
+        if self.config.failure_model is not None:
+            verdict = self.config.failure_model.next_request()
+            if verdict is not None:
+                fail_at = chunk.size_bits * verdict.fraction
+        self.active[medium] = ActiveDownload(
+            medium=medium,
+            track_id=track_id,
+            chunk_index=index,
+            size_bits=chunk.size_bits,
+            started_at=self.now,
+            dead_until=self.now + self.network.rtt_s,
+            fail_at_bits=fail_at,
+        )
+        self._wake_at[medium] = 0.0
+        self.player.on_chunk_start(medium, track_id, index, self.ctx)
+
+    # -- event horizon -----------------------------------------------------
+
+    def _current_rates(self) -> Dict[MediaType, float]:
+        """kbps per active download at the current instant."""
+        live = {
+            m: dl.medium
+            for m, dl in self.active.items()
+            if dl is not None and self.now >= dl.dead_until - _EPS
+        }
+        rates = self.network.rates(live, self.now) if live else {}
+        return {m: rates.get(m, 0.0) for m in _MEDIA}
+
+    def _next_event_time(self) -> float:
+        candidates: List[float] = [self.network.next_change_after(self.now)]
+        rates = self._current_rates()
+        for medium in _MEDIA:
+            download = self.active[medium]
+            if download is None:
+                wake = self._wake_at[medium]
+                if math.isfinite(wake) and wake > self.now + _EPS:
+                    candidates.append(wake)
+                continue
+            if self.now < download.dead_until - _EPS:
+                candidates.append(download.dead_until)
+                continue
+            rate = rates[medium]
+            if rate > 0:
+                candidates.append(
+                    self.now + download.next_target_bits / (rate * 1000.0)
+                )
+        if self.playback.is_playing:
+            frontier = self._min_frontier_s()
+            candidates.append(self.now + max(0.0, frontier - self.playback.position_s))
+        horizon = min(candidates)
+        if not math.isfinite(horizon):
+            raise SimulationError(
+                "deadlock: no future event (all media waiting forever while "
+                f"playback is {self.playback.state})"
+            )
+        return max(horizon, self.now)
+
+    # -- advancing ---------------------------------------------------------
+
+    def _advance_to(self, horizon: float) -> None:
+        dt = horizon - self.now
+        if dt < -1e-6:
+            raise SimulationError(f"time went backwards: {self.now} -> {horizon}")
+        dt = max(dt, 0.0)
+        rates = self._current_rates()
+        for medium in _MEDIA:
+            download = self.active[medium]
+            if download is None:
+                continue
+            rate = rates[medium]
+            if rate > 0 and dt > 0:
+                bits = min(rate * 1000.0 * dt, download.remaining_bits)
+                download.bits_done += bits
+                download.segments.append(
+                    ProgressSegment(start_s=self.now, end_s=horizon, bits=bits)
+                )
+        self.playback.advance(dt, self._min_frontier_s())
+        self.now = horizon
+
+    #: More consecutive failures than this on one chunk indicates a
+    #: pathological failure model rather than transient weather.
+    MAX_FAILURES_PER_CHUNK = 32
+
+    def _process_failures(self) -> None:
+        for medium in _MEDIA:
+            download = self.active[medium]
+            if download is None or not download.failed:
+                continue
+            self.active[medium] = None
+            self._wake_at[medium] = 0.0
+            key = ("fail", medium, download.chunk_index)
+            self._abort_counts[key] = self._abort_counts.get(key, 0) + 1
+            if self._abort_counts[key] > self.MAX_FAILURES_PER_CHUNK:
+                raise SimulationError(
+                    f"{medium} chunk {download.chunk_index} failed "
+                    f"{self.MAX_FAILURES_PER_CHUNK}+ times; failure model "
+                    "leaves the session unable to progress"
+                )
+            record = FailureRecord(
+                medium=medium,
+                track_id=download.track_id,
+                chunk_index=download.chunk_index,
+                failed_at=self.now,
+                bits_done=download.bits_done,
+            )
+            self.result.add_failure(record)
+            self.player.on_download_failed(record, self.ctx)
+
+    def _complete_downloads(self) -> None:
+        for medium in _MEDIA:
+            download = self.active[medium]
+            if download is None or not download.finished:
+                continue
+            if download.failed:
+                continue  # handled by _process_failures
+            self.active[medium] = None
+            self.completed[medium] += 1
+            record = DownloadRecord(
+                medium=medium,
+                track_id=download.track_id,
+                chunk_index=download.chunk_index,
+                size_bits=download.size_bits,
+                started_at=download.started_at,
+                completed_at=self.now,
+                segments=tuple(download.segments),
+            )
+            self.result.add_download(record)
+            self.player.on_chunk_complete(record, self.ctx)
+
+    #: Re-requesting the same chunk more than this many times after
+    #: aborting it indicates a player abort-loop bug.
+    MAX_ABORTS_PER_CHUNK = 8
+
+    def _check_aborts(self) -> None:
+        for medium in _MEDIA:
+            download = self.active[medium]
+            if download is None or download.finished:
+                continue
+            if not self.player.consider_abort(medium, download, self.ctx):
+                continue
+            key = (medium, download.chunk_index)
+            self._abort_counts[key] = self._abort_counts.get(key, 0) + 1
+            if self._abort_counts[key] > self.MAX_ABORTS_PER_CHUNK:
+                raise PlayerError(
+                    f"player aborted {medium} chunk {download.chunk_index} "
+                    f"more than {self.MAX_ABORTS_PER_CHUNK} times"
+                )
+            self.active[medium] = None
+            self._wake_at[medium] = 0.0
+            self.result.add_abort(
+                AbortRecord(
+                    medium=medium,
+                    track_id=download.track_id,
+                    chunk_index=download.chunk_index,
+                    aborted_at=self.now,
+                    bits_done=download.bits_done,
+                    size_bits=download.size_bits,
+                )
+            )
+
+    def _sample_buffers(self) -> None:
+        self.result.add_buffer_sample(
+            BufferSample(
+                t=self.now,
+                video_level_s=self.buffer_level_s(MediaType.VIDEO),
+                audio_level_s=self.buffer_level_s(MediaType.AUDIO),
+            )
+        )
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> SessionResult:
+        max_time = self.config.max_sim_time_s or (
+            self.content.duration_s * 20.0 + 120.0
+        )
+        self.player.on_session_start(self.ctx)
+        self._sample_buffers()
+        zero_dt_streak = 0
+        for _ in range(self.config.max_events):
+            self.playback.update_state(
+                self.now, self._min_frontier_s(), self._all_downloaded()
+            )
+            if self.playback.state is PlaybackState.ENDED:
+                break
+            self._fill_slots()
+            # A fill can complete... no: downloads take time. But the
+            # playback state may change due to scheduling being a no-op,
+            # so recheck the horizon after filling.
+            horizon = self._next_event_time()
+            if horizon > max_time:
+                break
+            # Progress guard: simultaneous events legitimately yield a
+            # few zero-length steps, but a long run of them means the
+            # event schedule is stuck (clock not advancing).
+            if horizon <= self.now + _EPS:
+                zero_dt_streak += 1
+                if zero_dt_streak > 64:
+                    raise SimulationError(
+                        f"simulation clock stuck at t={self.now}: "
+                        "64 consecutive zero-length events"
+                    )
+            else:
+                zero_dt_streak = 0
+            self._advance_to(horizon)
+            self._process_failures()
+            self._complete_downloads()
+            self._check_aborts()
+            self.playback.update_state(
+                self.now, self._min_frontier_s(), self._all_downloaded()
+            )
+            self._sample_buffers()
+        else:
+            raise SimulationError(
+                f"event cap ({self.config.max_events}) exceeded at t={self.now}"
+            )
+        self.playback.close(self.now)
+        self.result.stalls = list(self.playback.stalls)
+        self.result.startup_delay_s = self.playback.startup_delay_s
+        self.result.ended_at_s = self.now
+        self.result.completed = self.playback.state is PlaybackState.ENDED
+        self.player.on_session_end(self.ctx)
+        return self.result
+
+
+def simulate(
+    content: Content,
+    player: "BasePlayer",
+    network: NetworkModel,
+    config: Optional[SessionConfig] = None,
+) -> SessionResult:
+    """Convenience wrapper: build a session and run it to completion."""
+    return Session(content, player, network, config).run()

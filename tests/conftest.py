@@ -1,0 +1,42 @@
+"""Shared fixtures: the reference content and manifests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.combinations import all_combinations, hsub_combinations
+from repro.manifest.packager import package_dash, package_hls
+from repro.media.content import drama_show
+
+
+@pytest.fixture(scope="session")
+def content():
+    """The Table-1 drama show (session-scoped: it is immutable)."""
+    return drama_show()
+
+
+@pytest.fixture(scope="session")
+def dash_manifest(content):
+    return package_dash(content)
+
+
+@pytest.fixture(scope="session")
+def hls_all(content):
+    """The H_all packaging (all 18 combinations)."""
+    return package_hls(content)
+
+
+@pytest.fixture(scope="session")
+def hls_sub(content):
+    """The H_sub packaging (curated 6 combinations)."""
+    return package_hls(content, combinations=hsub_combinations(content))
+
+
+@pytest.fixture(scope="session")
+def hall_combos(content):
+    return all_combinations(content)
+
+
+@pytest.fixture(scope="session")
+def hsub_combos(content):
+    return hsub_combinations(content)

@@ -1,0 +1,102 @@
+"""Population QoE statistics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.qoe.aggregate import QoEAggregate, percentile
+from repro.qoe.metrics import QoEReport
+
+
+def make_report(score=10.0, stalls=0, rebuffer=0.0, switches=0, undesirable=0, chunks=10):
+    return QoEReport(
+        quality=score,
+        video_quality=score,
+        audio_quality=0.0,
+        rebuffer_s=rebuffer,
+        n_stalls=stalls,
+        startup_delay_s=1.0,
+        switch_cost=0.0,
+        video_switches=switches,
+        audio_switches=0,
+        score=score,
+        chunks_scored=chunks,
+        undesirable_chunks=undesirable,
+    )
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 0.5) == 5.0
+
+    def test_median_odd(self):
+        assert percentile([1.0, 2.0, 9.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            percentile([], 0.5)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ReproError):
+            percentile([1.0], 1.5)
+
+
+class TestQoEAggregate:
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            QoEAggregate().mean_score()
+
+    def test_mean_median(self):
+        aggregate = QoEAggregate()
+        for score in (10.0, 20.0, 90.0):
+            aggregate.add(make_report(score=score))
+        assert aggregate.mean_score() == pytest.approx(40.0)
+        assert aggregate.median_score() == 20.0
+
+    def test_p10_is_tail(self):
+        aggregate = QoEAggregate()
+        for score in range(11):
+            aggregate.add(make_report(score=float(score)))
+        assert aggregate.p10_score() == pytest.approx(1.0)
+
+    def test_stall_ratio(self):
+        aggregate = QoEAggregate()
+        aggregate.add(make_report(stalls=0))
+        aggregate.add(make_report(stalls=2))
+        aggregate.add(make_report(stalls=0))
+        aggregate.add(make_report(stalls=1))
+        assert aggregate.stall_ratio() == 0.5
+
+    def test_mean_rebuffer_and_switches(self):
+        aggregate = QoEAggregate()
+        aggregate.add(make_report(rebuffer=4.0, switches=2))
+        aggregate.add(make_report(rebuffer=0.0, switches=6))
+        assert aggregate.mean_rebuffer_s() == 2.0
+        assert aggregate.mean_switches() == 4.0
+
+    def test_undesirable_ratio(self):
+        aggregate = QoEAggregate()
+        aggregate.add(make_report(undesirable=5, chunks=10))
+        aggregate.add(make_report(undesirable=0, chunks=10))
+        assert aggregate.undesirable_ratio() == 0.25
+
+    def test_summary_keys(self):
+        aggregate = QoEAggregate()
+        aggregate.add(make_report())
+        summary = aggregate.summary()
+        assert summary["sessions"] == 1
+        for key in ("mean_qoe", "p10_qoe", "stall_ratio", "undesirable_ratio"):
+            assert key in summary
+
+    def test_len(self):
+        aggregate = QoEAggregate()
+        assert len(aggregate) == 0
+        aggregate.add(make_report())
+        assert len(aggregate) == 1

@@ -1,0 +1,138 @@
+"""ExoPlayer's predetermined-combination algorithm — the paper's three
+documented outputs plus structural properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlayerError
+from repro.players.allocation import (
+    RungPair,
+    exoplayer_predetermined_combinations,
+    normalized_switch_points,
+)
+
+TABLE1_VIDEO = [
+    ("V1", 111.0), ("V2", 246.0), ("V3", 473.0),
+    ("V4", 914.0), ("V5", 1852.0), ("V6", 3746.0),
+]
+TABLE1_AUDIO = [("A1", 128.0), ("A2", 196.0), ("A3", 384.0)]
+B_AUDIO = [("B1", 32.0), ("B2", 64.0), ("B3", 128.0)]
+C_AUDIO = [("C1", 196.0), ("C2", 384.0), ("C3", 768.0)]
+
+
+def names(pairs):
+    return [p.name for p in pairs]
+
+
+class TestPaperOutputs:
+    def test_table1_ladder(self):
+        """Section 3.2: "the resultant combinations ... are V1+A1, V2+A1,
+        V2+A2, V3+A2, V4+A2, V4+A3, V5+A3, and V6+A3"."""
+        pairs = exoplayer_predetermined_combinations(TABLE1_VIDEO, TABLE1_AUDIO)
+        assert names(pairs) == [
+            "V1+A1", "V2+A1", "V2+A2", "V3+A2", "V4+A2", "V4+A3", "V5+A3", "V6+A3",
+        ]
+
+    def test_b_ladder(self):
+        """"the predetermined combinations are V1+B1, V2+B1, V2+B2,
+        V3+B2, V4+B2, V5+B2, V5+B3, and V6+B3"."""
+        pairs = exoplayer_predetermined_combinations(TABLE1_VIDEO, B_AUDIO)
+        assert names(pairs) == [
+            "V1+B1", "V2+B1", "V2+B2", "V3+B2", "V4+B2", "V5+B2", "V5+B3", "V6+B3",
+        ]
+
+    def test_c_ladder(self):
+        """"the predetermined combinations are V1+C1, V2+C1, V2+C2,
+        V3+C2, V4+C2, V5+C2, V5+C3, and V6+C3"."""
+        pairs = exoplayer_predetermined_combinations(TABLE1_VIDEO, C_AUDIO)
+        assert names(pairs) == [
+            "V1+C1", "V2+C1", "V2+C2", "V3+C2", "V4+C2", "V5+C2", "V5+C3", "V6+C3",
+        ]
+
+    def test_fig2a_exclusion(self):
+        # V3+B3 fits a 900 kbps link but is excluded — the Fig. 2(a) issue.
+        pairs = exoplayer_predetermined_combinations(TABLE1_VIDEO, B_AUDIO)
+        assert "V3+B3" not in names(pairs)
+        assert 473 + 128 < 900
+
+    def test_fig2b_exclusion(self):
+        pairs = exoplayer_predetermined_combinations(TABLE1_VIDEO, C_AUDIO)
+        assert "V3+C1" not in names(pairs)
+
+
+class TestSwitchPoints:
+    def test_log_midpoints_normalized(self):
+        points = normalized_switch_points([100.0, 400.0, 1600.0])
+        # Log-equidistant ladder: midpoints at 1/4 and 3/4 of the range.
+        assert points == pytest.approx([0.25, 0.75])
+
+    def test_two_rungs(self):
+        assert normalized_switch_points([100.0, 900.0]) == pytest.approx([0.5])
+
+    def test_single_rung_no_points(self):
+        assert normalized_switch_points([100.0]) == []
+
+    def test_flat_ladder_degenerate(self):
+        assert normalized_switch_points([100.0, 100.0]) == [1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlayerError):
+            normalized_switch_points([])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(PlayerError):
+            normalized_switch_points([200.0, 100.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(PlayerError):
+            normalized_switch_points([0.0, 100.0])
+
+
+class TestRungPair:
+    def test_total_and_name(self):
+        pair = RungPair("V1", "A1", 111.0, 128.0)
+        assert pair.total_kbps == 239.0
+        assert pair.name == "V1+A1"
+
+
+class TestStructuralProperties:
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(PlayerError):
+            exoplayer_predetermined_combinations([], TABLE1_AUDIO)
+
+    # Integer kbps: real ladders have well-separated rungs; floats a
+    # few ulps apart create degenerate log-midpoints that no encoder
+    # emits and that drown the invariants in rounding noise.
+    @settings(max_examples=60, deadline=None)
+    @given(
+        video=st.lists(
+            st.integers(min_value=50, max_value=8000), min_size=1, max_size=8, unique=True
+        ),
+        audio=st.lists(
+            st.integers(min_value=16, max_value=800), min_size=1, max_size=5, unique=True
+        ),
+    )
+    def test_staircase_invariants(self, video, audio):
+        video_rungs = [(f"V{i}", kbps) for i, kbps in enumerate(sorted(video))]
+        audio_rungs = [(f"A{i}", kbps) for i, kbps in enumerate(sorted(audio))]
+        pairs = exoplayer_predetermined_combinations(video_rungs, audio_rungs)
+        # Exactly M + N - 1 combinations.
+        assert len(pairs) == len(video) + len(audio) - 1
+        # Starts lowest/lowest, ends highest/highest.
+        assert pairs[0].video_id == video_rungs[0][0]
+        assert pairs[0].audio_id == audio_rungs[0][0]
+        assert pairs[-1].video_id == video_rungs[-1][0]
+        assert pairs[-1].audio_id == audio_rungs[-1][0]
+        # "two adjacent combinations have either the same video or audio
+        # track" — each step moves exactly one medium one rung up.
+        video_index = {tid: i for i, (tid, _) in enumerate(video_rungs)}
+        audio_index = {tid: i for i, (tid, _) in enumerate(audio_rungs)}
+        for first, second in zip(pairs, pairs[1:]):
+            video_step = video_index[second.video_id] - video_index[first.video_id]
+            audio_step = audio_index[second.audio_id] - audio_index[first.audio_id]
+            assert sorted((video_step, audio_step)) == [0, 1]
+        # Totals strictly increase (so rate selection is well defined).
+        totals = [p.total_kbps for p in pairs]
+        assert all(b > a for a, b in zip(totals, totals[1:]))

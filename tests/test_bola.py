@@ -1,0 +1,129 @@
+"""BOLA (dash.js BolaRule formulas)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlayerError
+from repro.players.bola import (
+    MINIMUM_BUFFER_S,
+    BolaState,
+    bola_quality,
+    build_bola_state,
+    min_buffer_for_quality,
+)
+
+TABLE1_VIDEO_KBPS = [111.0, 246.0, 473.0, 914.0, 1852.0, 3746.0]
+TABLE1_AUDIO_KBPS = [128.0, 196.0, 384.0]
+
+
+class TestBuildState:
+    def test_utilities_offset_to_one(self):
+        state = build_bola_state(TABLE1_VIDEO_KBPS)
+        assert state.utilities[0] == pytest.approx(1.0)
+        assert state.utilities[-1] == pytest.approx(
+            math.log(3746.0 / 111.0) + 1.0
+        )
+
+    def test_utilities_increasing(self):
+        state = build_bola_state(TABLE1_VIDEO_KBPS)
+        assert list(state.utilities) == sorted(state.utilities)
+
+    def test_dashjs_parameter_formulas(self):
+        # bufferTime = max(12, 10 + 2*6) = 22 for the 6-rung video ladder.
+        state = build_bola_state(TABLE1_VIDEO_KBPS, stable_buffer_time_s=12.0)
+        buffer_time = 22.0
+        expected_gp = (state.utilities[-1] - 1.0) / (buffer_time / MINIMUM_BUFFER_S - 1.0)
+        assert state.gp == pytest.approx(expected_gp)
+        assert state.vp == pytest.approx(MINIMUM_BUFFER_S / state.gp)
+
+    def test_stable_buffer_time_dominates_when_larger(self):
+        state = build_bola_state(TABLE1_AUDIO_KBPS, stable_buffer_time_s=40.0)
+        expected_gp = (state.utilities[-1] - 1.0) / (40.0 / MINIMUM_BUFFER_S - 1.0)
+        assert state.gp == pytest.approx(expected_gp)
+
+    def test_single_rung_degenerate(self):
+        state = build_bola_state([500.0])
+        assert bola_quality(state, 0.0) == 0
+        assert bola_quality(state, 100.0) == 0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(PlayerError):
+            build_bola_state([200.0, 100.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(PlayerError):
+            build_bola_state([0.0, 100.0])
+
+
+class TestQualitySelection:
+    def test_empty_buffer_selects_lowest(self):
+        state = build_bola_state(TABLE1_VIDEO_KBPS)
+        assert bola_quality(state, 0.0) == 0
+
+    def test_huge_buffer_selects_highest(self):
+        state = build_bola_state(TABLE1_VIDEO_KBPS)
+        assert bola_quality(state, 100.0) == len(TABLE1_VIDEO_KBPS) - 1
+
+    def test_monotone_in_buffer_level(self):
+        state = build_bola_state(TABLE1_VIDEO_KBPS)
+        qualities = [bola_quality(state, level / 4.0) for level in range(0, 400)]
+        assert qualities == sorted(qualities)
+
+    def test_audio_a3_needs_about_14s(self):
+        """The Fig. 5 mechanism: audio BOLA reaches A3 near 14 s of
+        buffer — reachable only via the post-append overshoot."""
+        state = build_bola_state(TABLE1_AUDIO_KBPS, stable_buffer_time_s=12.0)
+        threshold = min_buffer_for_quality(state, 2)
+        assert 12.0 < threshold < 16.0
+
+    def test_video_v3_threshold_above_stable_buffer(self):
+        state = build_bola_state(TABLE1_VIDEO_KBPS, stable_buffer_time_s=12.0)
+        threshold = min_buffer_for_quality(state, 2)
+        assert threshold > 12.0
+
+    def test_negative_buffer_rejected(self):
+        state = build_bola_state(TABLE1_AUDIO_KBPS)
+        with pytest.raises(PlayerError):
+            bola_quality(state, -1.0)
+
+    def test_min_buffer_out_of_range(self):
+        state = build_bola_state(TABLE1_AUDIO_KBPS)
+        with pytest.raises(PlayerError):
+            min_buffer_for_quality(state, 5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rates=st.lists(
+            st.integers(min_value=10, max_value=10000),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        ),
+        level=st.floats(min_value=0, max_value=80),
+    )
+    def test_quality_always_valid_rung(self, rates, level):
+        state = build_bola_state(sorted(rates))
+        quality = bola_quality(state, level)
+        assert 0 <= quality < len(rates)
+
+    # Integer kbps: rungs a few float-ulps apart make gp ~ 1e-16 and
+    # Vp ~ 1e17, where the score arithmetic cancels catastrophically —
+    # a regime no real ladder occupies.
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rates=st.lists(
+            st.integers(min_value=10, max_value=10000),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        )
+    )
+    def test_monotonicity_property(self, rates):
+        state = build_bola_state(sorted(rates))
+        previous = -1
+        for level in range(0, 120, 2):
+            quality = bola_quality(state, float(level))
+            assert quality >= previous
+            previous = quality

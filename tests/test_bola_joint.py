@@ -1,0 +1,71 @@
+"""Joint BOLA over the combination ladder."""
+
+import pytest
+
+from repro.core.bola_joint import JointBolaPlayer
+from repro.core.combinations import all_combinations, hsub_combinations
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+
+class TestQualityFunction:
+    def test_empty_buffer_lowest_combo(self, hsub_combos):
+        player = JointBolaPlayer(hsub_combos)
+        assert player.quality_at(0.0) == 0
+
+    def test_deep_buffer_highest_combo(self, hsub_combos):
+        player = JointBolaPlayer(hsub_combos)
+        assert player.quality_at(80.0) == len(hsub_combos) - 1
+
+    def test_monotone(self, hsub_combos):
+        player = JointBolaPlayer(hsub_combos)
+        qualities = [player.quality_at(level / 2.0) for level in range(0, 120)]
+        assert qualities == sorted(qualities)
+
+
+class TestEndToEnd:
+    def test_completes_and_conforms(self, content, hsub_combos):
+        player = JointBolaPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(900.0)))
+        assert result.completed
+        assert set(result.combination_names()) <= set(hsub_combos.names)
+
+    def test_joint_decisions_pair_media(self, content, hsub_combos):
+        result = simulate(
+            content, JointBolaPlayer(hsub_combos), shared(constant(900.0))
+        )
+        allowed = set(hsub_combos.names)
+        for _, video_id, audio_id in result.selected_combinations():
+            assert f"{video_id}+{audio_id}" in allowed
+
+    def test_balanced_buffers(self, content, hsub_combos):
+        result = simulate(
+            content, JointBolaPlayer(hsub_combos), shared(constant(900.0))
+        )
+        assert result.max_buffer_imbalance_s() <= content.chunk_duration_s + 1e-6
+
+    def test_quality_rises_with_bandwidth(self, content, hsub_combos):
+        low = simulate(content, JointBolaPlayer(hsub_combos), shared(constant(500.0)))
+        high = simulate(
+            content, JointBolaPlayer(hsub_combos), shared(constant(4000.0))
+        )
+        assert high.time_weighted_bitrate_kbps(V) > low.time_weighted_bitrate_kbps(V)
+
+    def test_buffer_based_recovery_under_starvation(self, content, hsub_combos):
+        # Pure buffer control degrades gracefully on a starved link: it
+        # sinks to the lowest combination rather than oscillating.
+        result = simulate(
+            content, JointBolaPlayer(hsub_combos), shared(constant(260.0))
+        )
+        usage = result.track_usage(V)
+        assert max(usage, key=usage.get) == "V1"
+
+    def test_works_over_all_combinations_too(self, content):
+        combos = all_combinations(content)
+        result = simulate(content, JointBolaPlayer(combos), shared(constant(900.0)))
+        assert result.completed

@@ -1,0 +1,100 @@
+"""Chunk-size-aware joint adaptation."""
+
+import pytest
+
+from repro.core.chunk_aware import ChunkAwarePlayer
+from repro.core.combinations import hsub_combinations
+from repro.core.player import RecommendedPlayer
+from repro.errors import PlayerError
+from repro.manifest.packager import package_hls
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+
+
+def chunk_rates(content):
+    return {
+        track_id: [
+            content.chunk_table.chunk(track_id, i).bitrate_kbps
+            for i in range(content.n_chunks)
+        ]
+        for track_id in content.chunk_table.track_ids
+    }
+
+
+class TestConstruction:
+    def test_requires_rates_for_all_tracks(self, content, hsub_combos):
+        with pytest.raises(PlayerError):
+            ChunkAwarePlayer(hsub_combos, {"V1": [100.0]})
+
+    def test_lookahead_validated(self, content, hsub_combos):
+        with pytest.raises(PlayerError):
+            ChunkAwarePlayer(hsub_combos, chunk_rates(content), lookahead=0)
+
+    def test_from_hls_package(self, content, hls_sub, hsub_combos):
+        player = ChunkAwarePlayer.from_hls_package(hsub_combos, hls_sub)
+        assert player.lookahead == 3
+
+    def test_from_blind_package_rejected(self, content, hsub_combos):
+        package = package_hls(
+            content,
+            combinations=hsub_combos,
+            single_file=False,
+            include_bitrate_tag=False,
+        )
+        with pytest.raises(PlayerError):
+            ChunkAwarePlayer.from_hls_package(hsub_combos, package)
+
+
+class TestPricing:
+    def test_rate_is_positionwise(self, content, hsub_combos):
+        player = ChunkAwarePlayer(hsub_combos, chunk_rates(content), lookahead=1)
+        combo = hsub_combos.by_name("V3+A2")
+        rates = {
+            player._rate_of(combo, position) for position in range(content.n_chunks)
+        }
+        assert len(rates) > 1  # VBR: the price varies with position
+
+    def test_rate_matches_actual_chunks(self, content, hsub_combos):
+        player = ChunkAwarePlayer(hsub_combos, chunk_rates(content), lookahead=1)
+        combo = hsub_combos.by_name("V3+A2")
+        expected = (
+            content.chunk("V3", 7).bitrate_kbps + content.chunk("A2", 7).bitrate_kbps
+        )
+        assert player._rate_of(combo, 7) == pytest.approx(expected)
+
+    def test_lookahead_window_clamps_at_end(self, content, hsub_combos):
+        player = ChunkAwarePlayer(hsub_combos, chunk_rates(content), lookahead=5)
+        combo = hsub_combos.by_name("V1+A1")
+        # No IndexError at the last position.
+        assert player._rate_of(combo, content.n_chunks - 1) > 0
+
+
+class TestBehaviour:
+    def test_completes_and_conforms(self, content, hsub_combos):
+        player = ChunkAwarePlayer(hsub_combos, chunk_rates(content))
+        result = simulate(content, player, shared(constant(900.0)))
+        assert result.completed
+        assert set(result.combination_names()) <= set(hsub_combos.names)
+
+    def test_no_stalls_across_links(self, content, hsub_combos):
+        for kbps in (500.0, 900.0, 2000.0):
+            player = ChunkAwarePlayer(hsub_combos, chunk_rates(content))
+            result = simulate(content, player, shared(constant(kbps)))
+            assert result.n_stalls == 0, kbps
+
+    def test_vbr_awareness_never_loses_to_declared_pricing(self, content, hsub_combos):
+        """Chunk-aware pricing uses true sizes; on this title it should
+        match or beat declared-bitrate pricing in selected video rate
+        without stalling."""
+        aware = ChunkAwarePlayer(hsub_combos, chunk_rates(content))
+        declared = RecommendedPlayer(hsub_combos, rate_key="declared")
+        aware_result = simulate(content, aware, shared(constant(900.0)))
+        declared_result = simulate(content, declared, shared(constant(900.0)))
+        assert aware_result.n_stalls == 0
+        assert aware_result.time_weighted_bitrate_kbps(V) >= (
+            declared_result.time_weighted_bitrate_kbps(V) - 1e-6
+        )

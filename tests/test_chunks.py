@@ -1,0 +1,166 @@
+"""Chunk tables and VBR synthesis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MediaError
+from repro.media.chunks import (
+    Chunk,
+    ChunkTable,
+    build_chunk_table,
+    synthesize_vbr_bitrates,
+)
+from repro.media.tracks import audio_track, video_track
+
+
+class TestSynthesis:
+    def test_exact_mean(self):
+        series = synthesize_vbr_bitrates(500, 900, 60, seed=1)
+        assert sum(series) / len(series) == pytest.approx(500, rel=1e-9)
+
+    def test_exact_peak_attained(self):
+        series = synthesize_vbr_bitrates(500, 900, 60, seed=1)
+        assert max(series) == pytest.approx(900, rel=1e-9)
+
+    def test_peak_never_exceeded(self):
+        series = synthesize_vbr_bitrates(500, 900, 60, seed=1)
+        assert all(x <= 900 + 1e-9 for x in series)
+
+    def test_all_positive(self):
+        series = synthesize_vbr_bitrates(500, 900, 200, seed=7)
+        assert all(x > 0 for x in series)
+
+    def test_deterministic_given_seed(self):
+        a = synthesize_vbr_bitrates(500, 900, 60, seed=42)
+        b = synthesize_vbr_bitrates(500, 900, 60, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = synthesize_vbr_bitrates(500, 900, 60, seed=1)
+        b = synthesize_vbr_bitrates(500, 900, 60, seed=2)
+        assert a != b
+
+    def test_cbr_when_peak_equals_avg(self):
+        assert synthesize_vbr_bitrates(128, 128, 10, seed=1) == [128] * 10
+
+    def test_zero_burstiness_gives_cbr(self):
+        series = synthesize_vbr_bitrates(500, 900, 10, seed=1, burstiness=0)
+        assert series == [500] * 10
+
+    def test_single_chunk_is_mean(self):
+        assert synthesize_vbr_bitrates(500, 900, 1, seed=1) == [500]
+
+    def test_tight_headroom_still_exact(self):
+        # Table 1's V1: avg 111, peak 119 — only 7% headroom.
+        series = synthesize_vbr_bitrates(111, 119, 60, seed=3, burstiness=0.04)
+        assert sum(series) / 60 == pytest.approx(111, rel=1e-9)
+        assert max(series) == pytest.approx(119, rel=1e-9)
+
+    def test_invalid_n_chunks(self):
+        with pytest.raises(MediaError):
+            synthesize_vbr_bitrates(500, 900, 0, seed=1)
+
+    def test_peak_below_avg_rejected(self):
+        with pytest.raises(MediaError):
+            synthesize_vbr_bitrates(900, 500, 10, seed=1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        avg=st.floats(min_value=32, max_value=4000),
+        ratio=st.floats(min_value=1.0, max_value=2.5),
+        n=st.integers(min_value=2, max_value=120),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_property_mean_and_bounds(self, avg, ratio, n, seed):
+        peak = avg * ratio
+        series = synthesize_vbr_bitrates(avg, peak, n, seed=seed)
+        assert sum(series) / n == pytest.approx(avg, rel=1e-6)
+        assert max(series) <= peak + 1e-6
+        assert min(series) > 0
+
+
+class TestChunk:
+    def test_bitrate_and_bytes(self):
+        chunk = Chunk(track_id="V1", index=0, duration_s=5.0, size_bits=500_000.0)
+        assert chunk.bitrate_kbps == pytest.approx(100.0)
+        assert chunk.size_bytes == pytest.approx(62_500.0)
+
+
+class TestChunkTable:
+    def _table(self):
+        return ChunkTable(5.0, {"V1": [500_000.0, 600_000.0], "A1": [80_000.0, 80_000.0]})
+
+    def test_dimensions(self):
+        table = self._table()
+        assert table.n_chunks == 2
+        assert table.duration_s == 5.0
+        assert table.total_duration_s == 10.0
+        assert set(table.track_ids) == {"V1", "A1"}
+
+    def test_chunk_lookup(self):
+        chunk = self._table().chunk("V1", 1)
+        assert chunk.size_bits == 600_000.0
+        assert chunk.index == 1
+
+    def test_out_of_range_index(self):
+        with pytest.raises(MediaError):
+            self._table().chunk("V1", 2)
+
+    def test_unknown_track(self):
+        with pytest.raises(MediaError):
+            self._table().sizes("V9")
+
+    def test_measured_stats(self):
+        table = self._table()
+        assert table.measured_avg_kbps("V1") == pytest.approx(110.0)
+        assert table.measured_peak_kbps("V1") == pytest.approx(120.0)
+
+    def test_total_bits(self):
+        assert self._table().total_bits("A1") == pytest.approx(160_000.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MediaError):
+            ChunkTable(5.0, {"V1": [1.0, 2.0], "A1": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(MediaError):
+            ChunkTable(5.0, {})
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(MediaError):
+            ChunkTable(5.0, {"V1": [0.0]})
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(MediaError):
+            ChunkTable(0.0, {"V1": [1.0]})
+
+
+class TestBuildChunkTable:
+    def test_tracks_match_published_stats(self):
+        tracks = [
+            video_track("V3", 362, 641, 473),
+            audio_track("A1", 128, 134),
+        ]
+        table = build_chunk_table(tracks, duration_s=5.0, n_chunks=60)
+        for track in tracks:
+            assert table.measured_avg_kbps(track.track_id) == pytest.approx(
+                track.avg_kbps, rel=1e-9
+            )
+            assert table.measured_peak_kbps(track.track_id) == pytest.approx(
+                track.peak_kbps, rel=1e-9
+            )
+
+    def test_adding_track_does_not_perturb_existing(self):
+        v3 = video_track("V3", 362, 641, 473)
+        a1 = audio_track("A1", 128, 134)
+        alone = build_chunk_table([v3], duration_s=5.0, n_chunks=60)
+        joined = build_chunk_table([v3, a1], duration_s=5.0, n_chunks=60)
+        assert alone.sizes("V3") == joined.sizes("V3")
+
+    def test_cross_process_determinism_uses_stable_hash(self):
+        # zlib.crc32-based seeding must give the same table regardless of
+        # PYTHONHASHSEED; identical rebuilds must match bit-for-bit.
+        v3 = video_track("V3", 362, 641, 473)
+        a = build_chunk_table([v3], duration_s=5.0, n_chunks=60, seed=9)
+        b = build_chunk_table([v3], duration_s=5.0, n_chunks=60, seed=9)
+        assert a.sizes("V3") == b.sizes("V3")

@@ -1,0 +1,175 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4a" in out and "table2" in out
+
+
+class TestRun:
+    def test_single_experiment(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out
+        assert "1/1 experiments reproduced" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["run", "table1", "table2"]) == 0
+        assert "2/2" in capsys.readouterr().out
+
+    def test_no_names_is_an_error(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_unknown_name_raises(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "figX"])
+
+
+class TestSimulate:
+    def test_recommended_default(self, capsys):
+        assert main(["simulate", "--bandwidth", "900"]) == 0
+        out = capsys.readouterr().out
+        assert "completed: True" in out
+        assert "qoe:" in out
+
+    @pytest.mark.parametrize(
+        "player", ["exoplayer-dash", "exoplayer-hls", "shaka", "dashjs"]
+    )
+    def test_each_player_runs(self, capsys, player):
+        assert main(["simulate", "--player", player, "--bandwidth", "1500"]) == 0
+        assert "completed: True" in capsys.readouterr().out
+
+    def test_all_combinations_mode(self, capsys):
+        assert (
+            main(["simulate", "--player", "shaka", "--combinations", "all"]) == 0
+        )
+
+
+class TestManifest:
+    def test_dash_output(self, capsys):
+        assert main(["manifest", "--format", "dash"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<?xml")
+        assert "AdaptationSet" in out
+
+    def test_hls_output(self, capsys):
+        assert main(["manifest", "--format", "hls", "--combinations", "hsub"]) == 0
+        out = capsys.readouterr().out
+        assert "### master.m3u8" in out
+        assert "#EXT-X-STREAM-INF" in out
+
+
+class TestLint:
+    def test_hall_warns(self, capsys):
+        assert main(["lint", "--format", "hls"]) == 0
+        assert "HLS-CURATED" in capsys.readouterr().out
+
+    def test_curated_byteranges_clean(self, capsys):
+        assert main(["lint", "--format", "hls", "--curated"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_blind_packaging_errors(self, capsys):
+        assert main(["lint", "--format", "hls", "--curated", "--chunk-files"]) == 1
+        assert "HLS-TRACK-BITRATES" in capsys.readouterr().out
+
+    def test_chunk_files_with_tags_clean(self, capsys):
+        assert (
+            main(
+                [
+                    "lint",
+                    "--format",
+                    "hls",
+                    "--curated",
+                    "--chunk-files",
+                    "--bitrate-tags",
+                ]
+            )
+            == 0
+        )
+        assert "clean" in capsys.readouterr().out
+
+    def test_dash_warns_without_extension(self, capsys):
+        assert main(["lint", "--format", "dash"]) == 0
+        assert "DASH-COMBINATIONS" in capsys.readouterr().out
+
+    def test_dash_clean_with_extension(self, capsys):
+        assert main(["lint", "--format", "dash", "--curated"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_preset_summary(self, capsys):
+        assert main(["trace", "--preset", "hspa", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "avg" in out and "segments" in out
+
+    def test_write_csv_and_convert_to_mahimahi(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "t.csv")
+        assert main(["trace", "--preset", "lte", "--output", csv_path]) == 0
+        mm_path = str(tmp_path / "t.mm")
+        assert (
+            main(
+                [
+                    "trace",
+                    "--input",
+                    csv_path,
+                    "--output",
+                    mm_path,
+                    "--format",
+                    "mahimahi",
+                    "--duration",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        from repro.net.mahimahi import load_mahimahi
+
+        assert load_mahimahi(mm_path).average_kbps() > 0
+
+    def test_random_preset_mean(self, capsys):
+        assert main(["trace", "--preset", "random", "--mean", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "avg 800" in out
+
+
+class TestSimulateDiagnosis:
+    def test_diagnosis_printed(self, capsys):
+        assert main(["simulate", "--player", "dashjs", "--bandwidth", "700"]) == 0
+        out = capsys.readouterr().out
+        assert "diagnosis:" in out
+        assert "undesirable-pairs" in out
+
+    def test_clean_diagnosis(self, capsys):
+        assert main(["simulate", "--bandwidth", "900"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_live_simulation(self, capsys):
+        assert main(["simulate", "--bandwidth", "900", "--live-offset", "2"]) == 0
+        assert "completed: True" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_table_lists_all_players(self, capsys):
+        assert main(["compare", "--bandwidth", "900"]) == 0
+        out = capsys.readouterr().out
+        for name in ("exoplayer-dash", "exoplayer-hls", "shaka", "dashjs", "recommended"):
+            assert name in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_player_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--player", "vlc"])

@@ -1,0 +1,189 @@
+"""Content model and the Table-1 reference title."""
+
+import pytest
+
+from repro.errors import MediaError
+from repro.media.content import (
+    TABLE1_AUDIO,
+    TABLE1_VIDEO,
+    Content,
+    b_audio_ladder,
+    c_audio_ladder,
+    drama_show,
+    synthetic_content,
+    table1_audio_ladder,
+    table1_video_ladder,
+)
+from repro.media.tracks import MediaType
+
+
+class TestTable1Ladders:
+    def test_video_ladder_matches_paper(self):
+        ladder = table1_video_ladder()
+        assert ladder.track_ids == ("V1", "V2", "V3", "V4", "V5", "V6")
+        for (tid, avg, peak, declared, height), track in zip(TABLE1_VIDEO, ladder):
+            assert track.track_id == tid
+            assert track.avg_kbps == avg
+            assert track.peak_kbps == peak
+            assert track.declared_kbps == declared
+            assert track.height == height
+
+    def test_audio_ladder_matches_paper(self):
+        ladder = table1_audio_ladder()
+        assert ladder.track_ids == ("A1", "A2", "A3")
+        for (tid, avg, peak, declared, channels, khz), track in zip(
+            TABLE1_AUDIO, ladder
+        ):
+            assert (track.avg_kbps, track.peak_kbps, track.declared_kbps) == (
+                avg,
+                peak,
+                declared,
+            )
+            assert track.channels == channels
+            assert track.sampling_khz == khz
+
+    def test_v3_declared_sits_between_avg_and_peak(self):
+        # The VBR effect Table 1 illustrates.
+        v3 = table1_video_ladder().by_id("V3")
+        assert v3.avg_kbps < v3.declared_kbps < v3.peak_kbps
+
+    def test_b_ladder(self):
+        ladder = b_audio_ladder()
+        assert [t.declared_kbps for t in ladder] == [32, 64, 128]
+
+    def test_c_ladder(self):
+        ladder = c_audio_ladder()
+        assert [t.declared_kbps for t in ladder] == [196, 384, 768]
+
+    def test_audio_can_exceed_low_video_rungs(self):
+        # The paper's core premise: A3 (384) > V1 (111) and V2 (246).
+        audio = table1_audio_ladder()
+        video = table1_video_ladder()
+        assert audio.highest.avg_kbps > video[0].avg_kbps
+        assert audio.highest.avg_kbps > video[1].avg_kbps
+
+
+class TestDramaShow:
+    def test_duration_is_five_minutes(self, content):
+        assert content.duration_s == 300.0
+        assert content.n_chunks == 60
+        assert content.chunk_duration_s == 5.0
+
+    def test_track_lookup_both_media(self, content):
+        assert content.track("V4").is_video
+        assert content.track("A2").is_audio
+
+    def test_track_lookup_missing(self, content):
+        with pytest.raises(MediaError):
+            content.track("X1")
+
+    def test_chunk_lookup(self, content):
+        chunk = content.chunk("V1", 0)
+        assert chunk.duration_s == 5.0
+        assert chunk.size_bits > 0
+
+    def test_ladder_accessor(self, content):
+        assert content.ladder(MediaType.VIDEO) is content.video
+        assert content.ladder(MediaType.AUDIO) is content.audio
+
+    def test_deterministic(self):
+        a, b = drama_show(seed=5), drama_show(seed=5)
+        for track_id in a.chunk_table.track_ids:
+            assert a.chunk_table.sizes(track_id) == b.chunk_table.sizes(track_id)
+
+    def test_chunk_sizes_realize_table1_stats(self, content):
+        for track in list(content.video) + list(content.audio):
+            measured_avg = content.chunk_table.measured_avg_kbps(track.track_id)
+            measured_peak = content.chunk_table.measured_peak_kbps(track.track_id)
+            assert measured_avg == pytest.approx(track.avg_kbps, rel=1e-9)
+            assert measured_peak == pytest.approx(track.peak_kbps, rel=1e-9)
+
+
+class TestWithAudio:
+    def test_swaps_audio_ladder(self, content):
+        swapped = content.with_audio(b_audio_ladder())
+        assert swapped.audio.track_ids == ("B1", "B2", "B3")
+        assert swapped.video.track_ids == content.video.track_ids
+
+    def test_video_chunks_preserved(self, content):
+        swapped = content.with_audio(c_audio_ladder())
+        for track in content.video:
+            assert swapped.chunk_table.sizes(track.track_id) == content.chunk_table.sizes(
+                track.track_id
+            )
+
+    def test_new_audio_has_chunks(self, content):
+        swapped = content.with_audio(b_audio_ladder())
+        assert swapped.chunk_table.measured_avg_kbps("B2") == pytest.approx(
+            64, rel=1e-9
+        )
+
+
+class TestStorage:
+    def test_demuxed_is_sum_of_tracks(self, content):
+        expected = sum(
+            content.chunk_table.total_bits(t.track_id)
+            for t in list(content.video) + list(content.audio)
+        )
+        assert content.storage_bits_demuxed() == pytest.approx(expected)
+
+    def test_muxed_stores_every_combination(self, content):
+        # M x N combinations: every video stored N times, every audio M times.
+        m, n = len(content.video), len(content.audio)
+        video_bits = sum(content.chunk_table.total_bits(t.track_id) for t in content.video)
+        audio_bits = sum(content.chunk_table.total_bits(t.track_id) for t in content.audio)
+        assert content.storage_bits_muxed() == pytest.approx(
+            video_bits * n + audio_bits * m
+        )
+
+    def test_muxed_larger_than_demuxed(self, content):
+        assert content.storage_bits_muxed() > content.storage_bits_demuxed() * 2
+
+
+class TestSyntheticContent:
+    def test_basic(self):
+        synthetic = synthetic_content("test", [100, 200], [48, 96], n_chunks=10)
+        assert synthetic.video.track_ids == ("V1", "V2")
+        assert synthetic.audio.track_ids == ("A1", "A2")
+        assert synthetic.n_chunks == 10
+
+    def test_bitrates_sorted(self):
+        synthetic = synthetic_content("test", [300, 100], [96, 48], n_chunks=4)
+        assert synthetic.video[0].avg_kbps == 100
+        assert synthetic.audio[0].avg_kbps == 48
+
+    def test_peak_factor(self):
+        synthetic = synthetic_content(
+            "test", [100], [48], n_chunks=4, video_peak_factor=2.0
+        )
+        assert synthetic.video[0].peak_kbps == 200
+
+    def test_empty_rejected(self):
+        with pytest.raises(MediaError):
+            synthetic_content("test", [], [48])
+
+
+class TestContentValidation:
+    def test_missing_chunk_track_rejected(self, content):
+        limited = {
+            t.track_id: content.chunk_table.sizes(t.track_id) for t in content.video
+        }
+        from repro.media.chunks import ChunkTable
+
+        table = ChunkTable(5.0, limited)
+        with pytest.raises(MediaError):
+            Content(
+                name="broken",
+                video=content.video,
+                audio=content.audio,
+                chunk_table=table,
+            )
+
+    def test_swapped_ladders_rejected(self, content):
+        with pytest.raises(MediaError):
+            Content(
+                name="broken",
+                video=content.audio,
+                audio=content.video,
+                chunk_table=content.chunk_table,
+            )

@@ -1,0 +1,122 @@
+"""Cross-feature integration: the extensions composed together."""
+
+import pytest
+
+from repro.core.chunk_aware import ChunkAwarePlayer
+from repro.core.combinations import curated_combinations, hsub_combinations
+from repro.core.mpc import MpcPlayer
+from repro.core.player import RecommendedPlayer
+from repro.manifest.packager import package_hls, package_hls_multilanguage
+from repro.manifest.validate import lint_hls_master
+from repro.media.content import drama_show
+from repro.media.languages import make_catalog
+from repro.media.muxed import muxed_content
+from repro.media.tracks import MediaType
+from repro.net.failures import FailureModel
+from repro.net.link import shared
+from repro.net.markov import hspa_preset, lte_preset
+from repro.net.traces import constant
+from repro.qoe.diagnosis import Pathology, diagnose
+from repro.qoe.metrics import compute_qoe
+from repro.sim.session import SessionConfig, simulate
+
+V = MediaType.VIDEO
+
+
+class TestLivePlusFailuresPlusMarkov:
+    def test_live_flaky_cellular_session(self, content, hsub_combos):
+        """The harshest composition: live edge + request failures +
+        Markov cellular link — the session must still complete with all
+        invariants intact."""
+        config = SessionConfig(
+            live_offset_s=2.0,
+            startup_threshold_s=15.0,  # join 3 chunks behind
+            failure_model=FailureModel(0.1, seed=6),
+        )
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(lte_preset(seed=6)), config)
+        assert result.completed
+        assert set(result.combination_names()) <= set(hsub_combos.names)
+        # Time conservation still holds with failures and live gating.
+        assert result.ended_at_s == pytest.approx(
+            result.startup_delay_s + content.duration_s + result.total_rebuffer_s,
+            abs=1e-6,
+        )
+        # Live property: no chunk fetched before its publication.
+        for record in result.downloads:
+            assert record.started_at >= record.chunk_index * 5.0 + 2.0 - 1e-9
+
+    def test_live_failures_increase_latency_only(self, content, hsub_combos):
+        clean = simulate(
+            content,
+            RecommendedPlayer(hsub_combos),
+            shared(constant(1500.0)),
+            SessionConfig(live_offset_s=2.0, startup_threshold_s=15.0),
+        )
+        flaky = simulate(
+            content,
+            RecommendedPlayer(hsub_combos),
+            shared(constant(1500.0)),
+            SessionConfig(
+                live_offset_s=2.0,
+                startup_threshold_s=15.0,
+                failure_model=FailureModel(0.2, seed=8),
+            ),
+        )
+        assert flaky.completed
+        assert flaky.ended_at_s >= clean.ended_at_s - 1e-6
+
+
+class TestLanguagesPlusChunkAwarePlusLint:
+    def test_spanish_catalog_end_to_end(self, content):
+        """Multi-language packaging feeds the chunk-aware player the
+        same way a single-language one does."""
+        catalog = make_catalog(content, ["en", "es"], default_lang="en")
+        spanish = catalog.content_for("es")
+        combos = curated_combinations(spanish)
+        package = package_hls(spanish, combinations=combos)
+        player = ChunkAwarePlayer.from_hls_package(combos, package)
+        result = simulate(spanish, player, shared(constant(1200.0)))
+        assert result.completed
+        assert all(
+            audio_id.endswith("-es")
+            for _, _, audio_id in result.selected_combinations()
+        )
+
+    def test_multilanguage_master_lints_clean_when_curated(self, content):
+        catalog = make_catalog(content, ["en", "es", "fr"], default_lang="en")
+        package = package_hls_multilanguage(
+            catalog, combinations=hsub_combinations(content)
+        )
+        assert lint_hls_master(package.master) == []
+
+
+class TestMuxedPlusDiagnosis:
+    def test_muxed_session_not_flagged_for_fixed_audio(self, content, hsub_combos):
+        """The muxed marker track is a modelling artifact; the diagnoser
+        must not mistake it for the fixed-audio pathology (the muxed
+        audio ladder has a single rung, which the detector respects)."""
+        muxed = muxed_content(content, combinations=hsub_combos)
+        from repro.core.combinations import all_combinations
+
+        player = RecommendedPlayer(all_combinations(muxed))
+        result = simulate(muxed, player, shared(constant(1000.0)))
+        found = {d.pathology for d in diagnose(result, muxed)}
+        assert Pathology.FIXED_AUDIO not in found
+
+
+class TestMpcOnCellular:
+    def test_mpc_handles_markov_links(self, content, hsub_combos):
+        player = MpcPlayer(hsub_combos)
+        result = simulate(content, player, shared(hspa_preset(seed=3)))
+        assert result.completed
+        qoe = compute_qoe(result, content)
+        assert qoe.undesirable_chunks == 0
+
+    def test_mpc_with_failures(self, content, hsub_combos):
+        config = SessionConfig(failure_model=FailureModel(0.1, seed=4))
+        result = simulate(
+            content, MpcPlayer(hsub_combos), shared(constant(1000.0)), config
+        )
+        assert result.completed
+        assert set(result.combination_names()) <= set(hsub_combos.names)

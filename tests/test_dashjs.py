@@ -1,0 +1,109 @@
+"""dash.js model (Section 3.4 behaviours)."""
+
+import pytest
+
+from repro.errors import PlayerError
+from repro.manifest.packager import package_dash
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant
+from repro.players.dashjs import DashJsPlayer
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+
+class TestConstruction:
+    def test_independent_media_state(self, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        assert player.estimator_of(V) is not player.estimator_of(A)
+
+    def test_rung_ordering(self, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        assert player.rung_of(V, "V1") == 0
+        assert player.rung_of(V, "V6") == 5
+        assert player.rung_of(A, "A3") == 2
+
+    def test_invalid_safety_factor(self, dash_manifest):
+        with pytest.raises(PlayerError):
+            DashJsPlayer(dash_manifest, bandwidth_safety_factor=1.5)
+
+
+class TestIndependentEstimation:
+    def test_estimators_see_only_their_medium(self, content, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        result = simulate(content, player, shared(constant(700.0)))
+        # Both estimators have data, and neither ever exceeds the link.
+        video_estimate = player.estimator_of(V).get_estimate_kbps()
+        audio_estimate = player.estimator_of(A).get_estimate_kbps()
+        assert video_estimate is not None and audio_estimate is not None
+        assert video_estimate <= 700.0 + 1e-6
+        assert audio_estimate <= 700.0 + 1e-6
+        # While audio and video download concurrently, each medium's
+        # estimate reflects only its half-share of the 700 kbps link:
+        # the logged video estimates dip well below the link capacity.
+        logged = [e.kbps for e in result.estimate_timeline]
+        assert min(logged) < 500.0
+
+
+class TestFig5Behaviour:
+    def test_undesirable_combination_selected(self, content, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        result = simulate(content, player, shared(constant(700.0)))
+        assert "V2+A3" in set(result.combination_names())
+
+    def test_audio_reaches_top_rung_and_buffer_target_rises(
+        self, content, dash_manifest
+    ):
+        player = DashJsPlayer(dash_manifest)
+        result = simulate(content, player, shared(constant(700.0)))
+        assert result.track_usage(A).get("A3", 0) > content.n_chunks / 2
+        # bufferTimeAtTopQuality: the audio buffer climbs far above the
+        # 12 s stable target.
+        max_audio = max(s.audio_level_s for s in result.buffer_timeline)
+        assert max_audio > 20.0
+
+    def test_buffers_unbalanced(self, content, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        result = simulate(content, player, shared(constant(700.0)))
+        assert result.max_buffer_imbalance_s() >= 10.0
+
+    def test_video_fluctuates(self, content, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        result = simulate(content, player, shared(constant(700.0)))
+        assert result.switch_count(V) >= 5
+
+    def test_v3_a2_never_coordinated(self, content, dash_manifest):
+        """Independent adaptation cannot land on the preferable V3+A2."""
+        player = DashJsPlayer(dash_manifest)
+        result = simulate(content, player, shared(constant(700.0)))
+        assert "V3+A2" not in set(result.combination_names())
+
+
+class TestDynamicRule:
+    def test_starts_with_throughput_at_lowest(self, content, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        result = simulate(content, player, shared(constant(700.0)))
+        # No estimate yet -> lowest rung for the first chunk.
+        assert result.combination_names()[0] == "V1+A1"
+
+    def test_switches_to_bola_with_deep_buffer(self, content, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        simulate(content, player, shared(constant(700.0)))
+        # By session end the audio stream has a deep buffer; DYNAMIC
+        # must have flipped it to BOLA at some point.
+        assert player.is_using_bola(A)
+
+    def test_ample_bandwidth_reaches_top_rungs(self, content, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        result = simulate(content, player, shared(constant(10_000.0)))
+        assert "V6" in result.track_usage(V)
+        assert "A3" in result.track_usage(A)
+        assert result.n_stalls == 0
+
+    def test_starved_link_stays_low(self, content, dash_manifest):
+        player = DashJsPlayer(dash_manifest)
+        result = simulate(content, player, shared(constant(250.0)))
+        usage = result.track_usage(V)
+        assert max(usage, key=usage.get) == "V1"

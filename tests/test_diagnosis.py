@@ -1,0 +1,135 @@
+"""Automatic pathology diagnosis — each player's session must yield the
+pathology the paper attributes to it."""
+
+import pytest
+
+from repro.core.combinations import hsub_combinations
+from repro.core.player import RecommendedPlayer
+from repro.experiments.traces import fig3_trace, fig4b_trace
+from repro.manifest.packager import package_dash, package_hls
+from repro.net.link import shared
+from repro.net.traces import constant
+from repro.players.dashjs import DashJsPlayer
+from repro.players.exoplayer import ExoPlayerHls
+from repro.players.fixed import FixedTracksPlayer
+from repro.players.shaka import ShakaPlayer
+from repro.qoe.diagnosis import DiagnosisThresholds, Pathology, diagnose
+from repro.sim.session import simulate
+
+
+def pathologies(result, content):
+    return {d.pathology for d in diagnose(result, content)}
+
+
+class TestPaperScenarioDiagnoses:
+    def test_exoplayer_hls_diagnosed_with_fixed_audio(self, content):
+        package = package_hls(
+            content,
+            combinations=hsub_combinations(content),
+            audio_order=["A3", "A2", "A1"],
+        )
+        result = simulate(content, ExoPlayerHls(package.master), shared(fig3_trace()))
+        found = pathologies(result, content)
+        assert Pathology.FIXED_AUDIO in found
+        assert Pathology.REBUFFERING in found
+        assert Pathology.UNDESIRABLE_PAIRS in found  # V1/V2 + A3 throughout
+
+    def test_shaka_fig4a_diagnosed_with_pinned_estimator(self, content, hls_all):
+        result = simulate(
+            content, ShakaPlayer.from_hls(hls_all.master), shared(constant(1000.0))
+        )
+        found = pathologies(result, content)
+        assert Pathology.ESTIMATOR_PINNED in found
+
+    def test_shaka_fig4b_diagnosed_with_overshoot(self, content, hls_all):
+        result = simulate(
+            content, ShakaPlayer.from_hls(hls_all.master), shared(fig4b_trace())
+        )
+        found = pathologies(result, content)
+        assert Pathology.ESTIMATE_OVERSHOOT in found
+        assert Pathology.REBUFFERING in found
+
+    def test_dashjs_fig5_diagnosed_with_imbalance_and_pairs(self, content, dash_manifest):
+        result = simulate(
+            content, DashJsPlayer(dash_manifest), shared(constant(700.0))
+        )
+        found = pathologies(result, content)
+        assert Pathology.BUFFER_IMBALANCE in found
+        assert Pathology.UNDESIRABLE_PAIRS in found
+        assert Pathology.FREQUENT_SWITCHING in found
+
+    def test_recommended_player_is_clean(self, content, hsub_combos):
+        result = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(constant(900.0))
+        )
+        assert diagnose(result, content) == []
+
+
+class TestIndividualDetectors:
+    def test_fixed_audio_not_flagged_for_single_rung_ladder(self):
+        from repro.media.content import synthetic_content
+
+        single = synthetic_content("single", [100, 300], [64], n_chunks=6)
+        result = simulate(
+            single, FixedTracksPlayer("V1", "A1"), shared(constant(1000.0))
+        )
+        assert Pathology.FIXED_AUDIO not in pathologies(result, single)
+
+    def test_fully_fixed_pair_not_misdiagnosed_as_fixed_audio(self, content):
+        # Nothing adapted, so there is no evidence of *missing audio
+        # logic* specifically — the detector requires video adaptation.
+        result = simulate(
+            content, FixedTracksPlayer("V3", "A2"), shared(constant(2000.0))
+        )
+        found = pathologies(result, content)
+        assert Pathology.FIXED_AUDIO not in found
+        assert Pathology.UNDESIRABLE_PAIRS not in found  # V3+A2 matches
+
+    def test_undesirable_fixed_pair_flagged(self, content):
+        result = simulate(
+            content, FixedTracksPlayer("V6", "A1"), shared(constant(8000.0))
+        )
+        found = pathologies(result, content)
+        assert Pathology.UNDESIRABLE_PAIRS in found
+
+    def test_no_rebuffering_flag_on_smooth_session(self, content, hsub_combos):
+        result = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(constant(2000.0))
+        )
+        assert Pathology.REBUFFERING not in pathologies(result, content)
+
+    def test_severity_ordering(self, content):
+        package = package_hls(
+            content,
+            combinations=hsub_combinations(content),
+            audio_order=["A3", "A2", "A1"],
+        )
+        result = simulate(content, ExoPlayerHls(package.master), shared(fig3_trace()))
+        findings = diagnose(result, content)
+        severities = [d.severity for d in findings]
+        assert severities == sorted(severities, reverse=True)
+        assert all(0.0 <= s <= 1.0 for s in severities)
+
+    def test_evidence_strings_are_informative(self, content, hls_all):
+        result = simulate(
+            content, ShakaPlayer.from_hls(hls_all.master), shared(constant(1000.0))
+        )
+        findings = diagnose(result, content)
+        pinned = next(
+            d for d in findings if d.pathology is Pathology.ESTIMATOR_PINNED
+        )
+        assert "500" in pinned.evidence
+
+    def test_thresholds_tunable(self, content, dash_manifest):
+        result = simulate(
+            content, DashJsPlayer(dash_manifest), shared(constant(700.0))
+        )
+        lax = DiagnosisThresholds(
+            imbalance_chunks=100.0,
+            switches_per_minute=1000.0,
+            undesirable_fraction=1.1,
+        )
+        found = {d.pathology for d in diagnose(result, content, lax)}
+        assert Pathology.BUFFER_IMBALANCE not in found
+        assert Pathology.FREQUENT_SWITCHING not in found
+        assert Pathology.UNDESIRABLE_PAIRS not in found

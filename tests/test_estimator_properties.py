@@ -1,0 +1,160 @@
+"""Property-based estimator invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.media.tracks import MediaType
+from repro.players.estimators import (
+    Ewma,
+    ExoBandwidthMeter,
+    HarmonicMeanEstimator,
+    ShakaEstimator,
+    SharedThroughputEstimator,
+    SlidingPercentile,
+)
+from repro.sim.records import DownloadRecord, ProgressSegment
+
+
+def record_at(kbps, duration_s, started_at=0.0):
+    bits = kbps * 1000.0 * duration_s
+    return DownloadRecord(
+        medium=MediaType.VIDEO,
+        track_id="V1",
+        chunk_index=0,
+        size_bits=bits,
+        started_at=started_at,
+        completed_at=started_at + duration_s,
+        segments=(
+            ProgressSegment(
+                start_s=started_at, end_s=started_at + duration_s, bits=bits
+            ),
+        ),
+    )
+
+
+rates = st.lists(
+    st.floats(min_value=10.0, max_value=50_000.0), min_size=1, max_size=25
+)
+
+
+class TestEwmaProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(values=rates)
+    def test_estimate_within_sample_range(self, values):
+        ewma = Ewma(half_life_s=2.0)
+        for value in values:
+            ewma.sample(1.0, value)
+        assert min(values) - 1e-6 <= ewma.get_estimate() <= max(values) + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=rates,
+        half_life=st.floats(min_value=0.1, max_value=30.0),
+    )
+    def test_total_weight_accumulates(self, values, half_life):
+        ewma = Ewma(half_life_s=half_life)
+        for value in values:
+            ewma.sample(0.5, value)
+        assert ewma.total_weight_s == pytest.approx(0.5 * len(values))
+
+
+class TestSlidingPercentileProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(values=rates)
+    def test_percentile_is_one_of_the_samples(self, values):
+        percentile = SlidingPercentile(max_weight=1e9)
+        for value in values:
+            percentile.add_sample(1.0, value)
+        assert percentile.get_percentile() in values
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(st.floats(min_value=10, max_value=1e4), min_size=3, max_size=25))
+    def test_median_between_extremes(self, values):
+        percentile = SlidingPercentile(max_weight=1e9)
+        for value in values:
+            percentile.add_sample(1.0, value)
+        estimate = percentile.get_percentile()
+        assert min(values) <= estimate <= max(values)
+
+
+class TestHarmonicProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(values=rates)
+    def test_harmonic_never_exceeds_arithmetic(self, values):
+        estimator = HarmonicMeanEstimator(window=len(values))
+        for value in values:
+            estimator.add_sample_kbps(value)
+        arithmetic = sum(values) / len(values)
+        assert estimator.get_estimate_kbps() <= arithmetic + 1e-6
+
+
+class TestShakaProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kbps=st.floats(min_value=1100.0, max_value=20_000.0),
+        duration=st.floats(min_value=2.0, max_value=10.0),
+    )
+    def test_constant_fast_stream_estimates_its_rate(self, kbps, duration):
+        estimator = ShakaEstimator()
+        estimator.observe_download(record_at(kbps, duration))
+        if estimator.has_good_estimate:
+            # A trailing partial interval is scored as a full delta
+            # (that is how interval sampling works), so the estimate
+            # can read a few percent low on short downloads.
+            assert estimator.get_estimate_kbps() == pytest.approx(kbps, rel=0.06)
+        else:
+            assert estimator.get_estimate_kbps() == 500.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(kbps=st.floats(min_value=10.0, max_value=1020.0))
+    def test_sub_threshold_streams_never_unpin(self, kbps):
+        """Anything at or below ~1024 kbps per stream can never produce
+        a valid 16 KB interval — the Fig. 4(a) dead zone, as a law."""
+        estimator = ShakaEstimator()
+        for start in range(5):
+            estimator.observe_download(
+                record_at(kbps, 5.0, started_at=start * 6.0)
+            )
+        assert estimator.valid_samples == 0
+        assert estimator.get_estimate_kbps() == 500.0
+
+
+class TestPooledProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        kbps=st.floats(min_value=50.0, max_value=10_000.0),
+        n=st.integers(min_value=1, max_value=6),
+    )
+    def test_sequential_constant_rate_recovered(self, kbps, n):
+        estimator = SharedThroughputEstimator()
+        for i in range(n):
+            estimator.observe_download(record_at(kbps, 1.0, started_at=float(i)))
+        assert estimator.get_estimate_kbps() == pytest.approx(kbps, rel=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(share=st.floats(min_value=50.0, max_value=5_000.0))
+    def test_two_equal_concurrent_streams_sum(self, share):
+        estimator = SharedThroughputEstimator()
+        estimator.observe_download(record_at(share, 2.0))
+        audio = DownloadRecord(
+            medium=MediaType.AUDIO,
+            track_id="A1",
+            chunk_index=0,
+            size_bits=share * 1000.0 * 2.0,
+            started_at=0.0,
+            completed_at=2.0,
+            segments=(ProgressSegment(start_s=0.0, end_s=2.0, bits=share * 2000.0),),
+        )
+        estimator.observe_download(audio)
+        assert estimator.get_estimate_kbps() == pytest.approx(2 * share, rel=1e-6)
+
+
+class TestExoMeterProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.floats(min_value=50, max_value=1e4), min_size=1, max_size=15))
+    def test_estimate_within_transfer_range(self, values):
+        meter = ExoBandwidthMeter()
+        for i, kbps in enumerate(values):
+            meter.observe_download(record_at(kbps, 1.0, started_at=float(i)))
+        estimate = meter.get_estimate_kbps()
+        assert min(values) - 1e-6 <= estimate <= max(values) + 1e-6

@@ -1,0 +1,322 @@
+"""Bandwidth estimators — including the exact Shaka filter arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlayerError
+from repro.media.tracks import MediaType
+from repro.players.estimators import (
+    Ewma,
+    ExoBandwidthMeter,
+    HarmonicMeanEstimator,
+    ShakaEstimator,
+    SharedThroughputEstimator,
+    SlidingPercentile,
+)
+from repro.sim.records import DownloadRecord, ProgressSegment
+from repro.units import kilobytes_to_bits
+
+
+def make_record(
+    kbps: float,
+    duration_s: float,
+    started_at: float = 0.0,
+    medium: MediaType = MediaType.VIDEO,
+    segments=None,
+):
+    """A download that ran at a constant rate."""
+    bits = kbps * 1000.0 * duration_s
+    if segments is None:
+        segments = (
+            ProgressSegment(start_s=started_at, end_s=started_at + duration_s, bits=bits),
+        )
+    return DownloadRecord(
+        medium=medium,
+        track_id="V1",
+        chunk_index=0,
+        size_bits=bits,
+        started_at=started_at,
+        completed_at=started_at + duration_s,
+        segments=tuple(segments),
+    )
+
+
+class TestEwma:
+    def test_single_sample_is_exact(self):
+        ewma = Ewma(half_life_s=2.0)
+        ewma.sample(1.0, 100.0)
+        assert ewma.get_estimate() == pytest.approx(100.0)
+
+    def test_converges_to_constant_input(self):
+        ewma = Ewma(half_life_s=2.0)
+        for _ in range(100):
+            ewma.sample(1.0, 640.0)
+        assert ewma.get_estimate() == pytest.approx(640.0)
+
+    def test_recent_samples_dominate(self):
+        ewma = Ewma(half_life_s=1.0)
+        for _ in range(50):
+            ewma.sample(1.0, 100.0)
+        for _ in range(10):
+            ewma.sample(1.0, 1000.0)
+        assert ewma.get_estimate() > 900
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(PlayerError):
+            Ewma(2.0).sample(0.0, 5.0)
+
+    def test_invalid_half_life(self):
+        with pytest.raises(PlayerError):
+            Ewma(0.0)
+
+    def test_no_samples_estimate_zero(self):
+        assert Ewma(2.0).get_estimate() == 0.0
+
+
+class TestShakaFilterArithmetic:
+    """The exact numbers behind Fig. 4(a)."""
+
+    def test_500kbps_stream_fails_filter(self):
+        # Half of a 1 Mbps link: 500 kbps x 0.125 s = 62.5 kbit ≈ 7.6 KB < 16 KB.
+        bits_per_interval = 500.0 * 1000.0 * 0.125
+        assert bits_per_interval < kilobytes_to_bits(16)
+
+    def test_1mbps_solo_stream_still_fails_filter(self):
+        # Even a solo download at the full 1 Mbps: 125 kbit ≈ 15.3 KB < 16 KB.
+        bits_per_interval = 1000.0 * 1000.0 * 0.125
+        assert bits_per_interval < kilobytes_to_bits(16)
+
+    def test_1050kbps_stream_passes_filter(self):
+        bits_per_interval = 1050.0 * 1000.0 * 0.125
+        assert bits_per_interval >= kilobytes_to_bits(16)
+
+
+class TestShakaEstimator:
+    def test_default_before_any_data(self):
+        assert ShakaEstimator().get_estimate_kbps() == 500.0
+
+    def test_1mbps_download_never_produces_valid_samples(self):
+        estimator = ShakaEstimator()
+        estimator.observe_download(make_record(kbps=1000.0, duration_s=10.0))
+        assert estimator.valid_samples == 0
+        assert estimator.discarded_samples > 0
+        assert estimator.get_estimate_kbps() == 500.0
+
+    def test_fast_download_produces_valid_samples(self):
+        estimator = ShakaEstimator()
+        estimator.observe_download(make_record(kbps=2000.0, duration_s=10.0))
+        assert estimator.valid_samples > 0
+        assert estimator.get_estimate_kbps() == pytest.approx(2000.0, rel=0.01)
+
+    def test_default_until_min_total_bytes(self):
+        estimator = ShakaEstimator()
+        # One valid 0.125 s interval at 2 Mbps ~= 30.5 KB < 128 KB total.
+        estimator.observe_download(make_record(kbps=2000.0, duration_s=0.125))
+        assert estimator.valid_samples == 1
+        assert not estimator.has_good_estimate
+        assert estimator.get_estimate_kbps() == 500.0
+
+    def test_mixed_rates_only_fast_intervals_counted(self):
+        """The Fig. 4(b) overestimation: slow intervals are discarded."""
+        estimator = ShakaEstimator()
+        for _ in range(5):
+            estimator.observe_download(make_record(kbps=150.0, duration_s=5.0))
+            estimator.observe_download(make_record(kbps=1500.0, duration_s=5.0))
+        # True average is 825; the estimator only saw the 1500s.
+        assert estimator.get_estimate_kbps() == pytest.approx(1500.0, rel=0.02)
+
+    def test_concurrent_shares_sampled_separately(self):
+        """Two 1000-kbps streams on a 2 Mbps link look like 1000 each."""
+        estimator = ShakaEstimator()
+        estimator.observe_download(
+            make_record(kbps=1000.0, duration_s=4.0, medium=MediaType.VIDEO)
+        )
+        estimator.observe_download(
+            make_record(kbps=1000.0, duration_s=4.0, medium=MediaType.AUDIO)
+        )
+        # 1000 kbps x 0.125 s = 15.26 KB < 16 KB: everything filtered;
+        # the estimator never learns the link carries 2 Mbps total.
+        assert estimator.valid_samples == 0
+        assert estimator.get_estimate_kbps() == 500.0
+
+    def test_min_estimate_of_fast_and_slow(self):
+        estimator = ShakaEstimator()
+        for _ in range(20):
+            estimator.observe_download(make_record(kbps=3000.0, duration_s=2.0))
+        estimator.observe_download(make_record(kbps=1200.0, duration_s=2.0))
+        # The fast EWMA drops quickly toward 1200; min() is conservative.
+        assert estimator.get_estimate_kbps() < 3000.0
+
+    def test_interval_alignment_to_download_start(self):
+        estimator = ShakaEstimator()
+        record = make_record(kbps=2000.0, duration_s=1.0, started_at=100.0)
+        estimator.observe_download(record)
+        assert estimator.valid_samples == 8  # 1 s / 0.125 s
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(PlayerError):
+            ShakaEstimator(interval_s=0)
+
+
+class TestSlidingPercentile:
+    def test_median_of_equal_weights(self):
+        percentile = SlidingPercentile(max_weight=100)
+        for value in (100.0, 200.0, 300.0):
+            percentile.add_sample(1.0, value)
+        assert percentile.get_percentile() == 200.0
+
+    def test_weighting_shifts_median(self):
+        percentile = SlidingPercentile(max_weight=100)
+        percentile.add_sample(10.0, 100.0)
+        percentile.add_sample(1.0, 900.0)
+        assert percentile.get_percentile() == 100.0
+
+    def test_window_evicts_oldest(self):
+        percentile = SlidingPercentile(max_weight=2.0)
+        percentile.add_sample(1.0, 100.0)
+        percentile.add_sample(1.0, 100.0)
+        percentile.add_sample(1.0, 900.0)
+        percentile.add_sample(1.0, 900.0)
+        assert percentile.get_percentile() == 900.0
+
+    def test_empty_returns_none(self):
+        assert SlidingPercentile().get_percentile() is None
+
+    def test_invalid_params(self):
+        with pytest.raises(PlayerError):
+            SlidingPercentile(max_weight=0)
+        with pytest.raises(PlayerError):
+            SlidingPercentile(percentile=1.5)
+
+
+class TestExoBandwidthMeter:
+    def test_initial_estimate(self):
+        meter = ExoBandwidthMeter(initial_estimate_kbps=1234.0)
+        assert meter.get_estimate_kbps() == 1234.0
+
+    def test_single_transfer(self):
+        meter = ExoBandwidthMeter()
+        meter.observe_download(make_record(kbps=800.0, duration_s=2.0))
+        assert meter.get_estimate_kbps() == pytest.approx(800.0)
+
+    def test_median_across_transfers(self):
+        meter = ExoBandwidthMeter()
+        for kbps in (700.0, 800.0, 900.0):
+            meter.observe_download(make_record(kbps=kbps, duration_s=2.0))
+        assert 700.0 <= meter.get_estimate_kbps() <= 900.0
+
+    def test_dead_time_excluded(self):
+        # 0.5 s of RTT dead time then 1 s of data at 1000 kbps: the
+        # meter counts only the active second.
+        segments = (ProgressSegment(start_s=0.5, end_s=1.5, bits=1_000_000.0),)
+        record = DownloadRecord(
+            medium=MediaType.VIDEO,
+            track_id="V1",
+            chunk_index=0,
+            size_bits=1_000_000.0,
+            started_at=0.0,
+            completed_at=1.5,
+            segments=segments,
+        )
+        meter = ExoBandwidthMeter()
+        meter.observe_download(record)
+        assert meter.get_estimate_kbps() == pytest.approx(1000.0)
+
+
+class TestHarmonicMean:
+    def test_single_sample(self):
+        estimator = HarmonicMeanEstimator(window=3)
+        estimator.add_sample_kbps(600.0)
+        assert estimator.get_estimate_kbps() == 600.0
+
+    def test_harmonic_not_arithmetic(self):
+        estimator = HarmonicMeanEstimator(window=3)
+        for kbps in (100.0, 100.0, 1000.0):
+            estimator.add_sample_kbps(kbps)
+        estimate = estimator.get_estimate_kbps()
+        assert estimate == pytest.approx(3 / (1 / 100 + 1 / 100 + 1 / 1000))
+        assert estimate < 400  # robust against the 1000 outlier
+
+    def test_window_slides(self):
+        estimator = HarmonicMeanEstimator(window=2)
+        for kbps in (100.0, 900.0, 900.0):
+            estimator.add_sample_kbps(kbps)
+        assert estimator.get_estimate_kbps() == pytest.approx(900.0)
+
+    def test_none_before_samples(self):
+        assert HarmonicMeanEstimator().get_estimate_kbps() is None
+
+    def test_initial_estimate_honoured(self):
+        estimator = HarmonicMeanEstimator(initial_estimate_kbps=750.0)
+        assert estimator.get_estimate_kbps() == 750.0
+
+    def test_invalid_sample(self):
+        with pytest.raises(PlayerError):
+            HarmonicMeanEstimator().add_sample_kbps(0.0)
+
+    def test_observe_download(self):
+        estimator = HarmonicMeanEstimator()
+        estimator.observe_download(make_record(kbps=640.0, duration_s=2.0))
+        assert estimator.get_estimate_kbps() == pytest.approx(640.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=1, max_value=1e5), min_size=1, max_size=20))
+    def test_estimate_within_sample_range(self, samples):
+        estimator = HarmonicMeanEstimator(window=5)
+        for s in samples:
+            estimator.add_sample_kbps(s)
+        estimate = estimator.get_estimate_kbps()
+        window = samples[-5:]
+        assert min(window) - 1e-6 <= estimate <= max(window) + 1e-6
+
+
+class TestSharedThroughputEstimator:
+    def test_pools_concurrent_downloads(self):
+        """Two concurrent half-rate streams must read as the full link."""
+        estimator = SharedThroughputEstimator()
+        # Audio and video each at 500 kbps over the same 4 s window.
+        estimator.observe_download(
+            make_record(kbps=500.0, duration_s=4.0, medium=MediaType.VIDEO)
+        )
+        estimator.observe_download(
+            make_record(kbps=500.0, duration_s=4.0, medium=MediaType.AUDIO)
+        )
+        assert estimator.get_estimate_kbps() == pytest.approx(1000.0)
+
+    def test_sequential_downloads_average_correctly(self):
+        estimator = SharedThroughputEstimator()
+        estimator.observe_download(make_record(kbps=800.0, duration_s=2.0, started_at=0.0))
+        estimator.observe_download(make_record(kbps=800.0, duration_s=2.0, started_at=2.0))
+        assert estimator.get_estimate_kbps() == pytest.approx(800.0)
+
+    def test_idle_gaps_not_counted(self):
+        """Capacity, not demand: idle time between downloads is excluded."""
+        estimator = SharedThroughputEstimator()
+        estimator.observe_download(make_record(kbps=1000.0, duration_s=1.0, started_at=0.0))
+        estimator.observe_download(make_record(kbps=1000.0, duration_s=1.0, started_at=9.0))
+        assert estimator.get_estimate_kbps() == pytest.approx(1000.0)
+
+    def test_window_expires_old_samples(self):
+        estimator = SharedThroughputEstimator(window_s=5.0)
+        estimator.observe_download(make_record(kbps=100.0, duration_s=1.0, started_at=0.0))
+        estimator.observe_download(make_record(kbps=900.0, duration_s=1.0, started_at=100.0))
+        assert estimator.get_estimate_kbps() == pytest.approx(900.0)
+
+    def test_straddling_segment_partially_counted(self):
+        estimator = SharedThroughputEstimator(window_s=2.0)
+        # 4 s download ending at t=4; window covers [2, 4] only.
+        estimator.observe_download(make_record(kbps=600.0, duration_s=4.0, started_at=0.0))
+        assert estimator.get_estimate_kbps() == pytest.approx(600.0)
+
+    def test_initial_none(self):
+        assert SharedThroughputEstimator().get_estimate_kbps() is None
+
+    def test_initial_value(self):
+        estimator = SharedThroughputEstimator(initial_estimate_kbps=640.0)
+        assert estimator.get_estimate_kbps() == 640.0
+
+    def test_invalid_window(self):
+        with pytest.raises(PlayerError):
+            SharedThroughputEstimator(window_s=0)

@@ -1,0 +1,143 @@
+"""ExoPlayer model (DASH and HLS behaviours from Section 3.2)."""
+
+import pytest
+
+from repro.core.combinations import hsub_combinations
+from repro.errors import PlayerError
+from repro.manifest.packager import package_dash, package_hls
+from repro.media.content import b_audio_ladder, c_audio_ladder, drama_show
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant
+from repro.players.exoplayer import ExoPlayerDash, ExoPlayerHls
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+
+class TestDashPredetermination:
+    def test_table1_combinations(self, dash_manifest):
+        player = ExoPlayerDash(dash_manifest)
+        assert player.combination_names == [
+            "V1+A1", "V2+A1", "V2+A2", "V3+A2", "V4+A2", "V4+A3", "V5+A3", "V6+A3",
+        ]
+
+    def test_combination_totals_are_declared_sums(self, dash_manifest):
+        player = ExoPlayerDash(dash_manifest)
+        by_name = {p.name: p for p in player.combinations}
+        assert by_name["V3+A2"].total_kbps == pytest.approx(473 + 196)
+
+    def test_bandwidth_fraction_validation(self, dash_manifest):
+        with pytest.raises(PlayerError):
+            ExoPlayerDash(dash_manifest, bandwidth_fraction=0.0)
+
+
+class TestDashAdaptation:
+    def test_steady_state_at_900kbps(self, content, dash_manifest):
+        # 0.75 x 900 = 675 -> highest predetermined total <= 675 is
+        # V3+A2 (669).
+        player = ExoPlayerDash(dash_manifest)
+        result = simulate(content, player, shared(constant(900.0)))
+        names = result.combination_names()
+        assert names[-1] == "V3+A2"
+        assert result.n_stalls == 0
+
+    def test_steady_state_at_3mbps(self, content, dash_manifest):
+        # 0.75 x 3000 = 2250 -> V5+A3 (1852+384 = 2236).
+        player = ExoPlayerDash(dash_manifest)
+        result = simulate(content, player, shared(constant(3000.0)))
+        assert result.combination_names()[-1] == "V5+A3"
+
+    def test_very_low_bandwidth_sticks_to_lowest(self, content, dash_manifest):
+        player = ExoPlayerDash(dash_manifest)
+        result = simulate(content, player, shared(constant(200.0)))
+        assert set(result.combination_names()) == {"V1+A1"}
+
+    def test_selection_stays_within_predetermined(self, content, dash_manifest):
+        player = ExoPlayerDash(dash_manifest)
+        result = simulate(content, player, shared(constant(1500.0)))
+        assert set(result.combination_names()) <= set(player.combination_names)
+
+    def test_conservative_fraction_blocks_marginal_rung(self, content, dash_manifest):
+        # At 700 kbps, V3+A2 (669) would fit the raw estimate but not
+        # 0.75 x 700 = 525 -> V2+A2 (442) is the steady state.
+        player = ExoPlayerDash(dash_manifest)
+        result = simulate(content, player, shared(constant(700.0)))
+        assert result.combination_names()[-1] == "V2+A2"
+
+
+class TestDashHysteresis:
+    def test_no_up_switch_with_thin_buffer(self, content, dash_manifest):
+        # minDurationForQualityIncrease: the first chunks are fetched at
+        # the lowest rung even though the estimate allows more.
+        player = ExoPlayerDash(dash_manifest)
+        result = simulate(content, player, shared(constant(3000.0)))
+        assert result.combination_names()[0] == "V1+A1"
+
+    def test_chunk_level_sync(self, content, dash_manifest):
+        player = ExoPlayerDash(dash_manifest)
+        result = simulate(content, player, shared(constant(900.0)))
+        # Per-chunk alternation keeps the buffers within one chunk.
+        assert result.max_buffer_imbalance_s() <= content.chunk_duration_s + 1e-6
+
+    def test_audio_and_video_share_positions(self, content, dash_manifest):
+        player = ExoPlayerDash(dash_manifest)
+        result = simulate(content, player, shared(constant(900.0)))
+        for index, video_id, audio_id in result.selected_combinations():
+            assert video_id is not None and audio_id is not None
+
+
+class TestHlsFixedAudio:
+    def test_first_rendition_wins(self, content):
+        package = package_hls(
+            content,
+            combinations=hsub_combinations(content),
+            audio_order=["A2", "A1", "A3"],
+        )
+        player = ExoPlayerHls(package.master)
+        assert player.fixed_audio_id == "A2"
+        result = simulate(content, player, shared(constant(2000.0)))
+        assert set(result.track_usage(A)) == {"A2"}
+
+    def test_no_audio_adaptation_even_with_bandwidth(self, content, hls_sub):
+        player = ExoPlayerHls(hls_sub.master)  # A1 listed first by default
+        result = simulate(content, player, shared(constant(5000.0)))
+        assert set(result.track_usage(A)) == {"A1"}
+        assert result.switch_count(A) == 0
+
+    def test_video_priced_at_first_variant_aggregate(self, content, hls_sub):
+        player = ExoPlayerHls(hls_sub.master)
+        rungs = dict(player.video_rungs)
+        # V3's only H_sub variant is V3+A2: 840 kbps aggregate peak,
+        # far above V3's own 641 peak / 473 declared.
+        assert rungs["V3"] == pytest.approx(840.0)
+
+    def test_overestimation_suppresses_top_rung(self, content, hls_sub):
+        # At 5 Mbps: 0.75 x 5000 = 3750 < V6's priced 4838 -> V5 wins.
+        player = ExoPlayerHls(hls_sub.master)
+        result = simulate(content, player, shared(constant(5000.0)))
+        usage = result.track_usage(V)
+        assert "V6" not in usage
+        assert max(usage, key=usage.get) == "V5"
+
+    def test_manifest_without_renditions_rejected(self, content):
+        package = package_hls(content)
+        master = package.master
+        stripped = type(master)(variants=master.variants, renditions=())
+        with pytest.raises(PlayerError):
+            ExoPlayerHls(stripped)
+
+    def test_nonconformant_combinations_possible(self, content):
+        """The Fig. 3 finding: fixed audio + independent video pricing
+        produces pairs outside the curated manifest subset."""
+        package = package_hls(
+            content,
+            combinations=hsub_combinations(content),
+            audio_order=["A3", "A2", "A1"],
+        )
+        player = ExoPlayerHls(package.master)
+        result = simulate(content, player, shared(constant(700.0)))
+        used = set(result.combination_names())
+        allowed = set(hsub_combinations(content).names)
+        assert used - allowed, f"expected non-conformant pairs, got {used}"

@@ -1,0 +1,113 @@
+"""Every paper artifact reproduces, and the report machinery works."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import experiment_names, run_experiment
+from repro.experiments.base import Check, ExperimentReport
+
+ALL_EXPERIMENTS = experiment_names()
+
+
+class TestRegistry:
+    def test_expected_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) >= {
+            "table1",
+            "table2",
+            "table3",
+            "fig1",
+            "fig2a",
+            "fig2b",
+            "fig3",
+            "fig3_a1_first",
+            "fig4a",
+            "fig4b",
+            "fig5",
+            "fluctuation",
+            "best_practices",
+            "ablations",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+
+@pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+def test_experiment_reproduces(name):
+    """The headline integration test: every table and figure of the
+    paper regenerates with the documented shape."""
+    report = run_experiment(name)
+    failed = [str(c) for c in report.checks if not c.passed]
+    assert report.passed, f"{name}: {failed}"
+    assert report.checks, f"{name} has no checks"
+
+
+class TestSpecificShapes:
+    def test_fig3_stall_shape(self):
+        report = run_experiment("fig3")
+        stall_line = report.timelines["stalls"]
+        assert len(stall_line) >= 2  # paper: 5 stall events
+
+    def test_fig4a_estimate_series_flat_500(self):
+        report = run_experiment("fig4a")
+        values = {v for _, v in report.series["estimate_kbps"]}
+        assert values == {500.0}
+
+    def test_fig4b_estimate_crosses_600(self):
+        report = run_experiment("fig4b")
+        values = [v for _, v in report.series["estimate_kbps"]]
+        assert min(values) <= 500.0
+        assert max(values) > 900.0
+
+    def test_table2_has_18_rows(self):
+        assert len(run_experiment("table2").rows) == 18
+
+    def test_table3_has_6_rows(self):
+        assert len(run_experiment("table3").rows) == 6
+
+    def test_best_practices_rows_cover_three_scenarios(self):
+        report = run_experiment("best_practices")
+        scenarios = {row[0] for row in report.rows}
+        assert scenarios == {"fig3", "fig4a", "fig5"}
+
+
+class TestReportRendering:
+    def test_render_contains_checks_and_verdict(self):
+        report = run_experiment("table1")
+        text = report.render()
+        assert "table1" in text
+        assert "[PASS]" in text
+        assert "REPRODUCED" in text
+
+    def test_render_table_alignment(self):
+        report = ExperimentReport(
+            experiment_id="x",
+            title="t",
+            header=("A", "B"),
+            rows=[("aa", 1), ("b", 22)],
+        )
+        lines = report.render_table().splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+
+    def test_render_empty_table(self):
+        report = ExperimentReport(experiment_id="x", title="t")
+        assert report.render_table() == "(no rows)"
+
+    def test_failed_check_marks_mismatch(self):
+        report = ExperimentReport(experiment_id="x", title="t")
+        report.check("always false", False, detail="boom")
+        assert not report.passed
+        assert "MISMATCH" in report.render()
+        assert "boom" in report.render()
+
+    def test_check_str(self):
+        check = Check(description="d", passed=True, detail="x")
+        assert str(check) == "[PASS] d (x)"
+
+    def test_timeline_compaction(self):
+        report = ExperimentReport(experiment_id="x", title="t")
+        report.timelines["combo"] = [(0.0, "a"), (1.0, "a"), (2.0, "b")]
+        text = report.render()
+        assert "a@0s -> b@2s" in text

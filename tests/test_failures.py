@@ -1,0 +1,144 @@
+"""Transient request-failure injection and retry behaviour."""
+
+import pytest
+
+from repro.core.combinations import hsub_combinations
+from repro.core.player import RecommendedPlayer
+from repro.errors import SimulationError, TraceError
+from repro.media.tracks import MediaType
+from repro.net.failures import FailureModel, NoFailures
+from repro.net.link import shared
+from repro.net.traces import constant
+from repro.players.fixed import FixedTracksPlayer
+from repro.sim.session import SessionConfig, simulate
+
+from tests.test_session import flat_content
+
+V = MediaType.VIDEO
+
+
+class TestFailureModel:
+    def test_zero_probability_never_fails(self):
+        model = FailureModel(0.0, seed=1)
+        assert all(model.next_request() is None for _ in range(200))
+
+    def test_certain_probability_always_fails(self):
+        model = FailureModel(1.0, seed=1)
+        verdicts = [model.next_request() for _ in range(50)]
+        assert all(v is not None for v in verdicts)
+        assert all(0 <= v.fraction < 0.9 for v in verdicts)
+
+    def test_deterministic(self):
+        a = [FailureModel(0.3, seed=7).next_request() for _ in range(100)]
+        b = [FailureModel(0.3, seed=7).next_request() for _ in range(100)]
+        assert a == b
+
+    def test_rate_approximates_probability(self):
+        model = FailureModel(0.25, seed=3)
+        failures = sum(1 for _ in range(2000) if model.next_request() is not None)
+        assert 0.2 < failures / 2000 < 0.3
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            FailureModel(1.5)
+        with pytest.raises(TraceError):
+            FailureModel(0.5, max_fraction=0.0)
+
+    def test_no_failures_shortcut(self):
+        assert NoFailures().next_request() is None
+
+
+class TestSessionWithFailures:
+    def test_session_completes_despite_failures(self):
+        content = flat_content(n_chunks=10)
+        config = SessionConfig(failure_model=FailureModel(0.3, seed=5))
+        result = simulate(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(2000.0)), config
+        )
+        assert result.completed
+        assert len(result.failures) > 0
+        # Every chunk is still downloaded exactly once (the successful try).
+        for medium in (V, MediaType.AUDIO):
+            indices = [r.chunk_index for r in result.downloads_of(medium)]
+            assert indices == list(range(10))
+
+    def test_failures_cost_time(self):
+        content = flat_content(n_chunks=10)
+        clean = simulate(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(300.0))
+        )
+        flaky = simulate(
+            content,
+            FixedTracksPlayer("V1", "A1"),
+            shared(constant(300.0)),
+            SessionConfig(failure_model=FailureModel(0.4, seed=9)),
+        )
+        assert flaky.ended_at_s > clean.ended_at_s
+
+    def test_failure_records_have_partial_bytes(self):
+        content = flat_content(n_chunks=10)
+        config = SessionConfig(failure_model=FailureModel(0.4, seed=11))
+        result = simulate(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(2000.0)), config
+        )
+        for failure in result.failures:
+            assert 0 <= failure.bits_done < content.chunk("V1", 0).size_bits * 1.01
+
+    def test_pathological_model_detected(self):
+        content = flat_content(n_chunks=3)
+        config = SessionConfig(failure_model=FailureModel(1.0, seed=2))
+        with pytest.raises(SimulationError):
+            simulate(
+                content,
+                FixedTracksPlayer("V1", "A1"),
+                shared(constant(2000.0)),
+                config,
+            )
+
+    def test_no_failure_model_is_clean(self):
+        content = flat_content(n_chunks=6)
+        result = simulate(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(2000.0))
+        )
+        assert result.failures == []
+
+    def test_adaptive_player_survives_failures(self, content, hsub_combos):
+        config = SessionConfig(failure_model=FailureModel(0.15, seed=3))
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(1200.0)), config)
+        assert result.completed
+        assert set(result.combination_names()) <= set(hsub_combos.names)
+
+    def test_failure_backs_off_working_point(self, content, hsub_combos):
+        """Failures above the bottom rung step the working point down
+        for subsequent positions, without breaking pairing conformance."""
+        config = SessionConfig(failure_model=FailureModel(0.3, seed=21))
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(1500.0)), config)
+        assert result.completed
+        assert player.failure_downshifts >= 1
+        # Conformance survives every retry decision.
+        assert set(result.combination_names()) <= set(hsub_combos.names)
+
+    def test_failure_reaction_lowers_quality_vs_clean_run(self, content, hsub_combos):
+        clean = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(constant(1500.0))
+        )
+        flaky = simulate(
+            content,
+            RecommendedPlayer(hsub_combos),
+            shared(constant(1500.0)),
+            SessionConfig(failure_model=FailureModel(0.3, seed=21)),
+        )
+        assert flaky.time_weighted_bitrate_kbps(V) <= (
+            clean.time_weighted_bitrate_kbps(V) + 1e-6
+        )
+
+    def test_failed_attempts_do_not_feed_estimators(self, content, hsub_combos):
+        """Only completed transfers reach on_chunk_complete, so a killed
+        request cannot poison the bandwidth estimate."""
+        config = SessionConfig(failure_model=FailureModel(0.3, seed=5))
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(1200.0)), config)
+        estimates = [e.kbps for e in result.estimate_timeline]
+        assert estimates and max(estimates) < 1500.0

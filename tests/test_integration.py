@@ -1,0 +1,144 @@
+"""Cross-module integration: the full manifest-to-playback pipeline."""
+
+import pytest
+
+from repro.core.combinations import hsub_combinations
+from repro.core.player import RecommendedPlayer
+from repro.manifest.dash import parse_mpd, write_mpd
+from repro.manifest.hls import parse_master_playlist, write_master_playlist
+from repro.manifest.packager import package_dash, package_hls
+from repro.media.content import drama_show
+from repro.media.tracks import MediaType
+from repro.net.link import SeparatePaths, shared
+from repro.net.traces import constant, random_walk
+from repro.players.dashjs import DashJsPlayer
+from repro.players.exoplayer import ExoPlayerDash, ExoPlayerHls
+from repro.players.shaka import ShakaPlayer
+from repro.qoe.metrics import compute_qoe
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+
+class TestSerializedManifestPipeline:
+    """Players built from *serialized-then-reparsed* manifests behave
+    identically — i.e. the wire format carries everything the models use."""
+
+    def test_exoplayer_dash_through_xml(self, content, dash_manifest):
+        reparsed = parse_mpd(write_mpd(dash_manifest))
+        original = ExoPlayerDash(dash_manifest)
+        from_xml = ExoPlayerDash(reparsed)
+        assert original.combination_names == from_xml.combination_names
+
+    def test_exoplayer_hls_through_m3u8(self, content, hls_sub):
+        text = write_master_playlist(hls_sub.master)
+        reparsed = parse_master_playlist(text)
+        original = ExoPlayerHls(hls_sub.master)
+        from_text = ExoPlayerHls(reparsed)
+        assert original.fixed_audio_id == from_text.fixed_audio_id
+        assert original.video_rungs == from_text.video_rungs
+
+    def test_shaka_through_m3u8(self, content, hls_all):
+        reparsed = parse_master_playlist(write_master_playlist(hls_all.master))
+        original = ShakaPlayer.from_hls(hls_all.master)
+        from_text = ShakaPlayer.from_hls(reparsed)
+        assert [v.name for v in original.variants] == [
+            v.name for v in from_text.variants
+        ]
+
+    def test_full_pipeline_simulation(self, content):
+        """Package -> serialize -> parse -> play: end to end."""
+        text = write_master_playlist(
+            package_hls(content, combinations=hsub_combinations(content)).master
+        )
+        player = ExoPlayerHls(parse_master_playlist(text))
+        result = simulate(content, player, shared(constant(2000.0)))
+        assert result.completed
+
+
+class TestCrossPlayerComparisons:
+    def test_recommended_dominates_on_fig3_scenario(self, content):
+        from repro.experiments.traces import fig3_trace
+
+        hsub = hsub_combinations(content)
+        exo = ExoPlayerHls(
+            package_hls(
+                content, combinations=hsub, audio_order=["A3", "A2", "A1"]
+            ).master
+        )
+        exo_result = simulate(content, exo, shared(fig3_trace()))
+        rec_result = simulate(
+            content, RecommendedPlayer(hsub), shared(fig3_trace())
+        )
+        assert (
+            compute_qoe(rec_result, content).score
+            > compute_qoe(exo_result, content).score
+        )
+
+    def test_all_players_complete_on_generous_link(self, content, dash_manifest, hls_all):
+        players = [
+            ExoPlayerDash(dash_manifest),
+            ExoPlayerHls(hls_all.master),
+            ShakaPlayer.from_hls(hls_all.master),
+            DashJsPlayer(dash_manifest),
+            RecommendedPlayer(hsub_combinations(content)),
+        ]
+        for player in players:
+            result = simulate(content, player, shared(constant(8000.0)))
+            assert result.completed, player.name
+            assert result.n_stalls == 0, player.name
+
+    def test_all_players_survive_a_harsh_variable_link(self, content, dash_manifest, hls_all):
+        for make_player in (
+            lambda: ExoPlayerDash(dash_manifest),
+            lambda: ExoPlayerHls(hls_all.master),
+            lambda: ShakaPlayer.from_hls(hls_all.master),
+            lambda: DashJsPlayer(dash_manifest),
+            lambda: RecommendedPlayer(hsub_combinations(content)),
+        ):
+            trace = random_walk(500, seed=11, spread=0.9)
+            result = simulate(content, make_player(), shared(trace))
+            assert result.completed
+
+
+class TestSeparatePathTopology:
+    """Section 1: demuxed tracks 'may be located at different servers'."""
+
+    def test_recommended_on_split_paths(self, content):
+        network = SeparatePaths(
+            video_trace=constant(2000.0), audio_trace=constant(400.0)
+        )
+        player = RecommendedPlayer(hsub_combinations(content))
+        result = simulate(content, player, network)
+        assert result.completed
+        assert result.n_stalls == 0
+
+    def test_audio_path_bottleneck_stalls_despite_fast_video(self, content):
+        """The defining demuxed failure: a starved audio path stalls
+        playback no matter how fast video arrives."""
+        from repro.players.fixed import FixedTracksPlayer
+
+        network = SeparatePaths(
+            video_trace=constant(10_000.0), audio_trace=constant(100.0)
+        )
+        player = FixedTracksPlayer("V2", "A3", balanced=False)
+        result = simulate(content, player, network)
+        assert result.total_rebuffer_s > 0
+
+
+class TestSynthesisToQoEConsistency:
+    def test_bits_downloaded_match_chunk_table(self, content):
+        player = RecommendedPlayer(hsub_combinations(content))
+        result = simulate(content, player, shared(constant(900.0)))
+        for record in result.downloads:
+            expected = content.chunk(record.track_id, record.chunk_index).size_bits
+            assert record.size_bits == expected
+
+    def test_download_segments_sum_to_size(self, content):
+        player = RecommendedPlayer(hsub_combinations(content))
+        result = simulate(content, player, shared(constant(900.0)))
+        for record in result.downloads:
+            assert sum(s.bits for s in record.segments) == pytest.approx(
+                record.size_bits
+            )

@@ -1,0 +1,198 @@
+"""Multi-language audio catalogues and their HLS packaging."""
+
+import pytest
+
+from repro.core.combinations import hsub_combinations
+from repro.errors import MediaError
+from repro.manifest.hls import parse_master_playlist, write_master_playlist
+from repro.manifest.packager import package_hls_multilanguage
+from repro.manifest.validate import lint_hls_master
+from repro.media.languages import LanguageCatalog, language_track_id, make_catalog
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.server import CdnCache, OriginServer
+from repro.net.traces import constant
+from repro.sim.session import simulate
+
+LANGS = ("en", "es", "fr")
+
+
+@pytest.fixture(scope="module")
+def catalog(content):
+    return make_catalog(content, LANGS, default_lang="en")
+
+
+class TestCatalog:
+    def test_structure(self, catalog):
+        assert catalog.n_video_tracks == 6
+        assert catalog.n_audio_rungs == 3
+        assert catalog.n_languages == 3
+
+    def test_default_defaults_to_first(self, content):
+        assert make_catalog(content, ["es", "en"]).default_lang == "es"
+
+    def test_audio_track_ids(self, catalog):
+        ids = catalog.audio_track_ids()
+        assert len(ids) == 9
+        assert language_track_id("A2", "es") in ids
+
+    def test_empty_languages_rejected(self, content):
+        with pytest.raises(MediaError):
+            make_catalog(content, [])
+
+    def test_duplicate_languages_rejected(self, content):
+        with pytest.raises(MediaError):
+            make_catalog(content, ["en", "en"])
+
+    def test_unknown_default_rejected(self, content):
+        with pytest.raises(MediaError):
+            LanguageCatalog(base=content, languages=("en",), default_lang="de")
+
+    def test_unknown_language_lookup(self, catalog):
+        with pytest.raises(MediaError):
+            catalog.content_for("de")
+
+
+class TestPerLanguageContent:
+    def test_ladder_shape_preserved(self, catalog, content):
+        spanish = catalog.content_for("es")
+        assert [t.avg_kbps for t in spanish.audio] == [
+            t.avg_kbps for t in content.audio
+        ]
+        assert spanish.audio.track_ids == ("A1-es", "A2-es", "A3-es")
+
+    def test_video_shared_across_languages(self, catalog):
+        english = catalog.content_for("en")
+        spanish = catalog.content_for("es")
+        for track in english.video:
+            assert english.chunk_table.sizes(track.track_id) == (
+                spanish.chunk_table.sizes(track.track_id)
+            )
+
+    def test_audio_sizes_mirror_base(self, catalog, content):
+        english = catalog.content_for("en")
+        assert english.chunk_table.sizes("A2-en") == content.chunk_table.sizes("A2")
+
+    def test_playable(self, catalog):
+        from repro.core.combinations import curated_combinations
+        from repro.core.player import RecommendedPlayer
+
+        spanish = catalog.content_for("es")
+        combos = curated_combinations(spanish)
+        result = simulate(spanish, RecommendedPlayer(combos), shared(constant(900.0)))
+        assert result.completed
+        assert all(
+            audio_id.endswith("-es")
+            for _, _, audio_id in result.selected_combinations()
+        )
+
+
+class TestStorageAccounting:
+    def test_demuxed_scales_with_languages_only_in_audio(self, catalog, content):
+        single = make_catalog(content, ["en"])
+        delta = catalog.storage_bits_demuxed() - single.storage_bits_demuxed()
+        audio_bits = sum(
+            content.chunk_table.total_bits(t.track_id) for t in content.audio
+        )
+        assert delta == pytest.approx(2 * audio_bits)
+
+    def test_muxed_blowup_grows_with_languages(self, catalog, content):
+        single = make_catalog(content, ["en"])
+        assert catalog.storage_ratio() > single.storage_ratio()
+
+    def test_ratio_formula(self, catalog, content):
+        video_bits = sum(
+            content.chunk_table.total_bits(t.track_id) for t in content.video
+        )
+        audio_bits = sum(
+            content.chunk_table.total_bits(t.track_id) for t in content.audio
+        )
+        n, l_count, m = 3, 3, 6
+        expected = (video_bits * n * l_count + audio_bits * l_count * m) / (
+            video_bits + audio_bits * l_count
+        )
+        assert catalog.storage_ratio() == pytest.approx(expected)
+
+
+class TestMultiLanguagePackaging:
+    def test_group_per_rung(self, catalog):
+        package = package_hls_multilanguage(catalog)
+        groups = package.master.audio_group_ids
+        assert set(groups) == {"audio-A1", "audio-A2", "audio-A3"}
+
+    def test_every_group_has_every_language(self, catalog):
+        package = package_hls_multilanguage(catalog)
+        for group in package.master.audio_group_ids:
+            langs = {r.language for r in package.master.audio_renditions(group)}
+            assert langs == set(LANGS)
+
+    def test_default_language_marked(self, catalog):
+        package = package_hls_multilanguage(catalog)
+        defaults = [r for r in package.master.renditions if r.default]
+        assert defaults and all(r.language == "en" for r in defaults)
+
+    def test_variants_reference_rung_groups(self, catalog):
+        package = package_hls_multilanguage(
+            catalog, combinations=hsub_combinations(catalog.base)
+        )
+        for variant in package.master.variants:
+            assert variant.audio_group == f"audio-{variant.audio_id}"
+
+    def test_media_playlists_cover_all_language_tracks(self, catalog):
+        package = package_hls_multilanguage(catalog)
+        for audio_id in catalog.audio_track_ids():
+            assert audio_id in package.media_playlists
+        for track in catalog.base.video:
+            assert track.track_id in package.media_playlists
+
+    def test_language_roundtrips_through_m3u8(self, catalog):
+        package = package_hls_multilanguage(catalog)
+        parsed = parse_master_playlist(write_master_playlist(package.master))
+        langs = {r.language for r in parsed.renditions}
+        assert langs == set(LANGS)
+
+    def test_lints_clean_with_curation(self, catalog):
+        package = package_hls_multilanguage(
+            catalog, combinations=hsub_combinations(catalog.base)
+        )
+        assert lint_hls_master(package.master) == []
+
+
+class TestCdnWithLanguages:
+    def test_video_cache_reuse_across_languages(self, catalog):
+        """Viewers in different languages share cached video chunks —
+        the Section-1 CDN argument at its strongest."""
+        english = catalog.content_for("en")
+        spanish = catalog.content_for("es")
+        # One origin holding both languages' audio and the shared video.
+        merged_sizes = {
+            t: english.chunk_table.sizes(t) for t in english.chunk_table.track_ids
+        }
+        merged_sizes.update(
+            {
+                t: spanish.chunk_table.sizes(t)
+                for t in spanish.chunk_table.track_ids
+            }
+        )
+        from repro.media.chunks import ChunkTable
+        from repro.media.content import Content
+        from repro.media.tracks import make_ladder
+
+        audio_tracks = list(english.audio) + list(spanish.audio)
+        merged = Content(
+            name="multi",
+            video=english.video,
+            audio=make_ladder(MediaType.AUDIO, audio_tracks),
+            chunk_table=ChunkTable(english.chunk_duration_s, merged_sizes),
+        )
+        origin = OriginServer(merged)
+        cache = CdnCache(origin, capacity_bits=origin.storage_bits())
+        for index in range(merged.n_chunks):
+            cache.fetch_position("V4", "A2-en", index)
+        hits = 0.0
+        total = 0.0
+        for index in range(merged.n_chunks):
+            stats = cache.fetch_position("V4", "A2-es", index)
+            hits += stats["hit_bits"]
+            total += stats["bits"]
+        assert hits / total > 0.7  # the shared V4 bytes dominate

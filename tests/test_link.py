@@ -1,0 +1,72 @@
+"""Network path models."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.media.tracks import MediaType
+from repro.net.link import SeparatePaths, SharedBottleneck, shared
+from repro.net.traces import constant, from_pairs
+
+A = MediaType.AUDIO
+V = MediaType.VIDEO
+
+
+class TestSharedBottleneck:
+    def test_single_download_gets_full_rate(self):
+        link = shared(constant(1000))
+        assert link.rates({"v": V}, 0.0) == {"v": 1000}
+
+    def test_two_downloads_split_equally(self):
+        # The fair split that halves Shaka's per-stream samples (Fig. 4a).
+        link = shared(constant(1000))
+        rates = link.rates({"v": V, "a": A}, 0.0)
+        assert rates == {"v": 500, "a": 500}
+
+    def test_no_downloads(self):
+        assert shared(constant(1000)).rates({}, 0.0) == {}
+
+    def test_rate_follows_trace(self):
+        link = shared(from_pairs([(10, 100), (10, 900)]))
+        assert link.rates({"v": V}, 5.0)["v"] == 100
+        assert link.rates({"v": V}, 15.0)["v"] == 900
+
+    def test_next_change_delegates(self):
+        link = shared(from_pairs([(10, 100), (10, 900)]))
+        assert link.next_change_after(3) == 10
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(TraceError):
+            SharedBottleneck(constant(100), rtt_s=-0.1)
+
+    def test_rtt_stored(self):
+        assert shared(constant(100), rtt_s=0.05).rtt_s == 0.05
+
+
+class TestSeparatePaths:
+    def test_each_medium_gets_its_own_trace(self):
+        paths = SeparatePaths(video_trace=constant(2000), audio_trace=constant(300))
+        rates = paths.rates({"v": V, "a": A}, 0.0)
+        assert rates == {"v": 2000, "a": 300}
+
+    def test_concurrency_does_not_cross_media(self):
+        # Audio downloading never steals video-path bandwidth.
+        paths = SeparatePaths(video_trace=constant(2000), audio_trace=constant(300))
+        solo = paths.rates({"v": V}, 0.0)["v"]
+        both = paths.rates({"v": V, "a": A}, 0.0)["v"]
+        assert solo == both == 2000
+
+    def test_same_medium_shares_its_path(self):
+        paths = SeparatePaths(video_trace=constant(2000), audio_trace=constant(300))
+        rates = paths.rates({"v1": V, "v2": V}, 0.0)
+        assert rates == {"v1": 1000, "v2": 1000}
+
+    def test_next_change_is_min_over_paths(self):
+        paths = SeparatePaths(
+            video_trace=from_pairs([(10, 100), (10, 200)]),
+            audio_trace=from_pairs([(4, 50), (4, 80)]),
+        )
+        assert paths.next_change_after(0) == 4
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(TraceError):
+            SeparatePaths(constant(1), constant(1), rtt_s=-1)

@@ -1,0 +1,156 @@
+"""Live-mode sessions: chunk availability gating at the live edge."""
+
+import pytest
+
+from repro.core.combinations import hsub_combinations
+from repro.core.player import RecommendedPlayer
+from repro.errors import SimulationError
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant, from_pairs
+from repro.players.fixed import FixedTracksPlayer
+from repro.sim.session import Session, SessionConfig, simulate
+
+from tests.test_session import flat_content
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+
+class TestConfig:
+    def test_negative_offset_rejected(self):
+        with pytest.raises(SimulationError):
+            SessionConfig(live_offset_s=-1.0)
+
+    def test_vod_default(self):
+        assert SessionConfig().live_offset_s is None
+
+
+class TestAvailabilityGating:
+    def test_no_download_before_publication(self):
+        content = flat_content(n_chunks=6)
+        config = SessionConfig(live_offset_s=1.0)
+        result = simulate(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(10_000.0)), config
+        )
+        assert result.completed
+        for record in result.downloads:
+            published = record.chunk_index * content.chunk_duration_s + 1.0
+            assert record.started_at >= published - 1e-9
+
+    def test_buffers_bounded_by_live_edge(self):
+        content = flat_content(n_chunks=10)
+        config = SessionConfig(live_offset_s=0.5)
+        result = simulate(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(10_000.0)), config
+        )
+        # The client can never hold more content than has been published
+        # minus what it has played; with a fast link the buffer hovers
+        # near (offset + chunk) at most.
+        for sample in result.buffer_timeline:
+            assert sample.video_level_s <= content.chunk_duration_s + 0.5 + 1e-6
+
+    def test_vod_unaffected(self):
+        content = flat_content(n_chunks=6)
+        vod = simulate(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(10_000.0))
+        )
+        # VOD downloads everything far faster than real time.
+        assert vod.downloads[-1].completed_at < content.duration_s / 2
+
+    def test_live_session_tracks_wall_clock(self):
+        content = flat_content(n_chunks=8)
+        config = SessionConfig(live_offset_s=1.0)
+        result = simulate(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(10_000.0)), config
+        )
+        # The last chunk publishes at (n-1)*5+1 s; the session must end
+        # after that plus one chunk of playback.
+        assert result.ended_at_s >= (content.n_chunks - 1) * 5 + 1.0
+
+    def test_latency_is_startup_plus_stalls(self):
+        content = flat_content(n_chunks=8)
+        config = SessionConfig(live_offset_s=1.0)
+        result = simulate(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(10_000.0)), config
+        )
+        latency = result.ended_at_s - content.duration_s
+        assert latency == pytest.approx(
+            result.startup_delay_s + result.total_rebuffer_s, abs=1e-6
+        )
+
+
+class TestLiveWithAdaptivePlayers:
+    def test_recommended_player_live(self, content, hsub_combos):
+        config = SessionConfig(live_offset_s=2.0)
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(1500.0)), config)
+        assert result.completed
+        assert set(result.combination_names()) <= set(hsub_combos.names)
+
+    def test_shallow_buffers_keep_quality_conservative(self, content, hsub_combos):
+        """At the live edge the joint buffer can never reach the
+        up-switch threshold plus headroom that deep-VOD buffering
+        allows, so live selections sit at or below the VOD ones."""
+        vod = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(constant(1500.0))
+        )
+        live = simulate(
+            content,
+            RecommendedPlayer(hsub_combos),
+            shared(constant(1500.0)),
+            SessionConfig(live_offset_s=2.0),
+        )
+        assert live.time_weighted_bitrate_kbps(V) <= (
+            vod.time_weighted_bitrate_kbps(V) + 1e-6
+        )
+
+    def test_bandwidth_dip_at_live_edge_stalls(self, content, hsub_combos):
+        """Live cannot ride out dips on a deep buffer: a dip that VOD
+        absorbs silently stalls the live session."""
+        trace = from_pairs([(60, 1500.0), (20, 200.0), (600, 1500.0)], loop=False)
+        vod = simulate(content, RecommendedPlayer(hsub_combos), shared(trace))
+        live = simulate(
+            content,
+            RecommendedPlayer(hsub_combos),
+            shared(from_pairs([(60, 1500.0), (20, 200.0), (600, 1500.0)], loop=False)),
+            SessionConfig(live_offset_s=2.0),
+        )
+        assert vod.total_rebuffer_s == 0.0
+        assert live.total_rebuffer_s > 0.0
+
+
+class TestContextAccessors:
+    def test_live_edge_index_advances(self):
+        content = flat_content(n_chunks=6)
+        session = Session(
+            content,
+            FixedTracksPlayer("V1", "A1"),
+            shared(constant(10_000.0)),
+            SessionConfig(live_offset_s=1.0),
+        )
+        assert session.ctx.is_live
+        assert session.ctx.live_edge_index() == -1  # nothing published at t=0
+        session.now = 1.0
+        assert session.ctx.live_edge_index() == 0
+        session.now = 11.0
+        assert session.ctx.live_edge_index() == 2
+
+    def test_vod_edge_is_last_chunk(self):
+        content = flat_content(n_chunks=6)
+        session = Session(
+            content, FixedTracksPlayer("V1", "A1"), shared(constant(10_000.0))
+        )
+        assert not session.ctx.is_live
+        assert session.ctx.live_edge_index() == 5
+
+    def test_availability_times(self):
+        content = flat_content(n_chunks=4)
+        session = Session(
+            content,
+            FixedTracksPlayer("V1", "A1"),
+            shared(constant(1000.0)),
+            SessionConfig(live_offset_s=2.0),
+        )
+        assert session.chunk_available_at(0) == 2.0
+        assert session.chunk_available_at(3) == 17.0

@@ -1,0 +1,97 @@
+"""Mahimahi trace import/export."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.net.mahimahi import (
+    BITS_PER_PACKET,
+    load_mahimahi,
+    save_mahimahi,
+    trace_from_timestamps,
+)
+from repro.net.traces import constant, from_pairs
+
+
+class TestFromTimestamps:
+    def test_constant_rate(self):
+        # 100 packets/s = 1.2 Mbps.
+        timestamps = [i * 10 for i in range(300)]  # one every 10 ms for 3 s
+        trace = trace_from_timestamps(timestamps, window_s=1.0)
+        assert trace.bandwidth_at(0.5) == pytest.approx(1200.0)
+        assert trace.bandwidth_at(2.5) == pytest.approx(1200.0)
+
+    def test_varying_rate(self):
+        # 1 s dense, 1 s sparse.
+        timestamps = [i for i in range(0, 1000, 5)] + [1000 + i * 100 for i in range(10)]
+        trace = trace_from_timestamps(timestamps, window_s=1.0)
+        assert trace.bandwidth_at(0.5) > trace.bandwidth_at(1.5)
+
+    def test_outage_window_is_zero(self):
+        timestamps = [0, 10, 20, 2500]  # nothing in [1 s, 2 s)
+        trace = trace_from_timestamps(timestamps, window_s=1.0)
+        assert trace.bandwidth_at(1.5) == 0.0
+
+    def test_unsorted_input_ok(self):
+        a = trace_from_timestamps([30, 10, 20])
+        b = trace_from_timestamps([10, 20, 30])
+        assert a.to_pairs() == b.to_pairs()
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_timestamps([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_timestamps([-5, 10])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_timestamps([0], window_s=0)
+
+
+class TestFileRoundTrip:
+    def test_load(self, tmp_path):
+        path = tmp_path / "trace"
+        path.write_text("\n".join(str(i * 10) for i in range(200)) + "\n")
+        trace = load_mahimahi(str(path))
+        assert trace.bandwidth_at(0.5) == pytest.approx(1200.0)
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace"
+        path.write_text("# header\n\n0\n10\n20\n")
+        trace = load_mahimahi(str(path))
+        assert trace.period_s == 1.0
+
+    def test_load_bad_line(self, tmp_path):
+        path = tmp_path / "trace"
+        path.write_text("0\nabc\n")
+        with pytest.raises(TraceError):
+            load_mahimahi(str(path))
+
+    def test_save_load_roundtrip_preserves_rate(self, tmp_path):
+        original = constant(2400.0)  # 200 packets/s
+        path = tmp_path / "out"
+        save_mahimahi(original, str(path), duration_s=10.0)
+        loaded = load_mahimahi(str(path))
+        # Packet quantization allows ~1 packet/window error.
+        for t in (0.5, 4.5, 8.5):
+            assert loaded.bandwidth_at(t) == pytest.approx(2400.0, abs=BITS_PER_PACKET / 1000.0)
+
+    def test_save_load_piecewise(self, tmp_path):
+        original = from_pairs([(5, 600.0), (5, 3000.0)])
+        path = tmp_path / "out"
+        save_mahimahi(original, str(path), duration_s=10.0)
+        loaded = load_mahimahi(str(path))
+        assert loaded.bandwidth_at(2.0) < loaded.bandwidth_at(7.0)
+
+    def test_drives_a_session(self, tmp_path, content):
+        from repro.core.combinations import hsub_combinations
+        from repro.core.player import RecommendedPlayer
+        from repro.net.link import shared
+        from repro.sim.session import simulate
+
+        save_mahimahi(constant(1500.0), str(tmp_path / "t"), duration_s=30.0)
+        trace = load_mahimahi(str(tmp_path / "t"))
+        player = RecommendedPlayer(hsub_combinations(content))
+        result = simulate(content, player, shared(trace))
+        assert result.completed

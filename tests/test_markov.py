@@ -1,0 +1,93 @@
+"""Markov-modulated trace generation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.net.markov import MarkovState, hspa_preset, lte_preset, markov_trace
+
+
+def two_state(duration=100.0, seed=1, **kwargs):
+    states = [
+        MarkovState(kbps=1000, mean_holding_s=10.0),
+        MarkovState(kbps=200, mean_holding_s=5.0),
+    ]
+    transition = [[0.3, 0.7], [0.6, 0.4]]
+    return markov_trace(states, transition, duration, seed, **kwargs)
+
+
+class TestMarkovState:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(TraceError):
+            MarkovState(kbps=-1, mean_holding_s=5)
+
+    def test_nonpositive_holding_rejected(self):
+        with pytest.raises(TraceError):
+            MarkovState(kbps=100, mean_holding_s=0)
+
+
+class TestMarkovTrace:
+    def test_duration_covered(self):
+        trace = two_state(duration=100.0)
+        assert trace.period_s == pytest.approx(100.0)
+
+    def test_deterministic(self):
+        assert two_state(seed=5).to_pairs() == two_state(seed=5).to_pairs()
+
+    def test_seeds_differ(self):
+        assert two_state(seed=1).to_pairs() != two_state(seed=2).to_pairs()
+
+    def test_rates_near_state_rates(self):
+        trace = two_state(jitter=0.1)
+        for _, kbps in trace.to_pairs():
+            assert (
+                abs(kbps - 1000) <= 100 + 1e-9 or abs(kbps - 200) <= 20 + 1e-9
+            ), kbps
+
+    def test_zero_jitter_exact_rates(self):
+        trace = two_state(jitter=0.0)
+        assert {round(kbps) for _, kbps in trace.to_pairs()} <= {1000, 200}
+
+    def test_shape_validation(self):
+        states = [MarkovState(100, 5)]
+        with pytest.raises(TraceError):
+            markov_trace(states, [[0.5, 0.5]], 10, seed=1)
+
+    def test_row_sum_validation(self):
+        states = [MarkovState(100, 5), MarkovState(200, 5)]
+        with pytest.raises(TraceError):
+            markov_trace(states, [[0.5, 0.4], [0.5, 0.5]], 10, seed=1)
+
+    def test_negative_probability_rejected(self):
+        states = [MarkovState(100, 5), MarkovState(200, 5)]
+        with pytest.raises(TraceError):
+            markov_trace(states, [[1.5, -0.5], [0.5, 0.5]], 10, seed=1)
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(TraceError):
+            markov_trace([], [], 10, seed=1)
+
+    def test_jitter_range_validated(self):
+        with pytest.raises(TraceError):
+            two_state(jitter=1.0)
+
+
+class TestPresets:
+    def test_lte_reasonable_envelope(self):
+        trace = lte_preset(seed=3)
+        assert trace.period_s == pytest.approx(300.0)
+        assert 500 <= trace.average_kbps() <= 7000
+
+    def test_hspa_tighter_than_lte(self):
+        hspa = hspa_preset(seed=3)
+        lte = lte_preset(seed=3)
+        assert hspa.average_kbps() < lte.average_kbps()
+
+    def test_presets_drive_a_session(self, content):
+        from repro.core.combinations import hsub_combinations
+        from repro.core.player import RecommendedPlayer
+        from repro.net.link import shared
+        from repro.sim.session import simulate
+
+        player = RecommendedPlayer(hsub_combinations(content))
+        result = simulate(content, player, shared(hspa_preset(seed=9)))
+        assert result.completed

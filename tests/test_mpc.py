@@ -1,0 +1,103 @@
+"""MPC joint A/V adaptation."""
+
+import pytest
+
+from repro.core.combinations import hsub_combinations
+from repro.core.mpc import MpcConfig, MpcPlayer
+from repro.errors import PlayerError
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant, from_pairs
+from repro.qoe.metrics import compute_qoe
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = MpcConfig()
+        assert config.horizon == 3
+
+    def test_horizon_validated(self):
+        with pytest.raises(PlayerError):
+            MpcConfig(horizon=0)
+
+    def test_safety_validated(self):
+        with pytest.raises(PlayerError):
+            MpcConfig(safety_factor=1.5)
+
+    def test_max_step_validated(self):
+        with pytest.raises(PlayerError):
+            MpcConfig(max_step=0)
+
+
+class TestPlanning:
+    def test_plan_prefers_high_rung_with_deep_buffer_and_bandwidth(
+        self, content, hsub_combos
+    ):
+        player = MpcPlayer(hsub_combos)
+        first = player._plan(
+            start_rung=3, buffer_s=25.0, estimate_kbps=5000.0, chunk_s=5.0
+        )
+        assert first >= 3
+
+    def test_plan_avoids_rebuffering_rungs(self, content, hsub_combos):
+        player = MpcPlayer(hsub_combos)
+        first = player._plan(
+            start_rung=5, buffer_s=2.0, estimate_kbps=400.0, chunk_s=5.0
+        )
+        # Top rung (3112 kbps avg) at 400 kbps would stall badly.
+        assert first < 5
+
+    def test_plan_stays_put_when_nothing_better(self, content, hsub_combos):
+        player = MpcPlayer(hsub_combos)
+        first = player._plan(
+            start_rung=2, buffer_s=15.0, estimate_kbps=700.0, chunk_s=5.0
+        )
+        assert first in (1, 2, 3)
+
+
+class TestEndToEnd:
+    def test_completes_and_conforms(self, content, hsub_combos):
+        player = MpcPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(900.0)))
+        assert result.completed
+        assert set(result.combination_names()) <= set(hsub_combos.names)
+
+    def test_no_stalls_on_fixed_links(self, content, hsub_combos):
+        for kbps in (400.0, 900.0, 2500.0):
+            result = simulate(
+                content, MpcPlayer(hsub_combos), shared(constant(kbps))
+            )
+            assert result.n_stalls == 0, kbps
+
+    def test_balanced_buffers(self, content, hsub_combos):
+        result = simulate(
+            content, MpcPlayer(hsub_combos), shared(constant(900.0))
+        )
+        assert result.max_buffer_imbalance_s() <= content.chunk_duration_s + 1e-6
+
+    def test_adapts_audio_jointly(self, content, hsub_combos):
+        low = simulate(content, MpcPlayer(hsub_combos), shared(constant(400.0)))
+        high = simulate(content, MpcPlayer(hsub_combos), shared(constant(4000.0)))
+        assert high.time_weighted_bitrate_kbps(A) > low.time_weighted_bitrate_kbps(A)
+
+    def test_switch_penalty_dampens_oscillation(self, content, hsub_combos):
+        trace = from_pairs([(10, 800), (10, 1000)])
+        result = simulate(content, MpcPlayer(hsub_combos), shared(trace))
+        assert result.switch_count(V) + result.switch_count(A) <= 8
+
+    def test_competitive_qoe_vs_recommended(self, content, hsub_combos):
+        from repro.core.player import RecommendedPlayer
+
+        trace = from_pairs([(20, 1200), (20, 500), (20, 900)])
+        mpc_result = simulate(content, MpcPlayer(hsub_combos), shared(trace))
+        rec_result = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(trace)
+        )
+        mpc_qoe = compute_qoe(mpc_result, content).score
+        rec_qoe = compute_qoe(rec_result, content).score
+        # MPC should be in the same league (>= 80% of the heuristic).
+        assert mpc_qoe >= rec_qoe * 0.8

@@ -1,0 +1,101 @@
+"""Muxed-delivery modelling."""
+
+import pytest
+
+from repro.core.combinations import all_combinations, hsub_combinations
+from repro.core.player import RecommendedPlayer
+from repro.errors import MediaError
+from repro.media.muxed import (
+    MUX_MARKER_ID,
+    demux_ids,
+    muxed_content,
+    muxed_track_id,
+)
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+
+
+class TestIds:
+    def test_roundtrip(self):
+        assert demux_ids(muxed_track_id("V3", "A2")) == ("V3", "A2")
+
+    def test_bad_id_rejected(self):
+        with pytest.raises(MediaError):
+            demux_ids("V3")
+
+
+class TestMuxedContent:
+    def test_variant_ladder(self, content, hsub_combos):
+        muxed = muxed_content(content, combinations=hsub_combos)
+        assert len(muxed.video) == 6
+        assert muxed.video.track_ids == tuple(
+            name for name in hsub_combos.names
+        )
+
+    def test_marker_audio(self, content, hsub_combos):
+        muxed = muxed_content(content, combinations=hsub_combos)
+        assert muxed.audio.track_ids == (MUX_MARKER_ID,)
+        marker_bits = muxed.chunk_table.total_bits(MUX_MARKER_ID)
+        video_bits = muxed.chunk_table.total_bits("V1+A1")
+        assert marker_bits < video_bits / 1000.0
+
+    def test_chunk_sizes_are_sums(self, content, hsub_combos):
+        muxed = muxed_content(content, combinations=hsub_combos)
+        for index in range(content.n_chunks):
+            combined = muxed.chunk("V3+A2", index).size_bits
+            expected = (
+                content.chunk("V3", index).size_bits
+                + content.chunk("A2", index).size_bits
+            )
+            assert combined == pytest.approx(expected)
+
+    def test_variant_bitrates_are_aggregates(self, content, hsub_combos):
+        muxed = muxed_content(content, combinations=hsub_combos)
+        track = muxed.video.by_id("V4+A2")
+        combo = hsub_combos.by_name("V4+A2")
+        assert track.avg_kbps == combo.avg_kbps
+        assert track.peak_kbps == combo.peak_kbps
+        assert track.declared_kbps == combo.declared_kbps
+
+    def test_defaults_to_all_combinations(self, content):
+        muxed = muxed_content(content)
+        assert len(muxed.video) == 18
+
+
+class TestMuxedPlayback:
+    def test_streams_through_standard_simulator(self, content, hsub_combos):
+        muxed = muxed_content(content, combinations=hsub_combos)
+        player = RecommendedPlayer(all_combinations(muxed))
+        result = simulate(muxed, player, shared(constant(1000.0)))
+        assert result.completed
+        assert result.n_stalls == 0
+
+    def test_matches_demuxed_delivery(self, content, hsub_combos):
+        """Same logic, same link: the packaging must not change what is
+        delivered (the bytes are the same bytes)."""
+        demuxed_result = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(constant(1000.0))
+        )
+        muxed = muxed_content(content, combinations=hsub_combos)
+        muxed_result = simulate(
+            muxed,
+            RecommendedPlayer(all_combinations(muxed)),
+            shared(constant(1000.0)),
+        )
+        demuxed_total = demuxed_result.time_weighted_bitrate_kbps(
+            V
+        ) + demuxed_result.time_weighted_bitrate_kbps(MediaType.AUDIO)
+        muxed_total = muxed_result.time_weighted_bitrate_kbps(V)
+        assert muxed_total == pytest.approx(demuxed_total, rel=0.05)
+
+    def test_selection_pairs_recoverable(self, content, hsub_combos):
+        muxed = muxed_content(content, combinations=hsub_combos)
+        player = RecommendedPlayer(all_combinations(muxed))
+        result = simulate(muxed, player, shared(constant(1000.0)))
+        for _, track_id, _ in result.selected_combinations():
+            video_id, audio_id = demux_ids(track_id)
+            assert f"{video_id}+{audio_id}" in set(hsub_combos.names)

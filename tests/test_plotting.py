@@ -1,0 +1,75 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentReport
+from repro.experiments.plotting import ascii_chart, render_report_charts
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart([], label="x")
+
+    def test_label_included(self):
+        chart = ascii_chart([(0, 1), (1, 2)], label="estimate")
+        assert chart.splitlines()[0] == "estimate"
+
+    def test_min_max_labels(self):
+        chart = ascii_chart([(0, 100.0), (10, 900.0)])
+        assert "900" in chart
+        assert "100" in chart
+
+    def test_time_axis_labels(self):
+        chart = ascii_chart([(0, 1.0), (42, 2.0)])
+        assert "0s" in chart and "42s" in chart
+
+    def test_row_count(self):
+        chart = ascii_chart([(0, 1.0), (1, 2.0)], height=7, label="x")
+        body = [line for line in chart.splitlines() if "|" in line]
+        assert len(body) == 7
+
+    def test_column_width(self):
+        chart = ascii_chart([(0, 1.0), (1, 2.0)], width=20)
+        for line in chart.splitlines():
+            if line.endswith("|") and "|" in line[:-1]:
+                start = line.index("|")
+                assert len(line) - start - 2 == 20
+
+    def test_constant_series_renders(self):
+        chart = ascii_chart([(t, 500.0) for t in range(10)])
+        assert chart.count("*") > 0
+
+    def test_monotone_series_is_monotone_in_rows(self):
+        points = [(float(t), float(t)) for t in range(64)]
+        chart = ascii_chart(points, width=64, height=8)
+        rows = [line for line in chart.splitlines() if line.endswith("|")]
+        # Star columns must move left-to-right downward through rows
+        # reversed (rising series): first star in each row (bottom-up)
+        # should be at increasing columns top-down.
+        star_columns = []
+        for row in rows:
+            interior = row[row.index("|") + 1 : -1]
+            if "*" in interior:
+                star_columns.append(interior.index("*"))
+        assert star_columns == sorted(star_columns, reverse=True)
+
+    def test_size_validation(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart([(0, 1)], width=4)
+        with pytest.raises(ExperimentError):
+            ascii_chart([(0, 1)], height=2)
+
+
+class TestRenderReportCharts:
+    def test_no_series(self):
+        report = ExperimentReport(experiment_id="x", title="t")
+        assert render_report_charts(report) == "(no series to plot)"
+
+    def test_all_series_rendered(self):
+        report = ExperimentReport(experiment_id="x", title="t")
+        report.series["a"] = [(0, 1.0), (1, 2.0)]
+        report.series["b"] = [(0, 5.0), (1, 6.0)]
+        text = render_report_charts(report)
+        assert "a" in text and "b" in text
+        assert text.count("+--") == 2

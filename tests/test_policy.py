@@ -1,0 +1,88 @@
+"""Content policies and device profiles (Section 2.1's server-side knowledge)."""
+
+import pytest
+
+from repro.core.policy import (
+    ACTION_MOVIE,
+    DRAMA,
+    HOME_THEATER,
+    MOBILE_HANDSET,
+    MUSIC_SHOW,
+    ContentPolicy,
+    DeviceProfile,
+    policy_for,
+)
+from repro.errors import MediaError
+
+
+class TestDeviceProfile:
+    def test_home_theater_unrestricted(self, content):
+        assert len(HOME_THEATER.usable_video(content.video)) == 6
+        assert len(HOME_THEATER.usable_audio(content.audio)) == 3
+
+    def test_mobile_caps_resolution(self, content):
+        usable = MOBILE_HANDSET.usable_video(content.video)
+        assert [t.track_id for t in usable] == ["V1", "V2", "V3", "V4"]
+
+    def test_mobile_caps_channels(self, content):
+        usable = MOBILE_HANDSET.usable_audio(content.audio)
+        # A2/A3 are 6-channel; a stereo handset keeps only A1.
+        assert [t.track_id for t in usable] == ["A1"]
+
+    def test_overconstrained_falls_back_to_lowest(self, content):
+        tiny = DeviceProfile(name="tiny", max_video_height=100)
+        usable = tiny.usable_video(content.video)
+        assert [t.track_id for t in usable] == ["V1"]
+
+
+class TestContentPolicies:
+    def test_drama_matches_hsub(self, content, hsub_combos):
+        combos = DRAMA.curate(content)
+        assert combos.names == hsub_combos.names
+
+    def test_music_show_prefers_audio(self, content):
+        music = MUSIC_SHOW.curate(content)
+        drama = DRAMA.curate(content)
+        audio_rank = {tid: i for i, tid in enumerate(content.audio.track_ids)}
+        for music_combo, drama_combo in zip(music, drama):
+            if music_combo.video.track_id == drama_combo.video.track_id:
+                assert (
+                    audio_rank[music_combo.audio.track_id]
+                    >= audio_rank[drama_combo.audio.track_id]
+                )
+
+    def test_music_show_pairs_low_video_with_mid_audio(self, content):
+        combos = MUSIC_SHOW.curate(content)
+        lowest = min(combos, key=lambda c: c.video.declared_kbps)
+        assert lowest.audio.track_id != "A1"
+
+    def test_action_movie_prefers_video(self, content):
+        action = ACTION_MOVIE.curate(content)
+        # Highest video rung still gets top audio only if the bias allows;
+        # with -0.5 bias the mid rungs drop audio quality.
+        drama = DRAMA.curate(content)
+        audio_rank = {tid: i for i, tid in enumerate(content.audio.track_ids)}
+        assert sum(
+            audio_rank[c.audio.track_id] for c in action
+        ) < sum(audio_rank[c.audio.track_id] for c in drama)
+
+    def test_mobile_curation_restricted(self, content):
+        combos = DRAMA.curate(content, device=MOBILE_HANDSET)
+        for combo in combos:
+            assert combo.video.height <= 480
+            assert combo.audio.channels <= 2
+
+    def test_policy_lookup(self):
+        assert policy_for("music-show") is MUSIC_SHOW
+        assert policy_for("drama") is DRAMA
+        assert policy_for("action-movie") is ACTION_MOVIE
+
+    def test_unknown_policy(self):
+        with pytest.raises(MediaError):
+            policy_for("documentary")
+
+    def test_custom_policy(self, content):
+        custom = ContentPolicy(name="podcast", audio_bias=1.0)
+        combos = custom.curate(content)
+        # Full audio bias: everything pairs with the top audio track.
+        assert {c.audio.track_id for c in combos} == {"A3"}

@@ -1,0 +1,131 @@
+"""QoE metrics."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant
+from repro.players.fixed import FixedTracksPlayer
+from repro.qoe.metrics import (
+    QoEWeights,
+    combination_utility,
+    compute_qoe,
+    is_undesirable,
+    track_utility,
+)
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+
+class TestWeights:
+    def test_defaults_valid(self):
+        weights = QoEWeights()
+        assert weights.video_quality == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            QoEWeights(rebuffer_per_s=-1)
+
+
+class TestTrackUtility:
+    def test_lowest_rung_is_zero(self, content):
+        assert track_utility(content, V, "V1") == 0.0
+        assert track_utility(content, A, "A1") == 0.0
+
+    def test_log_scaling(self, content):
+        assert track_utility(content, V, "V6") == pytest.approx(
+            math.log(2728 / 111)
+        )
+
+    def test_monotone_in_ladder(self, content):
+        utilities = [track_utility(content, V, t.track_id) for t in content.video]
+        assert utilities == sorted(utilities)
+
+    def test_combination_utility_weighted_sum(self, content):
+        weights = QoEWeights(video_quality=1.0, audio_quality=0.5)
+        expected = track_utility(content, V, "V3") + 0.5 * track_utility(
+            content, A, "A2"
+        )
+        assert combination_utility(content, "V3", "A2", weights) == pytest.approx(
+            expected
+        )
+
+
+class TestUndesirable:
+    def test_extreme_mismatches_flagged(self, content):
+        assert is_undesirable(content, "V1", "A3")  # lowest video, highest audio
+        assert is_undesirable(content, "V6", "A1")  # highest video, lowest audio
+
+    def test_proportional_pairs_ok(self, content):
+        for video_id, audio_id in [
+            ("V1", "A1"),
+            ("V3", "A2"),
+            ("V6", "A3"),
+            ("V4", "A2"),
+        ]:
+            assert not is_undesirable(content, video_id, audio_id)
+
+    def test_v2_a3_is_undesirable(self, content):
+        """The specific pair Fig. 5 calls 'clearly undesirable'."""
+        assert is_undesirable(content, "V2", "A3")
+
+    def test_tolerance_widens_acceptance(self, content):
+        assert not is_undesirable(content, "V1", "A3", tolerance=1.0)
+
+
+class TestComputeQoE:
+    def _result(self, content, video_id="V3", audio_id="A2", kbps=2000.0):
+        player = FixedTracksPlayer(video_id, audio_id)
+        return simulate(content, player, shared(constant(kbps)))
+
+    def test_quality_accumulates_per_chunk(self, content):
+        result = self._result(content)
+        report = compute_qoe(result, content)
+        expected_video = content.n_chunks * track_utility(content, V, "V3")
+        assert report.video_quality == pytest.approx(expected_video)
+        assert report.chunks_scored == content.n_chunks
+
+    def test_no_switches_for_fixed_player(self, content):
+        report = compute_qoe(self._result(content), content)
+        assert report.switch_cost == 0.0
+        assert report.video_switches == 0
+
+    def test_rebuffer_penalty_reduces_score(self, content):
+        smooth = compute_qoe(self._result(content, kbps=2000.0), content)
+        starved = compute_qoe(self._result(content, kbps=400.0), content)
+        assert starved.rebuffer_s > 0
+        assert starved.score < smooth.score
+
+    def test_undesirable_chunks_counted(self, content):
+        result = self._result(content, video_id="V1", audio_id="A3")
+        report = compute_qoe(result, content)
+        assert report.undesirable_chunks == content.n_chunks
+
+    def test_higher_quality_higher_score(self, content):
+        low = compute_qoe(self._result(content, "V2", "A1"), content)
+        high = compute_qoe(self._result(content, "V5", "A3"), content)
+        assert high.score > low.score
+
+    def test_as_dict_round_numbers(self, content):
+        report = compute_qoe(self._result(content), content)
+        data = report.as_dict()
+        assert set(data) >= {"score", "quality", "rebuffer_s", "n_stalls"}
+
+    def test_startup_penalty_applied(self, content):
+        weights_with = QoEWeights(startup_per_s=1.0)
+        weights_without = QoEWeights(startup_per_s=0.0)
+        result = self._result(content)
+        with_penalty = compute_qoe(result, content, weights_with)
+        without_penalty = compute_qoe(result, content, weights_without)
+        assert with_penalty.score < without_penalty.score
+
+    def test_audio_weight_scales_audio_quality(self, content):
+        result = self._result(content, "V1", "A3")
+        heavy = compute_qoe(result, content, QoEWeights(audio_quality=1.0))
+        light = compute_qoe(result, content, QoEWeights(audio_quality=0.1))
+        assert heavy.quality > light.quality

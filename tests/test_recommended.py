@@ -1,0 +1,161 @@
+"""The best-practices player (Section 4.2 realized)."""
+
+import pytest
+
+from repro.core.combinations import all_combinations, hsub_combinations
+from repro.core.player import RecommendedPlayer
+from repro.errors import PlayerError
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant, from_pairs
+from repro.qoe.metrics import compute_qoe
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+
+class TestValidation:
+    def test_safety_factor(self, hsub_combos):
+        with pytest.raises(PlayerError):
+            RecommendedPlayer(hsub_combos, safety_factor=0)
+
+    def test_up_patience(self, hsub_combos):
+        with pytest.raises(PlayerError):
+            RecommendedPlayer(hsub_combos, up_patience=0)
+
+    def test_rate_key(self, hsub_combos):
+        with pytest.raises(PlayerError):
+            RecommendedPlayer(hsub_combos, rate_key="p99")
+
+
+class TestPracticeConformance:
+    def test_only_allowed_combinations(self, content, hsub_combos):
+        """Practice 2: never leave the server-allowed set."""
+        for kbps in (300.0, 700.0, 1500.0, 5000.0):
+            player = RecommendedPlayer(hsub_combos)
+            result = simulate(content, player, shared(constant(kbps)))
+            assert set(result.combination_names()) <= set(hsub_combos.names), kbps
+
+    def test_audio_adapts_with_bandwidth(self, content, hsub_combos):
+        """Practice 1: audio quality follows available bandwidth."""
+        low = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(constant(400.0))
+        )
+        high = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(constant(5000.0))
+        )
+        assert low.time_weighted_bitrate_kbps(A) < high.time_weighted_bitrate_kbps(A)
+        assert "A3" in high.track_usage(A)
+
+    def test_joint_positions_always_paired(self, content, hsub_combos):
+        """Practice 3: one joint decision per chunk position."""
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(900.0)))
+        for _, video_id, audio_id in result.selected_combinations():
+            assert f"{video_id}+{audio_id}" in set(hsub_combos.names)
+
+    def test_balanced_buffers(self, content, hsub_combos):
+        """Practice 4: frontier gap capped at one chunk."""
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(900.0)))
+        assert result.max_buffer_imbalance_s() <= content.chunk_duration_s + 1e-6
+
+    def test_cold_start_at_lowest(self, content, hsub_combos):
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(5000.0)))
+        assert result.combination_names()[0] == "V1+A1"
+
+
+class TestAdaptationQuality:
+    def test_steady_state_at_900(self, content, hsub_combos):
+        # Budget 0.85 x ~900 = 765 -> highest avg <= 765 is V3+A2 (558).
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(900.0)))
+        assert result.combination_names()[-1] == "V3+A2"
+
+    def test_no_stalls_on_steady_links(self, content, hsub_combos):
+        for kbps in (400.0, 700.0, 1200.0, 3000.0):
+            player = RecommendedPlayer(hsub_combos)
+            result = simulate(content, player, shared(constant(kbps)))
+            assert result.n_stalls == 0, kbps
+
+    def test_switch_damping_limits_changes(self, content, hsub_combos):
+        # A link oscillating around a rung boundary: damping holds the
+        # selection mostly steady.
+        trace = from_pairs([(10, 800), (10, 1000)])
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(trace))
+        assert result.switch_count(V) + result.switch_count(A) <= 6
+
+    def test_downswitch_on_bandwidth_drop(self, content, hsub_combos):
+        trace = from_pairs([(60, 2000.0), (300, 300.0)], loop=False)
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(trace))
+        names = result.combination_names()
+        assert names[-1] in ("V1+A1", "V2+A1")
+        # And the drop did not wreck playback.
+        assert result.total_rebuffer_s < 10.0
+
+    def test_estimates_logged(self, content, hsub_combos):
+        player = RecommendedPlayer(hsub_combos)
+        result = simulate(content, player, shared(constant(900.0)))
+        assert result.estimate_timeline
+        final = result.estimate_timeline[-1].kbps
+        assert final == pytest.approx(900.0, rel=0.1)
+
+
+class TestAblationFlags:
+    def test_unbalanced_mode_allows_drift(self, content, hsub_combos):
+        player = RecommendedPlayer(hsub_combos, balanced=False, buffer_target_s=30.0)
+        result = simulate(content, player, shared(constant(700.0)))
+        balanced = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(constant(700.0))
+        )
+        assert result.max_buffer_imbalance_s() > balanced.max_buffer_imbalance_s()
+
+    def test_split_meter_underestimates(self, content, hsub_combos):
+        split = RecommendedPlayer(hsub_combos, shared_meter=False)
+        split_result = simulate(content, split, shared(constant(1000.0)))
+        pooled = RecommendedPlayer(hsub_combos)
+        pooled_result = simulate(content, pooled, shared(constant(1000.0)))
+        assert pooled_result.time_weighted_bitrate_kbps(V) >= (
+            split_result.time_weighted_bitrate_kbps(V)
+        )
+
+    def test_all_combinations_mode_widens_choice(self, content):
+        player = RecommendedPlayer(all_combinations(content))
+        result = simulate(content, player, shared(constant(700.0)))
+        assert set(result.combination_names()) <= set(
+            all_combinations(content).names
+        )
+
+    def test_max_lead_chunks_honoured(self, content, hsub_combos):
+        player = RecommendedPlayer(hsub_combos, max_lead_chunks=3)
+        result = simulate(content, player, shared(constant(900.0)))
+        assert result.max_buffer_imbalance_s() <= 3 * content.chunk_duration_s + 1e-6
+
+    def test_rate_key_peak_is_more_conservative(self, content, hsub_combos):
+        avg_player = RecommendedPlayer(hsub_combos, rate_key="avg")
+        peak_player = RecommendedPlayer(hsub_combos, rate_key="peak")
+        avg_result = simulate(content, avg_player, shared(constant(900.0)))
+        peak_result = simulate(content, peak_player, shared(constant(900.0)))
+        assert peak_result.time_weighted_bitrate_kbps(V) <= (
+            avg_result.time_weighted_bitrate_kbps(V)
+        )
+
+
+class TestQoEDominance:
+    def test_beats_fixed_worst_case_pairing(self, content, hsub_combos):
+        from repro.players.fixed import FixedTracksPlayer
+
+        recommended = simulate(
+            content, RecommendedPlayer(hsub_combos), shared(constant(700.0))
+        )
+        fixed = simulate(
+            content, FixedTracksPlayer("V1", "A3"), shared(constant(700.0))
+        )
+        assert (
+            compute_qoe(recommended, content).score
+            > compute_qoe(fixed, content).score
+        )

@@ -1,0 +1,88 @@
+"""Markdown/JSON report persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.reporting import (
+    report_to_dict,
+    report_to_markdown,
+    write_reports,
+)
+
+
+def sample_report(passed=True):
+    report = ExperimentReport(
+        experiment_id="demo",
+        title="Demo experiment",
+        params={"kbps": 700},
+        paper_claim="something holds",
+        header=("a", "b"),
+        rows=[(1, 2), (3, 4)],
+    )
+    report.series["estimate"] = [(0.0, 500.0), (10.0, 900.0)]
+    report.timelines["combo"] = [(0.0, "V1+A1"), (5.0, "V2+A1")]
+    report.note("a note")
+    report.check("always", passed)
+    return report
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = report_to_markdown(sample_report())
+        assert text.startswith("# demo: Demo experiment")
+        assert "> **Paper:** something holds" in text
+        assert "| a | b |" in text
+        assert "| 1 | 2 |" in text
+        assert "✅ always" in text
+        assert "**Verdict: REPRODUCED**" in text
+        assert "```" in text  # charts fenced
+
+    def test_failed_verdict(self):
+        text = report_to_markdown(sample_report(passed=False))
+        assert "❌" in text
+        assert "MISMATCH" in text
+
+    def test_charts_optional(self):
+        text = report_to_markdown(sample_report(), include_charts=False)
+        assert "```" not in text
+
+    def test_timeline_compaction(self):
+        text = report_to_markdown(sample_report())
+        assert "V1+A1@0s → V2+A1@5s" in text
+
+
+class TestJson:
+    def test_roundtrips_through_json(self):
+        data = report_to_dict(sample_report())
+        encoded = json.dumps(data)
+        decoded = json.loads(encoded)
+        assert decoded["experiment_id"] == "demo"
+        assert decoded["passed"] is True
+        assert decoded["rows"] == [[1, 2], [3, 4]]
+        assert decoded["series"]["estimate"] == [[0.0, 500.0], [10.0, 900.0]]
+
+    def test_checks_serialized(self):
+        data = report_to_dict(sample_report(passed=False))
+        assert data["checks"][0]["passed"] is False
+
+
+class TestWriteReports:
+    def test_writes_all_artifacts(self, tmp_path):
+        outcomes = write_reports(str(tmp_path), names=["table1", "table3"])
+        assert outcomes == {"table1": True, "table3": True}
+        assert (tmp_path / "table1.md").exists()
+        assert (tmp_path / "table3.md").exists()
+        assert (tmp_path / "summary.json").exists()
+        index = (tmp_path / "README.md").read_text()
+        assert "table1" in index and "REPRODUCED" in index
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert summary["all_passed"] is True
+        assert len(summary["experiments"]) == 2
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "out"
+        write_reports(str(target), names=["table1"])
+        assert target.exists()

@@ -1,0 +1,145 @@
+"""Origin server and CDN cache models."""
+
+import pytest
+
+from repro.errors import MediaError
+from repro.media.content import synthetic_content
+from repro.net.server import CdnCache, ChunkKey, OriginServer
+
+
+@pytest.fixture()
+def small_content():
+    return synthetic_content("tiny", [100, 200], [48, 96], n_chunks=4)
+
+
+class TestOriginServer:
+    def test_demuxed_storage(self, small_content):
+        origin = OriginServer(small_content)
+        assert origin.storage_bits() == pytest.approx(
+            small_content.storage_bits_demuxed()
+        )
+
+    def test_muxed_storage(self, small_content):
+        origin = OriginServer(small_content, muxed=True)
+        assert origin.storage_bits() == pytest.approx(
+            small_content.storage_bits_muxed()
+        )
+
+    def test_demuxed_keys_are_per_track(self, small_content):
+        origin = OriginServer(small_content)
+        keys = origin.chunk_key("V1", "A1", 0)
+        assert len(keys) == 2
+        assert {k.track_ids for k in keys} == {("V1",), ("A1",)}
+
+    def test_muxed_key_is_combined(self, small_content):
+        origin = OriginServer(small_content, muxed=True)
+        keys = origin.chunk_key("V1", "A1", 0)
+        assert len(keys) == 1
+        assert keys[0].track_ids == ("V1", "A1")
+
+    def test_muxed_requires_both_tracks(self, small_content):
+        origin = OriginServer(small_content, muxed=True)
+        with pytest.raises(MediaError):
+            origin.chunk_key("V1", None, 0)
+
+    def test_demuxed_single_medium_fetch(self, small_content):
+        origin = OriginServer(small_content)
+        keys = origin.chunk_key("V1", None, 0)
+        assert len(keys) == 1
+
+    def test_fetch_needs_some_track(self, small_content):
+        origin = OriginServer(small_content)
+        with pytest.raises(MediaError):
+            origin.chunk_key(None, None, 0)
+
+    def test_muxed_size_is_sum(self, small_content):
+        origin = OriginServer(small_content, muxed=True)
+        key = origin.chunk_key("V1", "A1", 0)[0]
+        expected = (
+            small_content.chunk("V1", 0).size_bits
+            + small_content.chunk("A1", 0).size_bits
+        )
+        assert origin.size_bits(key) == pytest.approx(expected)
+
+    def test_serve_accounts_bytes(self, small_content):
+        origin = OriginServer(small_content)
+        key = origin.chunk_key("V1", None, 0)[0]
+        size = origin.serve(key)
+        assert origin.stats.requests == 1
+        assert origin.stats.bits_served == size
+
+
+class TestCdnCache:
+    def test_second_fetch_hits(self, small_content):
+        cache = CdnCache(OriginServer(small_content), capacity_bits=1e12)
+        key = ChunkKey("tiny", ("V1",), 0)
+        _, first = cache.fetch(key)
+        _, second = cache.fetch(key)
+        assert (first, second) == (False, True)
+        assert cache.stats.hits == 1
+        assert cache.stats.requests == 2
+
+    def test_lru_eviction(self, small_content):
+        origin = OriginServer(small_content)
+        chunk0 = origin.size_bits(ChunkKey("tiny", ("V1",), 0))
+        chunk1 = origin.size_bits(ChunkKey("tiny", ("V1",), 1))
+        # Capacity for roughly one chunk: the second insert evicts the first.
+        cache = CdnCache(origin, capacity_bits=max(chunk0, chunk1) * 1.2)
+        cache.fetch(ChunkKey("tiny", ("V1",), 0))
+        cache.fetch(ChunkKey("tiny", ("V1",), 1))
+        _, hit = cache.fetch(ChunkKey("tiny", ("V1",), 0))
+        assert not hit  # was evicted
+
+    def test_lru_order_refreshed_on_hit(self, small_content):
+        origin = OriginServer(small_content)
+        sizes = [origin.size_bits(ChunkKey("tiny", ("A1",), i)) for i in range(3)]
+        cache = CdnCache(origin, capacity_bits=sum(sizes[:2]) * 1.01)
+        cache.fetch(ChunkKey("tiny", ("A1",), 0))
+        cache.fetch(ChunkKey("tiny", ("A1",), 1))
+        cache.fetch(ChunkKey("tiny", ("A1",), 0))  # refresh 0
+        cache.fetch(ChunkKey("tiny", ("A1",), 2))  # evicts 1, not 0
+        _, hit0 = cache.fetch(ChunkKey("tiny", ("A1",), 0))
+        assert hit0
+
+    def test_oversized_object_bypasses_cache(self, small_content):
+        origin = OriginServer(small_content)
+        key = ChunkKey("tiny", ("V2",), 0)
+        cache = CdnCache(origin, capacity_bits=origin.size_bits(key) / 2)
+        cache.fetch(key)
+        assert cache.used_bits == 0
+
+    def test_capacity_must_be_positive(self, small_content):
+        with pytest.raises(MediaError):
+            CdnCache(OriginServer(small_content), capacity_bits=0)
+
+    def test_demuxed_cross_user_video_reuse(self, small_content):
+        """The Section-1 CDN argument, end-to-end."""
+        origin = OriginServer(small_content)
+        cache = CdnCache(origin, capacity_bits=1e12)
+        for index in range(small_content.n_chunks):
+            cache.fetch_position("V2", "A2", index)  # user A
+        stats = [
+            cache.fetch_position("V2", "A1", index)  # user B, new audio
+            for index in range(small_content.n_chunks)
+        ]
+        # All video bytes hit; only audio comes from origin.
+        for s in stats:
+            assert s["hit_bits"] > 0
+            assert s["origin_bits"] > 0
+            assert s["hit_bits"] + s["origin_bits"] == pytest.approx(s["bits"])
+        video_bits = sum(
+            small_content.chunk("V2", i).size_bits
+            for i in range(small_content.n_chunks)
+        )
+        assert sum(s["hit_bits"] for s in stats) == pytest.approx(video_bits)
+
+    def test_muxed_cross_user_no_reuse(self, small_content):
+        origin = OriginServer(small_content, muxed=True)
+        cache = CdnCache(origin, capacity_bits=1e12)
+        for index in range(small_content.n_chunks):
+            cache.fetch_position("V2", "A2", index)
+        stats = [
+            cache.fetch_position("V2", "A1", index)
+            for index in range(small_content.n_chunks)
+        ]
+        assert all(s["hit_bits"] == 0 for s in stats)

@@ -1,0 +1,127 @@
+"""Property-based session invariants across random scenarios.
+
+Whatever the trace and whoever the player, a completed session must
+conserve time, download every chunk exactly once, keep buffers sane and
+produce scoreable results. These are the invariants every experiment
+implicitly leans on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bola_joint import JointBolaPlayer
+from repro.core.combinations import curated_combinations
+from repro.core.mpc import MpcPlayer
+from repro.core.player import RecommendedPlayer
+from repro.manifest.packager import package_dash, package_hls
+from repro.media.content import synthetic_content
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import from_pairs
+from repro.players.dashjs import DashJsPlayer
+from repro.players.exoplayer import ExoPlayerDash
+from repro.players.fixed import FixedTracksPlayer
+from repro.players.shaka import ShakaPlayer
+from repro.qoe.metrics import compute_qoe
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+#: Small but non-trivial content: 3 video rungs, 2 audio rungs, 1 minute.
+CONTENT = synthetic_content(
+    "prop", [150, 400, 1000], [64, 192], n_chunks=12, seed=13
+)
+
+PLAYER_FACTORIES = [
+    lambda: FixedTracksPlayer("V1", "A1"),
+    lambda: FixedTracksPlayer("V3", "A2", balanced=False),
+    lambda: RecommendedPlayer(curated_combinations(CONTENT)),
+    lambda: JointBolaPlayer(curated_combinations(CONTENT)),
+    lambda: MpcPlayer(curated_combinations(CONTENT)),
+    lambda: ExoPlayerDash(package_dash(CONTENT)),
+    lambda: ShakaPlayer.from_hls(package_hls(CONTENT).master),
+    lambda: DashJsPlayer(package_dash(CONTENT)),
+]
+
+trace_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=2.0, max_value=40.0),
+        st.integers(min_value=150, max_value=6000),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=trace_strategy,
+    player_index=st.integers(min_value=0, max_value=len(PLAYER_FACTORIES) - 1),
+    rtt_ms=st.sampled_from([0, 30]),
+)
+def test_session_invariants(pairs, player_index, rtt_ms):
+    trace = from_pairs([(d, float(k)) for d, k in pairs])
+    player = PLAYER_FACTORIES[player_index]()
+    result = simulate(CONTENT, player, shared(trace, rtt_s=rtt_ms / 1000.0))
+
+    # 1. Completion (the link never drops below 150 kbps, so the
+    # session always finishes well inside the default time cap).
+    assert result.completed
+
+    # 2. Time conservation: wall time = startup + content + rebuffering.
+    assert result.ended_at_s == pytest.approx(
+        result.startup_delay_s + CONTENT.duration_s + result.total_rebuffer_s,
+        abs=1e-6,
+    )
+
+    # 3. Every chunk of both media downloaded exactly once, in order.
+    for medium in (V, A):
+        indices = [r.chunk_index for r in result.downloads_of(medium)]
+        assert indices == list(range(CONTENT.n_chunks))
+
+    # 4. Downloaded bytes match the chunk table; segments sum to size.
+    for record in result.downloads:
+        expected = CONTENT.chunk(record.track_id, record.chunk_index).size_bits
+        assert record.size_bits == expected
+        assert sum(s.bits for s in record.segments) == pytest.approx(expected)
+        assert record.completed_at >= record.started_at
+
+    # 5. Buffer samples are non-negative and time-ordered.
+    times = [s.t for s in result.buffer_timeline]
+    assert times == sorted(times)
+    for sample in result.buffer_timeline:
+        assert sample.video_level_s >= -1e-9
+        assert sample.audio_level_s >= -1e-9
+
+    # 6. Stalls are closed, disjoint, ordered and within the session.
+    for stall in result.stalls:
+        assert stall.end_s is not None
+        assert 0 <= stall.start_s <= stall.end_s <= result.ended_at_s + 1e-9
+    for first, second in zip(result.stalls, result.stalls[1:]):
+        assert second.start_s >= first.end_s - 1e-9
+
+    # 7. The QoE model can always score the session.
+    report = compute_qoe(result, CONTENT)
+    assert report.chunks_scored == CONTENT.n_chunks
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pairs=trace_strategy,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_sessions_are_deterministic(pairs, seed):
+    """Same inputs, same outputs — the simulator has no hidden state."""
+    trace = from_pairs([(d, float(k)) for d, k in pairs])
+
+    def run():
+        player = RecommendedPlayer(curated_combinations(CONTENT))
+        return simulate(CONTENT, player, shared(trace))
+
+    first, second = run(), run()
+    assert first.ended_at_s == second.ended_at_s
+    assert first.combination_names() == second.combination_names()
+    assert [s.t for s in first.buffer_timeline] == [
+        s.t for s in second.buffer_timeline
+    ]

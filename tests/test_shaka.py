@@ -1,0 +1,139 @@
+"""Shaka Player model (Section 3.3 behaviours)."""
+
+import pytest
+
+from repro.errors import PlayerError
+from repro.manifest.packager import package_dash, package_hls
+from repro.media.tracks import MediaType
+from repro.net.link import shared
+from repro.net.traces import constant
+from repro.players.shaka import (
+    ShakaPlayer,
+    VariantOption,
+    variants_from_dash,
+    variants_from_hls,
+)
+from repro.sim.session import simulate
+
+V = MediaType.VIDEO
+A = MediaType.AUDIO
+
+
+class TestVariantBuilding:
+    def test_from_hls_all(self, hls_all):
+        variants = variants_from_hls(hls_all.master)
+        assert len(variants) == 18
+        bandwidths = [v.bandwidth_kbps for v in variants]
+        assert bandwidths == sorted(bandwidths)
+
+    def test_from_dash_builds_cross_product(self, dash_manifest):
+        """"the player creates all the combinations of video and audio
+        tracks when parsing the DASH manifest file"."""
+        variants = variants_from_dash(dash_manifest)
+        assert len(variants) == 18
+        names = {v.name for v in variants}
+        assert "V1+A3" in names and "V6+A1" in names
+
+    def test_dash_aggregates_are_declared_sums(self, dash_manifest):
+        variants = {v.name: v for v in variants_from_dash(dash_manifest)}
+        assert variants["V3+A2"].bandwidth_kbps == pytest.approx(473 + 196)
+
+    def test_dash_ignores_allowed_combinations_extension(self, content, hsub_combos):
+        # Shaka models the *measured* behaviour: it does not honour the
+        # repro extension element.
+        manifest = package_dash(content, allowed_combinations=hsub_combos)
+        assert len(variants_from_dash(manifest)) == 18
+
+    def test_empty_variants_rejected(self):
+        with pytest.raises(PlayerError):
+            ShakaPlayer([])
+
+
+class TestSelectionRule:
+    def _player(self, hls_all):
+        return ShakaPlayer.from_hls(hls_all.master)
+
+    def test_highest_below_estimate(self, hls_all):
+        player = self._player(hls_all)
+        assert player.choose_variant(500.0).name == "V2+A2"
+
+    def test_default_estimate_selects_v2a2(self, hls_all):
+        """The Fig. 4(a) selection at the 500 kbps default."""
+        player = self._player(hls_all)
+        estimate = player.estimator.get_estimate_kbps()
+        assert estimate == 500.0
+        assert player.choose_variant(estimate).name == "V2+A2"
+
+    def test_nothing_fits_falls_back_to_lowest(self, hls_all):
+        player = self._player(hls_all)
+        assert player.choose_variant(100.0).name == "V1+A1"
+
+    def test_huge_estimate_selects_highest(self, hls_all):
+        player = self._player(hls_all)
+        assert player.choose_variant(10_000.0).name == "V6+A3"
+
+    def test_close_requirements_cause_fluctuation(self, hls_all):
+        """Five combinations inside 300-700 kbps (the Section 3.3 list)."""
+        player = self._player(hls_all)
+        picks = {player.choose_variant(float(e)).name for e in range(320, 701, 10)}
+        assert picks == {"V1+A2", "V2+A1", "V2+A2", "V1+A3", "V2+A3"}
+
+
+class TestEndToEnd:
+    def test_fig4a_pinned_estimate(self, content, hls_all):
+        player = ShakaPlayer.from_hls(hls_all.master)
+        result = simulate(content, player, shared(constant(1000.0)))
+        assert player.estimator.valid_samples == 0
+        estimates = {e.kbps for e in result.estimate_timeline}
+        assert estimates == {500.0}
+        assert result.combination_names()[-1] == "V2+A2"
+
+    def test_2mbps_link_recovers(self, content, hls_all):
+        # At 2 Mbps, even a half-share (1000 kbps) is borderline, but
+        # solo tails at 2 Mbps pass the filter and unpin the estimate.
+        player = ShakaPlayer.from_hls(hls_all.master)
+        result = simulate(content, player, shared(constant(2100.0)))
+        assert player.estimator.valid_samples > 0
+        assert max(e.kbps for e in result.estimate_timeline) > 500.0
+
+    def test_independent_streams_download_concurrently(self, content, hls_all):
+        # No chunk-level sync: audio and video requests overlap in time
+        # (which is what halves each stream's throughput samples).
+        player = ShakaPlayer.from_hls(hls_all.master)
+        result = simulate(content, player, shared(constant(1000.0)))
+        video = result.downloads_of(V)
+        audio = result.downloads_of(A)
+        overlaps = sum(
+            1
+            for video_dl, audio_dl in zip(video, audio)
+            if video_dl.started_at < audio_dl.completed_at
+            and audio_dl.started_at < video_dl.completed_at
+        )
+        assert overlaps >= len(video) // 2
+
+    def test_buffering_goal_respected(self, content, hls_all):
+        player = ShakaPlayer.from_hls(hls_all.master, buffering_goal_s=10.0)
+        result = simulate(content, player, shared(constant(3000.0)))
+        max_level = max(
+            max(s.video_level_s, s.audio_level_s) for s in result.buffer_timeline
+        )
+        assert max_level <= 10.0 + content.chunk_duration_s + 1e-6
+
+    def test_dash_same_mechanism_as_hls_hall(self, content, dash_manifest, hls_all):
+        """Section 3.3: under DASH, Shaka builds all combinations and
+        behaves "the same as that for HLS when using manifest file
+        H_all". The estimate is equally pinned at 500 kbps; the selected
+        combination is in both cases the highest one fitting 500 kbps —
+        under HLS's peak aggregates that is V2+A2 (460), while DASH's
+        declared-bitrate sums make it V1+A3 (495), a small but real
+        consequence of the two manifests declaring bandwidth
+        differently (Section 2.3)."""
+        hls_player = ShakaPlayer.from_hls(hls_all.master)
+        dash_player = ShakaPlayer.from_dash(dash_manifest)
+        hls_result = simulate(content, hls_player, shared(constant(1000.0)))
+        dash_result = simulate(content, dash_player, shared(constant(1000.0)))
+        assert {e.kbps for e in hls_result.estimate_timeline} == {500.0}
+        assert {e.kbps for e in dash_result.estimate_timeline} == {500.0}
+        assert hls_result.combination_names()[-1] == "V2+A2"
+        assert dash_result.combination_names()[-1] == "V1+A3"
+        assert dash_player.choose_variant(500.0).name == "V1+A3"

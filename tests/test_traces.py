@@ -1,0 +1,211 @@
+"""Bandwidth traces."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.net.traces import (
+    BandwidthTrace,
+    TraceSegment,
+    constant,
+    from_pairs,
+    load_trace,
+    random_walk,
+    save_trace,
+    square_wave,
+)
+
+
+class TestTraceSegment:
+    def test_valid(self):
+        assert TraceSegment(10, 500).kbps == 500
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(TraceError):
+            TraceSegment(0, 500)
+
+    def test_negative_bandwidth(self):
+        with pytest.raises(TraceError):
+            TraceSegment(10, -1)
+
+
+class TestConstant:
+    def test_bandwidth_everywhere(self):
+        trace = constant(700)
+        for t in (0, 0.5, 10, 1e6):
+            assert trace.bandwidth_at(t) == 700
+
+    def test_never_changes(self):
+        assert constant(700).next_change_after(3.7) == math.inf
+
+    def test_average(self):
+        assert constant(700).average_kbps() == 700
+        assert constant(700).average_kbps(42.5) == 700
+
+
+class TestPiecewise:
+    def _trace(self):
+        return from_pairs([(10, 100), (20, 400)])
+
+    def test_bandwidth_in_segments(self):
+        trace = self._trace()
+        assert trace.bandwidth_at(0) == 100
+        assert trace.bandwidth_at(9.999) == 100
+        assert trace.bandwidth_at(10.0) == 400
+        assert trace.bandwidth_at(29.9) == 400
+
+    def test_loops(self):
+        trace = self._trace()
+        assert trace.period_s == 30
+        assert trace.bandwidth_at(30.0) == 100
+        assert trace.bandwidth_at(40.0) == 400
+        assert trace.bandwidth_at(65.0) == 100  # 65 mod 30 = 5, first segment
+        assert trace.bandwidth_at(75.0) == 400  # 75 mod 30 = 15, second
+
+    def test_next_change(self):
+        trace = self._trace()
+        assert trace.next_change_after(0) == 10
+        assert trace.next_change_after(10) == 30
+        assert trace.next_change_after(9.999) == pytest.approx(10)
+        assert trace.next_change_after(31) == 40
+
+    def test_next_change_strictly_after(self):
+        trace = self._trace()
+        assert trace.next_change_after(30.0) == 40.0
+
+    def test_next_change_never_in_the_past_at_period_multiples(self):
+        """Regression: a query time a few ulps past a period multiple
+        used to return a boundary <= t, freezing the event-driven
+        simulator in zero-length steps (found by hypothesis)."""
+        trace = from_pairs([(2.00001, 2045.0), (9.027980598517289, 791.0)])
+        t = 3 * trace.period_s * (1 + 1e-16) + 1e-9
+        for query in (t, 33.08397179555186, trace.period_s * 7):
+            assert trace.next_change_after(query) > query
+
+    def test_average_over_period(self):
+        # (10*100 + 20*400) / 30 = 300
+        assert self._trace().average_kbps() == pytest.approx(300)
+
+    def test_average_over_partial_window(self):
+        assert self._trace().average_kbps(10) == pytest.approx(100)
+        assert self._trace().average_kbps(20) == pytest.approx(250)
+
+    def test_min_max(self):
+        trace = self._trace()
+        assert trace.min_kbps() == 100
+        assert trace.max_kbps() == 400
+
+    def test_non_looping_holds_last_rate(self):
+        trace = from_pairs([(10, 100), (20, 400)], loop=False)
+        assert trace.bandwidth_at(1000) == 400
+        assert trace.next_change_after(35) == math.inf
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            self._trace().bandwidth_at(-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            BandwidthTrace([])
+
+    def test_scaled(self):
+        scaled = self._trace().scaled(2.0)
+        assert scaled.bandwidth_at(0) == 200
+        assert scaled.average_kbps() == pytest.approx(600)
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(TraceError):
+            self._trace().scaled(0)
+
+    def test_to_pairs(self):
+        assert self._trace().to_pairs() == [(10, 100), (20, 400)]
+
+
+class TestSquareWave:
+    def test_alternation_and_average(self):
+        trace = square_wave(200, 800, half_period_s=5)
+        assert trace.bandwidth_at(0) == 200
+        assert trace.bandwidth_at(5) == 800
+        assert trace.average_kbps() == pytest.approx(500)
+
+
+class TestRandomWalk:
+    def test_mean_is_exact(self):
+        trace = random_walk(600, seed=1)
+        assert trace.average_kbps() == pytest.approx(600, rel=1e-9)
+
+    def test_deterministic(self):
+        assert random_walk(600, seed=2).to_pairs() == random_walk(600, seed=2).to_pairs()
+
+    def test_seeds_differ(self):
+        assert random_walk(600, seed=1).to_pairs() != random_walk(600, seed=2).to_pairs()
+
+    def test_floor_respected(self):
+        trace = random_walk(200, seed=3, spread=1.5, floor_kbps=50)
+        assert trace.min_kbps() >= 50
+
+    def test_needs_two_segments(self):
+        with pytest.raises(TraceError):
+            random_walk(600, seed=1, n_segments=1)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        trace = from_pairs([(10, 100.5), (20, 400.25)])
+        path = str(tmp_path / "trace.csv")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.to_pairs() == trace.to_pairs()
+
+    def test_load_bad_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("10,abc\n")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_load_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# only a comment\n")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+
+class TestTraceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100),
+                st.floats(min_value=0, max_value=1e5),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        t=st.floats(min_value=0, max_value=1e4),
+    )
+    def test_bandwidth_matches_some_segment(self, pairs, t):
+        trace = from_pairs(pairs)
+        rates = {kbps for _, kbps in pairs}
+        assert trace.bandwidth_at(t) in rates
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100),
+                st.floats(min_value=0, max_value=1e5),
+            ),
+            min_size=2,
+            max_size=8,
+        ),
+        t=st.floats(min_value=0, max_value=1e4),
+    )
+    def test_next_change_is_in_the_future_and_rate_constant_until(self, pairs, t):
+        trace = from_pairs(pairs)
+        boundary = trace.next_change_after(t)
+        assert boundary > t
+        if math.isfinite(boundary):
+            midpoint = (t + boundary) / 2
+            assert trace.bandwidth_at(midpoint) == trace.bandwidth_at(t)

@@ -1,0 +1,72 @@
+"""Unit conversion helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_kbps_to_bps(self):
+        assert units.kbps_to_bps(1.0) == 1000.0
+
+    def test_bps_to_kbps(self):
+        assert units.bps_to_kbps(1000.0) == 1.0
+
+    def test_bits_to_bytes(self):
+        assert units.bits_to_bytes(16.0) == 2.0
+
+    def test_bytes_to_bits(self):
+        assert units.bytes_to_bits(2.0) == 16.0
+
+    def test_bits_to_kilobytes(self):
+        assert units.bits_to_kilobytes(8192.0) == 1.0
+
+    def test_kilobytes_to_bits(self):
+        assert units.kilobytes_to_bits(16.0) == 131072.0
+
+    def test_shaka_filter_constant(self):
+        # The 16 KB sample filter, in bits, as used by the Shaka model.
+        assert units.kilobytes_to_bits(16) == 16 * 1024 * 8
+
+    @given(st.floats(min_value=0.001, max_value=1e9))
+    def test_kbps_roundtrip(self, kbps):
+        assert units.bps_to_kbps(units.kbps_to_bps(kbps)) == pytest.approx(kbps)
+
+    @given(st.floats(min_value=0.001, max_value=1e12))
+    def test_bytes_roundtrip(self, nbytes):
+        assert units.bits_to_bytes(units.bytes_to_bits(nbytes)) == pytest.approx(nbytes)
+
+
+class TestChunkBits:
+    def test_basic(self):
+        # 100 kbps for 5 s = 500,000 bits.
+        assert units.chunk_bits(100, 5) == 500_000.0
+
+    def test_zero_duration(self):
+        assert units.chunk_bits(100, 0) == 0.0
+
+    def test_negative_bitrate_rejected(self):
+        with pytest.raises(ValueError):
+            units.chunk_bits(-1, 5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            units.chunk_bits(100, -5)
+
+
+class TestBitrateOf:
+    def test_basic(self):
+        assert units.bitrate_of(500_000.0, 5.0) == 100.0
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            units.bitrate_of(1000.0, 0.0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=0.01, max_value=1e4),
+    )
+    def test_inverse_of_chunk_bits(self, kbps, duration):
+        bits = units.chunk_bits(kbps, duration)
+        assert units.bitrate_of(bits, duration) == pytest.approx(kbps)

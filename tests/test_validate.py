@@ -1,0 +1,154 @@
+"""Manifest linter (Section 4.1 as machine-checkable rules)."""
+
+import pytest
+
+from repro.core.combinations import hsub_combinations
+from repro.manifest.hls import HlsMasterPlaylist, HlsRendition, HlsVariant
+from repro.manifest.packager import package_dash, package_hls
+from repro.manifest.validate import (
+    Finding,
+    Severity,
+    lint_dash_manifest,
+    lint_hls_master,
+    lint_hls_package,
+    worst_severity,
+)
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestHlsLint:
+    def test_hall_flags_uncurated(self, hls_all):
+        assert "HLS-CURATED" in rules(lint_hls_package(hls_all))
+
+    def test_hsub_with_byteranges_is_clean(self, hls_sub):
+        assert lint_hls_package(hls_sub) == []
+
+    def test_chunk_files_without_tags_is_an_error(self, content):
+        package = package_hls(
+            content,
+            combinations=hsub_combinations(content),
+            single_file=False,
+            include_bitrate_tag=False,
+        )
+        findings = lint_hls_package(package)
+        assert "HLS-TRACK-BITRATES" in rules(findings)
+        assert worst_severity(findings) is Severity.ERROR
+
+    def test_chunk_files_with_tags_is_clean(self, content):
+        package = package_hls(
+            content,
+            combinations=hsub_combinations(content),
+            single_file=False,
+            include_bitrate_tag=True,
+        )
+        assert lint_hls_package(package) == []
+
+    def test_missing_average_bandwidth_flagged(self):
+        master = HlsMasterPlaylist(
+            variants=(
+                HlsVariant(
+                    bandwidth_bps=500_000,
+                    uri="V1_A1.m3u8",
+                    video_id="V1",
+                    audio_id="A1",
+                ),
+            ),
+            renditions=(HlsRendition(group_id="audio", name="A1", uri="A1.m3u8"),),
+        )
+        assert "HLS-AVERAGE-BANDWIDTH" in rules(lint_hls_master(master))
+
+    def test_bad_variant_order_flagged(self):
+        master = HlsMasterPlaylist(
+            variants=(
+                HlsVariant(
+                    bandwidth_bps=900_000,
+                    average_bandwidth_bps=700_000,
+                    uri="V1_A3.m3u8",
+                    video_id="V1",
+                    audio_id="A3",
+                ),
+                HlsVariant(
+                    bandwidth_bps=300_000,
+                    average_bandwidth_bps=250_000,
+                    uri="V1_A1.m3u8",
+                    video_id="V1",
+                    audio_id="A1",
+                ),
+            ),
+            renditions=(
+                HlsRendition(group_id="audio", name="A1", uri="A1.m3u8"),
+                HlsRendition(group_id="audio", name="A3", uri="A3.m3u8"),
+            ),
+        )
+        assert "HLS-VARIANT-ORDER" in rules(lint_hls_master(master))
+
+    def test_unreferenced_audio_is_an_error(self):
+        master = HlsMasterPlaylist(
+            variants=(
+                HlsVariant(
+                    bandwidth_bps=500_000,
+                    average_bandwidth_bps=400_000,
+                    uri="V1_A9.m3u8",
+                    video_id="V1",
+                    audio_id="A9",
+                ),
+            ),
+            renditions=(HlsRendition(group_id="audio", name="A1", uri="A1.m3u8"),),
+        )
+        findings = lint_hls_master(master)
+        assert "HLS-AUDIO-COVERAGE" in rules(findings)
+        assert worst_severity(findings) is Severity.ERROR
+
+    def test_packager_default_order_passes_variant_order_rule(self, hls_all):
+        assert "HLS-VARIANT-ORDER" not in rules(lint_hls_package(hls_all))
+
+
+class TestDashLint:
+    def test_plain_mpd_flags_missing_combinations(self, dash_manifest):
+        assert "DASH-COMBINATIONS" in rules(lint_dash_manifest(dash_manifest))
+
+    def test_extended_mpd_is_clean(self, content, hsub_combos):
+        manifest = package_dash(content, allowed_combinations=hsub_combos)
+        assert lint_dash_manifest(manifest) == []
+
+    def test_unsorted_bandwidths_flagged(self, content):
+        from repro.manifest.dash import (
+            DashAdaptationSet,
+            DashManifest,
+            DashRepresentation,
+        )
+
+        manifest = DashManifest(
+            duration_s=10,
+            adaptation_sets=(
+                DashAdaptationSet(
+                    content_type="video",
+                    representations=(
+                        DashRepresentation(rep_id="V2", bandwidth_bps=900),
+                        DashRepresentation(rep_id="V1", bandwidth_bps=100),
+                    ),
+                ),
+            ),
+            allowed_combinations=(("V1", "A1"),),
+        )
+        assert "DASH-BANDWIDTH-SANITY" in rules(lint_dash_manifest(manifest))
+
+
+class TestSeverity:
+    def test_worst_of_empty_is_none(self):
+        assert worst_severity([]) is None
+
+    def test_error_dominates(self):
+        findings = [
+            Finding("A", Severity.INFO, "x"),
+            Finding("B", Severity.ERROR, "y"),
+            Finding("C", Severity.WARNING, "z"),
+        ]
+        assert worst_severity(findings) is Severity.ERROR
+
+    def test_finding_str(self):
+        text = str(Finding("R", Severity.WARNING, "msg"))
+        assert "WARNING" in text and "R" in text and "msg" in text
