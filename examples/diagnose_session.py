@@ -13,9 +13,29 @@ from repro import drama_show, shared, simulate
 from repro.core import RecommendedPlayer, hsub_combinations
 from repro.experiments.traces import fig3_trace, fig4b_trace
 from repro.manifest import package_dash, package_hls
-from repro.net import constant
+from repro.net import ResilienceModel, RetryPolicy, constant
 from repro.players import DashJsPlayer, ExoPlayerHls, ShakaPlayer
 from repro.qoe import diagnose
+from repro.sim import SessionConfig
+
+
+def print_resilience_counters(result) -> None:
+    """Failure/retry/resume bookkeeping for one finished session."""
+    accounting = result.byte_accounting()
+    print(
+        f"  resilience: {len(result.failures)} failures "
+        f"({result.failures_by_kind() or 'none'}), "
+        f"{result.n_retries} retries, {len(result.skips)} skips"
+    )
+    print(
+        f"  bytes: served {accounting['bits_served'] / 1e6:.1f} Mb = "
+        f"played {accounting['bits_played'] / 1e6:.1f} + "
+        f"wasted {accounting['bits_wasted'] / 1e6:.1f} + "
+        f"resumed {accounting['bits_resumed'] / 1e6:.1f} "
+        f"(reconciles: {accounting['reconciles']})"
+    )
+    if result.termination_reason is not None:
+        print(f"  terminated early: {result.termination_reason}")
 
 
 def main() -> None:
@@ -62,6 +82,21 @@ def main() -> None:
         for finding in findings:
             print(f"  {finding}")
         print()
+
+    # The same methodology under CDN weather: inject a seeded failure
+    # taxonomy, retry with backoff and range-resume, and read off the
+    # failure/retry/resume counters next to the QoE diagnosis.
+    print("== best-practices player, 10% request failures, 900 kbps ==")
+    config = SessionConfig(
+        failure_model=ResilienceModel(0.10, seed=1),
+        retry_policy=RetryPolicy(),
+    )
+    result = simulate(
+        content, RecommendedPlayer(hsub), shared(constant(900.0)), config
+    )
+    for finding in diagnose(result, content) or ["clean: no known pathologies"]:
+        print(f"  {finding}")
+    print_resilience_counters(result)
 
 
 if __name__ == "__main__":

@@ -86,12 +86,31 @@ def cmd_run(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    from .net.resilience import ResilienceModel, RetryPolicy
     from .qoe.diagnosis import diagnose
     from .sim.session import SessionConfig
 
     content = drama_show()
     player = _build_player(args.player, content, args.combinations)
-    config = SessionConfig(live_offset_s=args.live_offset)
+    failure_model = None
+    retry_policy = None
+    if args.failure_p > 0:
+        failure_model = ResilienceModel(
+            args.failure_p,
+            seed=args.failure_seed,
+            resume_probability=args.resume_p,
+        )
+        retry_policy = RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_delay_s=args.retry_base_delay,
+            retry_budget=args.retry_budget,
+            request_timeout_s=args.request_timeout,
+        )
+    config = SessionConfig(
+        live_offset_s=args.live_offset,
+        failure_model=failure_model,
+        retry_policy=retry_policy,
+    )
     result = simulate(content, player, shared(constant(args.bandwidth)), config)
     summary = result.summary()
     qoe = compute_qoe(result, content)
@@ -257,6 +276,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="live mode: packaging delay in seconds (omit for VOD)",
+    )
+    sim_parser.add_argument(
+        "--failure-p",
+        type=float,
+        default=0.0,
+        help="per-request failure probability (0 disables injection)",
+    )
+    sim_parser.add_argument(
+        "--failure-seed", type=int, default=0, help="failure-model RNG seed"
+    )
+    sim_parser.add_argument(
+        "--resume-p",
+        type=float,
+        default=0.6,
+        help="fraction of byte-kind failures kept range-resumable",
+    )
+    sim_parser.add_argument(
+        "--max-attempts", type=int, default=4, help="tries per chunk request"
+    )
+    sim_parser.add_argument(
+        "--retry-base-delay",
+        type=float,
+        default=0.4,
+        help="backoff base delay in seconds",
+    )
+    sim_parser.add_argument(
+        "--retry-budget", type=int, default=64, help="retries per session"
+    )
+    sim_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=8.0,
+        help="per-request watchdog in seconds",
     )
     sim_parser.set_defaults(func=cmd_simulate)
 

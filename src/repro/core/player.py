@@ -25,10 +25,11 @@ benchmarks can turn each practice off and measure the regression.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..errors import PlayerError
 from ..media.tracks import MediaType
+from ..net.resilience import CircuitBreaker
 from ..players.base import BasePlayer
 from ..players.estimators import HarmonicMeanEstimator, SharedThroughputEstimator
 from ..sim.decisions import Decision, Download
@@ -85,6 +86,7 @@ class RecommendedPlayer(BasePlayer):
         initial_estimate_kbps: Optional[float] = None,
         abandonment: bool = False,
         abandon_grace_s: float = 0.5,
+        circuit_breaker: Optional[CircuitBreaker] = None,
     ):
         if not 0 < safety_factor <= 1:
             raise PlayerError(f"safety factor must be in (0,1], got {safety_factor}")
@@ -119,6 +121,14 @@ class RecommendedPlayer(BasePlayer):
         self._selection_for_position: Dict[int, Combination] = {}
         #: How many times a failure stepped the working point down.
         self.failure_downshifts = 0
+        #: Per-track breaker: a rung that keeps failing is temporarily
+        #: ejected from the allowed set (graceful degradation; selection
+        #: stays inside the curated combinations).
+        self._breaker = circuit_breaker or CircuitBreaker()
+        #: How many times the breaker ejected a track.
+        self.circuit_trips = 0
+        #: Latched once the retry budget forced the lowest-rung fallback.
+        self.emergency_engaged = False
 
     # -- estimation ----------------------------------------------------------
 
@@ -186,9 +196,45 @@ class RecommendedPlayer(BasePlayer):
         self._current_index = current
         return current
 
+    def _allowed_indices(self, ctx) -> List[int]:
+        """Combination indices whose tracks are not circuit-open.
+
+        The lowest rung is never ejected outright: when every curated
+        combination touches an open circuit, the cheapest one stays as
+        the last resort (ejecting everything would deadlock selection).
+        """
+        open_keys = self._breaker.open_keys(ctx.now)
+        if not open_keys:
+            return list(range(len(self.combinations)))
+        allowed = [
+            i
+            for i, combo in enumerate(self.combinations)
+            if combo.video.track_id not in open_keys
+            and combo.audio.track_id not in open_keys
+        ]
+        return allowed or [0]
+
+    def _degrade(self, index: int, ctx) -> int:
+        """Apply graceful degradation to a nominal selection index."""
+        policy = ctx.retry_policy
+        remaining = ctx.retry_budget_remaining()
+        if (
+            policy is not None
+            and remaining is not None
+            and remaining <= policy.emergency_threshold()
+        ):
+            # Budget nearly gone: stop gambling bytes on high rungs.
+            self.emergency_engaged = True
+            index = 0
+        allowed = self._allowed_indices(ctx)
+        if index in allowed:
+            return index
+        lower = [i for i in allowed if i < index]
+        return max(lower) if lower else min(allowed)
+
     def _selection_at(self, position: int, ctx) -> Combination:
         if position not in self._selection_for_position:
-            index = self._adapt(ctx, position)
+            index = self._degrade(self._adapt(ctx, position), ctx)
             self._selection_for_position[position] = self.combinations[index]
         return self._selection_for_position[position]
 
@@ -210,6 +256,51 @@ class RecommendedPlayer(BasePlayer):
 
     def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
         self._estimator.observe_download(record)
+        self._breaker.record_success(record.track_id)
+
+    def on_failure(self, medium: MediaType, failure, ctx) -> None:
+        """Classified-failure reaction: breaker bookkeeping + downshift.
+
+        Every failure counts against the failing track's circuit; a 404
+        counts double (the resource is *missing* — hammering it again is
+        strictly pointless, unlike a reset that may be transient). The
+        legacy downshift logic then runs, and if the breaker just
+        ejected the track this position had selected — and the pair is
+        not yet locked by the companion medium — the position is
+        re-pointed at the best still-allowed cheaper combination.
+        """
+        from .balancer import other_medium
+
+        weight = 2 if failure.kind == "http_404" else 1
+        if self._breaker.record_failure(failure.track_id, ctx.now, weight=weight):
+            self.circuit_trips += 1
+        self.on_download_failed(failure, ctx)
+        position = failure.chunk_index
+        current = self._selection_for_position.get(position)
+        if current is None:
+            return
+        open_keys = self._breaker.open_keys(ctx.now)
+        if (
+            current.video.track_id not in open_keys
+            and current.audio.track_id not in open_keys
+        ):
+            return
+        companion = other_medium(medium)
+        companion_inflight = ctx.in_flight(companion)
+        pair_locked = ctx.completed_chunks(companion) > position or (
+            companion_inflight is not None
+            and companion_inflight.chunk_index == position
+        )
+        if pair_locked:
+            return
+        rung = next(
+            (i for i, combo in enumerate(self.combinations) if combo is current),
+            0,
+        )
+        allowed = self._allowed_indices(ctx)
+        lower = [i for i in allowed if i < rung]
+        fallback = max(lower) if lower else min(allowed)
+        self._selection_for_position[position] = self.combinations[fallback]
 
     def on_download_failed(self, record, ctx) -> None:
         """React to a killed request: back off one rung for what follows.

@@ -2,6 +2,13 @@
 
 from .failures import FailureModel, NoFailures, RequestFailure
 from .link import NetworkModel, SeparatePaths, SharedBottleneck, shared
+from .resilience import (
+    DEFAULT_FAILURE_MIX,
+    CircuitBreaker,
+    FailureKind,
+    ResilienceModel,
+    RetryPolicy,
+)
 from .mahimahi import load_mahimahi, save_mahimahi, trace_from_timestamps
 from .markov import MarkovState, hspa_preset, lte_preset, markov_trace
 from .server import CdnCache, ChunkKey, OriginServer, TransferStats
@@ -20,7 +27,12 @@ __all__ = [
     "BandwidthTrace",
     "CdnCache",
     "ChunkKey",
+    "CircuitBreaker",
+    "DEFAULT_FAILURE_MIX",
+    "FailureKind",
     "FailureModel",
+    "ResilienceModel",
+    "RetryPolicy",
     "MarkovState",
     "NoFailures",
     "RequestFailure",

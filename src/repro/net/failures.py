@@ -3,29 +3,44 @@
 Real CDNs time out, reset connections and serve 5xxs; a player's
 QoE story is incomplete without them. A :class:`FailureModel` decides,
 per request, whether (and after what fraction of the transfer) the
-request dies. The simulator discards the partial data — HTTP
-range-resume is deliberately not assumed — frees the slot and asks the
-player again, so a failure is also an adaptation opportunity (players
-commonly re-request one rung lower).
+request dies. With the plain model the simulator discards the partial
+data, frees the slot and asks the player again, so a failure is also an
+adaptation opportunity (players commonly re-request one rung lower).
+The richer :class:`~repro.net.resilience.ResilienceModel` draws from a
+full failure taxonomy and marks failures range-resumable.
 
 Deterministic: failures are drawn from a seeded RNG keyed by request
-ordinals, so a given scenario replays identically.
+ordinals, so a given scenario replays identically. :meth:`reset`
+rewinds the verdict stream, so one model instance can be reused across
+the multi-seed loops of an experiment without leaking state between
+sessions.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..errors import TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .resilience import FailureKind
 
 
 @dataclass(frozen=True)
 class RequestFailure:
-    """Verdict for one request: fail after ``fraction`` of its bytes."""
+    """Verdict for one request: fail after ``fraction`` of its bytes.
+
+    ``kind`` classifies the failure (``None`` means the legacy anonymous
+    mid-transfer death, treated as a connection reset); ``resumable``
+    marks failures whose partial bytes an HTTP range request could pick
+    up again instead of re-fetching from byte zero.
+    """
 
     fraction: float  # in [0, 1): how much of the chunk arrives first
+    kind: Optional["FailureKind"] = None
+    resumable: bool = False
 
 
 class FailureModel:
@@ -51,10 +66,26 @@ class FailureModel:
             raise TraceError(f"max_fraction must be in (0,1], got {max_fraction}")
         self.failure_probability = failure_probability
         self.max_fraction = max_fraction
+        self._seed = seed
         self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        """Rewind the verdict stream to the first request.
+
+        Call between sessions when reusing one model instance, so each
+        session replays the identical seeded schedule instead of
+        silently continuing where the previous session left off.
+        """
+        self._rng = random.Random(self._seed)
 
     def next_request(self) -> Optional[RequestFailure]:
         """Verdict for the next request (``None`` = it succeeds)."""
+        # Null-object contract: a model that can never fail draws no RNG
+        # values, so FailureModel(0.0) and NoFailures produce the same
+        # (empty) verdict stream and identical RNG state — one cannot be
+        # swapped for the other mid-run with different side effects.
+        if self.failure_probability <= 0.0:
+            return None
         # Draw both values unconditionally so the stream of outcomes for
         # request N does not depend on earlier verdicts' branches.
         p = self._rng.random()
@@ -65,7 +96,7 @@ class FailureModel:
 
 
 class NoFailures(FailureModel):
-    """The default: requests always succeed."""
+    """The default: requests always succeed (a true null object)."""
 
     def __init__(self):
         super().__init__(failure_probability=0.0)

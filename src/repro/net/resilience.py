@@ -1,0 +1,311 @@
+"""Fault-tolerant fetch pipeline: taxonomy, retry policy, degradation.
+
+The paper's best practices assume requests complete; production
+streaming does not. Demuxed audio/video doubles the request streams a
+session exposes to CDN weather, and a failure mishandled on one medium
+breaks pairing conformance on both. This module provides the three
+building blocks the simulator's failure/recovery loop is made of:
+
+* :class:`FailureKind` / :class:`ResilienceModel` — a deterministic
+  failure **taxonomy** (timeouts, connection resets, HTTP 5xx/404s,
+  slow transfers) replacing the single anonymous mid-transfer death of
+  the plain :class:`~repro.net.failures.FailureModel`;
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter,
+  per-request attempt caps, a per-session retry *budget*, and
+  per-medium request timeouts (timeout expiry is a first-class event in
+  the session's closed-form event loop);
+* :class:`CircuitBreaker` — the graceful-degradation primitive: a
+  repeatedly failing rung is temporarily ejected from the allowed set,
+  so retries stop hammering a broken resource while selection stays
+  inside the curated combinations (Section 4.2 conformance survives).
+
+Everything is seeded or hashed (``zlib.crc32``, never built-in
+``hash``), so identical seeds replay identical failure and retry
+schedules across processes.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Mapping, Optional, Set
+
+from ..errors import TraceError
+from ..media.tracks import MediaType
+from .failures import FailureModel, RequestFailure
+
+
+class FailureKind(str, Enum):
+    """How a request dies. Each kind surfaces differently in the loop."""
+
+    #: The connection hangs: no payload bytes ever arrive; the failure
+    #: surfaces when the per-medium request timeout expires.
+    TIMEOUT = "timeout"
+    #: The transfer dies mid-flight after a fraction of the bytes — the
+    #: classic CDN reset. Partial bytes may be range-resumable.
+    CONNECTION_RESET = "connection_reset"
+    #: The origin/CDN answers with a 5xx at response time; no payload.
+    HTTP_5XX = "http_5xx"
+    #: The resource is missing (live segment not yet published, purged
+    #: object). No payload; players typically react by switching rungs.
+    HTTP_404 = "http_404"
+    #: Bytes trickle but the transfer would outlast the watchdog: it is
+    #: killed at the request timeout with its partial (resumable) bytes.
+    SLOW_TRANSFER = "slow_transfer"
+
+
+#: Kinds that deliver payload bytes before dying (candidates for
+#: HTTP range-resume; the header-level kinds have nothing to keep).
+PARTIAL_BYTE_KINDS = frozenset(
+    {FailureKind.CONNECTION_RESET, FailureKind.SLOW_TRANSFER}
+)
+
+#: Default mix, loosely after CDN error-budget folklore: resets and
+#: 5xxs dominate, hangs and trickles are rarer, 404s rarest (VOD).
+DEFAULT_FAILURE_MIX: Mapping[FailureKind, float] = {
+    FailureKind.CONNECTION_RESET: 0.35,
+    FailureKind.HTTP_5XX: 0.25,
+    FailureKind.TIMEOUT: 0.15,
+    FailureKind.SLOW_TRANSFER: 0.15,
+    FailureKind.HTTP_404: 0.10,
+}
+
+#: Request timeout applied when no :class:`RetryPolicy` is configured
+#: but a timeout-kind failure needs a deadline.
+DEFAULT_REQUEST_TIMEOUT_S = 8.0
+
+
+class ResilienceModel(FailureModel):
+    """Seeded failure generator drawing from the full taxonomy.
+
+    A drop-in for :class:`~repro.net.failures.FailureModel`: the session
+    only sees :class:`~repro.net.failures.RequestFailure` verdicts, now
+    carrying a :class:`FailureKind` and a resumable flag. Four RNG
+    values are drawn per request regardless of the verdict, so request
+    N's outcome never depends on earlier verdicts' branches and two
+    models with the same seed emit identical streams.
+
+    :param failure_probability: chance any single request fails.
+    :param seed: RNG seed; requests are numbered in issue order.
+    :param mix: relative weights per :class:`FailureKind` (defaults to
+        :data:`DEFAULT_FAILURE_MIX`); kinds absent from the mapping
+        never occur.
+    :param max_fraction: byte-kind failures occur uniformly within the
+        first ``max_fraction`` of the transfer.
+    :param resume_probability: fraction of byte-kind failures whose
+        partial data stays range-resumable (server honoured the range
+        header; the connection died cleanly enough to trust the bytes).
+    """
+
+    def __init__(
+        self,
+        failure_probability: float,
+        seed: int = 0,
+        mix: Optional[Mapping[FailureKind, float]] = None,
+        max_fraction: float = 0.9,
+        resume_probability: float = 0.6,
+    ):
+        super().__init__(failure_probability, seed=seed, max_fraction=max_fraction)
+        if not 0.0 <= resume_probability <= 1.0:
+            raise TraceError(
+                f"resume probability must be in [0,1], got {resume_probability}"
+            )
+        mix = dict(DEFAULT_FAILURE_MIX if mix is None else mix)
+        if not mix:
+            raise TraceError("failure mix must name at least one kind")
+        for kind, weight in mix.items():
+            if not isinstance(kind, FailureKind):
+                raise TraceError(f"unknown failure kind {kind!r}")
+            if weight < 0:
+                raise TraceError(f"mix weight must be non-negative, got {weight}")
+        total = sum(mix.values())
+        if total <= 0:
+            raise TraceError("failure mix weights must sum to a positive value")
+        self.resume_probability = resume_probability
+        self._mix = tuple((kind, weight / total) for kind, weight in mix.items())
+
+    def _pick_kind(self, u: float) -> FailureKind:
+        acc = 0.0
+        for kind, weight in self._mix:
+            acc += weight
+            if u < acc:
+                return kind
+        return self._mix[-1][0]
+
+    def next_request(self) -> Optional[RequestFailure]:
+        if self.failure_probability <= 0.0:
+            return None
+        p = self._rng.random()
+        kind_u = self._rng.random()
+        fraction_u = self._rng.random()
+        resume_u = self._rng.random()
+        if p >= self.failure_probability:
+            return None
+        kind = self._pick_kind(kind_u)
+        if kind in PARTIAL_BYTE_KINDS:
+            fraction = fraction_u * self.max_fraction
+            resumable = resume_u < self.resume_probability
+        else:
+            fraction = 0.0
+            resumable = False
+        return RequestFailure(fraction=fraction, kind=kind, resumable=resumable)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Closed-form retry behaviour for failed chunk requests.
+
+    Delays follow truncated exponential backoff with deterministic
+    jitter: the *nominal* delay for attempt ``n`` (the ``n``-th try of
+    one chunk, so the first retry is attempt 2) is
+    ``min(base * factor**(n-2), max_delay)`` — non-decreasing up to the
+    cap — and the dispatched delay adds up to ``jitter`` of itself,
+    derived from a crc32 hash of (seed, medium, chunk, attempt) so a
+    given scenario replays identically while concurrent sessions
+    decorrelate.
+
+    :param max_attempts: tries per chunk request, including the first.
+    :param base_delay_s: nominal delay before the first retry.
+    :param backoff_factor: multiplicative growth per further retry.
+    :param max_delay_s: nominal-delay cap.
+    :param jitter: jitter amplitude as a fraction of the nominal delay.
+    :param jitter_seed: seeds the deterministic jitter hash.
+    :param retry_budget: total retries the whole session may spend;
+        exhausting it ends the session gracefully (degraded, not an
+        exception).
+    :param request_timeout_s: watchdog deadline per request; timeout
+        and slow-transfer failures surface when it expires.
+    :param video_timeout_s: per-medium override of the watchdog.
+    :param audio_timeout_s: per-medium override of the watchdog.
+    :param emergency_budget_fraction: when the remaining retry budget
+        falls to this fraction (or below), cooperating players drop to
+        the lowest allowed rung to stop spending bytes on gambles.
+    :param live_skip: in live sessions, skip a chunk whose attempts are
+        exhausted (preserving liveness) instead of ending the session.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.4
+    backoff_factor: float = 2.0
+    max_delay_s: float = 8.0
+    jitter: float = 0.25
+    jitter_seed: int = 0
+    retry_budget: int = 64
+    request_timeout_s: float = 8.0
+    video_timeout_s: Optional[float] = None
+    audio_timeout_s: Optional[float] = None
+    emergency_budget_fraction: float = 0.125
+    live_skip: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise TraceError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0:
+            raise TraceError(f"base delay must be >= 0, got {self.base_delay_s}")
+        if self.backoff_factor < 1.0:
+            raise TraceError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_delay_s < self.base_delay_s:
+            raise TraceError(
+                f"max delay {self.max_delay_s} below base delay {self.base_delay_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise TraceError(f"jitter must be in [0,1], got {self.jitter}")
+        if self.retry_budget < 0:
+            raise TraceError(f"retry budget must be >= 0, got {self.retry_budget}")
+        for name in ("request_timeout_s", "video_timeout_s", "audio_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise TraceError(f"{name} must be positive, got {value}")
+        if not 0.0 <= self.emergency_budget_fraction <= 1.0:
+            raise TraceError(
+                "emergency_budget_fraction must be in [0,1], got "
+                f"{self.emergency_budget_fraction}"
+            )
+
+    def timeout_for(self, medium: MediaType) -> float:
+        if medium is MediaType.VIDEO and self.video_timeout_s is not None:
+            return self.video_timeout_s
+        if medium is MediaType.AUDIO and self.audio_timeout_s is not None:
+            return self.audio_timeout_s
+        return self.request_timeout_s
+
+    def nominal_delay_s(self, attempt: int) -> float:
+        """Jitter-free backoff delay before dispatching ``attempt``.
+
+        ``attempt`` counts tries of one chunk request, so the first
+        value with a delay is attempt 2 (the first retry). The sequence
+        is non-decreasing and saturates at ``max_delay_s``.
+        """
+        if attempt <= 1:
+            return 0.0
+        nominal = self.base_delay_s * self.backoff_factor ** (attempt - 2)
+        return min(nominal, self.max_delay_s)
+
+    def delay_s(self, attempt: int, medium: MediaType, chunk_index: int) -> float:
+        """Dispatched delay: nominal plus deterministic jitter."""
+        nominal = self.nominal_delay_s(attempt)
+        if nominal <= 0 or self.jitter <= 0:
+            return nominal
+        key = f"{self.jitter_seed}:{medium.value}:{chunk_index}:{attempt}"
+        u = zlib.crc32(key.encode("utf-8")) / 2**32
+        return nominal * (1.0 + self.jitter * u)
+
+    def emergency_threshold(self) -> int:
+        """Remaining-budget level at which emergency fallback engages."""
+        return max(1, int(self.retry_budget * self.emergency_budget_fraction))
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-key consecutive-failure breaker with a cooldown.
+
+    Keys are whatever granularity the caller degrades at — the players
+    use track ids, so a rung that keeps 404ing or resetting is ejected
+    from selection for ``cooldown_s`` while its siblings keep serving.
+    A success closes the circuit immediately.
+    """
+
+    threshold: int = 3
+    cooldown_s: float = 20.0
+    _consecutive: Dict[str, int] = field(default_factory=dict)
+    _open_until: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise TraceError(f"threshold must be >= 1, got {self.threshold}")
+        if self.cooldown_s <= 0:
+            raise TraceError(f"cooldown must be positive, got {self.cooldown_s}")
+
+    def record_failure(self, key: str, now: float, weight: int = 1) -> bool:
+        """Count a failure; returns True when this trips the breaker."""
+        count = self._consecutive.get(key, 0) + weight
+        self._consecutive[key] = count
+        if count >= self.threshold:
+            self._open_until[key] = now + self.cooldown_s
+            self._consecutive[key] = 0
+            return True
+        return False
+
+    def record_success(self, key: str) -> None:
+        self._consecutive.pop(key, None)
+        self._open_until.pop(key, None)
+
+    def is_open(self, key: str, now: float) -> bool:
+        until = self._open_until.get(key)
+        if until is None:
+            return False
+        if now >= until:
+            del self._open_until[key]
+            return False
+        return True
+
+    def open_keys(self, now: float) -> Set[str]:
+        return {key for key in tuple(self._open_until) if self.is_open(key, now)}
+
+    def reset(self) -> None:
+        self._consecutive.clear()
+        self._open_until.clear()

@@ -89,29 +89,27 @@ class BandwidthTrace:
 
         Returns ``inf`` when the rate never changes again (constant
         trace, or non-looping trace past its end).
+
+        Consistency contract with :meth:`bandwidth_at`: the rate is
+        constant on the open interval ``(t, next_change_after(t))``, so
+        the two methods never disagree about when a boundary takes
+        effect. Both therefore locate ``t`` through the same
+        :meth:`_locate` arithmetic — the remaining time in the located
+        segment *is* the next boundary.
         """
         if len(self._segments) == 1 and self._loop:
             return math.inf
         if not self._loop and t >= self._period:
             return math.inf
-        if self._loop:
-            cycle = math.floor(t / self._period)
-            within = t - cycle * self._period
-        else:
-            cycle, within = 0, t
-        boundary = (cycle + 1) * self._period
-        for i, start in enumerate(self._starts):
-            end = start + self._segments[i].duration_s
-            if within < end - 1e-12:
-                candidate = cycle * self._period + end
-                if candidate > t + 1e-12:
-                    boundary = candidate
-                    break
-        # Float guard: cycle arithmetic can land the boundary at or
-        # before t (e.g. t sitting a few ulps past a period multiple);
-        # a boundary in the past would freeze an event-driven caller.
-        while self._loop and boundary <= t + 1e-12:
-            boundary += self._period
+        index, offset = self._locate(t)
+        boundary = t + (self._segments[index].duration_s - offset)
+        if boundary <= t:
+            # t sits within a few ulps of the segment end (fmod rounding
+            # placed it in the expiring segment). The rate flips at the
+            # very next representable instant; returning that keeps the
+            # boundary strictly in the future without skipping a real
+            # change the way jumping a whole period would.
+            boundary = math.nextafter(t, math.inf)
         return boundary
 
     def average_kbps(self, duration_s: float = 0.0) -> float:

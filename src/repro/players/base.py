@@ -55,6 +55,25 @@ class BasePlayer(abc.ABC):
         picks next.
         """
 
+    def on_failure(self, medium: MediaType, failure, ctx) -> None:
+        """Called for every classified request failure.
+
+        ``failure`` is a :class:`~repro.sim.records.FailureRecord`
+        carrying the taxonomy ``kind``, the ``attempt`` number, whether
+        the partial bytes were stashed for range-resume, and the
+        scheduled ``retry_at`` (``None`` when no retry follows). The
+        session has already decided *whether* and *when* to retry; this
+        hook is where the player decides *what* — e.g. eject the failing
+        rung via a circuit breaker, downshift the retry, or fall back to
+        the cheapest combination when ``ctx.retry_budget_remaining()``
+        nears exhaustion.
+
+        The default delegates to :meth:`on_download_failed`, so players
+        written against the legacy anonymous-failure hook behave
+        unchanged.
+        """
+        self.on_download_failed(failure, ctx)
+
     def consider_abort(self, medium: MediaType, download, ctx) -> bool:
         """Should the in-flight ``download`` be abandoned?
 

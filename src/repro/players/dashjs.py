@@ -166,6 +166,20 @@ class DashJsPlayer(BasePlayer):
         )
         state.decided_once = True
 
+    def on_failure(self, medium: MediaType, failure, ctx) -> None:
+        """Fragment-load error: restart the medium at the lowest rung.
+
+        dash.js reacts to load errors conservatively — the failing
+        medium's next decision starts from the bottom and the DYNAMIC
+        machinery has to climb back up via fresh THROUGHPUT samples.
+        The media stay fully independent: the companion's rung is
+        untouched (no pairing to preserve in plain DASH).
+        """
+        state = self._media[failure.medium]
+        state.current_rung = 0
+        state.using_bola = False
+        state.decided_once = True
+
     # -- introspection (used by tests/experiments) ----------------------------
 
     def rung_of(self, medium: MediaType, track_id: str) -> int:

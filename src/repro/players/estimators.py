@@ -97,8 +97,15 @@ class ShakaEstimator:
 
     def _intervals_of(
         self, segments: Sequence[ProgressSegment], started_at: float
-    ) -> List[float]:
-        """Bits received per δ-interval, aligned to the download start."""
+    ) -> List[Tuple[float, float]]:
+        """(bits, duration) per δ-interval, aligned to the download start.
+
+        Every interval is a full δ except possibly the trailing one,
+        which ends when the download does. Scoring that partial interval
+        over its *actual* duration (as Shaka's progress events do, each
+        weighted by its elapsed time) keeps a near-empty tail from
+        dragging the estimate below the true rate.
+        """
         if not segments:
             return []
         end = max(s.end_s for s in segments)
@@ -120,15 +127,21 @@ class ShakaEstimator:
                 overlap = min(hi, segment.end_s) - max(lo, segment.start_s)
                 if overlap > 0:
                     bits[i] += rate * overlap
-        return bits
+        durations = [self.interval_s] * n_intervals
+        tail = end - started_at - (n_intervals - 1) * self.interval_s
+        if 0 < tail < self.interval_s - 1e-12:
+            durations[-1] = tail
+        return list(zip(bits, durations))
 
     def observe_download(self, record: DownloadRecord) -> None:
         """Sample one finished download's progress timeline."""
-        for interval_bits in self._intervals_of(record.segments, record.started_at):
-            if interval_bits >= self.min_sample_bits:
-                kbps = interval_bits / self.interval_s / 1000.0
-                self._fast.sample(self.interval_s, kbps)
-                self._slow.sample(self.interval_s, kbps)
+        for interval_bits, duration_s in self._intervals_of(
+            record.segments, record.started_at
+        ):
+            if interval_bits >= self.min_sample_bits and duration_s > 1e-9:
+                kbps = interval_bits / duration_s / 1000.0
+                self._fast.sample(duration_s, kbps)
+                self._slow.sample(duration_s, kbps)
                 self._bits_sampled += interval_bits
                 self.valid_samples += 1
             else:

@@ -147,6 +147,27 @@ class _ExoAdaptiveBase(BasePlayer):
     def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
         self.meter.observe_download(record)
 
+    def on_failure(self, medium: MediaType, failure, ctx) -> None:
+        """``onChunkLoadError``: fall back one combination rung.
+
+        ExoPlayer's chunk source excludes a failing track and re-selects;
+        here that collapses to stepping the predetermined-combination
+        index down one. Because video leads each position, a failed
+        video chunk can still drag its paired audio down with it; a
+        failed (trailing) audio chunk only lowers the working point, so
+        the pairing of the already-fetched video survives.
+        """
+        position = failure.chunk_index
+        rung = self._selection_for_position.get(position)
+        if rung is None or rung <= 0:
+            return
+        self._current_rung = min(self._current_rung, rung - 1)
+        if (
+            failure.medium is MediaType.VIDEO
+            and ctx.completed_chunks(MediaType.AUDIO) <= position
+        ):
+            self._selection_for_position[position] = rung - 1
+
 
 class ExoPlayerDash(_ExoAdaptiveBase):
     """ExoPlayer streaming a demuxed DASH manifest."""

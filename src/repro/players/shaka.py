@@ -145,3 +145,26 @@ class ShakaPlayer(BasePlayer):
     def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
         self.estimator.observe_download(record)
         ctx.log_estimate(self.estimator.get_estimate_kbps())
+
+    def on_failure(self, medium: MediaType, failure, ctx) -> None:
+        """StreamingEngine failure callback: re-decide the position.
+
+        The cached variant for the failed position is dropped, so the
+        retry re-selects at the then-current estimate. An HTTP 404
+        additionally pins the retry one variant below the failed one:
+        the resource is missing, so asking for it again at the same rate
+        is pointless.
+        """
+        position = failure.chunk_index
+        current = self._selection_for_position.pop(position, None)
+        if failure.kind == "http_404" and current is not None:
+            index = next(
+                (
+                    i
+                    for i, option in enumerate(self.variants)
+                    if option.name == current.name
+                ),
+                0,
+            )
+            if index > 0:
+                self._selection_for_position[position] = self.variants[index - 1]

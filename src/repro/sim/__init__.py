@@ -10,6 +10,7 @@ from .records import (
     FailureRecord,
     ProgressSegment,
     SessionResult,
+    SkipRecord,
     StallEvent,
 )
 from .session import ActiveDownload, Session, SessionConfig, SessionContext, simulate
@@ -30,6 +31,7 @@ __all__ = [
     "SessionConfig",
     "SessionContext",
     "SessionResult",
+    "SkipRecord",
     "StallEvent",
     "Wait",
     "simulate",

@@ -24,7 +24,14 @@ class ProgressSegment:
 
 @dataclass(frozen=True)
 class DownloadRecord:
-    """One completed chunk download."""
+    """One completed chunk download.
+
+    ``resumed_bits`` is the portion of ``size_bits`` inherited from
+    failed attempts via HTTP range-resume (bytes that crossed the wire
+    during an earlier attempt and were not re-fetched); the progress
+    ``segments`` cover only the final attempt's ``size_bits -
+    resumed_bits`` fresh bytes.
+    """
 
     medium: MediaType
     track_id: str
@@ -33,6 +40,7 @@ class DownloadRecord:
     started_at: float
     completed_at: float
     segments: Tuple[ProgressSegment, ...] = ()
+    resumed_bits: float = 0.0
 
     @property
     def duration_s(self) -> float:
@@ -65,13 +73,41 @@ class AbortRecord:
 
 @dataclass(frozen=True)
 class FailureRecord:
-    """A request the (simulated) network killed mid-transfer."""
+    """One failed request attempt.
+
+    ``bits_done`` counts only the bytes *this attempt* pulled over the
+    wire (a resumed attempt's inherited bytes belong to the earlier
+    attempt's record), so summing failure records never double-counts
+    transferred data. ``kind`` is the taxonomy label (a
+    :class:`~repro.net.resilience.FailureKind` value;
+    ``"connection_reset"`` for the legacy anonymous death),
+    ``attempt`` numbers the tries of this chunk request (1 = first),
+    ``resumable`` marks partial bytes stashed for HTTP range-resume,
+    and ``retry_at`` is the backoff-scheduled dispatch time of the next
+    attempt (``None`` when no retry follows — legacy immediate re-ask,
+    terminal failure, or budget exhaustion).
+    """
 
     medium: MediaType
     track_id: str
     chunk_index: int
     failed_at: float
     bits_done: float
+    kind: str = "connection_reset"
+    attempt: int = 1
+    resumable: bool = False
+    retry_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SkipRecord:
+    """A live chunk skipped to preserve liveness after attempts ran out."""
+
+    medium: MediaType
+    track_id: str
+    chunk_index: int
+    skipped_at: float
+    attempts: int
 
 
 @dataclass
@@ -130,12 +166,16 @@ class SessionResult:
         self.downloads: List[DownloadRecord] = []
         self.aborts: List[AbortRecord] = []
         self.failures: List[FailureRecord] = []
+        self.skips: List[SkipRecord] = []
         self.stalls: List[StallEvent] = []
         self.buffer_timeline: List[BufferSample] = []
         self.estimate_timeline: List[EstimateSample] = []
         self.startup_delay_s: Optional[float] = None
         self.ended_at_s: Optional[float] = None
         self.completed = False
+        #: Why the session ended early under degradation (retry budget
+        #: exhausted, attempts exhausted); ``None`` for a normal end.
+        self.termination_reason: Optional[str] = None
 
     # -- ingest ----------------------------------------------------------
 
@@ -148,10 +188,95 @@ class SessionResult:
     def add_failure(self, record: FailureRecord) -> None:
         self.failures.append(record)
 
+    def add_skip(self, record: SkipRecord) -> None:
+        self.skips.append(record)
+
     @property
     def wasted_bits(self) -> float:
         """Bytes fetched for chunks that were later abandoned."""
         return sum(a.bits_done for a in self.aborts)
+
+    # -- failure/retry/resume accounting ---------------------------------
+
+    @property
+    def n_retries(self) -> int:
+        """Failed attempts that scheduled a backoff retry."""
+        return sum(1 for f in self.failures if f.retry_at is not None)
+
+    @property
+    def bits_played(self) -> float:
+        """Bits that entered the buffer (completed chunk downloads)."""
+        return sum(d.size_bits for d in self.downloads)
+
+    @property
+    def bits_resumed(self) -> float:
+        """Failure bytes salvaged by range-resume into completed chunks."""
+        return sum(d.resumed_bits for d in self.downloads)
+
+    @property
+    def bits_wasted(self) -> float:
+        """Bytes transferred but never played.
+
+        Failed-attempt bytes that no later download resumed, plus
+        player-abandoned partials.
+        """
+        failure_bits = sum(f.bits_done for f in self.failures)
+        abort_bits = sum(a.bits_done for a in self.aborts)
+        return failure_bits - self.bits_resumed + abort_bits
+
+    @property
+    def bits_served(self) -> float:
+        """Gross per-request accounting: every request's received bits.
+
+        Resumed bytes appear both in the failure record that fetched
+        them and in the download that consumed them, which is exactly
+        what makes the ledger close: ``bits_served == bits_played +
+        bits_wasted + bits_resumed``.
+        """
+        failure_bits = sum(f.bits_done for f in self.failures)
+        abort_bits = sum(a.bits_done for a in self.aborts)
+        return self.bits_played + failure_bits + abort_bits
+
+    def byte_accounting(self) -> Dict[str, float]:
+        """The reconciliation ledger; ``reconciles`` is the invariant."""
+        served = self.bits_served
+        played = self.bits_played
+        wasted = self.bits_wasted
+        resumed = self.bits_resumed
+        return {
+            "bits_served": served,
+            "bits_played": played,
+            "bits_wasted": wasted,
+            "bits_resumed": resumed,
+            "reconciles": math.isclose(
+                served, played + wasted + resumed, rel_tol=1e-9, abs_tol=1e-3
+            ),
+        }
+
+    def failures_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for failure in self.failures:
+            kind = getattr(failure.kind, "value", failure.kind)
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def retry_schedule(self) -> List[Tuple]:
+        """The full failure/retry timeline, for determinism comparisons.
+
+        Two sessions with identical seeds and configs must produce
+        identical schedules, element for element.
+        """
+        return [
+            (
+                f.medium.value,
+                f.chunk_index,
+                f.attempt,
+                getattr(f.kind, "value", f.kind),
+                round(f.failed_at, 9),
+                None if f.retry_at is None else round(f.retry_at, 9),
+            )
+            for f in self.failures
+        ]
 
     def add_buffer_sample(self, sample: BufferSample) -> None:
         self.buffer_timeline.append(sample)
@@ -301,9 +426,25 @@ class SessionResult:
                     "chunk_index": failure.chunk_index,
                     "failed_at": failure.failed_at,
                     "bits_done": failure.bits_done,
+                    "kind": getattr(failure.kind, "value", failure.kind),
+                    "attempt": failure.attempt,
+                    "resumable": failure.resumable,
+                    "retry_at": failure.retry_at,
                 }
                 for failure in self.failures
             ],
+            "skips": [
+                {
+                    "medium": skip.medium.value,
+                    "track_id": skip.track_id,
+                    "chunk_index": skip.chunk_index,
+                    "skipped_at": skip.skipped_at,
+                    "attempts": skip.attempts,
+                }
+                for skip in self.skips
+            ],
+            "byte_accounting": self.byte_accounting(),
+            "termination_reason": self.termination_reason,
         }
         if include_timelines:
             data["buffer_timeline"] = [
@@ -332,4 +473,10 @@ class SessionResult:
             "audio_kbps": round(self.time_weighted_bitrate_kbps(MediaType.AUDIO), 1),
             "combinations": self.distinct_combinations(),
             "max_buffer_imbalance_s": round(self.max_buffer_imbalance_s(), 2),
+            "failures": len(self.failures),
+            "retries": self.n_retries,
+            "skipped_chunks": len(self.skips),
+            "resumed_mbit": round(self.bits_resumed / 1e6, 3),
+            "wasted_mbit": round(self.bits_wasted / 1e6, 3),
+            "termination_reason": self.termination_reason,
         }

@@ -7,20 +7,26 @@ The simulation is exact, not time-stepped: bandwidth traces are
 piecewise-constant and at most one download per medium is active, so
 between events every download progresses at a constant rate and the
 next event time (trace change, request dead-time expiry, download
-completion, buffer-frontier hit, scheduled player wake-up) can be
-computed in closed form.
+completion, injected failure point, request-timeout expiry,
+buffer-frontier hit, scheduled player wake-up, backoff-retry dispatch)
+can be computed in closed form.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import PlayerError, SimulationError
 from ..media.content import Content
 from ..media.tracks import MediaType
 from ..net.link import NetworkModel
+from ..net.resilience import (
+    DEFAULT_REQUEST_TIMEOUT_S,
+    FailureKind,
+    RetryPolicy,
+)
 from .decisions import Download, Wait
 from .playback import PlaybackState, PlaybackTracker
 from .records import (
@@ -30,6 +36,7 @@ from .records import (
     FailureRecord,
     ProgressSegment,
     SessionResult,
+    SkipRecord,
 )
 
 from ..net.failures import FailureModel  # noqa: F401  (config type)
@@ -51,8 +58,24 @@ class ActiveDownload:
     bits_done: float = 0.0
     segments: List[ProgressSegment] = field(default_factory=list)
     #: Injected failure point: the request dies once this many bits have
-    #: arrived. ``None`` = the request succeeds.
+    #: arrived. ``None`` = no byte-triggered failure.
     fail_at_bits: Optional[float] = None
+    #: Taxonomy label of the injected failure (``None`` = none injected,
+    #: or the legacy anonymous verdict, treated as a connection reset).
+    fail_kind: Optional[FailureKind] = None
+    #: Wall time at which a deadline-kind failure surfaces: the request
+    #: timeout (TIMEOUT / SLOW_TRANSFER) or response time (HTTP errors).
+    fail_at_time: Optional[float] = None
+    #: A hung request: no payload bytes ever flow, the connection holds
+    #: no link share, and only ``fail_at_time`` can end it.
+    stalled: bool = False
+    #: Partial bytes of this request survive for HTTP range-resume.
+    resumable: bool = False
+    #: Bytes inherited from earlier failed attempts via range-resume;
+    #: ``bits_done`` starts here, so only fresh bytes cross the wire.
+    resumed_bits: float = 0.0
+    #: 1-based try number of this chunk request (retries increment it).
+    attempt: int = 1
 
     @property
     def remaining_bits(self) -> float:
@@ -72,6 +95,19 @@ class ActiveDownload:
             self.fail_at_bits is not None
             and self.bits_done >= self.fail_at_bits - 1e-3
         )
+
+    def failed_by(self, now: float) -> bool:
+        """Has this request failed as of ``now``?
+
+        Byte-triggered deaths fire on ``bits_done``; deadline kinds fire
+        when the clock reaches ``fail_at_time`` — unless the transfer
+        finished first (completion beats a watchdog kill on ties).
+        """
+        if self.failed:
+            return True
+        if self.fail_at_time is not None and now >= self.fail_at_time - _EPS:
+            return not self.finished
+        return False
 
     @property
     def next_target_bits(self) -> float:
@@ -104,6 +140,12 @@ class SessionConfig:
     live_offset_s: Optional[float] = None
     #: Transient-failure injection (see :mod:`repro.net.failures`).
     failure_model: Optional["FailureModel"] = None
+    #: Retry/backoff/timeout behaviour for failed requests (see
+    #: :mod:`repro.net.resilience`). ``None`` preserves the legacy
+    #: semantics: the slot frees immediately, the player is re-asked
+    #: with no delay, partial bytes are discarded, and a chunk failing
+    #: ``MAX_FAILURES_PER_CHUNK`` times raises ``SimulationError``.
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.live_offset_s is not None and self.live_offset_s < 0:
@@ -178,6 +220,22 @@ class SessionContext:
                 return index
         return -1
 
+    @property
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        return self._session.config.retry_policy
+
+    def retry_budget_remaining(self) -> Optional[int]:
+        """Retries left in the session budget (``None`` = no policy).
+
+        Cooperating players compare this against the policy's
+        ``emergency_threshold()`` to decide when to stop gambling bytes
+        on high rungs and fall back to the cheapest allowed combination.
+        """
+        policy = self._session.config.retry_policy
+        if policy is None:
+            return None
+        return max(0, policy.retry_budget - self._session.retries_spent)
+
     def log_estimate(self, kbps: float) -> None:
         """Record a bandwidth-estimate reading for the result timeline."""
         self._session.result.add_estimate(self._session.now, kbps)
@@ -213,6 +271,14 @@ class Session:
         }
         self._wake_at: Dict[MediaType, float] = {m: 0.0 for m in _MEDIA}
         self._abort_counts: Dict[tuple, int] = {}
+        #: Retries spent against the policy's per-session budget.
+        self.retries_spent = 0
+        #: Range-resume stash per medium: (track_id, chunk_index, bits)
+        #: surviving from the last resumable failure. Consumed (or
+        #: discarded, if the player re-targets) by the next request.
+        self._resume_stash: Dict[MediaType, Tuple[str, int, float]] = {}
+        #: Degraded-termination reason; set ends the run loop cleanly.
+        self._terminated: Optional[str] = None
         self.result = SessionResult(
             content_duration_s=content.duration_s,
             chunk_duration_s=chunk,
@@ -286,11 +352,44 @@ class Session:
             )
         index = self.completed[medium]
         chunk = self.content.chunk(track_id, index)
-        fail_at: Optional[float] = None
+        policy = self.config.retry_policy
+        # Consume the range-resume stash: bytes survive only into a
+        # request for the *same* resource. A player that re-targets
+        # (downshifts) after the failure implicitly wastes them.
+        resumed = 0.0
+        stash = self._resume_stash.pop(medium, None)
+        if stash is not None and stash[0] == track_id and stash[1] == index:
+            resumed = min(stash[2], chunk.size_bits)
+        timeout = (
+            policy.timeout_for(medium)
+            if policy is not None
+            else DEFAULT_REQUEST_TIMEOUT_S
+        )
+        fail_at_bits: Optional[float] = None
+        fail_at_time: Optional[float] = None
+        fail_kind: Optional[FailureKind] = None
+        stalled = False
+        resumable = False
         if self.config.failure_model is not None:
             verdict = self.config.failure_model.next_request()
             if verdict is not None:
-                fail_at = chunk.size_bits * verdict.fraction
+                fail_kind = verdict.kind or FailureKind.CONNECTION_RESET
+                resumable = verdict.resumable
+                if fail_kind is FailureKind.TIMEOUT:
+                    # Hung connection: no bytes, watchdog fires.
+                    stalled = True
+                    fail_at_time = self.now + timeout
+                elif fail_kind in (FailureKind.HTTP_5XX, FailureKind.HTTP_404):
+                    # Error response arrives at response time; no payload.
+                    stalled = True
+                    fail_at_time = self.now + self.network.rtt_s
+                elif fail_kind is FailureKind.SLOW_TRANSFER:
+                    # Bytes flow; the watchdog kills whatever is unfinished.
+                    fail_at_time = self.now + timeout
+                else:  # CONNECTION_RESET, incl. the legacy anonymous death
+                    fail_at_bits = resumed + verdict.fraction * (
+                        chunk.size_bits - resumed
+                    )
         self.active[medium] = ActiveDownload(
             medium=medium,
             track_id=track_id,
@@ -298,7 +397,14 @@ class Session:
             size_bits=chunk.size_bits,
             started_at=self.now,
             dead_until=self.now + self.network.rtt_s,
-            fail_at_bits=fail_at,
+            bits_done=resumed,
+            fail_at_bits=fail_at_bits,
+            fail_kind=fail_kind,
+            fail_at_time=fail_at_time,
+            stalled=stalled,
+            resumable=resumable,
+            resumed_bits=resumed,
+            attempt=self._abort_counts.get(("fail", medium, index), 0) + 1,
         )
         self._wake_at[medium] = 0.0
         self.player.on_chunk_start(medium, track_id, index, self.ctx)
@@ -310,7 +416,9 @@ class Session:
         live = {
             m: dl.medium
             for m, dl in self.active.items()
-            if dl is not None and self.now >= dl.dead_until - _EPS
+            if dl is not None
+            and not dl.stalled
+            and self.now >= dl.dead_until - _EPS
         }
         rates = self.network.rates(live, self.now) if live else {}
         return {m: rates.get(m, 0.0) for m in _MEDIA}
@@ -325,6 +433,10 @@ class Session:
                 if math.isfinite(wake) and wake > self.now + _EPS:
                     candidates.append(wake)
                 continue
+            if download.fail_at_time is not None:
+                candidates.append(download.fail_at_time)
+            if download.stalled:
+                continue  # no bytes will ever flow; only the deadline
             if self.now < download.dead_until - _EPS:
                 candidates.append(download.dead_until)
                 continue
@@ -370,30 +482,88 @@ class Session:
     #: pathological failure model rather than transient weather.
     MAX_FAILURES_PER_CHUNK = 32
 
+    def _terminate(self, reason: str) -> None:
+        """End the session gracefully (degraded), keeping the result."""
+        if self._terminated is None:
+            self._terminated = reason
+
     def _process_failures(self) -> None:
+        policy = self.config.retry_policy
         for medium in _MEDIA:
             download = self.active[medium]
-            if download is None or not download.failed:
+            if download is None or not download.failed_by(self.now):
                 continue
             self.active[medium] = None
             self._wake_at[medium] = 0.0
-            key = ("fail", medium, download.chunk_index)
+            index = download.chunk_index
+            key = ("fail", medium, index)
             self._abort_counts[key] = self._abort_counts.get(key, 0) + 1
-            if self._abort_counts[key] > self.MAX_FAILURES_PER_CHUNK:
+            if (
+                policy is None
+                and self._abort_counts[key] > self.MAX_FAILURES_PER_CHUNK
+            ):
                 raise SimulationError(
-                    f"{medium} chunk {download.chunk_index} failed "
+                    f"{medium} chunk {index} failed "
                     f"{self.MAX_FAILURES_PER_CHUNK}+ times; failure model "
                     "leaves the session unable to progress"
+                )
+            kind = download.fail_kind or FailureKind.CONNECTION_RESET
+            attempt = download.attempt
+            # Fresh wire bytes of this attempt only; inherited resume
+            # bytes belong to the earlier attempts' records.
+            fresh_bits = max(0.0, download.bits_done - download.resumed_bits)
+            stash = (
+                policy is not None
+                and download.resumable
+                and download.bits_done > _EPS
+            )
+            retry_at: Optional[float] = None
+            if policy is not None:
+                if attempt >= policy.max_attempts:
+                    stash = False
+                    if self.ctx.is_live and policy.live_skip:
+                        # Preserve liveness: give the chunk up and move
+                        # on — the real player plays through the gap.
+                        self.completed[medium] += 1
+                        self.result.add_skip(
+                            SkipRecord(
+                                medium=medium,
+                                track_id=download.track_id,
+                                chunk_index=index,
+                                skipped_at=self.now,
+                                attempts=attempt,
+                            )
+                        )
+                    else:
+                        self._terminate("attempts_exhausted")
+                elif self.retries_spent >= policy.retry_budget:
+                    stash = False
+                    self._terminate("retry_budget_exhausted")
+                else:
+                    self.retries_spent += 1
+                    retry_at = self.now + policy.delay_s(
+                        attempt + 1, medium, index
+                    )
+                    self._wake_at[medium] = retry_at
+            if stash:
+                self._resume_stash[medium] = (
+                    download.track_id,
+                    index,
+                    download.bits_done,
                 )
             record = FailureRecord(
                 medium=medium,
                 track_id=download.track_id,
-                chunk_index=download.chunk_index,
+                chunk_index=index,
                 failed_at=self.now,
-                bits_done=download.bits_done,
+                bits_done=fresh_bits,
+                kind=kind.value,
+                attempt=attempt,
+                resumable=stash,
+                retry_at=retry_at,
             )
             self.result.add_failure(record)
-            self.player.on_download_failed(record, self.ctx)
+            self.player.on_failure(medium, record, self.ctx)
 
     def _complete_downloads(self) -> None:
         for medium in _MEDIA:
@@ -412,6 +582,7 @@ class Session:
                 started_at=download.started_at,
                 completed_at=self.now,
                 segments=tuple(download.segments),
+                resumed_bits=download.resumed_bits,
             )
             self.result.add_download(record)
             self.player.on_chunk_complete(record, self.ctx)
@@ -498,6 +669,8 @@ class Session:
                 self.now, self._min_frontier_s(), self._all_downloaded()
             )
             self._sample_buffers()
+            if self._terminated is not None:
+                break  # graceful degraded end: keep the result intact
         else:
             raise SimulationError(
                 f"event cap ({self.config.max_events}) exceeded at t={self.now}"
@@ -507,6 +680,7 @@ class Session:
         self.result.startup_delay_s = self.playback.startup_delay_s
         self.result.ended_at_s = self.now
         self.result.completed = self.playback.state is PlaybackState.ENDED
+        self.result.termination_reason = self._terminated
         self.player.on_session_end(self.ctx)
         return self.result
 

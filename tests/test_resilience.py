@@ -1,0 +1,282 @@
+"""The resilience subsystem: taxonomy, retry policy, resume, breaker."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.combinations import hsub_combinations
+from repro.core.player import RecommendedPlayer
+from repro.errors import TraceError
+from repro.media.tracks import MediaType
+from repro.net.failures import FailureModel, NoFailures
+from repro.net.link import shared
+from repro.net.resilience import (
+    DEFAULT_FAILURE_MIX,
+    PARTIAL_BYTE_KINDS,
+    CircuitBreaker,
+    FailureKind,
+    ResilienceModel,
+    RetryPolicy,
+)
+from repro.net.traces import constant
+from repro.sim.session import Session, SessionConfig
+
+
+def _run(content, failure_model, retry_policy, kbps=900.0, **config_kwargs):
+    config = SessionConfig(
+        failure_model=failure_model,
+        retry_policy=retry_policy,
+        **config_kwargs,
+    )
+    player = RecommendedPlayer(hsub_combinations(content))
+    return Session(content, player, shared(constant(kbps)), config).run()
+
+
+class TestFailureModelContract:
+    def test_reset_rewinds_the_verdict_stream(self):
+        model = FailureModel(0.5, seed=9)
+        first = [model.next_request() for _ in range(50)]
+        model.reset()
+        second = [model.next_request() for _ in range(50)]
+        assert first == second
+
+    def test_zero_probability_draws_no_rng(self):
+        model = FailureModel(0.0, seed=3)
+        state_before = model._rng.getstate()
+        assert all(model.next_request() is None for _ in range(10))
+        assert model._rng.getstate() == state_before
+
+    def test_no_failures_matches_zero_probability_model(self):
+        null = NoFailures()
+        zero = FailureModel(0.0)
+        for _ in range(10):
+            assert null.next_request() is None
+            assert zero.next_request() is None
+        assert null._rng.getstate() == zero._rng.getstate()
+
+
+class TestResilienceModel:
+    def test_taxonomy_kinds_all_occur(self):
+        model = ResilienceModel(1.0, seed=0)
+        kinds = {model.next_request().kind for _ in range(500)}
+        assert kinds == set(DEFAULT_FAILURE_MIX)
+
+    def test_header_kinds_never_carry_bytes_or_resume(self):
+        model = ResilienceModel(1.0, seed=4)
+        for _ in range(300):
+            verdict = model.next_request()
+            if verdict.kind not in PARTIAL_BYTE_KINDS:
+                assert verdict.fraction == 0.0
+                assert not verdict.resumable
+
+    def test_identical_seeds_identical_streams(self):
+        a = ResilienceModel(0.4, seed=11)
+        b = ResilienceModel(0.4, seed=11)
+        assert [a.next_request() for _ in range(200)] == [
+            b.next_request() for _ in range(200)
+        ]
+
+    def test_restricted_mix_only_emits_named_kinds(self):
+        model = ResilienceModel(
+            1.0, seed=2, mix={FailureKind.HTTP_404: 1.0}
+        )
+        assert all(
+            model.next_request().kind is FailureKind.HTTP_404
+            for _ in range(100)
+        )
+
+    def test_rejects_bad_mixes(self):
+        with pytest.raises(TraceError):
+            ResilienceModel(0.5, mix={})
+        with pytest.raises(TraceError):
+            ResilienceModel(0.5, mix={FailureKind.TIMEOUT: -1.0})
+        with pytest.raises(TraceError):
+            ResilienceModel(0.5, mix={"not-a-kind": 1.0})
+        with pytest.raises(TraceError):
+            ResilienceModel(0.5, resume_probability=1.5)
+
+
+class TestRetryPolicyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base=st.floats(min_value=0.01, max_value=5.0),
+        factor=st.floats(min_value=1.0, max_value=4.0),
+        cap_extra=st.floats(min_value=0.0, max_value=30.0),
+        attempts=st.integers(min_value=2, max_value=12),
+    )
+    def test_backoff_non_decreasing_up_to_cap(
+        self, base, factor, cap_extra, attempts
+    ):
+        policy = RetryPolicy(
+            max_attempts=attempts,
+            base_delay_s=base,
+            backoff_factor=factor,
+            max_delay_s=base + cap_extra,
+        )
+        delays = [policy.nominal_delay_s(n) for n in range(1, attempts + 1)]
+        assert delays[0] == 0.0
+        for earlier, later in zip(delays, delays[1:]):
+            assert later >= earlier
+        assert all(d <= policy.max_delay_s + 1e-12 for d in delays)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        chunk=st.integers(min_value=0, max_value=10_000),
+        attempt=st.integers(min_value=2, max_value=8),
+    )
+    def test_jitter_is_deterministic_and_bounded(self, seed, chunk, attempt):
+        policy = RetryPolicy(max_attempts=8, jitter=0.25, jitter_seed=seed)
+        for medium in (MediaType.VIDEO, MediaType.AUDIO):
+            nominal = policy.nominal_delay_s(attempt)
+            dispatched = policy.delay_s(attempt, medium, chunk)
+            assert dispatched == policy.delay_s(attempt, medium, chunk)
+            assert nominal <= dispatched <= nominal * (1 + policy.jitter)
+
+    def test_per_medium_timeouts(self):
+        policy = RetryPolicy(
+            request_timeout_s=8.0, video_timeout_s=12.0, audio_timeout_s=3.0
+        )
+        assert policy.timeout_for(MediaType.VIDEO) == 12.0
+        assert policy.timeout_for(MediaType.AUDIO) == 3.0
+        default = RetryPolicy(request_timeout_s=5.0)
+        assert default.timeout_for(MediaType.VIDEO) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(TraceError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(TraceError):
+            RetryPolicy(base_delay_s=4.0, max_delay_s=1.0)
+        with pytest.raises(TraceError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(TraceError):
+            RetryPolicy(request_timeout_s=0.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_cools_down(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=10.0)
+        assert not breaker.record_failure("V5", now=0.0)
+        assert not breaker.record_failure("V5", now=1.0)
+        assert breaker.record_failure("V5", now=2.0)
+        assert breaker.is_open("V5", now=5.0)
+        assert breaker.open_keys(now=5.0) == {"V5"}
+        assert not breaker.is_open("V5", now=12.0)
+
+    def test_success_closes_immediately(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=10.0)
+        breaker.record_failure("A1", now=0.0)
+        breaker.record_failure("A1", now=1.0)
+        assert breaker.is_open("A1", now=2.0)
+        breaker.record_success("A1")
+        assert not breaker.is_open("A1", now=2.0)
+
+    def test_weight_accelerates_tripping(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=5.0)
+        breaker.record_failure("V1", now=0.0)
+        assert breaker.record_failure("V1", now=0.5, weight=2)
+
+
+class TestSessionResilience:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000_000))
+    def test_identical_seeds_identical_schedules(self, content, seed):
+        def once():
+            return _run(
+                content,
+                ResilienceModel(0.25, seed=seed),
+                RetryPolicy(jitter_seed=seed),
+            )
+
+        a, b = once(), once()
+        schedule = a.retry_schedule()
+        assert schedule == b.retry_schedule()
+        assert a.byte_accounting() == b.byte_accounting()
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        budget=st.integers(min_value=0, max_value=12),
+    )
+    def test_certain_failure_finite_budget_terminates_cleanly(
+        self, content, seed, budget
+    ):
+        result = _run(
+            content,
+            ResilienceModel(1.0, seed=seed),
+            RetryPolicy(retry_budget=budget),
+        )
+        assert not result.completed
+        assert result.termination_reason in (
+            "retry_budget_exhausted",
+            "attempts_exhausted",
+        )
+        assert result.byte_accounting()["reconciles"]
+        assert result.summary()["termination_reason"] is not None
+
+    def test_byte_accounting_reconciles_under_mixed_weather(self, content):
+        result = _run(
+            content, ResilienceModel(0.3, seed=4), RetryPolicy()
+        )
+        accounting = result.byte_accounting()
+        assert accounting["reconciles"]
+        assert math.isclose(
+            accounting["bits_served"],
+            accounting["bits_played"]
+            + accounting["bits_wasted"]
+            + accounting["bits_resumed"],
+            rel_tol=1e-9,
+            abs_tol=1e-3,
+        )
+        assert accounting["bits_resumed"] > 0  # resume actually engaged
+
+    def test_resume_reduces_waste_with_no_extra_stalls(self, content):
+        def run_with(resume_probability):
+            totals = {"waste": 0.0, "rebuf": 0.0}
+            for seed in range(3):
+                result = _run(
+                    content,
+                    ResilienceModel(
+                        0.1, seed=seed, resume_probability=resume_probability
+                    ),
+                    RetryPolicy(),
+                )
+                totals["waste"] += result.bits_wasted
+                totals["rebuf"] += result.total_rebuffer_s
+            return totals
+
+        resume, discard = run_with(0.6), run_with(0.0)
+        assert resume["waste"] < discard["waste"]
+        assert resume["rebuf"] <= discard["rebuf"] + 1e-9
+
+    def test_retry_records_carry_taxonomy_and_attempts(self, content):
+        result = _run(content, ResilienceModel(0.3, seed=2), RetryPolicy())
+        assert result.failures
+        for failure in result.failures:
+            assert failure.kind in {k.value for k in FailureKind}
+            assert failure.attempt >= 1
+            if failure.retry_at is not None:
+                assert failure.retry_at >= failure.failed_at
+
+    def test_live_session_skips_instead_of_dying(self, content):
+        result = _run(
+            content,
+            ResilienceModel(1.0, seed=0, mix={FailureKind.HTTP_404: 1.0}),
+            RetryPolicy(max_attempts=2, retry_budget=100_000),
+            live_offset_s=2.0,
+        )
+        assert result.skips
+        assert result.termination_reason is None or result.skips
+
+    def test_legacy_no_policy_path_unchanged(self, content):
+        # Without a RetryPolicy the legacy contract holds: immediate
+        # re-ask, no resume, no skip, no termination reason.
+        result = _run(content, FailureModel(0.2, seed=1), None)
+        assert result.completed
+        assert result.termination_reason is None
+        assert result.bits_resumed == 0.0
+        assert not result.skips
+        assert all(f.retry_at is None for f in result.failures)
