@@ -1,0 +1,52 @@
+"""repro.runner — engine overhead and cache replay speed.
+
+Two costs matter: what the job/spec machinery adds on top of the bare
+serial loop (should be negligible), and how fast a fully warmed cache
+replays a grid (should be orders of magnitude under simulation).
+"""
+
+import pytest
+
+from repro.runner import (
+    PlayerSpec,
+    ResultCache,
+    SimulationJob,
+    TraceSpec,
+    run_jobs,
+)
+
+GRID = [
+    SimulationJob(
+        player=PlayerSpec(name, combinations=combos),
+        trace=TraceSpec.constant(kbps),
+    )
+    for kbps in (500.0, 1000.0, 2000.0)
+    for name, combos in (("recommended", "hsub"), ("dashjs", "hsub"))
+]
+
+
+def test_bench_runner_serial_grid(benchmark):
+    outcomes = benchmark(run_jobs, GRID, 1)
+    assert len(outcomes) == len(GRID)
+    assert all(o.result.completed for o in outcomes)
+
+
+def test_bench_runner_cached_replay(benchmark, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    run_jobs(GRID, workers=1, cache=cache)  # warm it
+
+    def replay():
+        return run_jobs(GRID, workers=1, cache=ResultCache(str(tmp_path / "cache")))
+
+    outcomes = benchmark(replay)
+    assert all(o.cached for o in outcomes)
+
+
+def test_bench_job_key_hashing(benchmark):
+    job = GRID[0]
+    key = benchmark(job.key)
+    assert len(key) == 64
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "--benchmark-only"])

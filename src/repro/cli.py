@@ -64,6 +64,14 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _runner_options_from(args):
+    """The runner configuration implied by --jobs/--cache/--no-cache."""
+    from .runner import runner_options
+
+    cache_dir = args.cache_dir if args.cache and not args.no_cache else None
+    return runner_options(workers=args.jobs, cache_dir=cache_dir)
+
+
 def cmd_run(args) -> int:
     from .experiments.plotting import render_report_charts
 
@@ -72,15 +80,16 @@ def cmd_run(args) -> int:
         print("nothing to run: give experiment names or --all", file=sys.stderr)
         return 2
     failures = 0
-    for name in names:
-        report = run_experiment(name)
-        print(report.render())
-        if args.plot and report.series:
+    with _runner_options_from(args):
+        for name in names:
+            report = run_experiment(name)
+            print(report.render())
+            if args.plot and report.series:
+                print()
+                print(render_report_charts(report))
             print()
-            print(render_report_charts(report))
-        print()
-        if not report.passed:
-            failures += 1
+            if not report.passed:
+                failures += 1
     print(f"{len(names) - failures}/{len(names)} experiments reproduced")
     return 1 if failures else 0
 
@@ -232,11 +241,12 @@ def cmd_trace(args) -> int:
 def cmd_report(args) -> int:
     from .experiments.reporting import write_reports
 
-    outcomes = write_reports(
-        args.output,
-        names=args.names or None,
-        include_charts=not args.no_charts,
-    )
+    with _runner_options_from(args):
+        outcomes = write_reports(
+            args.output,
+            names=args.names or None,
+            include_charts=not args.no_charts,
+        )
     for name, passed in sorted(outcomes.items()):
         print(f"{name}: {'REPRODUCED' if passed else 'MISMATCH'}")
     print(f"wrote {len(outcomes)} reports to {args.output}/")
@@ -253,12 +263,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiments").set_defaults(func=cmd_list)
 
+    def add_runner_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for grid experiments (1 = in-process serial)",
+        )
+        parser.add_argument(
+            "--cache",
+            action="store_true",
+            help="replay previously simulated sessions from the result cache",
+        )
+        parser.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="force fresh simulation even when --cache is given",
+        )
+        parser.add_argument(
+            "--cache-dir",
+            default=".repro-cache",
+            help="result-cache directory (default: .repro-cache)",
+        )
+
     run_parser = sub.add_parser("run", help="run experiments")
     run_parser.add_argument("names", nargs="*", help="experiment names")
     run_parser.add_argument("--all", action="store_true", help="run everything")
     run_parser.add_argument(
         "--plot", action="store_true", help="render time-series as ASCII charts"
     )
+    add_runner_flags(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     sim_parser = sub.add_parser("simulate", help="one ad-hoc session")
@@ -348,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--no-charts", action="store_true", help="omit ASCII charts"
     )
+    add_runner_flags(report_parser)
     report_parser.set_defaults(func=cmd_report)
 
     trace_parser = sub.add_parser("trace", help="generate/convert bandwidth traces")

@@ -49,7 +49,20 @@ class ExperimentReport:
 
     @property
     def passed(self) -> bool:
-        return all(check.passed for check in self.checks)
+        """True iff the report has at least one check and all pass.
+
+        A report with zero checks must not read as reproduced — a
+        vacuous ``all()`` over an empty list once let experiments that
+        forgot to register assertions print ``=> REPRODUCED``.
+        """
+        return bool(self.checks) and all(check.passed for check in self.checks)
+
+    @property
+    def status(self) -> str:
+        """Three-state verdict: REPRODUCED / MISMATCH / NO CHECKS."""
+        if not self.checks:
+            return "NO CHECKS"
+        return "REPRODUCED" if self.passed else "MISMATCH"
 
     def check(self, description: str, passed: bool, detail: str = "") -> None:
         self.checks.append(Check(description=description, passed=bool(passed), detail=detail))
@@ -64,16 +77,22 @@ class ExperimentReport:
             return "(no rows)"
         header = [str(h) for h in self.header]
         body = [[str(cell) for cell in row] for row in self.rows]
+        # Size by the widest shape present anywhere: a header wider than
+        # the first row must not drop columns, and ragged rows are
+        # padded with blanks instead of raising.
+        n_columns = max(len(header), max(len(row) for row in body))
+        header += [""] * (n_columns - len(header))
+        body = [row + [""] * (n_columns - len(row)) for row in body]
         widths = [
-            max(len(header[i]) if i < len(header) else 0, *(len(r[i]) for r in body))
-            for i in range(len(body[0]))
+            max(len(header[i]), *(len(row[i]) for row in body))
+            for i in range(n_columns)
         ]
         lines = []
-        if header:
-            lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        if self.header:
+            lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
             lines.append("  ".join("-" * w for w in widths))
         for row in body:
-            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
         return "\n".join(lines)
 
     def render(self) -> str:
@@ -95,21 +114,32 @@ class ExperimentReport:
             lines.append(f"note: {note}")
         for check in self.checks:
             lines.append(str(check))
-        lines.append(f"=> {'REPRODUCED' if self.passed else 'MISMATCH'}")
+        lines.append(f"=> {self.status}")
         return "\n".join(lines)
 
 
 def _compact_timeline(points: Sequence[Tuple[float, str]]) -> str:
-    """Collapse a label timeline into 'label@t0..' transitions."""
+    """Collapse a label timeline into 'label@t0..' transitions.
+
+    The final run's known end time (the last sample's timestamp) is
+    appended when it extends past the last transition, so the rendering
+    never implies the last track choice lasted zero seconds.
+    """
     if not points:
         return "(empty)"
     out = []
     previous = None
+    last_transition_t = points[0][0]
     for t, label in points:
         if label != previous:
             out.append(f"{label}@{t:.0f}s")
             previous = label
-    return " -> ".join(out)
+            last_transition_t = t
+    rendered = " -> ".join(out)
+    final_t = points[-1][0]
+    if final_t > last_transition_t:
+        rendered += f" (held to {final_t:.0f}s)"
+    return rendered
 
 
 #: Registry of experiment name -> zero-arg runner, populated by the

@@ -13,23 +13,30 @@ stalls live.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from ..core.combinations import hsub_combinations
-from ..core.player import RecommendedPlayer
-from ..manifest.packager import package_dash, package_hls
 from ..media.content import drama_show
-from ..net.link import shared
-from ..net.markov import hspa_preset
-from ..players.dashjs import DashJsPlayer
-from ..players.exoplayer import ExoPlayerDash, ExoPlayerHls
-from ..players.shaka import ShakaPlayer
 from ..qoe.aggregate import QoEAggregate
 from ..qoe.metrics import compute_qoe
-from ..sim.session import simulate
+from ..runner import GridRunner, PlayerSpec, SimulationJob, TraceSpec
 from .base import ExperimentReport, register
 
 N_TRACES = 12
+
+#: Same builds as the sweep, with a comment preserved from the serial
+#: loop: abandonment is off for "recommended" here — aborting a chunk
+#: mid-position can leave a mixed pair, trading pairing purity for
+#: stall protection, and the corpus checks assert pairing purity (the
+#: abandonment trade-off is exercised in its own test module).
+PLAYER_SPECS: Dict[str, PlayerSpec] = {
+    "exoplayer-dash": PlayerSpec("exoplayer-dash"),
+    "exoplayer-hls": PlayerSpec(
+        "exoplayer-hls", combinations="hsub", audio_order=("A3", "A2", "A1")
+    ),
+    "shaka": PlayerSpec("shaka", combinations="all"),
+    "dashjs": PlayerSpec("dashjs"),
+    "recommended": PlayerSpec("recommended", combinations="hsub"),
+}
 
 
 @register("corpus")
@@ -54,32 +61,24 @@ def run_corpus() -> ExperimentReport:
         ),
     )
     content = drama_show()
-    dash = package_dash(content)
-    hall = package_hls(content).master
-    hsub = hsub_combinations(content)
-    hsub_master = package_hls(
-        content, combinations=hsub, audio_order=["A3", "A2", "A1"]
-    ).master
+    grid = [
+        (seed, name) for seed in range(N_TRACES) for name in PLAYER_SPECS
+    ]
+    runner = GridRunner()
+    jobs = [
+        SimulationJob(
+            player=PLAYER_SPECS[name], trace=TraceSpec.hspa(seed), seed=seed
+        )
+        for seed, name in grid
+    ]
+    results = runner.results(jobs)
 
-    players = {
-        "exoplayer-dash": lambda: ExoPlayerDash(dash),
-        "exoplayer-hls": lambda: ExoPlayerHls(hsub_master),
-        "shaka": lambda: ShakaPlayer.from_hls(hall),
-        "dashjs": lambda: DashJsPlayer(dash),
-        # Abandonment is off here: aborting a chunk mid-position can
-        # leave that position with a mixed (already-downloaded audio,
-        # re-fetched lower video) pair, trading pairing purity for stall
-        # protection. The corpus checks assert pairing purity; the
-        # abandonment trade-off is exercised in its own test module.
-        "recommended": lambda: RecommendedPlayer(hsub),
+    aggregates: Dict[str, QoEAggregate] = {
+        name: QoEAggregate() for name in PLAYER_SPECS
     }
-
-    aggregates: Dict[str, QoEAggregate] = {name: QoEAggregate() for name in players}
-    for seed in range(N_TRACES):
-        trace = hspa_preset(seed=seed)
-        for name, make_player in players.items():
-            result = simulate(content, make_player(), shared(trace))
-            aggregates[name].add(compute_qoe(result, content))
+    for (seed, name), result in zip(grid, results):
+        aggregates[name].add(compute_qoe(result, content))
+    report.params["runner"] = runner.params()
 
     for name, aggregate in aggregates.items():
         summary = aggregate.summary()

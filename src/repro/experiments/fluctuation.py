@@ -17,13 +17,15 @@ from __future__ import annotations
 from ..manifest.packager import package_hls
 from ..media.content import drama_show
 from ..media.tracks import MediaType
-from ..net.link import shared
-from ..net.traces import from_pairs
 from ..players.shaka import ShakaPlayer
-from ..sim.session import simulate
+from ..runner import GridRunner, PlayerSpec, SimulationJob, TraceSpec
 from .base import ExperimentReport, register
 
 PAPER_FLUCTUATION_SET = {"V1+A2", "V2+A1", "V2+A2", "V1+A3", "V2+A3"}
+
+#: The end-to-end link: oscillates inside the band where the paper's
+#: five combinations sit within 150 kbps of each other.
+E2E_TRACE_PAIRS = ((10, 2400), (10, 1200), (10, 2000), (10, 1500))
 
 
 @register("fluctuation")
@@ -67,9 +69,18 @@ def run_fluctuation() -> ExperimentReport:
     # End-to-end: oscillate the link inside the band; because many
     # combinations sit within 150 kbps of each other, the selection
     # switches often even though the link is only mildly variable.
-    trace = from_pairs([(10, 2400), (10, 1200), (10, 2000), (10, 1500)])
-    e2e_player = ShakaPlayer.from_hls(package_hls(content).master)
-    result = simulate(content, e2e_player, shared(trace))
+    # This single session rides the runner too, so it caches and
+    # parallelizes alongside the grid experiments.
+    runner = GridRunner()
+    (result,) = runner.results(
+        [
+            SimulationJob(
+                player=PlayerSpec("shaka", combinations="all"),
+                trace=TraceSpec.pairs(E2E_TRACE_PAIRS),
+            )
+        ]
+    )
+    report.params["runner"] = runner.params()
     switches = result.switch_count(MediaType.VIDEO) + result.switch_count(
         MediaType.AUDIO
     )

@@ -54,7 +54,7 @@ def report_to_markdown(report: ExperimentReport, include_charts: bool = True) ->
         lines.append(f"- {mark} {check.description}{detail}")
     lines.append("")
     lines.append(
-        f"**Verdict: {'REPRODUCED' if report.passed else 'MISMATCH'}**"
+        f"**Verdict: {report.status}**"
     )
     if include_charts and report.series:
         lines += ["", "## Series", "", "```"]
@@ -71,6 +71,7 @@ def report_to_dict(report: ExperimentReport) -> Dict:
         "params": {key: repr(value) for key, value in report.params.items()},
         "paper_claim": report.paper_claim,
         "passed": report.passed,
+        "status": report.status,
         "header": list(report.header),
         "rows": [list(row) for row in report.rows],
         "checks": [

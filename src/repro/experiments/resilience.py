@@ -24,24 +24,31 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..core.combinations import hsub_combinations
-from ..core.player import RecommendedPlayer
-from ..manifest.packager import package_dash, package_hls
 from ..media.content import drama_show
 from ..media.tracks import MediaType
-from ..net.failures import FailureModel
-from ..net.link import shared
-from ..net.resilience import FailureKind, ResilienceModel, RetryPolicy
-from ..net.traces import constant
-from ..players.dashjs import DashJsPlayer
-from ..players.exoplayer import ExoPlayerDash
-from ..players.shaka import ShakaPlayer
+from ..net.resilience import FailureKind, RetryPolicy
 from ..qoe.metrics import compute_qoe
-from ..sim.session import SessionConfig, simulate
+from ..runner import (
+    FailureSpec,
+    GridRunner,
+    PlayerSpec,
+    SimulationJob,
+    TraceSpec,
+)
 from .base import ExperimentReport, register
 
 LINK_KBPS = 900.0
 FAILURE_P = 0.10
 N_SEEDS = 4
+
+PLAYER_SPECS: Dict[str, PlayerSpec] = {
+    "exoplayer-dash": PlayerSpec("exoplayer-dash"),
+    "shaka": PlayerSpec("shaka", combinations="all"),
+    "dashjs": PlayerSpec("dashjs"),
+    "recommended": PlayerSpec("recommended", combinations="hsub"),
+}
+
+_RECOMMENDED = PLAYER_SPECS["recommended"]
 
 
 @register("resilience")
@@ -67,35 +74,41 @@ def run_resilience() -> ExperimentReport:
     )
     content = drama_show()
     hsub = hsub_combinations(content)
-    dash = package_dash(content)
-    hall = package_hls(content).master
 
-    players = {
-        "exoplayer-dash": lambda: ExoPlayerDash(dash),
-        "shaka": lambda: ShakaPlayer.from_hls(hall),
-        "dashjs": lambda: DashJsPlayer(dash),
-        "recommended": lambda: RecommendedPlayer(hsub),
-    }
+    grid = [
+        (name, seed) for name in PLAYER_SPECS for seed in range(N_SEEDS)
+    ]
+    runner = GridRunner()
+    jobs = [
+        SimulationJob(
+            player=PLAYER_SPECS[name],
+            trace=TraceSpec.constant(LINK_KBPS),
+            failure=FailureSpec(FAILURE_P, seed=seed),
+            seed=seed,
+        )
+        for name, seed in grid
+    ]
+    results = runner.results(jobs)
+
     totals: Dict[str, Dict[str, float]] = {}
     conformance_ok = True
-    for name, make_player in players.items():
-        acc = {"failures": 0, "waste": 0.0, "stalls": 0, "rebuf": 0.0, "video": 0.0, "qoe": 0.0}
-        for seed in range(N_SEEDS):
-            config = SessionConfig(
-                failure_model=FailureModel(FAILURE_P, seed=seed)
-            )
-            result = simulate(content, make_player(), shared(constant(LINK_KBPS)), config)
-            acc["failures"] += len(result.failures)
-            acc["waste"] += sum(f.bits_done for f in result.failures) / 1e6
-            acc["stalls"] += result.n_stalls
-            acc["rebuf"] += result.total_rebuffer_s
-            acc["video"] += result.time_weighted_bitrate_kbps(MediaType.VIDEO)
-            acc["qoe"] += compute_qoe(result, content).score
-            if name == "recommended" and not (
-                set(result.combination_names()) <= set(hsub.names)
-            ):
-                conformance_ok = False
-        totals[name] = acc
+    for (name, seed), result in zip(grid, results):
+        acc = totals.setdefault(
+            name,
+            {"failures": 0, "waste": 0.0, "stalls": 0, "rebuf": 0.0, "video": 0.0, "qoe": 0.0},
+        )
+        acc["failures"] += len(result.failures)
+        acc["waste"] += sum(f.bits_done for f in result.failures) / 1e6
+        acc["stalls"] += result.n_stalls
+        acc["rebuf"] += result.total_rebuffer_s
+        acc["video"] += result.time_weighted_bitrate_kbps(MediaType.VIDEO)
+        acc["qoe"] += compute_qoe(result, content).score
+        if name == "recommended" and not (
+            set(result.combination_names()) <= set(hsub.names)
+        ):
+            conformance_ok = False
+    report.params["runner"] = runner.params()
+    for name, acc in totals.items():
         report.rows.append(
             (
                 name,
@@ -160,11 +173,32 @@ SWEEP_POLICIES: Dict[str, RetryPolicy] = {
 }
 
 
-def _sweep_cell(
-    content,
+def _cell_jobs(
     mix: Optional[Dict[FailureKind, float]],
     policy: RetryPolicy,
     resume_probability: float,
+) -> list:
+    """The seed-replicate jobs of one (mix, policy, resume) cell."""
+    return [
+        SimulationJob(
+            player=_RECOMMENDED,
+            trace=TraceSpec.constant(LINK_KBPS),
+            failure=FailureSpec.with_mix(
+                FAILURE_P, seed, mix, resume_probability=resume_probability
+            ),
+            retry_policy=policy,
+            seed=seed,
+        )
+        for seed in range(SWEEP_SEEDS)
+    ]
+
+
+def _sweep_cell(
+    runner: GridRunner,
+    mix: Optional[Dict[FailureKind, float]],
+    policy: RetryPolicy,
+    resume_probability: float,
+    use_cache: bool = True,
 ) -> Tuple[Dict[str, float], list, bool]:
     """Run one (mix, policy, resume) cell over the seed set."""
     acc = {
@@ -178,22 +212,9 @@ def _sweep_cell(
     }
     schedules = []
     reconciles = True
-    for seed in range(SWEEP_SEEDS):
-        config = SessionConfig(
-            failure_model=ResilienceModel(
-                FAILURE_P,
-                seed=seed,
-                mix=mix,
-                resume_probability=resume_probability,
-            ),
-            retry_policy=policy,
-        )
-        result = simulate(
-            content,
-            RecommendedPlayer(hsub_combinations(content)),
-            shared(constant(LINK_KBPS)),
-            config,
-        )
+    for result in runner.results(
+        _cell_jobs(mix, policy, resume_probability), use_cache=use_cache
+    ):
         acc["failures"] += len(result.failures)
         acc["retries"] += result.n_retries
         acc["resumed"] += result.bits_resumed / 1e6
@@ -239,7 +260,7 @@ def run_resilience_sweep() -> ExperimentReport:
             "Video kbps",
         ),
     )
-    content = drama_show()
+    runner = GridRunner()
     cells: Dict[Tuple[str, str, float], Dict[str, float]] = {}
     all_reconcile = True
     for mix_name, mix in SWEEP_MIXES.items():
@@ -250,7 +271,7 @@ def run_resilience_sweep() -> ExperimentReport:
             ) else (0.6,)
             for resume_probability in resumes:
                 acc, _, reconciles = _sweep_cell(
-                    content, mix, policy, resume_probability
+                    runner, mix, policy, resume_probability
                 )
                 all_reconcile = all_reconcile and reconciles
                 cells[(mix_name, policy_name, resume_probability)] = acc
@@ -292,12 +313,18 @@ def run_resilience_sweep() -> ExperimentReport:
         all_reconcile,
     )
 
-    # Determinism: one cell, run twice from scratch, schedule-identical.
+    # Determinism: one cell, run twice, schedule-identical. The second
+    # run bypasses the result cache so a fresh simulation (not the
+    # first run's stored copy) is what must match.
     _, schedules_a, _ = _sweep_cell(
-        content, SWEEP_MIXES["reset-heavy"], SWEEP_POLICIES["default"], 0.6
+        runner, SWEEP_MIXES["reset-heavy"], SWEEP_POLICIES["default"], 0.6
     )
     _, schedules_b, _ = _sweep_cell(
-        content, SWEEP_MIXES["reset-heavy"], SWEEP_POLICIES["default"], 0.6
+        runner,
+        SWEEP_MIXES["reset-heavy"],
+        SWEEP_POLICIES["default"],
+        0.6,
+        use_cache=False,
     )
     report.check(
         "identical seeds reproduce identical failure/retry schedules",
@@ -306,15 +333,15 @@ def run_resilience_sweep() -> ExperimentReport:
 
     # Graceful degradation: certain failure + tiny budget still yields a
     # clean, reconciled result with a termination reason — no exception.
-    config = SessionConfig(
-        failure_model=ResilienceModel(1.0, seed=0),
-        retry_policy=RetryPolicy(retry_budget=8),
-    )
-    degraded = simulate(
-        content,
-        RecommendedPlayer(hsub_combinations(content)),
-        shared(constant(LINK_KBPS)),
-        config,
+    (degraded,) = runner.results(
+        [
+            SimulationJob(
+                player=_RECOMMENDED,
+                trace=TraceSpec.constant(LINK_KBPS),
+                failure=FailureSpec(1.0, seed=0, taxonomy=True),
+                retry_policy=RetryPolicy(retry_budget=8),
+            )
+        ]
     )
     report.check(
         "certain failure with a finite budget terminates gracefully",
@@ -323,4 +350,5 @@ def run_resilience_sweep() -> ExperimentReport:
         and degraded.byte_accounting()["reconciles"],
         detail=f"termination_reason={degraded.termination_reason}",
     )
+    report.params["runner"] = runner.params()
     return report

@@ -11,6 +11,7 @@ mechanism produces the paper's effect (see each function's docstring).
 from __future__ import annotations
 
 from ..net.traces import BandwidthTrace, from_pairs
+from ..runner.jobs import TraceSpec
 
 
 def fig3_trace() -> BandwidthTrace:
@@ -42,3 +43,21 @@ def fig4b_trace() -> BandwidthTrace:
     trace = from_pairs([(30, 150), (30, 1050)])
     assert abs(trace.average_kbps() - 600.0) < 1e-9
     return trace
+
+
+# -- runner adapters --------------------------------------------------------
+#
+# The named paper profiles ride :mod:`repro.runner` as ``func`` trace
+# specs: workers re-import this module and rebuild the trace, so the
+# profiles stay picklable and content-addressable without serializing
+# segment lists into every job key.
+
+
+def fig3_spec() -> TraceSpec:
+    """Job spec for :func:`fig3_trace`."""
+    return TraceSpec.func("repro.experiments.traces", "fig3_trace")
+
+
+def fig4b_spec() -> TraceSpec:
+    """Job spec for :func:`fig4b_trace`."""
+    return TraceSpec.func("repro.experiments.traces", "fig4b_trace")

@@ -177,11 +177,20 @@ def random_walk(
 
     Rates are drawn uniformly in ``mean*(1±spread)``, clipped at
     ``floor_kbps``, then rescaled so the time-average equals
-    ``mean_kbps`` exactly. Used for the paper's "time-varying, with the
-    average as 600 Kbps" experiments (Figs. 3 and 4(b)).
+    ``mean_kbps`` exactly (to float round-off). The contract requires
+    ``mean_kbps >= floor_kbps``: with every segment clipped at the
+    floor the target average would be unreachable, so that case raises
+    :class:`~repro.errors.TraceError` instead of silently missing the
+    mean. Used for the paper's "time-varying, with the average as 600
+    Kbps" experiments (Figs. 3 and 4(b)).
     """
     if n_segments < 2:
         raise TraceError("random walk needs at least two segments")
+    if mean_kbps < floor_kbps:
+        raise TraceError(
+            f"mean_kbps ({mean_kbps}) below floor_kbps ({floor_kbps}): "
+            "the floor clip makes the target average unreachable"
+        )
     rng = random.Random(seed)
     rates = [
         max(floor_kbps, mean_kbps * (1.0 + spread * (2.0 * rng.random() - 1.0)))
@@ -189,11 +198,30 @@ def random_walk(
     ]
     actual_mean = sum(rates) / n_segments
     rates = [max(floor_kbps, r * mean_kbps / actual_mean) for r in rates]
-    # Clipping at the floor can leave a residual error; fold it into the
-    # largest segment where it is proportionally smallest.
-    residual = mean_kbps * n_segments - sum(rates)
+    # Rescaling can re-clip segments at the floor, leaving a residual
+    # error. Fold it into the largest segment first (where it is
+    # proportionally smallest), then close whatever the fold's own
+    # floor clip leaves by spreading the remainder across segments
+    # that still have headroom, until the average matches exactly.
+    target_total = mean_kbps * n_segments
+    residual = target_total - sum(rates)
     top = max(range(n_segments), key=rates.__getitem__)
     rates[top] = max(floor_kbps, rates[top] + residual)
+    for _ in range(n_segments):
+        residual = target_total - sum(rates)
+        if abs(residual) <= 1e-9 * target_total:
+            break
+        if residual > 0:
+            # Raising rates never violates the floor: spread evenly.
+            bump = residual / n_segments
+            rates = [r + bump for r in rates]
+        else:
+            free = [i for i in range(n_segments) if rates[i] > floor_kbps + 1e-12]
+            if not free:  # pragma: no cover - unreachable given the guard
+                break
+            cut = residual / len(free)
+            for i in free:
+                rates[i] = max(floor_kbps, rates[i] + cut)
     return from_pairs([(segment_duration_s, r) for r in rates])
 
 

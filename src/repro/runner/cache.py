@@ -1,0 +1,114 @@
+"""Content-addressed on-disk cache of simulated session results.
+
+Entries live under ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the
+job's sha256 spec hash (:meth:`repro.runner.jobs.SimulationJob.key`).
+Values are pickled :class:`~repro.sim.records.SessionResult` objects,
+so a hit replays the original run *bit-identically* — every float,
+record and timeline survives the round trip, which is what lets a
+cached experiment produce byte-equal report rows.
+
+The cache is safe to share between concurrent runs: writes go through
+a per-process temp file and an atomic :func:`os.replace`, and a
+corrupt or truncated entry is treated as a miss and evicted rather
+than raised.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.records import SessionResult
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/byte counters for one cache handle's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+class ResultCache:
+    """Pickle-backed result store keyed by job spec hash."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR):
+        self.root = root
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    def get(self, key: str) -> Optional[SessionResult]:
+        """The cached result for ``key``, or ``None`` (counted a miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                payload = f.read()
+            result = pickle.loads(payload)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
+            # Corrupt/truncated/stale-class entry: evict and re-simulate.
+            self.stats.misses += 1
+            self.stats.evictions += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        if not isinstance(result, SessionResult):
+            self.stats.misses += 1
+            self.stats.evictions += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(payload)
+        return result
+
+    def put(self, key: str, result: SessionResult) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as f:
+            f.write(payload)
+        os.replace(tmp, path)
+        self.stats.bytes_written += len(payload)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".pkl"):
+                    try:
+                        os.remove(os.path.join(shard_dir, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,202 @@
+"""The parallel job engine and the session-global runner options.
+
+:func:`run_jobs` is the core: a list of
+:class:`~repro.runner.jobs.SimulationJob` specs in, a list of
+:class:`JobOutcome` out, *in input order* regardless of worker
+completion order. ``workers=1`` (the default) executes in-process with
+no executor at all, so single-worker runs are byte-identical to the
+pre-runner serial loops; ``workers>1`` fans cache misses out over a
+``ProcessPoolExecutor``. Determinism holds across both paths because
+each worker rebuilds its cell from the spec — there is no shared RNG,
+player or manifest state to race on.
+
+Experiments reach the engine through :class:`GridRunner`, which binds
+the session-global :class:`RunnerOptions` (the CLI's ``--jobs`` /
+``--cache`` / ``--cache-dir`` flags) and accumulates wall-time and
+cache statistics for ``ExperimentReport.params``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..sim.records import SessionResult
+from .cache import ResultCache
+from .jobs import SimulationJob
+
+
+@dataclass
+class JobOutcome:
+    """One job's result plus where it came from and what it cost."""
+
+    job: SimulationJob
+    result: SessionResult
+    wall_time_s: float
+    cached: bool = False
+
+
+def _execute(job: SimulationJob) -> Tuple[SessionResult, float]:
+    """Worker entry point: rebuild the cell from its spec and run it.
+
+    Module-level (picklable) on purpose; the wall time measured here is
+    the simulation cost alone, excluding queueing and transport.
+    """
+    from ..sim.session import simulate
+
+    started = time.perf_counter()
+    content, player, network, config = job.build()
+    result = simulate(content, player, network, config)
+    return result, time.perf_counter() - started
+
+
+def run_jobs(
+    jobs: Sequence[SimulationJob],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[JobOutcome]:
+    """Run every job, returning outcomes in input order.
+
+    Cache hits short-circuit before any worker is consulted; misses are
+    simulated (in-process for ``workers<=1``, else on the pool) and
+    written back so the next run replays them.
+    """
+    outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+    pending: List[int] = []
+    for index, job in enumerate(jobs):
+        if cache is not None:
+            hit = cache.get(job.key())
+            if hit is not None:
+                outcomes[index] = JobOutcome(
+                    job=job, result=hit, wall_time_s=0.0, cached=True
+                )
+                continue
+        pending.append(index)
+
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            result, wall = _execute(jobs[index])
+            outcomes[index] = JobOutcome(jobs[index], result, wall)
+            if cache is not None:
+                cache.put(jobs[index].key(), result)
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {pool.submit(_execute, jobs[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    result, wall = future.result()
+                    outcomes[index] = JobOutcome(jobs[index], result, wall)
+                    if cache is not None:
+                        cache.put(jobs[index].key(), result)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+# -- session-global options -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunnerOptions:
+    """How grid experiments should execute in this session.
+
+    ``workers=1`` and ``cache_dir=None`` (the defaults) reproduce the
+    historical serial, uncached behaviour exactly — the tier-1 suite
+    runs under these defaults.
+    """
+
+    workers: int = 1
+    cache_dir: Optional[str] = None
+
+
+_OPTIONS = RunnerOptions()
+
+
+def get_runner_options() -> RunnerOptions:
+    return _OPTIONS
+
+
+def set_runner_options(
+    workers: Optional[int] = None, cache_dir: Optional[str] = None
+) -> RunnerOptions:
+    """Replace the session-global options; returns the new value."""
+    global _OPTIONS
+    changes = {}
+    if workers is not None:
+        changes["workers"] = max(1, int(workers))
+    changes["cache_dir"] = cache_dir
+    _OPTIONS = replace(_OPTIONS, **changes)
+    return _OPTIONS
+
+
+@contextmanager
+def runner_options(
+    workers: Optional[int] = None, cache_dir: Optional[str] = None
+) -> Iterator[RunnerOptions]:
+    """Temporarily override the global options (the CLI uses this)."""
+    global _OPTIONS
+    previous = _OPTIONS
+    try:
+        yield set_runner_options(workers=workers, cache_dir=cache_dir)
+    finally:
+        _OPTIONS = previous
+
+
+class GridRunner:
+    """Per-experiment facade over the engine and the global options.
+
+    One instance per experiment run: it owns a fresh
+    :class:`~repro.runner.cache.CacheStats` window (via its own
+    :class:`ResultCache` handle) so ``params()`` reports the cache
+    behaviour of *this* experiment, not the whole process.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ):
+        options = get_runner_options()
+        self.workers = options.workers if workers is None else max(1, workers)
+        directory = options.cache_dir if cache_dir is None else cache_dir
+        self.cache = ResultCache(directory) if directory else None
+        self._simulated = 0
+        self._sim_wall_s = 0.0
+        self._slowest_s = 0.0
+
+    def run(
+        self, jobs: Sequence[SimulationJob], use_cache: bool = True
+    ) -> List[JobOutcome]:
+        """Run a grid; ``use_cache=False`` forces fresh simulation
+        (used by determinism checks that must not compare a cached
+        result against itself)."""
+        cache = self.cache if use_cache else None
+        outcomes = run_jobs(jobs, workers=self.workers, cache=cache)
+        for outcome in outcomes:
+            if not outcome.cached:
+                self._simulated += 1
+                self._sim_wall_s += outcome.wall_time_s
+                self._slowest_s = max(self._slowest_s, outcome.wall_time_s)
+        return outcomes
+
+    def results(
+        self, jobs: Sequence[SimulationJob], use_cache: bool = True
+    ) -> List[SessionResult]:
+        """Shorthand when only the session results matter."""
+        return [outcome.result for outcome in self.run(jobs, use_cache=use_cache)]
+
+    def params(self) -> dict:
+        """Runner provenance for ``ExperimentReport.params``."""
+        stats = {
+            "workers": self.workers,
+            "simulated": self._simulated,
+            "sim_wall_s": round(self._sim_wall_s, 3),
+            "slowest_job_s": round(self._slowest_s, 3),
+        }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats.as_dict()
+        return stats

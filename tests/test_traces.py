@@ -150,6 +150,37 @@ class TestRandomWalk:
         with pytest.raises(TraceError):
             random_walk(600, seed=1, n_segments=1)
 
+    def test_mean_below_floor_rejected(self):
+        """The floor clip makes the target unreachable — the contract
+        raises instead of silently missing the mean."""
+        with pytest.raises(TraceError):
+            random_walk(40, seed=1, floor_kbps=50)
+
+    def test_mean_exact_even_under_heavy_floor_clipping(self):
+        """The regression the residual redistribution fixes: a wide
+        spread close to the floor used to leave the time-average short
+        of the documented mean."""
+        trace = random_walk(80, seed=5, spread=2.5, floor_kbps=50)
+        assert trace.min_kbps() >= 50
+        assert trace.average_kbps() == pytest.approx(80, rel=1e-8)
+
+    @given(
+        mean=st.floats(60, 3000),
+        seed=st.integers(0, 10_000),
+        spread=st.floats(0.0, 3.0),
+        n_segments=st.integers(2, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_average_always_matches_the_contract(
+        self, mean, seed, spread, n_segments
+    ):
+        """Property form of the docstring promise: for any admissible
+        (mean >= floor) parameters, the time-average equals the target
+        mean to float round-off, and the floor still holds."""
+        trace = random_walk(mean, seed=seed, spread=spread, n_segments=n_segments)
+        assert trace.min_kbps() >= 50.0
+        assert trace.average_kbps() == pytest.approx(mean, rel=1e-8)
+
 
 class TestSaveLoad:
     def test_roundtrip(self, tmp_path):
