@@ -1,0 +1,106 @@
+"""Line-aware MPD XML scanner.
+
+:mod:`xml.etree.ElementTree` discards source positions, so the DASH
+rules parse MPD text with :mod:`xml.parsers.expat` directly into a tiny
+DOM (:class:`XmlElement`) that records the 1-based line and column of
+every element. Namespaces are handled the ElementTree way — tag names
+are ``{uri}local`` — so rule code reads naturally next to
+:mod:`repro.manifest.dash`.
+
+A document that is not well-formed XML raises :class:`XmlParseFailure`;
+the engine maps that to the CLI's exit code 2 (parse failure), distinct
+from rule findings.
+"""
+
+from __future__ import annotations
+
+import xml.parsers.expat
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class XmlParseFailure(Exception):
+    """MPD text is not well-formed XML (line/col in ``args``)."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(message)
+        self.line = line
+        self.col = col
+
+
+@dataclass
+class XmlElement:
+    """One element with source position, attributes and children."""
+
+    tag: str  # "{namespace}local" or bare local name
+    line: int  # 1-based
+    col: int  # 1-based
+    attrib: Dict[str, str] = field(default_factory=dict)
+    children: List["XmlElement"] = field(default_factory=list)
+
+    @property
+    def local(self) -> str:
+        """Tag name without its namespace."""
+        return self.tag.rsplit("}", 1)[-1]
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attrib.get(key, default)
+
+    def find(self, local: str) -> Optional["XmlElement"]:
+        for child in self.children:
+            if child.local == local:
+                return child
+        return None
+
+    def findall(self, local: str) -> List["XmlElement"]:
+        return [c for c in self.children if c.local == local]
+
+    def iter(self, local: Optional[str] = None) -> Iterator["XmlElement"]:
+        if local is None or self.local == local:
+            yield self
+        for child in self.children:
+            yield from child.iter(local)
+
+
+_NS_SEPARATOR = "\x1f"  # illegal in XML names; safe namespace delimiter
+
+
+def parse_xml(text: str) -> XmlElement:
+    """Parse XML text into a position-annotated element tree."""
+    parser = xml.parsers.expat.ParserCreate(namespace_separator=_NS_SEPARATOR)
+    root: List[XmlElement] = []
+    stack: List[XmlElement] = []
+
+    def to_tag(name: str) -> str:
+        if _NS_SEPARATOR in name:
+            uri, local = name.split(_NS_SEPARATOR, 1)
+            return f"{{{uri}}}{local}"
+        return name
+
+    def start(name: str, attrs: Dict[str, str]) -> None:
+        element = XmlElement(
+            tag=to_tag(name),
+            line=parser.CurrentLineNumber,
+            col=parser.CurrentColumnNumber + 1,
+            attrib={to_tag(k): v for k, v in attrs.items()},
+        )
+        if stack:
+            stack[-1].children.append(element)
+        else:
+            root.append(element)
+        stack.append(element)
+
+    def end(_name: str) -> None:
+        stack.pop()
+
+    parser.StartElementHandler = start
+    parser.EndElementHandler = end
+    try:
+        parser.Parse(text, True)
+    except xml.parsers.expat.ExpatError as exc:
+        raise XmlParseFailure(
+            f"invalid XML: {exc}", line=exc.lineno or 0, col=exc.offset or 0
+        ) from exc
+    if not root:
+        raise XmlParseFailure("document has no root element")
+    return root[0]

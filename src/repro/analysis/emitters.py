@@ -1,0 +1,124 @@
+"""Finding emitters: plain text, JSON, and SARIF 2.1.0.
+
+SARIF output follows the OASIS SARIF 2.1.0 schema closely enough for
+GitHub code scanning ingestion: one run, one tool driver, a ``rules``
+array carrying the registry metadata for every referenced rule, and
+``results`` with physical locations and stable partial fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .findings import SARIF_LEVELS, Finding
+from .registry import REGISTRY
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "repro-abr-lint"
+TOOL_INFO_URI = "https://example.invalid/repro-abr/docs/static_analysis.md"
+
+
+def render_text(findings: List[Finding]) -> str:
+    """One human-readable line per finding."""
+    if not findings:
+        return "clean: no findings\n"
+    lines = [str(f) for f in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: List[Finding]) -> str:
+    """Stable machine-readable JSON (sorted keys, trailing newline)."""
+    payload = {
+        "version": 1,
+        "tool": TOOL_NAME,
+        "findings": [f.as_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_rules(findings: List[Finding]) -> List[dict]:
+    """Registry metadata for every rule referenced by ``findings``."""
+    referenced = sorted({f.rule for f in findings})
+    rules = []
+    for rule_id in referenced:
+        descriptor: Dict[str, object] = {"id": rule_id}
+        if rule_id in REGISTRY:
+            entry = REGISTRY.get(rule_id)
+            descriptor["shortDescription"] = {"text": entry.summary}
+            descriptor["helpUri"] = TOOL_INFO_URI
+            descriptor["defaultConfiguration"] = {
+                "level": SARIF_LEVELS[entry.severity]
+            }
+            descriptor["properties"] = {
+                "category": entry.category,
+                "reference": entry.reference,
+                "fixable": entry.fixable,
+            }
+        rules.append(descriptor)
+    return rules
+
+
+def _sarif_result(finding: Finding, rule_index: Dict[str, int]) -> dict:
+    region: Dict[str, int] = {
+        "startLine": finding.span.line,
+        "startColumn": finding.span.col,
+    }
+    if finding.span.end_line:
+        region["endLine"] = finding.span.end_line
+    if finding.span.end_col:
+        region["endColumn"] = finding.span.end_col
+    result = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": SARIF_LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.span.file},
+                    "region": region,
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproLintFingerprint/v1": finding.fingerprint()
+        },
+    }
+    return result
+
+
+def render_sarif(findings: List[Finding]) -> str:
+    """SARIF 2.1.0 log for the finding set."""
+    rules = _sarif_rules(findings)
+    rule_index = {d["id"]: i for i, d in enumerate(rules)}
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": [_sarif_result(f, rule_index) for f in findings],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(log, indent=2) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

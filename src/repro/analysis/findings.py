@@ -1,0 +1,143 @@
+"""Findings: what a rule reports when a document violates it.
+
+A :class:`Finding` ties a rule ID and severity to a
+:class:`~repro.analysis.spans.SourceSpan`, so output can be rendered
+like a compiler diagnostic (``file:line:col [SEVERITY] RULE message``)
+and exported to SARIF. The stable :meth:`Finding.fingerprint` keys the
+suppression baseline: it hashes the rule, the file and the *text* of
+the offending line rather than its number, so a baseline survives
+unrelated edits above the finding.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from .spans import SourceSpan
+
+
+class Severity(enum.Enum):
+    ERROR = "error"  # a player will misbehave (spec- or paper-documented)
+    WARNING = "warning"  # risky practice
+    INFO = "info"  # improvement opportunity
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_SEVERITY_ORDER = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+#: SARIF ``level`` values for each severity.
+SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source span."""
+
+    rule: str
+    severity: Severity
+    message: str
+    span: SourceSpan
+    #: Rule category (see :mod:`repro.analysis.registry`).
+    category: str = ""
+    #: The text of the offending line (used for fingerprints and
+    #: context rendering; empty when the finding is document-level).
+    line_text: str = ""
+    #: True when the autofix layer knows how to repair this finding.
+    fixable: bool = False
+
+    @property
+    def file(self) -> str:
+        return self.span.file
+
+    @property
+    def line(self) -> int:
+        return self.span.line
+
+    @property
+    def col(self) -> int:
+        return self.span.col
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: rule + file + line content."""
+        payload = f"{self.rule}|{self.span.file}|{self.line_text.strip()}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+    def as_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "category": self.category,
+            "message": self.message,
+            "file": self.span.file,
+            "line": self.span.line,
+            "col": self.span.col,
+            "fingerprint": self.fingerprint(),
+            "fixable": self.fixable,
+        }
+        if self.span.end_line is not None:
+            out["end_line"] = self.span.end_line
+        if self.span.end_col is not None:
+            out["end_col"] = self.span.end_col
+        return out
+
+    def __str__(self) -> str:
+        return (
+            f"{self.span.file}:{self.span.line}:{self.span.col} "
+            f"[{self.severity.value.upper()}] {self.rule}: {self.message}"
+        )
+
+
+def worst_severity(findings: Iterable[Finding]) -> Optional[Severity]:
+    """The most severe level present, or ``None`` for a clean run."""
+    severities = [f.severity for f in findings]
+    if not severities:
+        return None
+    return max(severities, key=_SEVERITY_ORDER.__getitem__)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic reporting order: file, line, column, rule."""
+    return sorted(
+        findings, key=lambda f: (f.span.file, f.span.line, f.span.col, f.rule)
+    )
+
+
+@dataclass
+class Baseline:
+    """A suppression file: known-finding fingerprints to ignore.
+
+    The on-disk format is JSON: ``{"version": 1, "fingerprints": [...]}``.
+    """
+
+    fingerprints: frozenset = frozenset()
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(fingerprints=frozenset(f.fingerprint() for f in findings))
+
+    @classmethod
+    def loads(cls, text: str) -> "Baseline":
+        data = json.loads(text)
+        return cls(fingerprints=frozenset(data.get("fingerprints", ())))
+
+    def dumps(self) -> str:
+        return (
+            json.dumps(
+                {"version": 1, "fingerprints": sorted(self.fingerprints)},
+                indent=2,
+            )
+            + "\n"
+        )
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        return [f for f in findings if f.fingerprint() not in self.fingerprints]

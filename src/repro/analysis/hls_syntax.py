@@ -1,0 +1,381 @@
+"""Line-aware m3u8 scanner.
+
+The object models in :mod:`repro.manifest.hls` are built for players:
+they validate eagerly and discard positions. A linter needs the
+opposite — a *lenient* scan that keeps every line number and records
+syntax problems as data instead of raising — so this module re-parses
+playlist text into light "scanned" views that rules consume.
+
+The scan never throws on malformed attribute lists, missing URIs, or
+unknown tags; it accumulates :class:`SyntaxIssue` records that the
+``HLS-ATTR-SYNTAX`` / ``HLS-URI-PRESENT`` rules turn into findings.
+Only a document that is not a playlist at all (empty text) is rejected
+upstream by the engine as a parse failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..manifest.hls import _ids_from_uri
+from .spans import Document
+
+
+@dataclass(frozen=True)
+class SyntaxIssue:
+    line: int
+    message: str
+    #: "attr" for malformed tag payloads, "uri" for missing/orphan URIs.
+    code: str = "attr"
+
+
+@dataclass(frozen=True)
+class ScannedTag:
+    """One ``#EXT...`` tag line."""
+
+    line: int
+    name: str  # e.g. "EXT-X-STREAM-INF"
+    value: str  # raw text after the first ':' ("" when absent)
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScannedRendition:
+    """An ``EXT-X-MEDIA`` entry with its source line."""
+
+    line: int
+    attrs: Dict[str, str]
+
+    @property
+    def media_type(self) -> str:
+        return self.attrs.get("TYPE", "")
+
+    @property
+    def group_id(self) -> str:
+        return self.attrs.get("GROUP-ID", "")
+
+    @property
+    def name(self) -> str:
+        return self.attrs.get("NAME", "")
+
+    @property
+    def uri(self) -> str:
+        return self.attrs.get("URI", "")
+
+
+@dataclass(frozen=True)
+class ScannedVariant:
+    """An ``EXT-X-STREAM-INF`` + URI pair with source lines."""
+
+    line: int  # the EXT-X-STREAM-INF line
+    uri_line: int  # the following URI line (0 when missing)
+    uri: str
+    attrs: Dict[str, str]
+
+    @property
+    def bandwidth_bps(self) -> Optional[int]:
+        try:
+            return int(self.attrs["BANDWIDTH"])
+        except (KeyError, ValueError):
+            return None
+
+    @property
+    def average_bandwidth_bps(self) -> Optional[int]:
+        try:
+            return int(self.attrs["AVERAGE-BANDWIDTH"])
+        except (KeyError, ValueError):
+            return None
+
+    @property
+    def codecs(self) -> str:
+        return self.attrs.get("CODECS", "")
+
+    @property
+    def audio_group(self) -> Optional[str]:
+        return self.attrs.get("AUDIO")
+
+    @property
+    def track_ids(self) -> Tuple[Optional[str], Optional[str]]:
+        """(video_id, audio_id) recovered from the URI convention."""
+        if not self.uri:
+            return None, None
+        return _ids_from_uri(self.uri)
+
+    @property
+    def video_id(self) -> Optional[str]:
+        return self.track_ids[0]
+
+    @property
+    def audio_id(self) -> Optional[str]:
+        return self.track_ids[1]
+
+
+@dataclass(frozen=True)
+class ScannedSegment:
+    """One media-playlist segment: EXTINF (+ optional companions) + URI."""
+
+    extinf_line: int
+    uri_line: int
+    uri: str
+    duration_s: Optional[float]
+    duration_is_float: bool
+    byterange_line: int = 0  # 0 when absent
+    byterange: Optional[Tuple[int, Optional[int]]] = None  # (length, offset)
+    bitrate_line: int = 0
+    bitrate_kbps: Optional[float] = None
+
+
+@dataclass
+class ScannedPlaylist:
+    """A leniently scanned playlist of either level."""
+
+    doc: Document
+    has_extm3u: bool = False
+    version: Optional[int] = None
+    version_line: int = 0
+    target_duration: Optional[int] = None
+    target_duration_line: int = 0
+    playlist_type: Optional[str] = None
+    has_endlist: bool = False
+    tags: List[ScannedTag] = field(default_factory=list)
+    renditions: List[ScannedRendition] = field(default_factory=list)
+    variants: List[ScannedVariant] = field(default_factory=list)
+    segments: List[ScannedSegment] = field(default_factory=list)
+    issues: List[SyntaxIssue] = field(default_factory=list)
+
+    @property
+    def is_master(self) -> bool:
+        return bool(self.variants) or any(
+            t.name == "EXT-X-STREAM-INF" for t in self.tags
+        )
+
+    @property
+    def is_media(self) -> bool:
+        return not self.is_master
+
+    def variants_for_video(self, video_id: str) -> List[ScannedVariant]:
+        return [v for v in self.variants if v.video_id == video_id]
+
+
+def parse_attribute_list(text: str) -> Tuple[Dict[str, str], List[str]]:
+    """Parse an HLS attribute list leniently.
+
+    Returns (attrs, problems). Quoted values keep their content but drop
+    the quotes; malformed pieces are reported, not raised.
+    """
+    attrs: Dict[str, str] = {}
+    problems: List[str] = []
+    key = ""
+    value = ""
+    state = "key"
+    in_quotes = False
+    for char in text + ",":
+        if state == "key":
+            if char == "=":
+                state = "value"
+            elif char == ",":
+                if key.strip():
+                    problems.append(f"attribute {key.strip()!r} has no value")
+                key = ""
+            else:
+                key += char
+        else:
+            if char == '"':
+                in_quotes = not in_quotes
+                value += char
+            elif char == "," and not in_quotes:
+                attrs[key.strip()] = value.strip().strip('"')
+                key, value, state = "", "", "key"
+            else:
+                value += char
+    if in_quotes:
+        problems.append(f"unterminated quote in attribute list: {text.strip()!r}")
+        if key.strip():
+            attrs[key.strip()] = value.strip().strip('"')
+    return attrs, problems
+
+
+#: Tags whose payload is an attribute list (the ones we scan).
+_ATTR_TAGS = {"EXT-X-STREAM-INF", "EXT-X-MEDIA", "EXT-X-I-FRAME-STREAM-INF"}
+
+
+def scan_playlist(doc: Document) -> ScannedPlaylist:
+    """Scan playlist text into a line-indexed view. Never raises."""
+    scanned = ScannedPlaylist(doc=doc)
+    pending_inf: Optional[ScannedTag] = None
+    pending_extinf: Optional[Tuple[int, Optional[float], bool]] = None
+    pending_byterange: Optional[Tuple[int, Tuple[int, Optional[int]]]] = None
+    pending_bitrate: Optional[Tuple[int, Optional[float]]] = None
+
+    for line_no in range(1, doc.n_lines + 1):
+        raw = doc.line_text(line_no).strip()
+        if not raw:
+            continue
+        if line_no == 1 or (not scanned.tags and not scanned.has_extm3u):
+            if raw == "#EXTM3U":
+                scanned.has_extm3u = True
+                continue
+        if raw == "#EXTM3U":
+            scanned.has_extm3u = True
+            continue
+        if not raw.startswith("#"):
+            # A URI line: closes a pending STREAM-INF or EXTINF.
+            if pending_inf is not None:
+                scanned.variants.append(
+                    ScannedVariant(
+                        line=pending_inf.line,
+                        uri_line=line_no,
+                        uri=raw,
+                        attrs=pending_inf.attrs,
+                    )
+                )
+                pending_inf = None
+            elif pending_extinf is not None:
+                extinf_line, duration, is_float = pending_extinf
+                byterange_line, byterange = (
+                    pending_byterange if pending_byterange else (0, None)
+                )
+                bitrate_line, bitrate = (
+                    pending_bitrate if pending_bitrate else (0, None)
+                )
+                scanned.segments.append(
+                    ScannedSegment(
+                        extinf_line=extinf_line,
+                        uri_line=line_no,
+                        uri=raw,
+                        duration_s=duration,
+                        duration_is_float=is_float,
+                        byterange_line=byterange_line,
+                        byterange=byterange,
+                        bitrate_line=bitrate_line,
+                        bitrate_kbps=bitrate,
+                    )
+                )
+                pending_extinf = None
+                pending_byterange = None
+                pending_bitrate = None
+            else:
+                scanned.issues.append(
+                    SyntaxIssue(
+                        line=line_no,
+                        message=f"URI {raw!r} is not preceded by "
+                        "EXT-X-STREAM-INF or EXTINF",
+                        code="uri",
+                    )
+                )
+            continue
+
+        name, _, payload = raw[1:].partition(":")
+        attrs: Dict[str, str] = {}
+        if name in _ATTR_TAGS:
+            attrs, problems = parse_attribute_list(payload)
+            for problem in problems:
+                scanned.issues.append(SyntaxIssue(line=line_no, message=problem))
+        tag = ScannedTag(line=line_no, name=name, value=payload, attrs=attrs)
+        scanned.tags.append(tag)
+
+        if name == "EXT-X-VERSION":
+            try:
+                scanned.version = int(payload)
+            except ValueError:
+                scanned.issues.append(
+                    SyntaxIssue(line=line_no, message=f"bad version {payload!r}")
+                )
+            scanned.version_line = line_no
+        elif name == "EXT-X-TARGETDURATION":
+            try:
+                scanned.target_duration = int(payload)
+            except ValueError:
+                scanned.issues.append(
+                    SyntaxIssue(
+                        line=line_no, message=f"bad target duration {payload!r}"
+                    )
+                )
+            scanned.target_duration_line = line_no
+        elif name == "EXT-X-PLAYLIST-TYPE":
+            scanned.playlist_type = payload.strip()
+        elif name == "EXT-X-ENDLIST":
+            scanned.has_endlist = True
+        elif name == "EXT-X-MEDIA":
+            scanned.renditions.append(ScannedRendition(line=line_no, attrs=attrs))
+        elif name == "EXT-X-STREAM-INF":
+            if pending_inf is not None:
+                scanned.issues.append(
+                    SyntaxIssue(
+                        line=pending_inf.line,
+                        message="EXT-X-STREAM-INF without a following URI",
+                        code="uri",
+                    )
+                )
+            pending_inf = tag
+        elif name == "EXTINF":
+            duration: Optional[float] = None
+            duration_text = payload.split(",", 1)[0].strip()
+            try:
+                duration = float(duration_text)
+            except ValueError:
+                scanned.issues.append(
+                    SyntaxIssue(
+                        line=line_no, message=f"bad EXTINF duration {payload!r}"
+                    )
+                )
+            pending_extinf = (line_no, duration, "." in duration_text)
+        elif name == "EXT-X-BYTERANGE":
+            body = payload.strip()
+            try:
+                if "@" in body:
+                    length_s, offset_s = body.split("@", 1)
+                    pending_byterange = (line_no, (int(length_s), int(offset_s)))
+                else:
+                    pending_byterange = (line_no, (int(body), None))
+            except ValueError:
+                scanned.issues.append(
+                    SyntaxIssue(line=line_no, message=f"bad byterange {body!r}")
+                )
+        elif name == "EXT-X-BITRATE":
+            try:
+                pending_bitrate = (line_no, float(payload))
+            except ValueError:
+                scanned.issues.append(
+                    SyntaxIssue(line=line_no, message=f"bad bitrate {payload!r}")
+                )
+
+    if pending_inf is not None:
+        scanned.issues.append(
+            SyntaxIssue(
+                line=pending_inf.line,
+                message="EXT-X-STREAM-INF without a following URI",
+                code="uri",
+            )
+        )
+    if pending_extinf is not None:
+        scanned.issues.append(
+            SyntaxIssue(
+                line=pending_extinf[0],
+                message="EXTINF without a following URI",
+                code="uri",
+            )
+        )
+    return scanned
+
+
+def derived_segment_bitrates_kbps(
+    scanned: ScannedPlaylist,
+) -> Optional[List[float]]:
+    """Per-segment bitrates derivable from a scanned media playlist.
+
+    Mirrors :meth:`repro.manifest.hls.HlsMediaPlaylist.derived_bitrates_kbps`
+    over the text view: ``EXT-X-BITRATE`` wins, then ``EXT-X-BYTERANGE``;
+    ``None`` when any segment has neither (the paper's "blind" case).
+    """
+    rates: List[float] = []
+    for segment in scanned.segments:
+        if segment.bitrate_kbps is not None:
+            rates.append(segment.bitrate_kbps)
+        elif segment.byterange is not None and segment.duration_s:
+            length_bytes = segment.byterange[0]
+            rates.append(length_bytes * 8.0 / segment.duration_s / 1000.0)
+        else:
+            return None
+    return rates

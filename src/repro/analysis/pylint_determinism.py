@@ -1,0 +1,325 @@
+"""AST-based determinism lint for the simulator's own source.
+
+The runner's content-addressed result cache (``repro.runner``) replays
+sessions by spec hash: two runs of the same :class:`SimulationJob` must
+produce byte-identical results, on any worker, under any
+``PYTHONHASHSEED``. That only holds if simulation code never consults
+ambient nondeterminism. This lint walks Python source and flags the
+three ways that invariant historically breaks:
+
+* ``DET-UNSEEDED-RANDOM`` — calls to the ``random`` *module's* global
+  functions (``random.random()``, ``random.choice``, ...), or
+  ``random.Random()`` / ``random.seed()`` with no seed argument. All
+  stochastic simulator inputs must thread an explicit seed
+  (``random.Random(seed)``).
+* ``DET-WALLCLOCK`` — ``time.time()`` / ``time.time_ns()`` /
+  ``datetime.now()`` / ``utcnow()`` / ``today()``: wall-clock reads
+  make results depend on when the job ran. (``time.perf_counter`` is
+  deliberately allowed — it only feeds measurement metadata, never
+  simulated behaviour.)
+* ``DET-SET-ORDER`` — order-sensitive consumption of an unordered set:
+  iterating a set literal/constructor in a ``for`` or comprehension,
+  materializing one with ``list()``/``tuple()``/``enumerate()``/
+  ``join()``, or ``max()``/``min()`` *with a key function* over a set
+  (ties break by hash order). ``sorted(set(...))`` and membership
+  tests are fine and not flagged.
+
+A line can opt out with a ``# det: allow`` comment (e.g. code that is
+genuinely outside any simulation path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from .findings import Finding, Severity
+from .registry import Category, Kind, rule
+from .spans import Document, SourceSpan
+
+SUPPRESS_COMMENT = "# det: allow"
+
+#: ``random`` module-level functions whose use implies the shared,
+#: unseeded global RNG.
+_RANDOM_MODULE_FUNCS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "triangular",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "vonmisesvariate",
+    "gammavariate",
+    "betavariate",
+    "paretovariate",
+    "weibullvariate",
+    "getrandbits",
+    "randbytes",
+}
+
+_WALLCLOCK_TIME_FUNCS = {"time", "time_ns"}
+_WALLCLOCK_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+#: Builtins that materialize their iterable in iteration order.
+_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter"}
+
+
+class _ImportTracker:
+    """What local names refer to the modules/classes we care about."""
+
+    def __init__(self) -> None:
+        self.random_modules: Set[str] = set()
+        self.time_modules: Set[str] = set()
+        self.datetime_modules: Set[str] = set()
+        self.datetime_classes: Set[str] = set()
+        #: local name -> random module function it aliases
+        self.random_funcs: Dict[str, str] = {}
+        #: local name -> time module function it aliases
+        self.time_funcs: Dict[str, str] = {}
+
+    def visit_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_modules.add(local)
+                    elif alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name in _RANDOM_MODULE_FUNCS | {"seed"}:
+                            self.random_funcs[alias.asname or alias.name] = (
+                                alias.name
+                            )
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALLCLOCK_TIME_FUNCS:
+                            self.time_funcs[alias.asname or alias.name] = (
+                                alias.name
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in {"datetime", "date"}:
+                            self.datetime_classes.add(alias.asname or alias.name)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+def _describe_set(node: ast.AST) -> str:
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return f"{node.func.id}(...)"
+    return "a set"
+
+
+class PySource:
+    """A parsed Python document: AST + import context + raw lines."""
+
+    def __init__(self, doc: Document, tree: ast.Module) -> None:
+        self.doc = doc
+        self.tree = tree
+        self.imports = _ImportTracker()
+        self.imports.visit_imports(tree)
+
+    def suppressed(self, line: int) -> bool:
+        try:
+            return SUPPRESS_COMMENT in self.doc.line_text(line)
+        except IndexError:
+            return False
+
+    def span(self, node: ast.AST) -> SourceSpan:
+        return SourceSpan(
+            file=self.doc.name,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+        )
+
+    def line_text(self, node: ast.AST) -> str:
+        try:
+            return self.doc.line_text(getattr(node, "lineno", 1))
+        except IndexError:
+            return ""
+
+
+@rule(
+    "DET-UNSEEDED-RANDOM",
+    Severity.ERROR,
+    Category.DETERMINISM,
+    Kind.PYTHON,
+    summary="simulation code must not use the global random module state",
+    reference="repro.runner cache contract (PR 2); docs/architecture.md",
+)
+def check_unseeded_random(src: PySource, ctx) -> Iterator[Finding]:
+    imports = src.imports
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        flagged = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in imports.random_modules
+        ):
+            if func.attr in _RANDOM_MODULE_FUNCS:
+                flagged = f"random.{func.attr}()"
+            elif func.attr in {"Random", "seed"} and not (
+                node.args or node.keywords
+            ):
+                flagged = f"random.{func.attr}() without a seed"
+        elif isinstance(func, ast.Name) and func.id in imports.random_funcs:
+            original = imports.random_funcs[func.id]
+            if original == "seed":
+                if not (node.args or node.keywords):
+                    flagged = "seed() without a seed value"
+            else:
+                flagged = f"{original}() imported from random"
+        if flagged and not src.suppressed(node.lineno):
+            yield check_unseeded_random.rule.finding(
+                f"{flagged} draws from the process-global RNG; thread an "
+                "explicit random.Random(seed) through the simulation "
+                "instead",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+
+
+@rule(
+    "DET-WALLCLOCK",
+    Severity.ERROR,
+    Category.DETERMINISM,
+    Kind.PYTHON,
+    summary="simulation code must not read the wall clock",
+    reference="repro.runner cache contract (PR 2)",
+)
+def check_wallclock(src: PySource, ctx) -> Iterator[Finding]:
+    imports = src.imports
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        flagged = None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in imports.time_modules
+                and func.attr in _WALLCLOCK_TIME_FUNCS
+            ):
+                flagged = f"time.{func.attr}()"
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in imports.datetime_classes
+                and func.attr in _WALLCLOCK_DATETIME_FUNCS
+            ):
+                flagged = f"datetime.{func.attr}()"
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in imports.datetime_modules
+                and base.attr in {"datetime", "date"}
+                and func.attr in _WALLCLOCK_DATETIME_FUNCS
+            ):
+                flagged = f"datetime.{base.attr}.{func.attr}()"
+        elif isinstance(func, ast.Name) and func.id in imports.time_funcs:
+            flagged = f"{imports.time_funcs[func.id]}() imported from time"
+        if flagged and not src.suppressed(node.lineno):
+            yield check_wallclock.rule.finding(
+                f"{flagged} reads the wall clock; simulated time must come "
+                "from the event loop, and timestamps belong in result "
+                "metadata stamped outside the simulation",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+
+
+@rule(
+    "DET-SET-ORDER",
+    Severity.WARNING,
+    Category.DETERMINISM,
+    Kind.PYTHON,
+    summary="do not consume unordered sets in an order-sensitive way",
+    reference="repro.runner cache contract (PR 2); PYTHONHASHSEED",
+)
+def check_set_order(src: PySource, ctx) -> Iterator[Finding]:
+    for node in ast.walk(src.tree):
+        target = None
+        detail = ""
+        if isinstance(node, ast.For) and _is_set_expr(node.iter):
+            target = node.iter
+            detail = f"for-loop iterates {_describe_set(node.iter)}"
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for comp in node.generators:
+                if _is_set_expr(comp.iter):
+                    target = comp.iter
+                    detail = (
+                        f"comprehension iterates {_describe_set(comp.iter)}"
+                    )
+                    break
+        elif isinstance(node, ast.Call):
+            func = node.func
+            first = node.args[0] if node.args else None
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_SENSITIVE_BUILTINS
+                and first is not None
+                and _is_set_expr(first)
+            ):
+                target = first
+                detail = f"{func.id}() materializes {_describe_set(first)}"
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in {"max", "min"}
+                and first is not None
+                and _is_set_expr(first)
+                and any(k.arg == "key" for k in node.keywords)
+            ):
+                target = first
+                detail = (
+                    f"{func.id}(..., key=...) over {_describe_set(first)} "
+                    "breaks ties by hash order"
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and first is not None
+                and _is_set_expr(first)
+            ):
+                target = first
+                detail = f"str.join() concatenates {_describe_set(first)}"
+        if target is not None and not src.suppressed(
+            getattr(target, "lineno", 1)
+        ):
+            yield check_set_order.rule.finding(
+                f"{detail}; set iteration order depends on PYTHONHASHSEED — "
+                "sort first (sorted(...)) or use a deterministic tie-break "
+                "(collections.Counter preserves insertion order)",
+                src.span(target),
+                line_text=src.line_text(target),
+            )
+
+
+def parse_python(doc: Document) -> PySource:
+    """Parse a Python document; raises ``SyntaxError`` on bad source."""
+    tree = ast.parse(doc.text, filename=doc.name)
+    return PySource(doc, tree)

@@ -21,14 +21,9 @@ from typing import List, Optional
 from .core.combinations import all_combinations, hsub_combinations
 from .core.player import RecommendedPlayer
 from .experiments import experiment_names, run_experiment
+from .analysis.findings import Severity
 from .manifest.dash import write_mpd
 from .manifest.packager import package_dash, package_hls
-from .manifest.validate import (
-    Severity,
-    lint_dash_manifest,
-    lint_hls_package,
-    worst_severity,
-)
 from .media.content import drama_show
 from .net.link import shared
 from .net.traces import constant
@@ -139,42 +134,152 @@ def cmd_simulate(args) -> int:
 def cmd_manifest(args) -> int:
     content = drama_show()
     if args.format == "dash":
-        print(write_mpd(package_dash(content)))
+        print(write_mpd(package_dash(content, self_lint=args.self_lint)))
         return 0
     combos = (
         hsub_combinations(content)
         if args.combinations == "hsub"
         else all_combinations(content)
     )
-    package = package_hls(content, combinations=combos)
+    package = package_hls(content, combinations=combos, self_lint=args.self_lint)
     for filename, text in package.write_all().items():
         print(f"### {filename}")
         print(text)
     return 0
 
 
-def cmd_lint(args) -> int:
-    """Lint a packaging of the reference title against Section 4.1."""
+#: File suffixes the lint path-collector picks up from directories.
+_LINTABLE_SUFFIXES = (".m3u8", ".m3u", ".mpd", ".xml", ".py")
+
+
+def _collect_lint_files(paths):
+    """{name: text} for explicit files plus lintable files under dirs."""
+    import os
+
+    files = {}
+    for path in paths:
+        if os.path.isdir(path):
+            hits = []
+            for root, _dirs, names in os.walk(path):
+                for name in names:
+                    if name.lower().endswith(_LINTABLE_SUFFIXES):
+                        hits.append(os.path.join(root, name))
+            for hit in sorted(hits):
+                with open(hit, "r", encoding="utf-8") as fh:
+                    files[hit] = fh.read()
+        else:
+            with open(path, "r", encoding="utf-8") as fh:
+                files[path] = fh.read()
+    return files
+
+
+def _packaged_lint_files(args):
+    """Synthesize the reference-title packaging the legacy CLI linted."""
     content = drama_show()
-    if args.format == "dash":
-        combos = hsub_combinations(content) if args.curated else None
+    manifest_format = (
+        args.format if args.format in ("dash", "hls") else args.manifest
+    )
+    combos = hsub_combinations(content) if args.curated else None
+    if manifest_format == "dash":
         manifest = package_dash(content, allowed_combinations=combos)
-        findings = lint_dash_manifest(manifest)
-    else:
-        combos = hsub_combinations(content) if args.curated else None
-        package = package_hls(
-            content,
-            combinations=combos,
-            single_file=not args.chunk_files,
-            include_bitrate_tag=args.bitrate_tags,
+        return {"manifest.mpd": write_mpd(manifest)}
+    package = package_hls(
+        content,
+        combinations=combos,
+        single_file=not args.chunk_files,
+        include_bitrate_tag=args.bitrate_tags,
+    )
+    return package.write_all()
+
+
+def cmd_lint(args) -> int:
+    """Lint manifests (or Python sources) with ``repro.analysis``.
+
+    Exit codes: 0 clean or warnings only, 1 at least one ERROR,
+    2 a document could not be parsed at all (or bad usage).
+    """
+    from . import analysis
+
+    disabled = frozenset(
+        rule_id for spec in args.disable for rule_id in spec.split(",") if rule_id
+    )
+    selected = frozenset(
+        rule_id for spec in args.select for rule_id in spec.split(",") if rule_id
+    )
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                baseline = analysis.Baseline.loads(fh.read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    config = analysis.AnalyzerConfig(
+        disabled=disabled,
+        selected=selected or None,
+        baseline=baseline,
+    )
+
+    from_disk = bool(args.paths)
+    try:
+        files = (
+            _collect_lint_files(args.paths)
+            if from_disk
+            else _packaged_lint_files(args)
         )
-        findings = lint_hls_package(package)
-    if not findings:
-        print("clean: every Section-4.1 practice satisfied")
-        return 0
-    for finding in findings:
-        print(finding)
-    return 1 if worst_severity(findings) is Severity.ERROR else 0
+    except OSError as exc:
+        print(f"cannot read input: {exc}", file=sys.stderr)
+        return 2
+
+    if args.fix:
+        if not from_disk:
+            print(
+                "--fix needs explicit file arguments (the built-in packaging "
+                "is generated, not on disk)",
+                file=sys.stderr,
+            )
+            return 2
+        from .analysis.autofix import fix_files
+
+        try:
+            result = fix_files(files, config)
+        except analysis.AnalysisParseFailure as exc:
+            print(f"parse failure: {exc}", file=sys.stderr)
+            return 2
+        for name, text in result.files.items():
+            if text != files[name]:
+                with open(name, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+        if result.n_fixed:
+            print(
+                f"fixed {result.n_fixed} finding(s) in {result.passes} pass(es)",
+                file=sys.stderr,
+            )
+        files = result.files
+
+    try:
+        findings = analysis.analyze_files(files, config)
+    except analysis.AnalysisParseFailure as exc:
+        print(f"parse failure: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as fh:
+            fh.write(analysis.Baseline.from_findings(findings).dumps())
+        print(
+            f"wrote baseline with {len(findings)} fingerprint(s) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+
+    output_format = args.format if args.format in ("json", "sarif") else "text"
+    renderer = {
+        "text": analysis.render_text,
+        "json": analysis.render_json,
+        "sarif": analysis.render_sarif,
+    }[output_format]
+    sys.stdout.write(renderer(findings))
+    return 1 if analysis.worst_severity(findings) is Severity.ERROR else 0
 
 
 def cmd_compare(args) -> int:
@@ -352,12 +457,37 @@ def build_parser() -> argparse.ArgumentParser:
     man_parser.add_argument(
         "--combinations", default="all", choices=["hsub", "all"]
     )
+    man_parser.add_argument(
+        "--self-lint",
+        action="store_true",
+        help="fail if the emitted packaging has ERROR-level lint findings",
+    )
     man_parser.set_defaults(func=cmd_manifest)
 
     lint_parser = sub.add_parser(
-        "lint", help="lint a packaging against the Section-4.1 practices"
+        "lint",
+        help="static-analyze manifests (RFC 8216 / DASH-IF / Section 4.1) "
+        "and Python sources (determinism)",
     )
-    lint_parser.add_argument("--format", default="hls", choices=["dash", "hls"])
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="manifest or Python files (or directories) to lint; "
+        "omit to lint a generated packaging of the reference title",
+    )
+    lint_parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json", "sarif", "dash", "hls"],
+        help="output format; 'dash'/'hls' are legacy aliases selecting "
+        "the generated packaging (text output)",
+    )
+    lint_parser.add_argument(
+        "--manifest",
+        default="hls",
+        choices=["dash", "hls"],
+        help="which packaging to generate when no paths are given",
+    )
     lint_parser.add_argument(
         "--curated",
         action="store_true",
@@ -372,6 +502,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--bitrate-tags",
         action="store_true",
         help="emit EXT-X-BITRATE tags",
+    )
+    lint_parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply autofixes to the given files in place before reporting",
+    )
+    lint_parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule IDs to skip (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule IDs to run exclusively (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        help="suppression file of known-finding fingerprints to ignore",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current findings as the new baseline",
     )
     lint_parser.set_defaults(func=cmd_lint)
 

@@ -14,6 +14,7 @@ and a 900 kbps fixed link:
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Tuple
 
 from ..manifest.packager import package_dash
@@ -40,7 +41,7 @@ def _steady_state_combo(result: SessionResult) -> str:
     """The combination the player settles on (mode over the last half)."""
     names = result.combination_names()
     tail = names[len(names) // 2 :]
-    return max(set(tail), key=tail.count) if tail else ""
+    return Counter(tail).most_common(1)[0][0] if tail else ""
 
 
 def _series_from(result: SessionResult, content_chunk_s: float) -> dict:

@@ -23,6 +23,8 @@ threshold, exactly how HLS clients choose their start position ("start
 
 from __future__ import annotations
 
+from collections import Counter
+
 from ..core.combinations import hsub_combinations
 from ..core.player import RecommendedPlayer
 from ..media.content import drama_show
@@ -73,7 +75,7 @@ def run_live() -> ExperimentReport:
         result = simulate(content, player, shared(constant(LINK_KBPS)), config)
         latency = result.ended_at_s - content.duration_s
         names = result.combination_names()
-        steady = max(set(names[len(names) // 2 :]), key=names[len(names) // 2 :].count)
+        steady = Counter(names[len(names) // 2 :]).most_common(1)[0][0]
         video_kbps = result.time_weighted_bitrate_kbps(MediaType.VIDEO)
         report.rows.append(
             (

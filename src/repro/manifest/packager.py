@@ -76,20 +76,47 @@ class HlsPackage:
         return out
 
 
+def _self_lint(files: Dict[str, str]) -> None:
+    """Run the static analyzer over serialized output; raise on ERROR.
+
+    Used by the packagers' ``self_lint`` flag: a guard that the emitted
+    text conforms to what :mod:`repro.analysis` enforces, catching
+    writer regressions at packaging time instead of in a player.
+    """
+    from .. import analysis
+
+    findings = analysis.analyze_files(files)
+    errors = [f for f in findings if f.severity is analysis.Severity.ERROR]
+    if errors:
+        detail = "; ".join(str(f) for f in errors[:5])
+        raise ManifestError(
+            f"packager output fails its own lint with {len(errors)} "
+            f"error(s): {detail}"
+        )
+
+
 def package_dash(
     content: Content,
     allowed_combinations: Optional[CombinationSet] = None,
+    self_lint: bool = False,
 ) -> DashManifest:
     """Build a DASH MPD for the content.
 
     ``allowed_combinations`` embeds the Section-4.1 extension element;
     leave it ``None`` to model standard DASH (no combination restriction
     — the deficiency the paper critiques).
+
+    ``self_lint`` serializes the manifest and runs
+    :mod:`repro.analysis` over it, raising :class:`ManifestError` if
+    any ERROR-severity finding comes back.
     """
     pairs = None
     if allowed_combinations is not None:
         pairs = [(c.video.track_id, c.audio.track_id) for c in allowed_combinations]
-    return build_dash_manifest(content, allowed_combinations=pairs)
+    manifest = build_dash_manifest(content, allowed_combinations=pairs)
+    if self_lint:
+        _self_lint({"manifest.mpd": write_mpd(manifest)})
+    return manifest
 
 
 def _media_playlist_for(
@@ -127,6 +154,7 @@ def package_hls(
     variant_order: str = "bandwidth",
     single_file: bool = True,
     include_bitrate_tag: bool = False,
+    self_lint: bool = False,
 ) -> HlsPackage:
     """Build an HLS package for the content.
 
@@ -147,6 +175,8 @@ def package_hls(
         optional tag the paper recommends making mandatory. Only
         meaningful with ``single_file=False`` (with byte ranges the
         bitrate is already derivable), but allowed in both modes.
+    :param self_lint: run :mod:`repro.analysis` over the serialized
+        package and raise :class:`ManifestError` on any ERROR finding.
     """
     combos = combinations if combinations is not None else all_combinations(content)
     if audio_order is None:
@@ -209,7 +239,10 @@ def package_hls(
         for track_id in sorted(track_ids)
     }
     master = HlsMasterPlaylist(variants=variants, renditions=renditions)
-    return HlsPackage(master=master, media_playlists=playlists)
+    package = HlsPackage(master=master, media_playlists=playlists)
+    if self_lint:
+        _self_lint(package.write_all())
+    return package
 
 
 def write_dash_package(content: Content, **kwargs) -> Dict[str, str]:

@@ -1,61 +1,52 @@
-"""Best-practices manifest linter.
+"""Deprecated object-level manifest linter (compat shim).
 
-Section 4.1 tells content providers what their manifests should carry;
-this module turns those recommendations into machine-checkable rules.
-Run :func:`lint_hls_package` / :func:`lint_dash_manifest` over a
-packaging and get a list of findings, each tied to the practice it
-violates. The CLI exposes this as ``repro-abr lint``.
+.. deprecated::
+    This module is superseded by :mod:`repro.analysis`, which lints the
+    *serialized* manifest text with file/line/column source spans, a
+    rule registry, autofix, and SARIF output. These wrappers serialize
+    the given objects, run the analyzer, and map the findings that
+    correspond to the original eight rules back onto the legacy
+    :class:`Finding` shape. New code should call
+    :func:`repro.analysis.analyze_files` directly.
 
-Rules (HLS):
-
-* ``HLS-CURATED`` — the master playlist should list a *curated subset*
-  of combinations, not the full cross product ("not specify all
-  possible combinations unless they are all desirable").
-* ``HLS-TRACK-BITRATES`` — per-track bitrates must be derivable from
-  the media playlists (byte ranges or ``EXT-X-BITRATE``), otherwise a
-  player cannot budget audio and video individually.
-* ``HLS-BITRATE-TAG`` — in chunk-per-file packaging the optional
-  ``EXT-X-BITRATE`` tag "should be made mandatory".
-* ``HLS-AVERAGE-BANDWIDTH`` — variants should declare
-  ``AVERAGE-BANDWIDTH`` alongside the peak ``BANDWIDTH`` (VBR ladders
-  overstate requirements otherwise).
-* ``HLS-VARIANT-ORDER`` — the first variant containing a video track
-  determines some players' bitrate estimate for it; listing variants in
-  ascending bandwidth order keeps that overestimation minimal.
-* ``HLS-AUDIO-COVERAGE`` — every audio rendition referenced by a
-  variant must exist in the rendition group.
-
-Rules (DASH):
-
-* ``DASH-COMBINATIONS`` — the MPD carries no allowed-combinations
-  restriction; DASH today cannot express one, so this flags the gap the
-  paper recommends the spec close (our extension element satisfies it).
-* ``DASH-BANDWIDTH-SANITY`` — declared bandwidths must ascend within an
-  adaptation set and be positive.
+The legacy rule set (all ported to the analyzer under the same IDs):
+``HLS-CURATED``, ``HLS-TRACK-BITRATES``, ``HLS-BITRATE-TAG``,
+``HLS-AVERAGE-BANDWIDTH``, ``HLS-VARIANT-ORDER``,
+``HLS-AUDIO-COVERAGE``, ``DASH-COMBINATIONS``,
+``DASH-BANDWIDTH-SANITY``.
 """
 
 from __future__ import annotations
 
-import enum
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
+# Severity and worst_severity are shared with the analyzer so that
+# identity checks (``severity is Severity.ERROR``) keep working across
+# old and new call sites.
+from ..analysis.findings import Severity, worst_severity  # noqa: F401
 from .dash import DashManifest
 from .hls import HlsMasterPlaylist
 from .packager import HlsPackage
 
-
-class Severity(enum.Enum):
-    ERROR = "error"  # a player will misbehave (paper-documented failure)
-    WARNING = "warning"  # risky practice
-    INFO = "info"  # improvement opportunity
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.value
+#: Rule IDs this legacy API ever reported, per entry point.
+_MASTER_RULES = frozenset(
+    {
+        "HLS-CURATED",
+        "HLS-AVERAGE-BANDWIDTH",
+        "HLS-VARIANT-ORDER",
+        "HLS-AUDIO-COVERAGE",
+    }
+)
+_PACKAGE_RULES = _MASTER_RULES | {"HLS-TRACK-BITRATES", "HLS-BITRATE-TAG"}
+_DASH_RULES = frozenset({"DASH-COMBINATIONS", "DASH-BANDWIDTH-SANITY"})
 
 
 @dataclass(frozen=True)
 class Finding:
+    """Legacy span-less finding (see :class:`repro.analysis.Finding`)."""
+
     rule: str
     severity: Severity
     message: str
@@ -64,162 +55,45 @@ class Finding:
         return f"[{self.severity.value.upper()}] {self.rule}: {self.message}"
 
 
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.manifest.validate.{name} is deprecated; use "
+        "repro.analysis.analyze_files (text-level linting with source "
+        "spans) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _run(files, allowed_rules) -> List[Finding]:
+    # Imported lazily: repro.analysis imports repro.manifest.hls for the
+    # URI convention, so a module-level import would cycle.
+    from ..analysis import AnalyzerConfig, analyze_files
+
+    config = AnalyzerConfig(selected=frozenset(allowed_rules))
+    return [
+        Finding(rule=f.rule, severity=f.severity, message=f.message)
+        for f in analyze_files(files, config)
+    ]
+
+
 def lint_hls_master(master: HlsMasterPlaylist) -> List[Finding]:
     """Lint a master playlist in isolation (no media playlists)."""
-    findings: List[Finding] = []
+    from .hls import write_master_playlist
 
-    # HLS-CURATED: full cross product?
-    video_ids = {v.video_id for v in master.variants if v.video_id}
-    audio_ids = {v.audio_id for v in master.variants if v.audio_id}
-    if video_ids and audio_ids and len(master.variants) >= len(video_ids) * len(
-        audio_ids
-    ):
-        findings.append(
-            Finding(
-                rule="HLS-CURATED",
-                severity=Severity.WARNING,
-                message=(
-                    f"master lists all {len(master.variants)} combinations of "
-                    f"{len(video_ids)} video x {len(audio_ids)} audio tracks; "
-                    "curate the desirable subset instead (Section 4.1)"
-                ),
-            )
-        )
-
-    # HLS-AVERAGE-BANDWIDTH.
-    missing_avg = [
-        v.uri for v in master.variants if v.average_bandwidth_bps is None
-    ]
-    if missing_avg:
-        findings.append(
-            Finding(
-                rule="HLS-AVERAGE-BANDWIDTH",
-                severity=Severity.INFO,
-                message=(
-                    f"{len(missing_avg)} variants lack AVERAGE-BANDWIDTH "
-                    "(peak-only budgeting over-constrains VBR ladders)"
-                ),
-            )
-        )
-
-    # HLS-VARIANT-ORDER: is the first variant per video its cheapest?
-    for video_id in sorted(video_ids):
-        variants = master.variants_for_video(video_id)
-        if variants and variants[0].bandwidth_bps > min(
-            v.bandwidth_bps for v in variants
-        ):
-            findings.append(
-                Finding(
-                    rule="HLS-VARIANT-ORDER",
-                    severity=Severity.WARNING,
-                    message=(
-                        f"the first variant containing {video_id} is not its "
-                        "cheapest; players that price the track by its first "
-                        "variant will overestimate it more than necessary"
-                    ),
-                )
-            )
-
-    # HLS-AUDIO-COVERAGE. A variant's audio is covered either by a
-    # rendition of the same name (single-group packaging) or by its
-    # referenced rendition group (per-rung multi-language packaging).
-    rendition_names = {r.name for r in master.renditions}
-    group_ids = {r.group_id for r in master.renditions}
-    for variant in master.variants:
-        group_covered = variant.audio_group is not None and (
-            variant.audio_group in group_ids
-        )
-        name_covered = variant.audio_id in rendition_names
-        if variant.audio_id and not (group_covered or name_covered):
-            findings.append(
-                Finding(
-                    rule="HLS-AUDIO-COVERAGE",
-                    severity=Severity.ERROR,
-                    message=(
-                        f"variant {variant.uri!r} references audio "
-                        f"{variant.audio_id!r} with no EXT-X-MEDIA rendition"
-                    ),
-                )
-            )
-    return findings
+    _deprecated("lint_hls_master")
+    return _run({"master.m3u8": write_master_playlist(master)}, _MASTER_RULES)
 
 
 def lint_hls_package(package: HlsPackage) -> List[Finding]:
     """Lint a full packaging: master + media playlists."""
-    findings = lint_hls_master(package.master)
-
-    blind_tracks = []
-    untagged_tracks = []
-    for track_id, playlist in sorted(package.media_playlists.items()):
-        rates = playlist.derived_bitrates_kbps()
-        if rates is None:
-            blind_tracks.append(track_id)
-        else:
-            has_byteranges = all(s.byterange is not None for s in playlist.segments)
-            has_tags = all(s.bitrate_kbps is not None for s in playlist.segments)
-            if not has_byteranges and not has_tags:
-                untagged_tracks.append(track_id)
-    if blind_tracks:
-        findings.append(
-            Finding(
-                rule="HLS-TRACK-BITRATES",
-                severity=Severity.ERROR,
-                message=(
-                    f"per-track bitrates are not derivable for {blind_tracks}; "
-                    "add EXT-X-BYTERANGE or EXT-X-BITRATE so players can "
-                    "budget each medium (Section 4.1)"
-                ),
-            )
-        )
-    if untagged_tracks:
-        findings.append(
-            Finding(
-                rule="HLS-BITRATE-TAG",
-                severity=Severity.INFO,
-                message=(
-                    f"tracks {untagged_tracks} derive bitrates only partially; "
-                    "emit EXT-X-BITRATE on every segment"
-                ),
-            )
-        )
-    return findings
+    _deprecated("lint_hls_package")
+    return _run(package.write_all(), _PACKAGE_RULES)
 
 
 def lint_dash_manifest(manifest: DashManifest) -> List[Finding]:
-    findings: List[Finding] = []
-    if manifest.allowed_combinations is None:
-        findings.append(
-            Finding(
-                rule="DASH-COMBINATIONS",
-                severity=Severity.WARNING,
-                message=(
-                    "no allowed-combinations restriction: players must invent "
-                    "their own pairing policy (ExoPlayer) or allow everything "
-                    "(Shaka); embed the combination list (Section 4.1 suggests "
-                    "expanding the DASH spec; this library's extension element "
-                    "or an out-of-band channel works today)"
-                ),
-            )
-        )
-    for aset in manifest.adaptation_sets:
-        bandwidths = [r.bandwidth_bps for r in aset.representations]
-        if bandwidths != sorted(bandwidths):
-            findings.append(
-                Finding(
-                    rule="DASH-BANDWIDTH-SANITY",
-                    severity=Severity.WARNING,
-                    message=(
-                        f"{aset.content_type} representations are not listed "
-                        "in ascending bandwidth order"
-                    ),
-                )
-            )
-    return findings
+    """Lint a DASH manifest object."""
+    from .dash import write_mpd
 
-
-def worst_severity(findings: List[Finding]) -> Optional[Severity]:
-    """The most severe level present, or ``None`` for a clean manifest."""
-    order = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
-    if not findings:
-        return None
-    return max((f.severity for f in findings), key=order.__getitem__)
+    _deprecated("lint_dash_manifest")
+    return _run({"manifest.mpd": write_mpd(manifest)}, _DASH_RULES)

@@ -27,6 +27,7 @@ paper's analysis paragraphs.
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -197,7 +198,7 @@ def _diagnose_undesirable(
     fraction = len(bad) / len(pairs)
     if fraction < thresholds.undesirable_fraction:
         return None
-    worst = max(set(bad), key=bad.count)
+    worst = Counter(bad).most_common(1)[0][0]
     return Diagnosis(
         pathology=Pathology.UNDESIRABLE_PAIRS,
         evidence=(

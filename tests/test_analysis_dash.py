@@ -1,0 +1,108 @@
+"""DASH MPD rules of the static analyzer."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisParseFailure,
+    Severity,
+    analyze_text,
+)
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+GOOD_MPD = """<?xml version="1.0" encoding="utf-8"?>
+<MPD xmlns="urn:mpeg:dash:schema:mpd:2011" type="static" mediaPresentationDuration="PT60S" profiles="urn:mpeg:dash:profile:isoff-on-demand:2011">
+  <Period>
+    <AdaptationSet contentType="video" mimeType="video/mp4">
+      <SegmentTemplate media="$RepresentationID$_$Number$.mp4" duration="4" timescale="1"/>
+      <Representation id="V1" bandwidth="500000"/>
+      <Representation id="V2" bandwidth="900000"/>
+    </AdaptationSet>
+    <AdaptationSet contentType="audio" mimeType="audio/mp4">
+      <SegmentTemplate media="$RepresentationID$_$Number$.mp4" duration="4" timescale="1"/>
+      <Representation id="A1" bandwidth="64000"/>
+    </AdaptationSet>
+  </Period>
+  <AllowedCombinations xmlns="urn:repro:dash:extensions:2019">
+    <Pair video="V1" audio="A1"/>
+  </AllowedCombinations>
+</MPD>
+"""
+
+
+class TestDashRules:
+    def test_good_mpd_is_clean(self):
+        assert analyze_text("manifest.mpd", GOOD_MPD) == []
+
+    def test_missing_duration(self):
+        text = GOOD_MPD.replace(' mediaPresentationDuration="PT60S"', "")
+        findings = analyze_text("manifest.mpd", text)
+        f = [x for x in findings if x.rule == "DASH-DURATION"]
+        assert f and f[0].severity is Severity.ERROR
+
+    def test_missing_profiles(self):
+        text = GOOD_MPD.replace(
+            ' profiles="urn:mpeg:dash:profile:isoff-on-demand:2011"', ""
+        )
+        assert "DASH-PROFILES" in rules(analyze_text("manifest.mpd", text))
+
+    def test_missing_content_and_mime_type(self):
+        text = GOOD_MPD.replace(' contentType="video" mimeType="video/mp4"', "")
+        assert "DASH-MIME-TYPE" in rules(analyze_text("manifest.mpd", text))
+
+    def test_mime_type_alone_suffices(self):
+        text = GOOD_MPD.replace(' contentType="video"', "")
+        assert "DASH-MIME-TYPE" not in rules(analyze_text("manifest.mpd", text))
+
+    def test_missing_bandwidth(self):
+        text = GOOD_MPD.replace(' bandwidth="500000"', "")
+        assert "DASH-REP-BANDWIDTH" in rules(analyze_text("manifest.mpd", text))
+
+    def test_non_integer_bandwidth(self):
+        text = GOOD_MPD.replace('bandwidth="500000"', 'bandwidth="fast"')
+        assert "DASH-REP-BANDWIDTH" in rules(analyze_text("manifest.mpd", text))
+
+    def test_duplicate_rep_ids(self):
+        text = GOOD_MPD.replace('id="V2"', 'id="V1"')
+        findings = analyze_text("manifest.mpd", text)
+        dupes = [f for f in findings if f.rule == "DASH-REP-ID-UNIQUE"]
+        assert dupes and "V1" in dupes[0].message
+
+    def test_segment_template_without_number_or_time(self):
+        text = GOOD_MPD.replace("$RepresentationID$_$Number$.mp4", "seg.mp4")
+        assert "DASH-SEGMENT-TEMPLATE" in rules(analyze_text("manifest.mpd", text))
+
+    def test_missing_combinations_extension(self):
+        start = GOOD_MPD.index("  <AllowedCombinations")
+        end = GOOD_MPD.index("</AllowedCombinations>") + len(
+            "</AllowedCombinations>\n"
+        )
+        text = GOOD_MPD[:start] + GOOD_MPD[end:]
+        assert "DASH-COMBINATIONS" in rules(analyze_text("manifest.mpd", text))
+
+    def test_descending_bandwidths_flagged(self):
+        text = GOOD_MPD.replace('bandwidth="500000"', 'bandwidth="950000"')
+        findings = analyze_text("manifest.mpd", text)
+        sanity = [f for f in findings if f.rule == "DASH-BANDWIDTH-SANITY"]
+        assert sanity and "video" in sanity[0].message
+
+    def test_findings_point_at_element_lines(self):
+        text = GOOD_MPD.replace(' bandwidth="64000"', "")
+        findings = analyze_text("manifest.mpd", text)
+        f = [x for x in findings if x.rule == "DASH-REP-BANDWIDTH"][0]
+        # The A1 Representation element sits on line 11 of the fixture.
+        assert f.file == "manifest.mpd"
+        assert text.splitlines()[f.line - 1].strip().startswith("<Representation")
+
+
+class TestDashParsing:
+    def test_malformed_xml_is_parse_failure(self):
+        with pytest.raises(AnalysisParseFailure):
+            analyze_text("manifest.mpd", "<MPD><Period></MPD>")
+
+    def test_non_mpd_root_is_parse_failure(self):
+        with pytest.raises(AnalysisParseFailure):
+            analyze_text("manifest.mpd", "<Playlist/>")

@@ -1,0 +1,91 @@
+"""Output emitters: text, JSON, and SARIF 2.1.0 shape guarantees."""
+
+import json
+
+from repro.analysis import analyze_text, render_json, render_sarif, render_text
+
+BROKEN_MEDIA = """#EXTM3U
+#EXT-X-PLAYLIST-TYPE:VOD
+#EXTINF:4.5,
+#EXT-X-BYTERANGE:500000@0
+V1.mp4
+"""
+
+
+def findings():
+    return analyze_text("V1.m3u8", BROKEN_MEDIA)
+
+
+class TestText:
+    def test_clean_output(self):
+        assert render_text([]) == "clean: no findings\n"
+
+    def test_compiler_style_lines(self):
+        out = render_text(findings())
+        assert "V1.m3u8:1:1 [ERROR] HLS-TARGETDURATION-PRESENT:" in out
+        assert out.rstrip().endswith("finding(s)")
+
+
+class TestJson:
+    def test_payload_shape(self):
+        payload = json.loads(render_json(findings()))
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro-abr-lint"
+        first = payload["findings"][0]
+        for key in ("rule", "severity", "category", "message", "file",
+                    "line", "col", "fingerprint", "fixable"):
+            assert key in first
+        assert first["file"] == "V1.m3u8"
+
+    def test_stable_across_runs(self):
+        assert render_json(findings()) == render_json(findings())
+
+
+class TestSarif:
+    def test_sarif_210_envelope(self):
+        log = json.loads(render_sarif(findings()))
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-abr-lint"
+        assert isinstance(driver["rules"], list) and driver["rules"]
+
+    def test_rules_metadata_and_indices(self):
+        log = json.loads(render_sarif(findings()))
+        run = log["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(set(rule_ids))  # unique and sorted
+        for result in run["results"]:
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            assert result["level"] in ("error", "warning", "note")
+
+    def test_result_locations(self):
+        log = json.loads(render_sarif(findings()))
+        result = log["runs"][0]["results"][0]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "V1.m3u8"
+        region = location["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_partial_fingerprints_stable(self):
+        log1 = json.loads(render_sarif(findings()))
+        log2 = json.loads(render_sarif(findings()))
+        prints1 = [r["partialFingerprints"] for r in log1["runs"][0]["results"]]
+        prints2 = [r["partialFingerprints"] for r in log2["runs"][0]["results"]]
+        assert prints1 == prints2
+        assert all("reproLintFingerprint/v1" in p for p in prints1)
+
+    def test_rule_descriptors_carry_category_and_reference(self):
+        log = json.loads(render_sarif(findings()))
+        for descriptor in log["runs"][0]["tool"]["driver"]["rules"]:
+            assert descriptor["properties"]["category"]
+            assert descriptor["properties"]["reference"]
+            assert descriptor["defaultConfiguration"]["level"] in (
+                "error", "warning", "note",
+            )
+
+    def test_empty_findings_still_valid(self):
+        log = json.loads(render_sarif([]))
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []

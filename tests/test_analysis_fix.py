@@ -1,0 +1,256 @@
+"""Autofix layer: minimal edits, convergence, and the idempotence
+guarantee; plus the Table-1 packagings-lint-clean property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Severity, analyze_files, worst_severity
+from repro.analysis.autofix import FIXERS, TextEdit, apply_edits, fix_files
+from repro.core.combinations import (
+    all_combinations,
+    combinations_from_pairs,
+    hsub_combinations,
+)
+from repro.manifest.dash import write_mpd
+from repro.manifest.packager import package_dash, package_hls
+from repro.media.content import drama_show
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+BROKEN_MASTER = """#EXTM3U
+#EXT-X-STREAM-INF:BANDWIDTH=900000,CODECS="avc1,mp4a",AUDIO="aud"
+V1_A2.m3u8
+#EXT-X-STREAM-INF:BANDWIDTH=300000,CODECS="avc1,mp4a",AUDIO="aud"
+V1_A1.m3u8
+#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID="aud",NAME="A1",URI="A1.m3u8"
+#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID="aud",NAME="A2",URI="A2.m3u8"
+"""
+
+BROKEN_MEDIA = """#EXTM3U
+#EXT-X-PLAYLIST-TYPE:VOD
+#EXTINF:4.50000,
+#EXT-X-BYTERANGE:500000@0
+{track}_00000.mp4
+#EXTINF:4.00000,
+#EXT-X-BYTERANGE:400000@500000
+{track}_00001.mp4
+"""
+
+
+def broken_package():
+    files = {"master.m3u8": BROKEN_MASTER}
+    for track in ("V1", "A1", "A2"):
+        files[f"{track}.m3u8"] = BROKEN_MEDIA.format(track=track)
+    return files
+
+
+class TestApplyEdits:
+    def test_insert_and_replace(self):
+        text, applied = apply_edits(
+            "abcdef", [TextEdit(0, 0, "X"), TextEdit(3, 5, "Y")]
+        )
+        assert text == "XabcYf"
+        assert applied == 2
+
+    def test_overlapping_edit_skipped(self):
+        text, applied = apply_edits(
+            "abcdef", [TextEdit(1, 4, "X"), TextEdit(2, 5, "Y")]
+        )
+        assert applied == 1
+
+
+class TestFixBrokenFixture:
+    def test_nonconformant_fixture_relints_clean(self):
+        """The ISSUE acceptance check: --fix output has zero findings
+        (the curation warning aside, which has no mechanical fix)."""
+        result = fix_files(broken_package())
+        after = analyze_files(result.files)
+        fixable_left = [f for f in after if f.rule in FIXERS]
+        assert fixable_left == []
+        assert worst_severity(after) is not Severity.ERROR
+
+    def test_fix_is_idempotent_on_fixture(self):
+        once = fix_files(broken_package())
+        twice = fix_files(once.files)
+        assert twice.files == once.files
+        assert twice.n_fixed == 0
+
+    def test_version_and_targetduration_inserted(self):
+        result = fix_files(broken_package())
+        fixed = result.files["V1.m3u8"]
+        assert "#EXT-X-VERSION:4" in fixed  # byteranges need version 4
+        # Python's round() is banker's: round(4.5) == 4, matching the
+        # rule's own rounding, so target 4 satisfies both segments.
+        assert "#EXT-X-TARGETDURATION:4" in fixed
+        assert fixed.rstrip().endswith("#EXT-X-ENDLIST")
+
+    def test_variant_order_fixed_ascending(self):
+        result = fix_files(broken_package())
+        master = result.files["master.m3u8"]
+        assert master.index("V1_A1.m3u8") < master.index("V1_A2.m3u8")
+
+    def test_average_bandwidth_inserted(self):
+        result = fix_files(broken_package())
+        master = result.files["master.m3u8"]
+        assert "AVERAGE-BANDWIDTH=" in master
+
+    def test_missing_extm3u_inserted(self):
+        files = {"V1.m3u8": BROKEN_MEDIA.format(track="V1").replace("#EXTM3U\n", "")}
+        result = fix_files(files)
+        assert result.files["V1.m3u8"].startswith("#EXTM3U\n")
+
+    def test_bitrate_tag_inserted_in_mixed_playlist(self):
+        mixed = """#EXTM3U
+#EXT-X-VERSION:4
+#EXT-X-TARGETDURATION:4
+#EXT-X-BITRATE:1000
+#EXTINF:4.00000,
+V1_00000.mp4
+#EXTINF:4.00000,
+#EXT-X-BYTERANGE:400000@0
+V1_00001.mp4
+#EXT-X-ENDLIST
+"""
+        result = fix_files({"V1.m3u8": mixed})
+        fixed = result.files["V1.m3u8"]
+        # 400000 B / 4 s = 800 kbps for the untagged segment
+        assert fixed.count("#EXT-X-BITRATE:") == 2
+        assert "#EXT-X-BITRATE:800" in fixed
+
+
+# A generator for small, structurally varied media playlists: random
+# subsets of defects the fixers must repair in one fix_files() call.
+_media_defects = st.fixed_dictionaries(
+    {
+        "drop_extm3u": st.booleans(),
+        "drop_version": st.booleans(),
+        "drop_target": st.booleans(),
+        "bad_target": st.booleans(),
+        "drop_endlist": st.booleans(),
+        "n_segments": st.integers(min_value=1, max_value=4),
+        "duration_tenths": st.integers(min_value=10, max_value=60),
+    }
+)
+
+
+def _build_media(spec) -> str:
+    lines = []
+    if not spec["drop_extm3u"]:
+        lines.append("#EXTM3U")
+    if not spec["drop_version"]:
+        lines.append("#EXT-X-VERSION:4")
+    duration = spec["duration_tenths"] / 10.0
+    if not spec["drop_target"]:
+        target = 1 if spec["bad_target"] else max(1, int(round(duration)))
+        lines.append(f"#EXT-X-TARGETDURATION:{target}")
+    lines.append("#EXT-X-PLAYLIST-TYPE:VOD")
+    offset = 0
+    for i in range(spec["n_segments"]):
+        lines.append(f"#EXTINF:{duration:.5f},")
+        lines.append(f"#EXT-X-BYTERANGE:500000@{offset}")
+        lines.append(f"V1_{i:05d}.mp4")
+        offset += 500000
+    if not spec["drop_endlist"]:
+        lines.append("#EXT-X-ENDLIST")
+    return "\n".join(lines) + "\n"
+
+
+class TestFixProperties:
+    @given(spec=_media_defects)
+    @settings(max_examples=60, deadline=None)
+    def test_autofix_idempotent(self, spec):
+        files = {"V1.m3u8": _build_media(spec)}
+        once = fix_files(files)
+        twice = fix_files(once.files)
+        assert twice.files == once.files
+
+    @given(spec=_media_defects)
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_output_relints_clean(self, spec):
+        files = {"V1.m3u8": _build_media(spec)}
+        result = fix_files(files)
+        assert analyze_files(result.files) == []
+
+
+#: The three Table-1 packagings of the reference title: DASH, HLS with
+#: byte ranges (case i), HLS chunk-per-file with bitrate tags (case ii).
+_pair_subsets = st.lists(
+    st.sampled_from(
+        [(f"V{i}", f"A{j}") for i in range(1, 7) for j in range(1, 4)]
+    ),
+    min_size=1,
+    max_size=18,
+    unique=True,
+)
+
+
+class TestTable1PackagingsLintClean:
+    content = drama_show()
+
+    def _combos(self, pairs):
+        return combinations_from_pairs(self.content, pairs)
+
+    @given(pairs=_pair_subsets)
+    @settings(max_examples=25, deadline=None)
+    def test_dash_packaging_has_no_errors(self, pairs):
+        mpd = package_dash(self.content, allowed_combinations=self._combos(pairs))
+        findings = analyze_files({"manifest.mpd": write_mpd(mpd)})
+        assert worst_severity(findings) is not Severity.ERROR
+
+    @given(pairs=_pair_subsets)
+    @settings(max_examples=25, deadline=None)
+    def test_hls_byterange_packaging_has_no_errors(self, pairs):
+        package = package_hls(self.content, combinations=self._combos(pairs))
+        findings = analyze_files(package.write_all())
+        assert worst_severity(findings) is not Severity.ERROR
+
+    @given(pairs=_pair_subsets)
+    @settings(max_examples=25, deadline=None)
+    def test_hls_chunk_tags_packaging_has_no_errors(self, pairs):
+        package = package_hls(
+            self.content,
+            combinations=self._combos(pairs),
+            single_file=False,
+            include_bitrate_tag=True,
+        )
+        findings = analyze_files(package.write_all())
+        assert worst_severity(findings) is not Severity.ERROR
+
+    def test_reference_packagings_zero_error(self):
+        """The exact Table-1 set: H_all, H_sub, and DASH."""
+        for combos in (all_combinations(self.content), hsub_combinations(self.content)):
+            for kwargs in (
+                {"single_file": True},
+                {"single_file": False, "include_bitrate_tag": True},
+            ):
+                package = package_hls(self.content, combinations=combos, **kwargs)
+                findings = analyze_files(package.write_all())
+                assert worst_severity(findings) is not Severity.ERROR
+        mpd = package_dash(self.content)
+        findings = analyze_files({"manifest.mpd": write_mpd(mpd)})
+        assert worst_severity(findings) is not Severity.ERROR
+
+    def test_self_lint_flag_passes_on_conformant_packaging(self):
+        package_hls(
+            self.content,
+            combinations=hsub_combinations(self.content),
+            self_lint=True,
+        )
+        package_dash(self.content, self_lint=True)
+
+    def test_self_lint_flag_raises_on_blind_packaging(self):
+        import pytest
+
+        from repro.errors import ManifestError
+
+        with pytest.raises(ManifestError):
+            package_hls(
+                self.content,
+                combinations=hsub_combinations(self.content),
+                single_file=False,
+                include_bitrate_tag=False,
+                self_lint=True,
+            )

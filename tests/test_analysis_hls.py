@@ -1,0 +1,237 @@
+"""HLS rules of the static analyzer (text-level, with source spans)."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisParseFailure,
+    AnalyzerConfig,
+    Severity,
+    analyze_files,
+    analyze_text,
+    worst_severity,
+)
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+def by_rule(findings, rule_id):
+    return [f for f in findings if f.rule == rule_id]
+
+
+GOOD_MASTER = """#EXTM3U
+#EXT-X-VERSION:6
+#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID="audio",NAME="A1",URI="A1.m3u8"
+#EXT-X-STREAM-INF:BANDWIDTH=1500000,AVERAGE-BANDWIDTH=1200000,CODECS="avc1.640028,mp4a.40.2",AUDIO="audio"
+V1_A1.m3u8
+"""
+
+GOOD_MEDIA = """#EXTM3U
+#EXT-X-VERSION:4
+#EXT-X-TARGETDURATION:4
+#EXT-X-PLAYLIST-TYPE:VOD
+#EXTINF:4.00000,
+#EXT-X-BYTERANGE:500000@0
+V1.mp4
+#EXT-X-ENDLIST
+"""
+
+
+class TestSpans:
+    def test_findings_carry_file_line_col(self):
+        text = GOOD_MASTER.replace("BANDWIDTH=1500000,", "")
+        findings = analyze_text("master.m3u8", text)
+        f = by_rule(findings, "HLS-BANDWIDTH-PRESENT")[0]
+        assert f.file == "master.m3u8"
+        assert f.line == 4  # the EXT-X-STREAM-INF line
+        assert f.col >= 1
+
+    def test_sorted_by_position(self):
+        findings = analyze_files(
+            {"b.m3u8": GOOD_MEDIA.replace("#EXT-X-ENDLIST\n", ""),
+             "a.m3u8": GOOD_MEDIA.replace("#EXT-X-ENDLIST\n", "")}
+        )
+        keys = [(f.file, f.line, f.col) for f in findings]
+        assert keys == sorted(keys)
+
+
+class TestBasicConformance:
+    def test_missing_extm3u(self):
+        findings = analyze_text("m.m3u8", GOOD_MEDIA.replace("#EXTM3U\n", ""))
+        assert "HLS-EXTM3U" in rules(findings)
+
+    def test_clean_media_playlist(self):
+        assert analyze_text("V1.m3u8", GOOD_MEDIA) == []
+
+    def test_version_gate_byterange(self):
+        text = GOOD_MEDIA.replace("#EXT-X-VERSION:4", "#EXT-X-VERSION:3")
+        findings = analyze_text("V1.m3u8", text)
+        gate = by_rule(findings, "HLS-VERSION-GATE")
+        assert gate and gate[0].severity is Severity.ERROR
+        assert "version >= 4" in gate[0].message
+
+    def test_version_gate_float_extinf_without_version(self):
+        text = "#EXTM3U\n#EXT-X-TARGETDURATION:4\n#EXTINF:3.5,\nc.mp4\n#EXT-X-ENDLIST\n"
+        findings = analyze_text("m.m3u8", text)
+        assert "HLS-VERSION-GATE" in rules(findings)
+
+    def test_integer_extinf_needs_no_version(self):
+        text = "#EXTM3U\n#EXT-X-TARGETDURATION:4\n#EXTINF:4,\nc.mp4\n#EXT-X-ENDLIST\n"
+        assert "HLS-VERSION-GATE" not in rules(analyze_text("m.m3u8", text))
+
+    def test_targetduration_missing(self):
+        text = GOOD_MEDIA.replace("#EXT-X-TARGETDURATION:4\n", "")
+        findings = analyze_text("V1.m3u8", text)
+        assert "HLS-TARGETDURATION-PRESENT" in rules(findings)
+
+    def test_targetduration_exceeded(self):
+        text = GOOD_MEDIA.replace("#EXT-X-TARGETDURATION:4", "#EXT-X-TARGETDURATION:3")
+        findings = analyze_text("V1.m3u8", text)
+        exceeded = by_rule(findings, "HLS-TARGETDURATION")
+        assert exceeded and exceeded[0].severity is Severity.ERROR
+
+    def test_targetduration_rounding_is_rfc_half_up(self):
+        # 4.4 rounds to 4: allowed by TARGETDURATION:4
+        text = GOOD_MEDIA.replace("#EXTINF:4.00000,", "#EXTINF:4.40000,")
+        assert "HLS-TARGETDURATION" not in rules(analyze_text("V1.m3u8", text))
+
+    def test_vod_without_endlist(self):
+        text = GOOD_MEDIA.replace("#EXT-X-ENDLIST\n", "")
+        findings = analyze_text("V1.m3u8", text)
+        assert "HLS-ENDLIST" in rules(findings)
+
+    def test_live_playlist_without_endlist_ok(self):
+        text = GOOD_MEDIA.replace("#EXT-X-PLAYLIST-TYPE:VOD\n", "").replace(
+            "#EXT-X-ENDLIST\n", ""
+        )
+        assert "HLS-ENDLIST" not in rules(analyze_text("V1.m3u8", text))
+
+    def test_missing_segment_uri(self):
+        text = "#EXTM3U\n#EXT-X-VERSION:3\n#EXT-X-TARGETDURATION:4\n#EXTINF:4.0,\n#EXT-X-ENDLIST\n"
+        findings = analyze_text("V1.m3u8", text)
+        assert "HLS-URI-PRESENT" in rules(findings)
+
+    def test_malformed_attribute_list(self):
+        text = GOOD_MASTER.replace('AUDIO="audio"', 'AUDIO="audio')
+        findings = analyze_text("master.m3u8", text)
+        assert "HLS-ATTR-SYNTAX" in rules(findings)
+
+
+class TestMasterRules:
+    def test_missing_bandwidth(self):
+        text = GOOD_MASTER.replace("BANDWIDTH=1500000,", "")
+        findings = analyze_text("master.m3u8", text)
+        assert "HLS-BANDWIDTH-PRESENT" in rules(findings)
+
+    def test_missing_codecs_warns(self):
+        text = GOOD_MASTER.replace(',CODECS="avc1.640028,mp4a.40.2"', "")
+        findings = analyze_text("master.m3u8", text)
+        codecs = by_rule(findings, "HLS-CODECS-PRESENT")
+        assert codecs and codecs[0].severity is Severity.WARNING
+
+    def test_undeclared_audio_group(self):
+        text = GOOD_MASTER.replace('GROUP-ID="audio"', 'GROUP-ID="other"')
+        findings = analyze_text("master.m3u8", text)
+        assert "HLS-GROUP-INTEGRITY" in rules(findings)
+
+    def test_duplicate_rendition_names(self):
+        extra = '#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID="audio",NAME="A1",URI="A1b.m3u8"\n'
+        text = GOOD_MASTER.replace("#EXT-X-STREAM-INF", extra + "#EXT-X-STREAM-INF")
+        findings = analyze_text("master.m3u8", text)
+        assert "HLS-RENDITION-NAMES" in rules(findings)
+
+    def test_audio_coverage_error(self):
+        text = GOOD_MASTER.replace('AUDIO="audio"', "")
+        text = text.replace("V1_A1.m3u8", "V1_A9.m3u8")
+        findings = analyze_text("master.m3u8", text)
+        coverage = by_rule(findings, "HLS-AUDIO-COVERAGE")
+        assert coverage and worst_severity(findings) is Severity.ERROR
+
+    def test_variant_order_flagged(self):
+        text = """#EXTM3U
+#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID="audio",NAME="A1",URI="A1.m3u8"
+#EXT-X-STREAM-INF:BANDWIDTH=900000,AVERAGE-BANDWIDTH=800000,CODECS="a,v",AUDIO="audio"
+V1_A2.m3u8
+#EXT-X-STREAM-INF:BANDWIDTH=300000,AVERAGE-BANDWIDTH=250000,CODECS="a,v",AUDIO="audio"
+V1_A1.m3u8
+#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID="audio",NAME="A2",URI="A2.m3u8"
+"""
+        findings = analyze_text("master.m3u8", text)
+        assert "HLS-VARIANT-ORDER" in rules(findings)
+
+
+class TestPackageRules:
+    def test_missing_media_playlist(self):
+        files = {"master.m3u8": GOOD_MASTER, "A1.m3u8": GOOD_MEDIA}
+        findings = analyze_files(files)
+        missing = by_rule(findings, "HLS-MEDIA-PLAYLIST-MISSING")
+        assert missing and "V1" in missing[0].message
+
+    def test_lone_master_not_flagged_for_missing_media(self):
+        findings = analyze_files({"master.m3u8": GOOD_MASTER})
+        assert "HLS-MEDIA-PLAYLIST-MISSING" not in rules(findings)
+
+    def test_declared_bandwidth_inconsistent(self):
+        master = GOOD_MASTER.replace("BANDWIDTH=1500000", "BANDWIDTH=9000000")
+        files = {
+            "master.m3u8": master,
+            "V1.m3u8": GOOD_MEDIA,
+            "A1.m3u8": GOOD_MEDIA.replace("500000@0", "50000@0"),
+        }
+        findings = analyze_files(files)
+        assert "HLS-BANDWIDTH-CONSISTENT" in rules(findings)
+
+    def test_consistent_bandwidth_clean(self):
+        # V1: 700000 B / 4 s = 1.4 Mbps; A1: 50000 B / 4 s = 0.1 Mbps;
+        # aggregate peak 1.5 Mbps == declared BANDWIDTH.
+        files = {
+            "master.m3u8": GOOD_MASTER,
+            "V1.m3u8": GOOD_MEDIA.replace("500000@0", "700000@0"),
+            "A1.m3u8": GOOD_MEDIA.replace("500000@0", "50000@0"),
+        }
+        findings = analyze_files(files)
+        assert "HLS-BANDWIDTH-CONSISTENT" not in rules(findings)
+
+
+class TestConfig:
+    def test_disable_rule(self):
+        text = GOOD_MEDIA.replace("#EXT-X-ENDLIST\n", "")
+        config = AnalyzerConfig(disabled=frozenset({"HLS-ENDLIST"}))
+        assert "HLS-ENDLIST" not in rules(analyze_text("V1.m3u8", text, config))
+
+    def test_select_rules(self):
+        text = GOOD_MEDIA.replace("#EXT-X-ENDLIST\n", "").replace(
+            "#EXT-X-TARGETDURATION:4\n", ""
+        )
+        config = AnalyzerConfig(selected=frozenset({"HLS-ENDLIST"}))
+        assert rules(analyze_text("V1.m3u8", text, config)) == {"HLS-ENDLIST"}
+
+    def test_empty_playlist_is_parse_failure(self):
+        with pytest.raises(AnalysisParseFailure):
+            analyze_text("V1.m3u8", "   \n")
+
+
+class TestBaseline:
+    def test_baseline_suppresses_and_survives_line_shift(self):
+        from repro.analysis import Baseline
+
+        text = GOOD_MEDIA.replace("#EXT-X-ENDLIST\n", "")
+        first = analyze_text("V1.m3u8", text)
+        baseline = Baseline.from_findings(first)
+        config = AnalyzerConfig(baseline=baseline)
+        assert analyze_text("V1.m3u8", text, config) == []
+        # Insert a comment line above everything: line numbers shift but
+        # fingerprints (rule|file|line text) do not.
+        shifted = "#EXTM3U\n# a comment\n" + text[len("#EXTM3U\n") :]
+        assert analyze_text("V1.m3u8", shifted, config) == []
+
+    def test_baseline_roundtrip(self):
+        from repro.analysis import Baseline
+
+        findings = analyze_text(
+            "V1.m3u8", GOOD_MEDIA.replace("#EXT-X-ENDLIST\n", "")
+        )
+        baseline = Baseline.from_findings(findings)
+        again = Baseline.loads(baseline.dumps())
+        assert again.fingerprints == baseline.fingerprints
