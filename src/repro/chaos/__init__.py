@@ -1,0 +1,37 @@
+"""Fault injection that proves the runner's crash-safety.
+
+The chaos harness has three parts:
+
+* :mod:`~repro.chaos.schedule` — a seeded, deterministic fault plan
+  (:class:`ChaosSchedule`): whether attempt *n* of job *k* faults, and
+  how, is a pure hash of ``(seed, job key, attempt)``, so every rerun
+  sees the same storm.
+* :mod:`~repro.chaos.injector` — worker-side execution of the plan:
+  real SIGKILLs, real sleeps past the deadline, real mid-job raises,
+  real torn cache files. The engine under test recovers from actual
+  damage, not mocks.
+* :mod:`~repro.chaos.invariants` — the laws every surviving session
+  must still obey (byte ledger closes, buffers never negative, every
+  session ends with a verdict), checked over each chaos run's results.
+
+The end-to-end guarantee, property-tested in ``tests/test_chaos.py``:
+a grid run under chaos with retries produces rows byte-identical to
+the clean serial run, and a resumed interrupted sweep recomputes only
+its incomplete cells.
+"""
+
+from .injector import ChaosError, inject, log_event
+from .invariants import InvariantViolation, check_outcomes, check_session
+from .schedule import ALL_KINDS, ChaosSchedule, FaultKind
+
+__all__ = [
+    "ALL_KINDS",
+    "ChaosError",
+    "ChaosSchedule",
+    "FaultKind",
+    "InvariantViolation",
+    "check_outcomes",
+    "check_session",
+    "inject",
+    "log_event",
+]

@@ -1,0 +1,90 @@
+"""Worker-side fault execution and the chaos event log.
+
+:func:`inject` runs at the top of every worker attempt when a chaos
+schedule is active. It consults the schedule (pure data, pure hash —
+see :mod:`repro.chaos.schedule`) and, if this ``(job, attempt)``
+coordinate is chosen, *actually does the damage*: SIGKILLs the worker,
+sleeps past the deadline, raises mid-job, or leaves a torn cache entry
+and then dies. Nothing here is simulated at the engine's level of
+abstraction — the engine under test sees real dead processes and real
+truncated files, which is the point of the harness.
+
+Every injected fault (and every recovery action the engine takes) is
+appended to a JSON-lines event log when the schedule carries a
+``log_path``, so a chaos run leaves an auditable timeline behind — CI
+uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from typing import Optional
+
+from ..errors import SimulationError
+from .schedule import ChaosSchedule, FaultKind
+
+
+class ChaosError(SimulationError):
+    """The injected mid-job exception (the RAISE fault)."""
+
+
+def log_event(log_path: Optional[str], **event) -> None:
+    """Append one JSON event line; a single O_APPEND write so chaos
+    workers and the parent can interleave safely."""
+    if not log_path:
+        return
+    event.setdefault("pid", os.getpid())
+    line = json.dumps(event, sort_keys=True) + "\n"
+    try:
+        fd = os.open(log_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+    except OSError:
+        pass  # a lost log line must never fail the run
+
+
+def inject(
+    schedule: ChaosSchedule,
+    job_key: str,
+    attempt: int,
+    cache_root: Optional[str] = None,
+) -> Optional[FaultKind]:
+    """Execute the scheduled fault for this attempt, if any.
+
+    Returns the fault that was injected *and survived* (only HANG — it
+    delays, then lets the attempt proceed), ``None`` when the
+    coordinate is clear. KILL and TRUNCATE never return; RAISE raises.
+    """
+    fault = schedule.fault_for(job_key, attempt)
+    if fault is None:
+        return None
+    log_event(
+        schedule.log_path,
+        event="fault",
+        fault=fault.value,
+        job=job_key[:12],
+        attempt=attempt,
+    )
+    if fault is FaultKind.KILL:
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError("unreachable: SIGKILL returned")  # pragma: no cover
+    if fault is FaultKind.HANG:
+        time.sleep(schedule.hang_s)
+        return fault
+    if fault is FaultKind.RAISE:
+        raise ChaosError(
+            f"chaos: injected failure (job {job_key[:12]}, attempt {attempt})"
+        )
+    if fault is FaultKind.TRUNCATE:
+        if cache_root:
+            from ..runner.cache import ResultCache
+
+            ResultCache(cache_root).write_torn(job_key)
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError("unreachable: SIGKILL returned")  # pragma: no cover
+    raise ChaosError(f"chaos: unhandled fault kind {fault!r}")  # pragma: no cover

@@ -1,0 +1,145 @@
+"""Session-invariant checker run over chaos-surviving results.
+
+Surviving chaos is necessary but not sufficient: a grid that *returns*
+rows after workers were killed and requeued could still be returning
+damaged rows. These checks assert the physical laws every simulated
+session must obey regardless of how many times its worker died:
+
+* the byte ledger closes — ``served == played + wasted + resumed``
+  (PR 1's accounting identity);
+* buffer levels are never negative;
+* every session terminates with a verdict: it stamps an end time and
+  is either completed, degraded with an explicit ``termination_reason``,
+  or cut off by the simulation-time ceiling (which always lies well
+  past the content duration);
+* stalls and download records are well-formed and inside the session.
+
+:func:`check_session` inspects one result; :func:`check_outcomes`
+sweeps a grid's outcomes and tags each violation with the offending
+job. The engine runs the sweep automatically after any chaos run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..sim.records import SessionResult
+
+#: Float-noise tolerance for "never negative" buffer levels.
+_NEG_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken law, with enough detail to debug it."""
+
+    invariant: str
+    detail: str
+    job: Optional[str] = None
+
+    def __str__(self) -> str:
+        prefix = f"[{self.job}] " if self.job else ""
+        return f"{prefix}{self.invariant}: {self.detail}"
+
+
+def check_session(result: SessionResult) -> List[InvariantViolation]:
+    """Every violated invariant for one session (empty = healthy)."""
+    violations: List[InvariantViolation] = []
+
+    ledger = result.byte_accounting()
+    if not ledger["reconciles"]:
+        violations.append(
+            InvariantViolation(
+                "byte-accounting",
+                "served != played + wasted + resumed: "
+                f"{ledger['bits_served']:.0f} != {ledger['bits_played']:.0f} "
+                f"+ {ledger['bits_wasted']:.0f} + {ledger['bits_resumed']:.0f}",
+            )
+        )
+
+    for sample in result.buffer_timeline:
+        if sample.video_level_s < -_NEG_EPS or sample.audio_level_s < -_NEG_EPS:
+            violations.append(
+                InvariantViolation(
+                    "non-negative-buffers",
+                    f"t={sample.t:.3f}: video={sample.video_level_s:.6f}s "
+                    f"audio={sample.audio_level_s:.6f}s",
+                )
+            )
+            break  # one witness is enough; don't flood the report
+
+    if result.ended_at_s is None:
+        violations.append(
+            InvariantViolation("terminates", "session has no end timestamp")
+        )
+    elif not (
+        result.completed
+        or result.termination_reason is not None
+        or result.ended_at_s >= result.content_duration_s
+    ):
+        # The only legitimate incomplete-without-reason exit is the
+        # max-sim-time ceiling, which always lies past the content
+        # duration; anything else ended without a verdict.
+        violations.append(
+            InvariantViolation(
+                "terminates",
+                f"incomplete at t={result.ended_at_s:.3f} with no "
+                "termination reason",
+            )
+        )
+
+    end = result.ended_at_s if result.ended_at_s is not None else float("inf")
+    for stall in result.stalls:
+        if stall.end_s is None:
+            violations.append(
+                InvariantViolation(
+                    "stalls-well-formed",
+                    f"open stall starting at t={stall.start_s:.3f}",
+                )
+            )
+        elif stall.end_s < stall.start_s or stall.end_s > end + _NEG_EPS:
+            violations.append(
+                InvariantViolation(
+                    "stalls-well-formed",
+                    f"stall [{stall.start_s:.3f}, {stall.end_s:.3f}] outside "
+                    f"[start, {end:.3f}]",
+                )
+            )
+
+    for record in result.downloads:
+        if record.completed_at < record.started_at:
+            violations.append(
+                InvariantViolation(
+                    "downloads-well-formed",
+                    f"chunk {record.chunk_index} ({record.medium.value}) "
+                    f"completed at {record.completed_at:.3f} before its "
+                    f"start {record.started_at:.3f}",
+                )
+            )
+        if not 0 <= record.chunk_index < result.n_chunks:
+            violations.append(
+                InvariantViolation(
+                    "downloads-well-formed",
+                    f"chunk index {record.chunk_index} outside "
+                    f"[0, {result.n_chunks})",
+                )
+            )
+
+    return violations
+
+
+def check_outcomes(outcomes: Sequence) -> List[InvariantViolation]:
+    """Sweep a grid's outcomes; failed jobs (no result) are skipped —
+    they are already surfaced through ``JobOutcome.error``."""
+    violations: List[InvariantViolation] = []
+    for outcome in outcomes:
+        result = getattr(outcome, "result", None)
+        if result is None:
+            continue
+        label = outcome.job.key()[:12]
+        violations.extend(
+            InvariantViolation(v.invariant, v.detail, job=label)
+            for v in check_session(result)
+        )
+    return violations

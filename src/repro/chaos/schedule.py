@@ -1,0 +1,160 @@
+"""Seeded, deterministic fault schedules for the chaos harness.
+
+A :class:`ChaosSchedule` is plain frozen data — it crosses the process
+boundary by pickling and decides faults by hashing, never by drawing
+from shared RNG state. Whether attempt *n* of job *k* faults, and with
+which :class:`FaultKind`, is a pure function of ``(seed, job key,
+attempt)``: every worker, every rerun and every resumed sweep sees the
+same schedule, which is what lets the tests assert exact recovery
+behaviour rather than "usually survives".
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..errors import ExperimentError
+
+
+class FaultKind(enum.Enum):
+    """What the injector does to the chosen worker.
+
+    * ``KILL`` — SIGKILL itself mid-job (segfault/OOM-killer stand-in):
+      the pool breaks and the parent must requeue on a fresh pool.
+    * ``HANG`` — sleep past the job deadline: the watchdog must notice
+      and kill the hung worker.
+    * ``RAISE`` — raise :class:`~repro.chaos.injector.ChaosError`
+      mid-job: plain crash isolation, no pool damage.
+    * ``TRUNCATE`` — write a torn cache entry straight to the final
+      path, then SIGKILL itself (death mid-write): the cache must
+      classify the leftover as truncated and evict it on resume.
+    """
+
+    KILL = "kill"
+    HANG = "hang"
+    RAISE = "raise"
+    TRUNCATE = "truncate"
+
+
+#: ``--chaos all`` shorthand.
+ALL_KINDS: Tuple[FaultKind, ...] = tuple(FaultKind)
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """Deterministic fault plan over (job key, attempt) coordinates.
+
+    ``probability`` is the chance a coordinate faults at all;
+    ``fault_attempts`` caps which attempts are eligible (the default 1
+    faults only first attempts, so a retry always finds clear sky and
+    a grid with ``retries >= 1`` is guaranteed to drain). ``hang_s``
+    sizes the HANG fault's sleep — it must exceed the job deadline for
+    the watchdog to be exercised. ``log_path`` (optional) collects one
+    JSON line per injected fault and per recovery action.
+    """
+
+    kinds: Tuple[FaultKind, ...] = ALL_KINDS
+    probability: float = 1.0
+    fault_attempts: int = 1
+    seed: int = 0
+    hang_s: float = 30.0
+    log_path: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if not self.kinds:
+            raise ExperimentError("chaos schedule needs at least one fault kind")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ExperimentError(
+                f"chaos probability must be in [0, 1], got {self.probability}"
+            )
+
+    def _draw(self, job_key: str, attempt: int) -> Tuple[float, int]:
+        """Two independent deterministic uniforms for one coordinate."""
+        digest = hashlib.sha256(
+            f"chaos|{self.seed}|{job_key}|{attempt}".encode("utf-8")
+        ).digest()
+        gate = int.from_bytes(digest[:8], "big") / 2**64
+        pick = int.from_bytes(digest[8:16], "big")
+        return gate, pick
+
+    def fault_for(self, job_key: str, attempt: int) -> Optional[FaultKind]:
+        """The fault scheduled for this attempt, or ``None``."""
+        if attempt > self.fault_attempts:
+            return None
+        gate, pick = self._draw(job_key, attempt)
+        if gate >= self.probability:
+            return None
+        return self.kinds[pick % len(self.kinds)]
+
+    def with_log(self, log_path: Optional[str]) -> "ChaosSchedule":
+        return replace(self, log_path=log_path)
+
+    def spec(self) -> str:
+        """Round-trippable spec string (shown in report params)."""
+        kinds = "-".join(kind.value for kind in self.kinds)
+        return (
+            f"{kinds}:p={self.probability},attempts={self.fault_attempts},"
+            f"seed={self.seed},hang={self.hang_s}"
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ChaosSchedule":
+        """Parse the CLI's ``--chaos`` grammar.
+
+        ``KINDS[:KEY=VALUE,...]`` where ``KINDS`` is dash-separated
+        fault names (``kill-hang``) or ``all``, and the options are
+        ``p`` (probability), ``attempts`` (eligible attempts), ``seed``
+        and ``hang`` (hang sleep, seconds). Examples::
+
+            --chaos all
+            --chaos kill-hang
+            --chaos raise:p=0.5,seed=3
+            --chaos kill-hang:hang=20,attempts=2
+        """
+        head, _, tail = spec.strip().partition(":")
+        if not head:
+            raise ExperimentError(f"empty chaos spec {spec!r}")
+        if head == "all":
+            kinds = ALL_KINDS
+        else:
+            try:
+                kinds = tuple(FaultKind(name) for name in head.split("-"))
+            except ValueError:
+                known = "-".join(k.value for k in ALL_KINDS)
+                raise ExperimentError(
+                    f"unknown fault kind in {head!r}; known kinds: {known} "
+                    f"(dash-separated), or 'all'"
+                ) from None
+        options = {}
+        if tail:
+            for item in tail.split(","):
+                key, sep, value = item.partition("=")
+                if not sep:
+                    raise ExperimentError(
+                        f"chaos option {item!r} is not KEY=VALUE"
+                    )
+                options[key.strip()] = value.strip()
+        probability = options.pop("p", "1.0")
+        fault_attempts = options.pop("attempts", "1")
+        seed = options.pop("seed", "0")
+        hang_s = options.pop("hang", "30.0")
+        log_path = options.pop("log", None)
+        if options:
+            raise ExperimentError(
+                f"unknown chaos option(s): {sorted(options)}; "
+                f"known: p, attempts, seed, hang, log"
+            )
+        try:
+            return cls(
+                kinds=kinds,
+                probability=float(probability),
+                fault_attempts=int(fault_attempts),
+                seed=int(seed),
+                hang_s=float(hang_s),
+                log_path=log_path,
+            )
+        except ValueError as exc:
+            raise ExperimentError(f"bad chaos option value: {exc}") from None

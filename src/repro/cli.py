@@ -60,11 +60,28 @@ def cmd_list(_args) -> int:
 
 
 def _runner_options_from(args):
-    """The runner configuration implied by --jobs/--cache/--no-cache."""
+    """The runner configuration implied by --jobs/--cache/--no-cache
+    plus the robustness knobs (--job-timeout/--job-retries/--chaos)."""
     from .runner import runner_options
 
     cache_dir = args.cache_dir if args.cache and not args.no_cache else None
-    return runner_options(workers=args.jobs, cache_dir=cache_dir)
+    chaos = None
+    if args.chaos:
+        from .chaos import ChaosSchedule
+
+        chaos = ChaosSchedule.from_spec(args.chaos).with_log(args.chaos_log)
+        if args.jobs <= 1:
+            raise SystemExit(
+                "--chaos needs --jobs >= 2: its faults kill real worker "
+                "processes, which the in-process serial path cannot survive"
+            )
+    return runner_options(
+        workers=args.jobs,
+        cache_dir=cache_dir,
+        job_timeout_s=args.job_timeout,
+        job_retries=args.job_retries,
+        chaos=chaos,
+    )
 
 
 def cmd_run(args) -> int:
@@ -390,6 +407,36 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir",
             default=".repro-cache",
             help="result-cache directory (default: .repro-cache)",
+        )
+        parser.add_argument(
+            "--job-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-job wall-clock deadline; hung workers are killed and "
+            "the job is requeued (pool mode only)",
+        )
+        parser.add_argument(
+            "--job-retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="extra attempts granted to a crashed, hung or raising job "
+            "before it is surfaced as failed (default: 2)",
+        )
+        parser.add_argument(
+            "--chaos",
+            metavar="SPEC",
+            help="arm the fault injector: KINDS[:KEY=VALUE,...] with "
+            "dash-separated kinds from kill/hang/raise/truncate or 'all' "
+            "(e.g. 'kill-hang', 'raise:p=0.5,seed=3'); needs --jobs >= 2",
+        )
+        parser.add_argument(
+            "--chaos-log",
+            default="chaos-events.jsonl",
+            metavar="FILE",
+            help="JSON-lines chaos event log (faults injected, watchdog "
+            "kills, requeues); only written when --chaos is armed",
         )
 
     run_parser = sub.add_parser("run", help="run experiments")

@@ -63,6 +63,27 @@ def report_to_markdown(report: ExperimentReport, include_charts: bool = True) ->
     return "\n".join(lines) + "\n"
 
 
+def _runner_totals(reports: List[ExperimentReport]) -> Dict[str, float]:
+    """Cross-experiment roll-up of the runners' execution, recovery
+    (retry/kill/requeue) and cache counters — the machine-readable
+    health summary the CI chaos job greps."""
+    totals: Dict[str, float] = {}
+
+    def _absorb(prefix: str, mapping: Dict) -> None:
+        for key, value in mapping.items():
+            if isinstance(value, dict):
+                _absorb(f"{prefix}{key}_", value)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                name = f"{prefix}{key}"
+                totals[name] = round(totals.get(name, 0) + value, 3)
+
+    for report in reports:
+        runner = report.params.get("runner")
+        if isinstance(runner, dict):
+            _absorb("", {k: v for k, v in runner.items() if k != "workers"})
+    return totals
+
+
 def report_to_dict(report: ExperimentReport) -> Dict:
     """JSON-serializable view of one report."""
     return {
@@ -103,8 +124,10 @@ def write_reports(
     selected = list(names) if names else experiment_names()
     outcomes: Dict[str, bool] = {}
     summary = []
+    reports: List[ExperimentReport] = []
     for name in selected:
         report = run_experiment(name)
+        reports.append(report)
         outcomes[name] = report.passed
         path = os.path.join(output_dir, f"{name}.md")
         with open(path, "w", encoding="utf-8") as f:
@@ -115,6 +138,7 @@ def write_reports(
             {
                 "experiments": summary,
                 "all_passed": all(outcomes.values()),
+                "runner": _runner_totals(reports),
             },
             f,
             indent=2,

@@ -10,6 +10,14 @@ deterministic result ordering. A content-addressed on-disk cache
 (:class:`~repro.runner.cache.ResultCache`, ``.repro-cache/`` by
 default) replays previously simulated sessions bit-identically.
 
+The engine is crash-safe: per-job wall-clock deadlines enforced by a
+watchdog, crash isolation with capped retries on a fresh pool (a dead
+or hung worker costs only its job), and checkpoint/resume — completed
+cells stream into the cache as they finish, so an interrupted sweep
+recomputes only its incomplete jobs. The :mod:`repro.chaos` harness
+fault-injects real SIGKILLs, hangs, raises and torn cache entries to
+prove those properties rather than assert them.
+
 Entry points:
 
 * :func:`run_jobs` — the engine: jobs in, ordered outcomes out.
@@ -21,6 +29,7 @@ Entry points:
 
 from .cache import CacheStats, ResultCache
 from .engine import (
+    EngineStats,
     GridRunner,
     JobOutcome,
     RunnerOptions,
@@ -41,6 +50,7 @@ from .jobs import (
 __all__ = [
     "CacheStats",
     "ContentSpec",
+    "EngineStats",
     "FailureSpec",
     "GridRunner",
     "JobOutcome",

@@ -9,20 +9,39 @@ cached experiment produce byte-equal report rows.
 
 The cache is safe to share between concurrent runs: writes go through
 a per-process temp file and an atomic :func:`os.replace`, and a
-corrupt or truncated entry is treated as a miss and evicted rather
-than raised.
+corrupt entry is treated as a miss and evicted rather than raised.
+Every entry is framed (magic, payload length, CRC32) so the cache can
+tell *truncation* — a worker killed mid-write before the rename, or a
+torn entry from a full disk — apart from garbage, and account for each
+separately (``truncated`` vs ``evictions`` stats). Both recover the
+same way: evict and re-simulate.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import struct
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
 from ..sim.records import SessionResult
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Entry framing: magic, 8-byte big-endian payload length, 4-byte
+#: CRC32 of the payload, then the pickled payload itself. The length
+#: makes truncation detectable without attempting an unpickle; the
+#: CRC catches same-length corruption.
+ENTRY_MAGIC = b"RPRC1"
+_HEADER = struct.Struct(">QI")
+HEADER_SIZE = len(ENTRY_MAGIC) + _HEADER.size
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap a pickled payload in the cache's on-disk entry framing."""
+    return ENTRY_MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
 @dataclass
@@ -34,6 +53,7 @@ class CacheStats:
     bytes_read: int = 0
     bytes_written: int = 0
     evictions: int = 0
+    truncated: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -41,6 +61,8 @@ class CacheStats:
             "misses": self.misses,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "evictions": self.evictions,
+            "truncated": self.truncated,
         }
 
 
@@ -54,46 +76,113 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.pkl")
 
+    def _evict(self, path: str, truncated: bool = False) -> None:
+        self.stats.misses += 1
+        self.stats.evictions += 1
+        if truncated:
+            self.stats.truncated += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[SessionResult]:
         """The cached result for ``key``, or ``None`` (counted a miss)."""
         path = self._path(key)
         try:
             with open(path, "rb") as f:
-                payload = f.read()
-            result = pickle.loads(payload)
+                data = f.read()
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
-            # Corrupt/truncated/stale-class entry: evict and re-simulate.
-            self.stats.misses += 1
-            self.stats.evictions += 1
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        except OSError:
+            self._evict(path)
+            return None
+        payload = self._unframe(data)
+        if payload is None:
+            # _unframe already classified and counted the damage.
+            self._evict(path, truncated=self._last_was_truncation)
+            return None
+        try:
+            result = pickle.loads(payload)
+        except Exception:
+            # A CRC-valid frame whose pickle still fails means a stale
+            # class layout (or a hostile write): corrupt, not truncated.
+            self._evict(path)
             return None
         if not isinstance(result, SessionResult):
-            self.stats.misses += 1
-            self.stats.evictions += 1
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self._evict(path)
             return None
         self.stats.hits += 1
-        self.stats.bytes_read += len(payload)
+        self.stats.bytes_read += len(data)
         return result
+
+    #: Scratch flag set by :meth:`_unframe` so :meth:`get` can count a
+    #: truncation without re-deriving the classification.
+    _last_was_truncation = False
+
+    def _unframe(self, data: bytes) -> Optional[bytes]:
+        """The payload of a framed entry, or ``None`` if damaged.
+
+        A file that is a strict prefix of a well-formed entry (cut-off
+        magic, short header, or payload shorter than the declared
+        length) is *truncated*; anything else — wrong magic, surplus
+        bytes, CRC mismatch — is *corrupt*.
+        """
+        self._last_was_truncation = False
+        if len(data) < HEADER_SIZE:
+            prefix_of_magic = ENTRY_MAGIC.startswith(data[: len(ENTRY_MAGIC)])
+            self._last_was_truncation = prefix_of_magic
+            return None
+        if not data.startswith(ENTRY_MAGIC):
+            return None
+        length, crc = _HEADER.unpack_from(data, len(ENTRY_MAGIC))
+        payload = data[HEADER_SIZE:]
+        if len(payload) < length:
+            self._last_was_truncation = True
+            return None
+        if len(payload) > length or zlib.crc32(payload) != crc:
+            return None
+        return payload
 
     def put(self, key: str, result: SessionResult) -> None:
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        framed = frame_payload(payload)
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "wb") as f:
-            f.write(payload)
+            f.write(framed)
         os.replace(tmp, path)
-        self.stats.bytes_written += len(payload)
+        self.stats.bytes_written += len(framed)
+
+    def write_torn(self, key: str, fraction: float = 0.5) -> str:
+        """Write a deliberately truncated entry straight to the final
+        path — the failure a worker killed mid-write (or a full disk)
+        leaves behind. The chaos injector's ``truncate`` fault and the
+        regression tests use this; production writes never bypass the
+        temp-file/rename protocol.
+        """
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = pickle.dumps(("torn-entry", key), protocol=pickle.HIGHEST_PROTOCOL)
+        framed = frame_payload(payload)
+        cut = max(1, int(len(framed) * fraction))
+        with open(path, "wb") as f:
+            f.write(framed[:cut])
+        return path
+
+    def entry_count(self) -> int:
+        """How many entries are currently on disk (resume accounting)."""
+        count = 0
+        if not os.path.isdir(self.root):
+            return count
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            count += sum(1 for n in os.listdir(shard_dir) if n.endswith(".pkl"))
+        return count
 
     def clear(self) -> int:
         """Delete every entry; returns how many files were removed."""

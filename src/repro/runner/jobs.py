@@ -305,6 +305,13 @@ class SimulationJob:
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def label(self) -> str:
+        """Short human identity for chaos logs and failure messages."""
+        return (
+            f"{self.player.name}/{self.trace.kind}/s{self.seed}"
+            f"#{self.key()[:10]}"
+        )
+
     def build(self):
         """Rebuild (content, player, network, config) from the spec."""
         from ..net.link import shared

@@ -195,6 +195,50 @@ class TestResultCache:
             f.write(b"not a pickle")
         assert cache.get(job.key()) is None
         assert cache.stats.evictions == 1
+        # Garbage bytes are corruption, not a partial write.
+        assert cache.stats.truncated == 0
+        assert not os.path.exists(path)
+
+    def test_truncated_entry_is_classified_evicted_and_recounted(self, tmp_path):
+        """A partially-written entry (worker killed mid-write, torn
+        write on a full disk) must read as a miss at *every* cut
+        point, be evicted, and bump the dedicated `truncated` stat."""
+        cache = ResultCache(str(tmp_path))
+        job = SimulationJob(trace=TraceSpec.constant(700.0))
+        (outcome,) = run_jobs([job], cache=cache)
+        path = cache._path(job.key())
+        with open(path, "rb") as f:
+            intact = f.read()
+        # Cut inside the magic, inside the header, just after the
+        # header, mid-payload, and one byte short of complete.
+        offsets = [0, 3, 10, 20, len(intact) // 2, len(intact) - 1]
+        for n, offset in enumerate(offsets, start=1):
+            with open(path, "wb") as f:
+                f.write(intact[:offset])
+            assert cache.get(job.key()) is None, f"offset {offset}"
+            assert not os.path.exists(path), f"offset {offset}"
+            assert cache.stats.truncated == n, f"offset {offset}"
+        assert cache.stats.evictions == len(offsets)
+        # The evicted cell re-simulates and the cache heals.
+        (replayed,) = run_jobs([job], cache=cache)
+        assert cache.get(job.key()) is not None
+        assert replayed.result.to_dict() == outcome.result.to_dict()
+
+    def test_torn_entry_with_flipped_byte_is_corrupt_not_truncated(self, tmp_path):
+        """Same length, damaged payload: the CRC catches it and it
+        counts as corruption rather than truncation."""
+        cache = ResultCache(str(tmp_path))
+        job = SimulationJob(trace=TraceSpec.constant(700.0))
+        run_jobs([job], cache=cache)
+        path = cache._path(job.key())
+        with open(path, "rb") as f:
+            data = bytearray(f.read())
+        data[-10] ^= 0xFF
+        with open(path, "wb") as f:
+            f.write(bytes(data))
+        assert cache.get(job.key()) is None
+        assert cache.stats.evictions == 1
+        assert cache.stats.truncated == 0
         assert not os.path.exists(path)
 
     def test_clear_removes_entries(self, tmp_path):
@@ -247,6 +291,8 @@ class TestGridRunnerOptions:
                 "misses": 0,
                 "bytes_read": replay.cache.stats.bytes_read,
                 "bytes_written": 0,
+                "evictions": 0,
+                "truncated": 0,
             }
 
     def test_use_cache_false_forces_fresh_simulation(self, tmp_path):
