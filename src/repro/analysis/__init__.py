@@ -2,9 +2,14 @@
 
 ``repro.analysis`` lints raw manifest *text* — MPD XML and m3u8
 playlists — with file/line/column source spans, unlike the object-level
-checks it supersedes in :mod:`repro.manifest.validate`. It also ships a
-determinism lint for the simulator's own Python source (see
-:mod:`repro.analysis.pylint_determinism`).
+checks it supersedes in :mod:`repro.manifest.validate`. It is also a
+whole-program analyzer for the simulator's own Python source: a
+determinism lint (``DET-*``, :mod:`repro.analysis.pylint_determinism`),
+a units/dimension-flow lint (``UNIT-*``) and a pickle/fork-safety lint
+(``POOL-*``) (both in :mod:`repro.analysis.code_rules`), all sharing
+one registry, one config, one baseline format and one inline
+suppression grammar (``# lint: allow[RULE-ID]``, see
+:mod:`repro.analysis.code_engine`).
 
 Entry points:
 
@@ -31,10 +36,12 @@ from .findings import Baseline, Finding, Severity, sort_findings, worst_severity
 from .registry import REGISTRY, Category, Kind, Rule
 
 # Importing the rule modules populates REGISTRY (autofix pulls in
-# hls_rules; dash_rules and pylint_determinism are imported here).
+# hls_rules; dash_rules, pylint_determinism and code_rules are
+# imported here).
 from . import dash_rules as _dash_rules  # noqa: F401
 from . import hls_rules as _hls_rules  # noqa: F401
 from . import pylint_determinism as _pylint_determinism  # noqa: F401
+from . import code_rules as _code_rules  # noqa: F401
 
 __all__ = [
     "AnalysisParseFailure",

@@ -1,0 +1,399 @@
+"""Shared engine for whole-program Python code rules.
+
+Every code-rule family — units/dimension flow (``UNIT-*``),
+pickle/fork safety (``POOL-*``) and determinism (``DET-*``) — runs over
+the same parsed view of a module: :class:`PySource` bundles the AST,
+the raw :class:`~repro.analysis.spans.Document`, an import tracker and
+a tokenizer-accurate comment map. The comment map drives the **one**
+inline suppression grammar all code rules share::
+
+    x = legacy_rate  # lint: allow[UNIT-ASSIGN-MISMATCH] justification...
+
+``# lint: allow[ID, ID2]`` suppresses the named rules on that line;
+``# lint: allow[*]`` suppresses every code rule. The legacy
+``# det: allow`` comment still suppresses ``DET-*`` rules for one
+release but draws a ``LINT-DEPRECATED-SUPPRESS`` note (see
+:mod:`repro.analysis.code_rules`). Suppression is applied centrally by
+the analysis engine, not inside individual rules, so every present and
+future code rule obeys the same grammar for free.
+
+The second half of this module is the **dimension-flow** machinery the
+``UNIT-*`` rules build on: :func:`dim_of_identifier` maps names to
+dimensions through the tables in :mod:`repro.units`
+(``DIMENSION_SUFFIXES`` / ``DIMENSION_NAMES`` /
+``CONVERTER_SIGNATURES``), and :class:`ScopeEnv` propagates inferred
+dimensions through a function's locals so that un-suffixed names
+(``budget = chunk_bits(...)``) still participate in mix checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..units import CONVERTER_SIGNATURES, DIMENSION_NAMES, DIMENSION_SUFFIXES
+from .spans import Document, SourceSpan
+
+#: Unified inline suppression: ``# lint: allow[RULE-ID, ...]``.
+_ALLOW_RE = re.compile(r"lint:\s*allow\[([^\]]*)\]")
+
+#: Legacy grammar, honoured for DET-* rules for one release.
+LEGACY_SUPPRESS_COMMENT = "det: allow"
+
+
+def _scan_comments(text: str) -> Dict[int, str]:
+    """{line: comment text} using the tokenizer, so strings that merely
+    *mention* a suppression comment do not suppress (or fire) anything."""
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unterminated constructs: fall back to whatever was scanned.
+        pass
+    return comments
+
+
+# -- import tracking --------------------------------------------------------
+
+#: ``random`` module-level functions whose use implies the shared,
+#: unseeded global RNG.
+RANDOM_MODULE_FUNCS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "triangular",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "vonmisesvariate",
+    "gammavariate",
+    "betavariate",
+    "paretovariate",
+    "weibullvariate",
+    "getrandbits",
+    "randbytes",
+}
+
+WALLCLOCK_TIME_FUNCS = {"time", "time_ns"}
+WALLCLOCK_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+class ImportTracker:
+    """What local names refer to the modules/classes code rules care about."""
+
+    def __init__(self) -> None:
+        self.random_modules: Set[str] = set()
+        self.time_modules: Set[str] = set()
+        self.datetime_modules: Set[str] = set()
+        self.datetime_classes: Set[str] = set()
+        self.os_modules: Set[str] = set()
+        self.multiprocessing_modules: Set[str] = set()
+        #: local name -> random module function it aliases
+        self.random_funcs: Dict[str, str] = {}
+        #: local name -> time module function it aliases
+        self.time_funcs: Dict[str, str] = {}
+        #: local names bound to units.py converters (possibly aliased)
+        self.converters: Dict[str, str] = {}
+        #: local names naming fork-relevant callables (os.fork, ...)
+        self.fork_funcs: Dict[str, str] = {}
+
+    def visit_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_modules.add(local)
+                    elif alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(local)
+                    elif alias.name == "os":
+                        self.os_modules.add(local)
+                    elif alias.name in ("multiprocessing", "multiprocessing.pool"):
+                        self.multiprocessing_modules.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name in RANDOM_MODULE_FUNCS | {"seed"}:
+                            self.random_funcs[alias.asname or alias.name] = (
+                                alias.name
+                            )
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in WALLCLOCK_TIME_FUNCS:
+                            self.time_funcs[alias.asname or alias.name] = (
+                                alias.name
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in {"datetime", "date"}:
+                            self.datetime_classes.add(alias.asname or alias.name)
+                elif node.module == "os":
+                    for alias in node.names:
+                        if alias.name == "fork":
+                            self.fork_funcs[alias.asname or alias.name] = "os.fork"
+                elif node.module and node.module.split(".")[-1] == "units":
+                    for alias in node.names:
+                        if alias.name in CONVERTER_SIGNATURES:
+                            self.converters[alias.asname or alias.name] = (
+                                alias.name
+                            )
+
+
+class PySource:
+    """A parsed Python document: AST + imports + comments + raw lines."""
+
+    def __init__(self, doc: Document, tree: ast.Module) -> None:
+        self.doc = doc
+        self.tree = tree
+        self.imports = ImportTracker()
+        self.imports.visit_imports(tree)
+        self.comments = _scan_comments(doc.text)
+
+    def suppressed(self, line: int, rule_id: str = "") -> bool:
+        """Is ``rule_id`` suppressed on 1-based ``line``?
+
+        Without a ``rule_id`` (legacy call shape) only the blanket
+        ``# lint: allow[*]`` and ``# det: allow`` comments match.
+        """
+        comment = self.comments.get(line)
+        if comment is None:
+            return False
+        match = _ALLOW_RE.search(comment)
+        if match:
+            ids = {part.strip() for part in match.group(1).split(",")}
+            if "*" in ids or (rule_id and rule_id in ids):
+                return True
+        if LEGACY_SUPPRESS_COMMENT in comment:
+            return not rule_id or rule_id.startswith("DET-")
+        return False
+
+    def span(self, node: ast.AST) -> SourceSpan:
+        return SourceSpan(
+            file=self.doc.name,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+        )
+
+    def line_text(self, node: ast.AST) -> str:
+        try:
+            return self.doc.line_text(getattr(node, "lineno", 1))
+        except IndexError:
+            return ""
+
+
+def parse_python(doc: Document) -> PySource:
+    """Parse a Python document; raises ``SyntaxError`` on bad source."""
+    tree = ast.parse(doc.text, filename=doc.name)
+    return PySource(doc, tree)
+
+
+# -- dimension inference ----------------------------------------------------
+
+#: Longest suffix first, so ``_kbps`` wins over ``_bps`` and
+#: ``_bytes`` over ``_s``-free lookups.
+_SUFFIXES_BY_LENGTH = sorted(
+    DIMENSION_SUFFIXES, key=len, reverse=True
+)
+
+#: Single-argument builtins that preserve their argument's dimension.
+_TRANSPARENT_CALLS = {"int", "float", "round", "abs"}
+
+#: Variadic builtins that preserve a dimension when every dimensioned
+#: argument agrees (``min(deadline_s, budget_s)``).
+_AGGREGATING_CALLS = {"min", "max", "sum"}
+
+
+def dim_of_identifier(name: str) -> Optional[str]:
+    """The dimension an identifier's *name* declares, or ``None``.
+
+    Matching is case-insensitive so constants follow the same
+    convention (``_POLL_TICK_S`` is time-s).
+    """
+    lowered = name.lower()
+    exact = DIMENSION_NAMES.get(lowered)
+    if exact is not None:
+        return exact
+    for suffix in _SUFFIXES_BY_LENGTH:
+        if lowered.endswith(suffix):
+            return DIMENSION_SUFFIXES[suffix]
+    return None
+
+
+def _callee_name(func: ast.AST) -> Optional[str]:
+    """The bare name a call's target goes by (``f`` or ``obj.f``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class ScopeEnv:
+    """Inferred dimensions of a scope's un-suffixed locals.
+
+    Names whose *own* name declares a dimension never enter the env —
+    the declared dimension is the contract (and the assignment rule
+    checks writes against it). A local assigned conflicting dimensions
+    across the scope is demoted to ambiguous and excluded from checks.
+    """
+
+    def __init__(self) -> None:
+        self._dims: Dict[str, Optional[str]] = {}
+
+    def record(self, name: str, dim: Optional[str]) -> None:
+        if dim is None or dim_of_identifier(name) is not None:
+            return
+        if name in self._dims and self._dims[name] != dim:
+            self._dims[name] = None  # ambiguous: repurposed local
+        else:
+            self._dims[name] = dim
+
+    def get(self, name: str) -> Optional[str]:
+        return self._dims.get(name)
+
+
+def dim_of(node: ast.AST, imports: ImportTracker, env: Optional[ScopeEnv] = None) -> Optional[str]:
+    """Infer the dimension of an expression, or ``None`` for unknown.
+
+    Deliberately conservative: multiplication and division yield
+    unknown (a product changes the unit, and a scale factor such as
+    ``duration_ms / 1000`` is a legitimate manual conversion), so only
+    same-unit operations — additive arithmetic, comparison, argument
+    passing, assignment, return — are ever checked.
+    """
+    if isinstance(node, ast.Name):
+        declared = dim_of_identifier(node.id)
+        if declared is not None:
+            return declared
+        return env.get(node.id) if env is not None else None
+    if isinstance(node, ast.Attribute):
+        return dim_of_identifier(node.attr)
+    if isinstance(node, ast.Subscript):
+        # chunk_sizes_bits[i] carries its sequence's dimension.
+        return dim_of(node.value, imports, env)
+    if isinstance(node, ast.Call):
+        return _dim_of_call(node, imports, env)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return dim_of(node.operand, imports, env)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = dim_of(node.left, imports, env)
+        right = dim_of(node.right, imports, env)
+        if left is not None and left == right:
+            return left
+        return None
+    if isinstance(node, ast.IfExp):
+        body = dim_of(node.body, imports, env)
+        orelse = dim_of(node.orelse, imports, env)
+        if body is not None and body == orelse:
+            return body
+        return None
+    return None
+
+
+def _dim_of_call(
+    node: ast.Call, imports: ImportTracker, env: Optional[ScopeEnv]
+) -> Optional[str]:
+    name = _callee_name(node.func)
+    if name is None:
+        return None
+    if isinstance(node.func, ast.Name) and node.func.id in imports.converters:
+        return CONVERTER_SIGNATURES[imports.converters[node.func.id]][1]
+    if name in CONVERTER_SIGNATURES:
+        return CONVERTER_SIGNATURES[name][1]
+    if name in _TRANSPARENT_CALLS and len(node.args) == 1:
+        return dim_of(node.args[0], imports, env)
+    if name in _AGGREGATING_CALLS and node.args:
+        dims = {dim_of(arg, imports, env) for arg in node.args}
+        dims.discard(None)
+        if len(dims) == 1:
+            return dims.pop()
+        return None
+    # Functions advertise their return dimension by name, the same
+    # convention as variables: trace.average_kbps() is rate-kbps.
+    return dim_of_identifier(name)
+
+
+def converter_signature(
+    node: ast.Call, imports: ImportTracker
+) -> Optional[Tuple[Tuple[str, ...], str]]:
+    """The (param dims, return dim) of a call to a units.py converter."""
+    if isinstance(node.func, ast.Name) and node.func.id in imports.converters:
+        return CONVERTER_SIGNATURES[imports.converters[node.func.id]]
+    name = _callee_name(node.func)
+    if name in CONVERTER_SIGNATURES:
+        return CONVERTER_SIGNATURES[name]
+    return None
+
+
+# -- scope iteration --------------------------------------------------------
+
+
+def iter_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[Optional[ast.AST], List[ast.stmt]]]:
+    """Yield (scope node, body) for the module and every function.
+
+    The module scope is yielded with ``None``; class bodies are not
+    scopes of their own (their statements run in the module pass), but
+    methods are.
+    """
+    yield None, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def iter_scope_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements of one scope in source order, recursing into
+    control-flow bodies but never into nested functions or classes."""
+    for stmt in body:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield stmt
+        for attr in ("body", "orelse", "finalbody"):
+            children = getattr(stmt, attr, None)
+            if children:
+                yield from iter_scope_statements(children)
+        for handler in getattr(stmt, "handlers", ()):
+            yield from iter_scope_statements(handler.body)
+
+
+def iter_scope_expressions(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    """Every AST node of one scope, pruning nested function/class defs
+    (they are checked as their own scopes, with their own env)."""
+    for stmt in iter_scope_statements(body):
+        stack: List[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (
+                        ast.FunctionDef,
+                        ast.AsyncFunctionDef,
+                        ast.ClassDef,
+                        ast.Lambda,
+                    ),
+                ):
+                    continue
+                if isinstance(child, ast.stmt):
+                    continue  # reached via iter_scope_statements
+                stack.append(child)

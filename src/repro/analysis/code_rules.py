@@ -1,0 +1,694 @@
+"""Whole-program code rules: units/dimension flow and pickle/fork safety.
+
+The paper's failure modes are largely *unit* bugs — aggregate vs
+per-track ``BANDWIDTH``, Kbps ladders (Table 1) vs bps estimators, KB
+sample filters — and the same silent-conversion class of bug can
+corrupt our own sweeps. These rules point the analyzer at ``src/repro``
+itself.
+
+**Units/dimension flow (``UNIT-*``)** — every identifier declares a
+dimension through its name (``*_kbps``, ``*_bps``, ``*_bits``,
+``*_bytes``, ``*_s``, ``*_ms``; tables in :mod:`repro.units`), and the
+converters in ``units.py`` declare full signatures. The lint infers a
+dimension for every expression — propagating through locals,
+converters and name-suffixed calls — and flags the five places two
+dimensions can silently collide: additive arithmetic, comparisons,
+assignments, argument passing, and return statements. Multiplication
+and division intentionally yield *unknown* (they change the unit, and
+``duration_ms / 1000`` is a legitimate manual conversion), so the lint
+never second-guesses scale factors.
+
+**Pickle/fork safety (``POOL-*``)** — the runner ships job specs to
+``ProcessPoolExecutor`` workers by pickle; a spec dataclass (any class
+named ``*Spec`` / ``*Job`` by the runner's convention) must be
+picklable by construction, worker-executed code must not capture
+lambdas or open handles, and module-level mutable state mutated inside
+functions diverges silently between forked workers.
+
+``LINT-DEPRECATED-SUPPRESS`` keeps the legacy ``# det: allow``
+suppression working for one release while nudging it toward the
+unified ``# lint: allow[RULE-ID]`` grammar.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .code_engine import (
+    PySource,
+    ScopeEnv,
+    converter_signature,
+    dim_of,
+    dim_of_identifier,
+    iter_scope_expressions,
+    iter_scope_statements,
+    iter_scopes,
+)
+from .findings import Finding, Severity
+from .registry import Category, Kind, rule
+
+# -- units/dimension flow ---------------------------------------------------
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+#: (rule_id, message, node) events, computed once per module and shared
+#: by the five UNIT rules.
+_UnitEvent = Tuple[str, str, ast.AST]
+
+
+def _module_param_table(tree: ast.Module) -> Dict[str, Optional[List[str]]]:
+    """Positional parameter names of every function defined in the
+    module (``self``/``cls`` stripped); ``None`` marks a name defined
+    twice with different signatures (ambiguous — never checked)."""
+    table: Dict[str, Optional[List[str]]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = [a.arg for a in node.args.posonlyargs + node.args.args]
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        if node.name in table and table[node.name] != params:
+            table[node.name] = None
+        else:
+            table[node.name] = params
+    return table
+
+
+def _mismatch(a: Optional[str], b: Optional[str]) -> bool:
+    return a is not None and b is not None and a != b
+
+
+def _check_call(
+    node: ast.Call,
+    src: PySource,
+    env: ScopeEnv,
+    params: Dict[str, Optional[List[str]]],
+    events: List[_UnitEvent],
+) -> None:
+    """Argument passing: positional args against known signatures
+    (units.py converters, then same-module functions), keyword args
+    against the dimension their own name declares."""
+    imports = src.imports
+    signature = converter_signature(node, imports)
+    if signature is not None:
+        param_dims: List[Optional[str]] = list(signature[0])
+        param_names: Optional[List[str]] = None
+    else:
+        callee = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        param_names = params.get(callee) if callee else None
+        param_dims = (
+            [dim_of_identifier(p) for p in param_names]
+            if param_names is not None
+            else []
+        )
+    if not any(isinstance(a, ast.Starred) for a in node.args):
+        for i, arg in enumerate(node.args):
+            if i >= len(param_dims) or param_dims[i] is None:
+                continue
+            arg_dim = dim_of(arg, imports, env)
+            if _mismatch(param_dims[i], arg_dim):
+                target = (
+                    f"parameter {param_names[i]!r}"
+                    if param_names
+                    else f"parameter {i + 1}"
+                )
+                events.append(
+                    (
+                        "UNIT-ARG-MISMATCH",
+                        f"argument {i + 1} is {arg_dim} but {target} is "
+                        f"{param_dims[i]}",
+                        arg,
+                    )
+                )
+    for kw in node.keywords:
+        if kw.arg is None:
+            continue
+        kw_dim = dim_of_identifier(kw.arg)
+        arg_dim = dim_of(kw.value, imports, env)
+        if _mismatch(kw_dim, arg_dim):
+            events.append(
+                (
+                    "UNIT-ARG-MISMATCH",
+                    f"keyword {kw.arg}= declares {kw_dim} but receives "
+                    f"{arg_dim}",
+                    kw.value,
+                )
+            )
+
+
+def _unit_events(src: PySource) -> List[_UnitEvent]:
+    """Run the dimension-flow analysis once per module (memoized on the
+    parsed source, so each UNIT rule filters a shared result)."""
+    cached = getattr(src, "_unit_events", None)
+    if cached is not None:
+        return cached
+    imports = src.imports
+    params = _module_param_table(src.tree)
+    events: List[_UnitEvent] = []
+    for scope, body in iter_scopes(src.tree):
+        env = ScopeEnv()
+        # Pass 1 — assignments: check writes into dimensioned names,
+        # and teach the env the dimension of un-suffixed locals.
+        for stmt in iter_scope_statements(body):
+            if isinstance(stmt, ast.Assign):
+                value_dim = dim_of(stmt.value, imports, env)
+                for target in stmt.targets:
+                    for name_node in ast.walk(target):
+                        if not isinstance(name_node, ast.Name):
+                            continue
+                        declared = dim_of_identifier(name_node.id)
+                        if _mismatch(declared, value_dim):
+                            events.append(
+                                (
+                                    "UNIT-ASSIGN-MISMATCH",
+                                    f"{name_node.id} is {declared} but is "
+                                    f"assigned a {value_dim} value",
+                                    stmt.value,
+                                )
+                            )
+                        env.record(name_node.id, value_dim)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    value_dim = dim_of(stmt.value, imports, env)
+                    declared = dim_of_identifier(stmt.target.id)
+                    if _mismatch(declared, value_dim):
+                        events.append(
+                            (
+                                "UNIT-ASSIGN-MISMATCH",
+                                f"{stmt.target.id} is {declared} but is "
+                                f"assigned a {value_dim} value",
+                                stmt.value,
+                            )
+                        )
+                    env.record(stmt.target.id, value_dim)
+            elif isinstance(stmt, ast.AugAssign) and isinstance(
+                stmt.op, (ast.Add, ast.Sub)
+            ):
+                target_dim = dim_of(stmt.target, imports, env)
+                value_dim = dim_of(stmt.value, imports, env)
+                if _mismatch(target_dim, value_dim):
+                    events.append(
+                        (
+                            "UNIT-MIX-ARITH",
+                            f"augmented assignment mixes {target_dim} and "
+                            f"{value_dim}",
+                            stmt,
+                        )
+                    )
+        # Pass 2 — expressions: additive mixes, comparisons, calls.
+        for node in iter_scope_expressions(body):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left = dim_of(node.left, imports, env)
+                right = dim_of(node.right, imports, env)
+                if _mismatch(left, right):
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    events.append(
+                        (
+                            "UNIT-MIX-ARITH",
+                            f"'{op}' mixes {left} and {right}",
+                            node,
+                        )
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for op, (a, b) in zip(
+                    node.ops, zip(operands, operands[1:])
+                ):
+                    if not isinstance(op, _COMPARE_OPS):
+                        continue
+                    left = dim_of(a, imports, env)
+                    right = dim_of(b, imports, env)
+                    if _mismatch(left, right):
+                        events.append(
+                            (
+                                "UNIT-MIX-COMPARE",
+                                f"comparison mixes {left} and {right}",
+                                node,
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                _check_call(node, src, env, params, events)
+        # Pass 3 — returns: a function named for a dimension must
+        # return it.
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            ret_dim = dim_of_identifier(scope.name)
+            if ret_dim is not None:
+                for stmt in iter_scope_statements(body):
+                    if not isinstance(stmt, ast.Return) or stmt.value is None:
+                        continue
+                    value_dim = dim_of(stmt.value, imports, env)
+                    if _mismatch(ret_dim, value_dim):
+                        events.append(
+                            (
+                                "UNIT-RETURN-MISMATCH",
+                                f"{scope.name}() is named {ret_dim} but "
+                                f"returns a {value_dim} value",
+                                stmt,
+                            )
+                        )
+    src._unit_events = events  # type: ignore[attr-defined]
+    return events
+
+
+def _emit_unit(src: PySource, check, rule_id: str) -> Iterator[Finding]:
+    for event_rule, message, node in _unit_events(src):
+        if event_rule == rule_id:
+            yield check.rule.finding(
+                f"{message}; convert explicitly with repro.units "
+                "(kbps_to_bps, chunk_bits, ...) or rename the identifier",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+
+
+@rule(
+    "UNIT-MIX-ARITH",
+    Severity.ERROR,
+    Category.UNITS,
+    Kind.PYTHON,
+    summary="additive arithmetic must not mix dimensions",
+    reference="repro.units conventions; paper Table 1 (Kbps ladder)",
+)
+def check_unit_mix_arith(src: PySource, ctx) -> Iterator[Finding]:
+    return _emit_unit(src, check_unit_mix_arith, "UNIT-MIX-ARITH")
+
+
+@rule(
+    "UNIT-MIX-COMPARE",
+    Severity.ERROR,
+    Category.UNITS,
+    Kind.PYTHON,
+    summary="comparisons must not mix dimensions",
+    reference="repro.units conventions; paper §3.3 (16 KB sample filter)",
+)
+def check_unit_mix_compare(src: PySource, ctx) -> Iterator[Finding]:
+    return _emit_unit(src, check_unit_mix_compare, "UNIT-MIX-COMPARE")
+
+
+@rule(
+    "UNIT-ASSIGN-MISMATCH",
+    Severity.ERROR,
+    Category.UNITS,
+    Kind.PYTHON,
+    summary="a dimensioned name must not be assigned another dimension",
+    reference="repro.units conventions",
+)
+def check_unit_assign(src: PySource, ctx) -> Iterator[Finding]:
+    return _emit_unit(src, check_unit_assign, "UNIT-ASSIGN-MISMATCH")
+
+
+@rule(
+    "UNIT-ARG-MISMATCH",
+    Severity.ERROR,
+    Category.UNITS,
+    Kind.PYTHON,
+    summary="arguments must match the dimension a parameter declares",
+    reference="repro.units CONVERTER_SIGNATURES",
+)
+def check_unit_arg(src: PySource, ctx) -> Iterator[Finding]:
+    return _emit_unit(src, check_unit_arg, "UNIT-ARG-MISMATCH")
+
+
+@rule(
+    "UNIT-RETURN-MISMATCH",
+    Severity.ERROR,
+    Category.UNITS,
+    Kind.PYTHON,
+    summary="a function named for a dimension must return that dimension",
+    reference="repro.units conventions",
+)
+def check_unit_return(src: PySource, ctx) -> Iterator[Finding]:
+    return _emit_unit(src, check_unit_return, "UNIT-RETURN-MISMATCH")
+
+
+# -- pickle/fork safety -----------------------------------------------------
+
+#: Type names that are never picklable-by-construction when they
+#: appear in a spec dataclass field annotation.
+_UNPICKLABLE_TYPES = {
+    "Callable",
+    "IO",
+    "TextIO",
+    "BinaryIO",
+    "Iterator",
+    "Generator",
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "Thread",
+    "socket",
+    "Connection",
+}
+
+#: Methods that mutate a list/dict/set/deque in place.
+_MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "setdefault",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+}
+
+_EXECUTOR_SUBMIT_METHODS = {
+    "submit",
+    "map",
+    "imap",
+    "imap_unordered",
+    "apply_async",
+    "starmap",
+}
+
+
+def _decorated_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _is_spec_class(node: ast.ClassDef) -> bool:
+    """The runner's convention: picklable-by-construction job-spec
+    dataclasses are named ``*Spec`` or ``*Job``."""
+    return node.name.endswith(("Spec", "Job"))
+
+
+@rule(
+    "POOL-UNPICKLABLE-FIELD",
+    Severity.ERROR,
+    Category.POOL,
+    Kind.PYTHON,
+    summary="job-spec dataclass fields must be picklable by construction",
+    reference="repro.runner.jobs spec contract (PR 2); docs/runner_robustness.md",
+)
+def check_unpicklable_field(src: PySource, ctx) -> Iterator[Finding]:
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not (_decorated_dataclass(node) and _is_spec_class(node)):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                bad = None
+                for ann in ast.walk(stmt.annotation):
+                    name = None
+                    if isinstance(ann, ast.Name):
+                        name = ann.id
+                    elif isinstance(ann, ast.Attribute):
+                        name = ann.attr
+                    if name in _UNPICKLABLE_TYPES:
+                        bad = name
+                        break
+                if bad is not None:
+                    yield check_unpicklable_field.rule.finding(
+                        f"field {stmt.target.id!r} of spec dataclass "
+                        f"{node.name} is annotated {bad}, which cannot "
+                        "cross the worker process boundary by pickle; "
+                        "store a registry name or an importable "
+                        "(module, function) pair instead",
+                        src.span(stmt),
+                        line_text=src.line_text(stmt),
+                    )
+                elif isinstance(stmt.value, ast.Lambda):
+                    yield check_unpicklable_field.rule.finding(
+                        f"field {stmt.target.id!r} of spec dataclass "
+                        f"{node.name} defaults to a lambda, which cannot "
+                        "be pickled into a worker",
+                        src.span(stmt),
+                        line_text=src.line_text(stmt),
+                    )
+
+
+@rule(
+    "POOL-LAMBDA-SUBMIT",
+    Severity.ERROR,
+    Category.POOL,
+    Kind.PYTHON,
+    summary="lambdas and open handles must not be captured into worker jobs",
+    reference="repro.runner.engine (ProcessPoolExecutor pickles submissions)",
+)
+def check_lambda_submit(src: PySource, ctx) -> Iterator[Finding]:
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_submit = (
+            isinstance(func, ast.Attribute)
+            and func.attr in _EXECUTOR_SUBMIT_METHODS
+        )
+        callee = None
+        if isinstance(func, ast.Name):
+            callee = func.id
+        elif isinstance(func, ast.Attribute):
+            callee = func.attr
+        is_spec_ctor = callee is not None and callee.endswith(("Spec", "Job"))
+        if not (is_submit or is_spec_ctor):
+            continue
+        where = (
+            f"{callee}(...)" if is_spec_ctor and not is_submit else
+            f".{func.attr}(...)"
+        )
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in args:
+            if isinstance(arg, ast.Lambda):
+                yield check_lambda_submit.rule.finding(
+                    f"lambda passed to {where} cannot be pickled into a "
+                    "worker process; use a module-level function",
+                    src.span(arg),
+                    line_text=src.line_text(arg),
+                )
+            elif (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "open"
+            ):
+                yield check_lambda_submit.rule.finding(
+                    f"open file handle passed to {where} cannot be "
+                    "pickled into a worker process; pass the path and "
+                    "open inside the worker",
+                    src.span(arg),
+                    line_text=src.line_text(arg),
+                )
+
+
+def _module_level_names(tree: ast.Module) -> Tuple[set, set]:
+    """(all module-level assigned names, the mutable-container subset)."""
+    assigned, mutable = set(), set()
+    mutable_ctors = {
+        "dict",
+        "list",
+        "set",
+        "defaultdict",
+        "deque",
+        "OrderedDict",
+        "Counter",
+    }
+    for stmt in iter_scope_statements(tree.body):
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        is_mutable = isinstance(
+            value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.SetComp,
+                    ast.ListComp)
+        ) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in mutable_ctors
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                assigned.add(target.id)
+                if is_mutable:
+                    mutable.add(target.id)
+    return assigned, mutable
+
+
+@rule(
+    "POOL-GLOBAL-MUTABLE",
+    Severity.WARNING,
+    Category.POOL,
+    Kind.PYTHON,
+    summary="module-level mutable state must not be mutated inside functions",
+    reference="repro.runner.engine worker model (fork/spawn divergence)",
+)
+def check_global_mutable(src: PySource, ctx) -> Iterator[Finding]:
+    assigned, mutable = _module_level_names(src.tree)
+    if not assigned:
+        return
+    for scope, body in iter_scopes(src.tree):
+        if scope is None:
+            continue  # module scope mutates its own namespace freely
+        declared_global = set()
+        for stmt in iter_scope_statements(body):
+            if isinstance(stmt, ast.Global):
+                declared_global.update(stmt.names)
+        for stmt in iter_scope_statements(body):
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AugAssign):
+                targets = [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in declared_global
+                    and target.id in assigned
+                ):
+                    yield check_global_mutable.rule.finding(
+                        f"function {scope.name}() rebinds module-level "
+                        f"{target.id!r} via 'global'; each worker process "
+                        "mutates its own copy, so the change silently "
+                        "diverges across the pool",
+                        src.span(stmt),
+                        line_text=src.line_text(stmt),
+                    )
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in mutable
+                ):
+                    yield check_global_mutable.rule.finding(
+                        f"function {scope.name}() writes into module-level "
+                        f"{target.value.id!r}; worker processes each mutate "
+                        "their own copy, so state written here never "
+                        "reaches the parent or other workers",
+                        src.span(stmt),
+                        line_text=src.line_text(stmt),
+                    )
+        for node in iter_scope_expressions(body):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in mutable
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                yield check_global_mutable.rule.finding(
+                    f"function {scope.name}() calls "
+                    f"{node.func.value.id}.{node.func.attr}() on "
+                    "module-level mutable state; mutations made inside a "
+                    "worker never propagate back to the parent",
+                    src.span(node),
+                    line_text=src.line_text(node),
+                )
+
+
+@rule(
+    "POOL-FORK-UNSAFE",
+    Severity.WARNING,
+    Category.POOL,
+    Kind.PYTHON,
+    summary="avoid fork-unsafe process management patterns",
+    reference="repro.runner.engine pool lifecycle; CPython fork caveats",
+)
+def check_fork_unsafe(src: PySource, ctx) -> Iterator[Finding]:
+    imports = src.imports
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in imports.os_modules
+            and func.attr == "fork"
+        ) or (isinstance(func, ast.Name) and func.id in imports.fork_funcs):
+            yield check_fork_unsafe.rule.finding(
+                "raw os.fork() bypasses the executor's worker lifecycle "
+                "(no crash isolation, no watchdog); use the runner engine",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "set_start_method"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "fork"
+        ):
+            yield check_fork_unsafe.rule.finding(
+                "forcing the 'fork' start method copies parent locks and "
+                "open handles into workers; the engine relies on the "
+                "platform default",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+    # Executors constructed at import time are inherited by every
+    # process that imports the module — including the workers a parent
+    # pool spawns, which then recursively own pools. The module-scope
+    # expression iterator prunes nested function bodies, where pool
+    # construction is fine.
+    for node in iter_scope_expressions(src.tree.body):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        if callee == "ProcessPoolExecutor" or (
+            callee == "Pool"
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in imports.multiprocessing_modules
+        ):
+            yield check_fork_unsafe.rule.finding(
+                f"{callee} constructed at module import time: every "
+                "importer (including pool workers) spawns processes "
+                "as a side effect; construct pools inside functions",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+
+
+# -- suppression hygiene ----------------------------------------------------
+
+
+@rule(
+    "LINT-DEPRECATED-SUPPRESS",
+    Severity.INFO,
+    Category.HYGIENE,
+    Kind.PYTHON,
+    summary="migrate '# det: allow' to the unified '# lint: allow[...]' grammar",
+    reference="docs/static_analysis.md (suppression grammar)",
+)
+def check_deprecated_suppress(src: PySource, ctx) -> Iterator[Finding]:
+    for line in sorted(src.comments):
+        comment = src.comments[line]
+        if "det: allow" in comment and "lint: allow" not in comment:
+            yield check_deprecated_suppress.rule.finding(
+                "'# det: allow' is deprecated and will stop suppressing "
+                "in the next release; use '# lint: allow[DET-...]' with "
+                "the rule IDs to waive",
+                src.doc.find_in_line(line, "det: allow"),
+                line_text=src.doc.line_text(line),
+            )

@@ -22,11 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from .code_engine import PySource, parse_python
 from .context import RuleContext
 from .dash_syntax import XmlElement, XmlParseFailure, parse_xml
 from .findings import Baseline, Finding, sort_findings
 from .hls_syntax import ScannedPlaylist, scan_playlist
-from .pylint_determinism import PySource, parse_python
 from .registry import REGISTRY, Kind
 from .spans import Document
 
@@ -166,7 +166,14 @@ def run_rules(
                 if analyzed.kind == Kind.DASH:
                     produced = entry.check(analyzed.doc, analyzed.xml_root, ctx)
                 elif analyzed.kind == Kind.PYTHON:
-                    produced = entry.check(analyzed.python, ctx)
+                    # Inline suppression (# lint: allow[RULE-ID], plus the
+                    # legacy det-style comment for DET-* rules) is applied
+                    # here, centrally, so every code rule obeys one grammar.
+                    produced = [
+                        f
+                        for f in entry.check(analyzed.python, ctx)
+                        if not analyzed.python.suppressed(f.span.line, f.rule)
+                    ]
                 else:
                     produced = entry.check(analyzed.playlist, ctx)
                 findings.extend(produced)

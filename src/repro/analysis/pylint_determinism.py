@@ -24,94 +24,40 @@ three ways that invariant historically breaks:
   (ties break by hash order). ``sorted(set(...))`` and membership
   tests are fine and not flagged.
 
-A line can opt out with a ``# det: allow`` comment (e.g. code that is
-genuinely outside any simulation path).
+A line opts out with the unified suppression grammar shared by every
+code rule — ``# lint: allow[DET-SET-ORDER]`` — applied centrally by the
+analysis engine (see :mod:`repro.analysis.code_engine`). The legacy
+``# det: allow`` comment still works for ``DET-*`` rules for one
+release, at the cost of a ``LINT-DEPRECATED-SUPPRESS`` note.
+
+The shared parsing/import-tracking infrastructure these rules grew in
+PR 3 now lives in :mod:`repro.analysis.code_engine`; the public names
+(:class:`PySource`, :func:`parse_python`) are re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Set
+from typing import Iterator
 
+from .code_engine import (  # noqa: F401  (re-exported for back-compat)
+    ImportTracker,
+    LEGACY_SUPPRESS_COMMENT,
+    PySource,
+    RANDOM_MODULE_FUNCS,
+    WALLCLOCK_DATETIME_FUNCS,
+    WALLCLOCK_TIME_FUNCS,
+    parse_python,
+)
 from .findings import Finding, Severity
 from .registry import Category, Kind, rule
-from .spans import Document, SourceSpan
 
-SUPPRESS_COMMENT = "# det: allow"
-
-#: ``random`` module-level functions whose use implies the shared,
-#: unseeded global RNG.
-_RANDOM_MODULE_FUNCS = {
-    "random",
-    "randint",
-    "randrange",
-    "uniform",
-    "triangular",
-    "choice",
-    "choices",
-    "shuffle",
-    "sample",
-    "gauss",
-    "normalvariate",
-    "lognormvariate",
-    "expovariate",
-    "vonmisesvariate",
-    "gammavariate",
-    "betavariate",
-    "paretovariate",
-    "weibullvariate",
-    "getrandbits",
-    "randbytes",
-}
-
-_WALLCLOCK_TIME_FUNCS = {"time", "time_ns"}
-_WALLCLOCK_DATETIME_FUNCS = {"now", "utcnow", "today"}
+#: Legacy name kept for back-compat with PR 3 callers.
+SUPPRESS_COMMENT = "# " + LEGACY_SUPPRESS_COMMENT
 
 #: Builtins that materialize their iterable in iteration order.
 _ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter"}
-
-
-class _ImportTracker:
-    """What local names refer to the modules/classes we care about."""
-
-    def __init__(self) -> None:
-        self.random_modules: Set[str] = set()
-        self.time_modules: Set[str] = set()
-        self.datetime_modules: Set[str] = set()
-        self.datetime_classes: Set[str] = set()
-        #: local name -> random module function it aliases
-        self.random_funcs: Dict[str, str] = {}
-        #: local name -> time module function it aliases
-        self.time_funcs: Dict[str, str] = {}
-
-    def visit_imports(self, tree: ast.AST) -> None:
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    local = alias.asname or alias.name.split(".")[0]
-                    if alias.name == "random":
-                        self.random_modules.add(local)
-                    elif alias.name == "time":
-                        self.time_modules.add(local)
-                    elif alias.name == "datetime":
-                        self.datetime_modules.add(local)
-            elif isinstance(node, ast.ImportFrom):
-                if node.module == "random":
-                    for alias in node.names:
-                        if alias.name in _RANDOM_MODULE_FUNCS | {"seed"}:
-                            self.random_funcs[alias.asname or alias.name] = (
-                                alias.name
-                            )
-                elif node.module == "time":
-                    for alias in node.names:
-                        if alias.name in _WALLCLOCK_TIME_FUNCS:
-                            self.time_funcs[alias.asname or alias.name] = (
-                                alias.name
-                            )
-                elif node.module == "datetime":
-                    for alias in node.names:
-                        if alias.name in {"datetime", "date"}:
-                            self.datetime_classes.add(alias.asname or alias.name)
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -130,35 +76,6 @@ def _describe_set(node: ast.AST) -> str:
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
         return f"{node.func.id}(...)"
     return "a set"
-
-
-class PySource:
-    """A parsed Python document: AST + import context + raw lines."""
-
-    def __init__(self, doc: Document, tree: ast.Module) -> None:
-        self.doc = doc
-        self.tree = tree
-        self.imports = _ImportTracker()
-        self.imports.visit_imports(tree)
-
-    def suppressed(self, line: int) -> bool:
-        try:
-            return SUPPRESS_COMMENT in self.doc.line_text(line)
-        except IndexError:
-            return False
-
-    def span(self, node: ast.AST) -> SourceSpan:
-        return SourceSpan(
-            file=self.doc.name,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0) + 1,
-        )
-
-    def line_text(self, node: ast.AST) -> str:
-        try:
-            return self.doc.line_text(getattr(node, "lineno", 1))
-        except IndexError:
-            return ""
 
 
 @rule(
@@ -181,7 +98,7 @@ def check_unseeded_random(src: PySource, ctx) -> Iterator[Finding]:
             and isinstance(func.value, ast.Name)
             and func.value.id in imports.random_modules
         ):
-            if func.attr in _RANDOM_MODULE_FUNCS:
+            if func.attr in RANDOM_MODULE_FUNCS:
                 flagged = f"random.{func.attr}()"
             elif func.attr in {"Random", "seed"} and not (
                 node.args or node.keywords
@@ -194,7 +111,7 @@ def check_unseeded_random(src: PySource, ctx) -> Iterator[Finding]:
                     flagged = "seed() without a seed value"
             else:
                 flagged = f"{original}() imported from random"
-        if flagged and not src.suppressed(node.lineno):
+        if flagged:
             yield check_unseeded_random.rule.finding(
                 f"{flagged} draws from the process-global RNG; thread an "
                 "explicit random.Random(seed) through the simulation "
@@ -224,13 +141,13 @@ def check_wallclock(src: PySource, ctx) -> Iterator[Finding]:
             if (
                 isinstance(base, ast.Name)
                 and base.id in imports.time_modules
-                and func.attr in _WALLCLOCK_TIME_FUNCS
+                and func.attr in WALLCLOCK_TIME_FUNCS
             ):
                 flagged = f"time.{func.attr}()"
             elif (
                 isinstance(base, ast.Name)
                 and base.id in imports.datetime_classes
-                and func.attr in _WALLCLOCK_DATETIME_FUNCS
+                and func.attr in WALLCLOCK_DATETIME_FUNCS
             ):
                 flagged = f"datetime.{func.attr}()"
             elif (
@@ -238,12 +155,12 @@ def check_wallclock(src: PySource, ctx) -> Iterator[Finding]:
                 and isinstance(base.value, ast.Name)
                 and base.value.id in imports.datetime_modules
                 and base.attr in {"datetime", "date"}
-                and func.attr in _WALLCLOCK_DATETIME_FUNCS
+                and func.attr in WALLCLOCK_DATETIME_FUNCS
             ):
                 flagged = f"datetime.{base.attr}.{func.attr}()"
         elif isinstance(func, ast.Name) and func.id in imports.time_funcs:
             flagged = f"{imports.time_funcs[func.id]}() imported from time"
-        if flagged and not src.suppressed(node.lineno):
+        if flagged:
             yield check_wallclock.rule.finding(
                 f"{flagged} reads the wall clock; simulated time must come "
                 "from the event loop, and timestamps belong in result "
@@ -307,9 +224,7 @@ def check_set_order(src: PySource, ctx) -> Iterator[Finding]:
             ):
                 target = first
                 detail = f"str.join() concatenates {_describe_set(first)}"
-        if target is not None and not src.suppressed(
-            getattr(target, "lineno", 1)
-        ):
+        if target is not None:
             yield check_set_order.rule.finding(
                 f"{detail}; set iteration order depends on PYTHONHASHSEED — "
                 "sort first (sorted(...)) or use a deterministic tie-break "
@@ -317,9 +232,3 @@ def check_set_order(src: PySource, ctx) -> Iterator[Finding]:
                 src.span(target),
                 line_text=src.line_text(target),
             )
-
-
-def parse_python(doc: Document) -> PySource:
-    """Parse a Python document; raises ``SyntaxError`` on bad source."""
-    tree = ast.parse(doc.text, filename=doc.name)
-    return PySource(doc, tree)

@@ -34,6 +34,9 @@ class Category:
     DASHIF = "dashif-conformance"
     PAPER = "paper-best-practice"
     DETERMINISM = "simulator-determinism"
+    UNITS = "units-dimension-flow"
+    POOL = "pickle-fork-safety"
+    HYGIENE = "lint-hygiene"
 
 
 class Kind:

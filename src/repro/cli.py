@@ -514,7 +514,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser = sub.add_parser(
         "lint",
         help="static-analyze manifests (RFC 8216 / DASH-IF / Section 4.1) "
-        "and Python sources (determinism)",
+        "and Python sources (determinism DET-*, units/dimension flow "
+        "UNIT-*, pickle/fork safety POOL-*)",
     )
     lint_parser.add_argument(
         "paths",

@@ -151,7 +151,9 @@ def register(name: str):
     """Decorator registering a zero-arg experiment runner."""
 
     def decorate(fn: Callable[[], ExperimentReport]):
-        _REGISTRY[name] = fn
+        # lint: allow[POOL-GLOBAL-MUTABLE] import-time registration runs
+        # identically in every process before any pool exists.
+        _REGISTRY[name] = fn  # lint: allow[POOL-GLOBAL-MUTABLE]
         return fn
 
     return decorate

@@ -55,13 +55,11 @@ class Finding:
         return f"[{self.severity.value.upper()}] {self.rule}: {self.message}"
 
 
-def _deprecated(name: str) -> None:
-    warnings.warn(
+def _deprecation_message(name: str) -> str:
+    return (
         f"repro.manifest.validate.{name} is deprecated; use "
         "repro.analysis.analyze_files (text-level linting with source "
-        "spans) instead",
-        DeprecationWarning,
-        stacklevel=3,
+        "spans) instead"
     )
 
 
@@ -81,13 +79,20 @@ def lint_hls_master(master: HlsMasterPlaylist) -> List[Finding]:
     """Lint a master playlist in isolation (no media playlists)."""
     from .hls import write_master_playlist
 
-    _deprecated("lint_hls_master")
+    # warnings.warn is called directly from the deprecated function
+    # (not through a helper) so that stacklevel=2 attributes the
+    # warning to the *caller's* file and line.
+    warnings.warn(
+        _deprecation_message("lint_hls_master"), DeprecationWarning, stacklevel=2
+    )
     return _run({"master.m3u8": write_master_playlist(master)}, _MASTER_RULES)
 
 
 def lint_hls_package(package: HlsPackage) -> List[Finding]:
     """Lint a full packaging: master + media playlists."""
-    _deprecated("lint_hls_package")
+    warnings.warn(
+        _deprecation_message("lint_hls_package"), DeprecationWarning, stacklevel=2
+    )
     return _run(package.write_all(), _PACKAGE_RULES)
 
 
@@ -95,5 +100,7 @@ def lint_dash_manifest(manifest: DashManifest) -> List[Finding]:
     """Lint a DASH manifest object."""
     from .dash import write_mpd
 
-    _deprecated("lint_dash_manifest")
+    warnings.warn(
+        _deprecation_message("lint_dash_manifest"), DeprecationWarning, stacklevel=2
+    )
     return _run({"manifest.mpd": write_mpd(manifest)}, _DASH_RULES)

@@ -495,7 +495,9 @@ def set_runner_options(
     if job_retries is not None:
         changes["job_retries"] = max(0, int(job_retries))
     changes["chaos"] = chaos
-    _OPTIONS = replace(_OPTIONS, **changes)
+    # lint: allow[POOL-GLOBAL-MUTABLE] session-global knobs by design:
+    # read in the parent at submit time, never inside a worker.
+    _OPTIONS = replace(_OPTIONS, **changes)  # lint: allow[POOL-GLOBAL-MUTABLE]
     return _OPTIONS
 
 
@@ -519,7 +521,9 @@ def runner_options(
             chaos=chaos,
         )
     finally:
-        _OPTIONS = previous
+        # lint: allow[POOL-GLOBAL-MUTABLE] restores the parent-side
+        # session global on context-manager exit.
+        _OPTIONS = previous  # lint: allow[POOL-GLOBAL-MUTABLE]
 
 
 class GridRunner:

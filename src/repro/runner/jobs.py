@@ -51,7 +51,9 @@ def register_content(name: str):
     """Decorator registering a zero-arg content factory under ``name``."""
 
     def decorate(fn: Callable[[], object]):
-        _CONTENT_REGISTRY[name] = fn
+        # lint: allow[POOL-GLOBAL-MUTABLE] import-time registration runs
+        # identically in every process before any pool exists.
+        _CONTENT_REGISTRY[name] = fn  # lint: allow[POOL-GLOBAL-MUTABLE]
         return fn
 
     return decorate

@@ -1,0 +1,8 @@
+"""Seeded mutation: a legacy det-style suppression comment. It still
+suppresses the DET finding for one release, but draws a note."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()  # det: allow

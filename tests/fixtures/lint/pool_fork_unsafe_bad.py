@@ -1,0 +1,5 @@
+"""Seeded mutation: forcing the fork start method at import time."""
+
+import multiprocessing
+
+multiprocessing.set_start_method("fork")

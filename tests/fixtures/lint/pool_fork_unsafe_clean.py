@@ -1,0 +1,7 @@
+"""Clean twin: an explicit context, created inside a function."""
+
+import multiprocessing
+
+
+def make_context():
+    return multiprocessing.get_context("spawn")

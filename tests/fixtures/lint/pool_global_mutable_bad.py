@@ -1,0 +1,8 @@
+"""Seeded mutation: results written into a module-level dict from a
+function — inside a worker, the write never reaches the parent."""
+
+_RESULTS = {}
+
+
+def record_result(key, row):
+    _RESULTS[key] = row

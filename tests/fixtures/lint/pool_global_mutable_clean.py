@@ -1,0 +1,8 @@
+"""Clean twin: results accumulate in a local and are returned."""
+
+
+def collect_results(pairs):
+    results = {}
+    for key, row in pairs:
+        results[key] = row
+    return results

@@ -1,0 +1,8 @@
+"""Seeded mutation: a lambda submitted to a process pool cannot pickle."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(lambda job=job: job.run()) for job in jobs]

@@ -1,0 +1,12 @@
+"""Clean twin: a module-level function pickles by qualified name."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _run_one(job):
+    return job.run()
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(_run_one, job) for job in jobs]

@@ -1,0 +1,10 @@
+"""Seeded mutation: a job-spec dataclass captures a callback field."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    name: str
+    on_done: Callable[[float], None]

@@ -1,0 +1,9 @@
+"""Clean twin: the spec stores a registry name resolved inside the worker."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    name: str
+    on_done_hook: str

@@ -1,0 +1,7 @@
+"""Seeded mutation: chunk_bits gets milliseconds for its seconds parameter."""
+
+from repro.units import chunk_bits
+
+
+def chunk_size(bitrate_kbps: float, duration_ms: float) -> float:
+    return chunk_bits(bitrate_kbps, duration_ms)

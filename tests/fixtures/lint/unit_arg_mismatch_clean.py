@@ -1,0 +1,7 @@
+"""Clean twin: chunk_bits receives the dimensions its signature declares."""
+
+from repro.units import chunk_bits
+
+
+def chunk_size(bitrate_kbps: float, duration_s: float) -> float:
+    return chunk_bits(bitrate_kbps, duration_s)

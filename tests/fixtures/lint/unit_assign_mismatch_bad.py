@@ -1,0 +1,8 @@
+"""Seeded mutation: a kbps-named estimate holds a bps value."""
+
+from repro.units import kbps_to_bps
+
+
+def throughput_kbps(measured_kbps: float) -> float:
+    estimate_kbps = kbps_to_bps(measured_kbps)
+    return estimate_kbps

@@ -1,0 +1,8 @@
+"""Clean twin: the converted value lands in a bps-named local."""
+
+from repro.units import kbps_to_bps
+
+
+def throughput_bps(measured_kbps: float) -> float:
+    estimate_bps = kbps_to_bps(measured_kbps)
+    return estimate_bps

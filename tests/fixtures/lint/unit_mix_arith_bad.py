@@ -1,0 +1,5 @@
+"""Seeded mutation: adds a seconds buffer level to a milliseconds duration."""
+
+
+def rebuffer_budget(buffer_s: float, chunk_duration_ms: float) -> float:
+    return buffer_s + chunk_duration_ms

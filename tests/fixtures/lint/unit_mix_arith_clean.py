@@ -1,0 +1,5 @@
+"""Clean twin: both operands are seconds."""
+
+
+def rebuffer_budget(buffer_s: float, chunk_duration_s: float) -> float:
+    return buffer_s + chunk_duration_s

@@ -1,0 +1,7 @@
+"""Seeded mutation: Shaka's 16 KB sample filter compared against bits."""
+
+MIN_SAMPLE_KILOBYTES = 16.0
+
+
+def sample_too_small(sample_bits: float) -> bool:
+    return sample_bits < MIN_SAMPLE_KILOBYTES

@@ -1,0 +1,10 @@
+"""Clean twin: converts to kilobytes before comparing."""
+
+from repro.units import bits_to_kilobytes
+
+MIN_SAMPLE_KILOBYTES = 16.0
+
+
+def sample_too_small(sample_bits: float) -> bool:
+    sample_kilobytes = bits_to_kilobytes(sample_bits)
+    return sample_kilobytes < MIN_SAMPLE_KILOBYTES

@@ -1,0 +1,5 @@
+"""Seeded mutation: a *_ms function returns its seconds argument unscaled."""
+
+
+def startup_delay_ms(startup_delay_s: float) -> float:
+    return startup_delay_s

@@ -1,0 +1,6 @@
+"""Clean twin: the scale factor makes the conversion explicit (a product
+has no inferred dimension, so manual conversions are never flagged)."""
+
+
+def startup_delay_ms(startup_delay_s: float) -> float:
+    return startup_delay_s * 1000.0

@@ -1,0 +1,339 @@
+"""Whole-program code rules: UNIT-* / POOL-* families, the unified
+suppression grammar, and the mutation-fixture corpus.
+
+Every new rule is proven twice: a ``*_bad.py`` fixture under
+``tests/fixtures/lint/`` seeds exactly the bug the rule exists for (and
+must fire *only* that rule), and its ``*_clean.py`` twin encodes the
+idiomatic repair (and must produce zero findings under the full code
+rule set).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    REGISTRY,
+    AnalyzerConfig,
+    Severity,
+    analyze_files,
+    analyze_text,
+    fix_files,
+)
+from repro.analysis.findings import SARIF_LEVELS
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
+
+
+def rule_id_of(fixture: Path) -> str:
+    """unit_mix_arith_bad.py -> UNIT-MIX-ARITH."""
+    stem = fixture.stem
+    for suffix in ("_bad", "_clean"):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+    return stem.upper().replace("_", "-")
+
+
+def lint(path: Path):
+    return analyze_text(path.name, path.read_text())
+
+
+BAD_FIXTURES = sorted(FIXTURES.glob("*_bad.py"))
+CLEAN_FIXTURES = sorted(FIXTURES.glob("*_clean.py"))
+
+
+class TestFixtureCorpus:
+    def test_corpus_is_paired(self):
+        assert len(BAD_FIXTURES) == len(CLEAN_FIXTURES) == 10
+        assert [rule_id_of(p) for p in BAD_FIXTURES] == [
+            rule_id_of(p) for p in CLEAN_FIXTURES
+        ]
+
+    def test_every_new_rule_has_a_fixture_pair(self):
+        covered = {rule_id_of(p) for p in BAD_FIXTURES}
+        new_rules = {
+            r.rule_id
+            for r in REGISTRY
+            if r.rule_id.startswith(("UNIT-", "POOL-", "LINT-"))
+        }
+        assert covered == new_rules
+
+    @pytest.mark.parametrize("fixture", BAD_FIXTURES, ids=lambda p: p.stem)
+    def test_bad_fixture_fires_exactly_its_rule(self, fixture):
+        findings = lint(fixture)
+        assert {f.rule for f in findings} == {rule_id_of(fixture)}
+
+    @pytest.mark.parametrize("fixture", CLEAN_FIXTURES, ids=lambda p: p.stem)
+    def test_clean_fixture_is_silent(self, fixture):
+        assert lint(fixture) == []
+
+
+class TestSuppressionGrammar:
+    BUG = "import random\nx = random.random(){comment}\n"
+
+    def test_named_allow_suppresses(self):
+        text = self.BUG.format(comment="  # lint: allow[DET-UNSEEDED-RANDOM]")
+        assert analyze_text("m.py", text) == []
+
+    def test_star_allow_suppresses_everything(self):
+        text = (
+            "import random\n"
+            "delay_ms = 4.0\n"
+            "x = random.random() + delay_ms  # lint: allow[*]\n"
+        )
+        assert analyze_text("m.py", text) == []
+
+    def test_multiple_ids_in_one_comment(self):
+        text = (
+            "import random\n"
+            "delay_ms = 4.0\n"
+            "x = random.random() + delay_ms"
+            "  # lint: allow[DET-UNSEEDED-RANDOM, UNIT-MIX-ARITH]\n"
+        )
+        assert analyze_text("m.py", text) == []
+
+    def test_wrong_id_does_not_suppress(self):
+        text = self.BUG.format(comment="  # lint: allow[DET-WALLCLOCK]")
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "DET-UNSEEDED-RANDOM"
+        ]
+
+    def test_legacy_det_allow_still_suppresses_det_rules(self):
+        text = self.BUG.format(comment="  # det: allow")
+        rules = [f.rule for f in analyze_text("m.py", text)]
+        assert "DET-UNSEEDED-RANDOM" not in rules
+        assert rules == ["LINT-DEPRECATED-SUPPRESS"]
+
+    def test_legacy_det_allow_does_not_cover_unit_rules(self):
+        text = (
+            "buffer_s = 1.0\n"
+            "delay_ms = 4.0\n"
+            "x = buffer_s + delay_ms  # det: allow\n"
+        )
+        rules = {f.rule for f in analyze_text("m.py", text)}
+        assert "UNIT-MIX-ARITH" in rules
+        assert "LINT-DEPRECATED-SUPPRESS" in rules
+
+    def test_docstring_mention_neither_fires_nor_suppresses(self):
+        text = (
+            '"""Docs may say # det: allow or # lint: allow[*] freely."""\n'
+            "import random\n"
+            "x = random.random()\n"
+        )
+        rules = [f.rule for f in analyze_text("m.py", text)]
+        assert rules == ["DET-UNSEEDED-RANDOM"]
+
+    def test_deprecation_note_severity_maps_to_sarif_note(self):
+        text = self.BUG.format(comment="  # det: allow")
+        (finding,) = analyze_text("m.py", text)
+        assert finding.severity is Severity.INFO
+        assert SARIF_LEVELS[finding.severity] == "note"
+
+    def test_deprecation_note_itself_can_be_waived(self):
+        text = self.BUG.format(
+            comment="  # det: allow  # lint: allow[LINT-DEPRECATED-SUPPRESS]"
+        )
+        assert analyze_text("m.py", text) == []
+
+
+class TestDimensionFlow:
+    def test_propagates_through_unsuffixed_locals(self):
+        text = (
+            "from repro.units import chunk_bits\n"
+            "def f(rate_kbps, dur_s, delay_s):\n"
+            "    budget = chunk_bits(rate_kbps, dur_s)\n"
+            "    return budget + delay_s\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "UNIT-MIX-ARITH"
+        ]
+
+    def test_converter_alias_import_is_tracked(self):
+        text = (
+            "from repro.units import kbps_to_bps as to_bps\n"
+            "def f(rate_kbps, cap_kbps):\n"
+            "    rate = to_bps(rate_kbps)\n"
+            "    return rate > cap_kbps\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "UNIT-MIX-COMPARE"
+        ]
+
+    def test_repurposed_local_is_demoted_to_ambiguous(self):
+        text = (
+            "from repro.units import kbps_to_bps, bytes_to_bits\n"
+            "def f(rate_kbps, size_bytes, cap_kbps):\n"
+            "    x = kbps_to_bps(rate_kbps)\n"
+            "    x = bytes_to_bits(size_bytes)\n"
+            "    return x > cap_kbps\n"
+        )
+        assert analyze_text("m.py", text) == []
+
+    def test_mult_and_div_yield_unknown(self):
+        text = (
+            "def f(duration_ms, buffer_s):\n"
+            "    return buffer_s + duration_ms / 1000.0\n"
+        )
+        assert analyze_text("m.py", text) == []
+
+    def test_aggregating_builtin_preserves_agreeing_dim(self):
+        text = (
+            "def f(deadline_s, budget_s, horizon_ms):\n"
+            "    return min(deadline_s, budget_s) + horizon_ms\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "UNIT-MIX-ARITH"
+        ]
+
+    def test_keyword_argument_checked_by_name(self):
+        text = (
+            "def send(timeout_s=1.0):\n"
+            "    return timeout_s\n"
+            "def f(grace_ms):\n"
+            "    return send(timeout_s=grace_ms)\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "UNIT-ARG-MISMATCH"
+        ]
+
+    def test_same_module_positional_params_checked(self):
+        text = (
+            "def wait(delay_s):\n"
+            "    return delay_s\n"
+            "def f(poll_ms):\n"
+            "    return wait(poll_ms)\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "UNIT-ARG-MISMATCH"
+        ]
+
+    def test_case_insensitive_constants(self):
+        text = (
+            "_POLL_TICK_S = 0.1\n"
+            "def f(interval_ms):\n"
+            "    return interval_ms > _POLL_TICK_S\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "UNIT-MIX-COMPARE"
+        ]
+
+    def test_longest_suffix_wins(self):
+        text = (
+            "def f(bandwidth_kbps, ladder_kbps):\n"
+            "    return bandwidth_kbps + ladder_kbps\n"
+        )
+        assert analyze_text("m.py", text) == []
+
+    def test_subscript_carries_sequence_dim(self):
+        text = (
+            "def f(chunk_sizes_bits, budget_bytes):\n"
+            "    return chunk_sizes_bits[0] > budget_bytes\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "UNIT-MIX-COMPARE"
+        ]
+
+
+class TestPoolRules:
+    def test_non_spec_dataclass_callable_field_not_flagged(self):
+        # The analyzer's own Rule dataclass holds a check function; only
+        # *Spec/*Job classes promise picklability-by-construction.
+        text = (
+            "from dataclasses import dataclass\n"
+            "from typing import Callable\n"
+            "@dataclass(frozen=True)\n"
+            "class Rule:\n"
+            "    check: Callable\n"
+        )
+        assert analyze_text("m.py", text) == []
+
+    def test_spec_constructor_capturing_lambda_flagged(self):
+        text = (
+            "def build(path):\n"
+            "    return TraceSpec(loader=lambda: path)\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "POOL-LAMBDA-SUBMIT"
+        ]
+
+    def test_spec_constructor_capturing_open_handle_flagged(self):
+        text = (
+            "def build(path):\n"
+            "    return TraceSpec(handle=open(path))\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "POOL-LAMBDA-SUBMIT"
+        ]
+
+    def test_builtin_map_with_lambda_not_flagged(self):
+        text = "def f(xs):\n    return list(map(lambda x: x + 1, xs))\n"
+        assert analyze_text("m.py", text) == []
+
+    def test_reading_module_global_not_flagged(self):
+        text = (
+            "_REGISTRY = {}\n"
+            "def resolve(name):\n"
+            "    return _REGISTRY[name]\n"
+        )
+        assert analyze_text("m.py", text) == []
+
+    def test_mutator_method_on_module_global_flagged(self):
+        text = (
+            "_SEEN = set()\n"
+            "def mark(key):\n"
+            "    _SEEN.add(key)\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "POOL-GLOBAL-MUTABLE"
+        ]
+
+    def test_os_fork_flagged(self):
+        text = "import os\ndef f():\n    return os.fork()\n"
+        assert [f.rule for f in analyze_text("m.py", text)] == [
+            "POOL-FORK-UNSAFE"
+        ]
+
+    def test_module_level_executor_flagged_but_not_in_function(self):
+        flagged = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "POOL = ProcessPoolExecutor()\n"
+        )
+        assert [f.rule for f in analyze_text("m.py", flagged)] == [
+            "POOL-FORK-UNSAFE"
+        ]
+        fine = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run():\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool\n"
+        )
+        assert analyze_text("m.py", fine) == []
+
+
+class TestEngineIntegration:
+    def test_config_select_restricts_families(self):
+        bad = (FIXTURES / "unit_mix_arith_bad.py").read_text()
+        config = AnalyzerConfig(selected=frozenset({"POOL-FORK-UNSAFE"}))
+        assert analyze_files({"m.py": bad}, config) == []
+
+    def test_python_rules_are_not_fixable(self):
+        # The autofix layer only repairs manifest rules; running it over
+        # Python sources must be a no-op (fix idempotence trivially
+        # holds for the code-rule families).
+        files = {p.name: p.read_text() for p in BAD_FIXTURES}
+        result = fix_files(files)
+        assert result.files == files
+        assert result.fixed == []
+
+    def test_src_repro_lints_clean_under_full_code_rule_set(self):
+        # The dogfooding pin: the whole tree stays clean under every
+        # UNIT/POOL/DET rule (suppressions carry written justifications
+        # at the call sites).
+        files = {
+            str(p.relative_to(SRC_REPRO.parent)): p.read_text()
+            for p in sorted(SRC_REPRO.rglob("*.py"))
+        }
+        assert len(files) > 50
+        findings = analyze_files(files)
+        assert findings == [], [str(f) for f in findings]

@@ -1,8 +1,11 @@
 """Output emitters: text, JSON, and SARIF 2.1.0 shape guarantees."""
 
 import json
+from pathlib import Path
 
 from repro.analysis import analyze_text, render_json, render_sarif, render_text
+
+EMPTY_SARIF_GOLDEN = Path(__file__).parent / "fixtures" / "lint" / "empty.sarif"
 
 BROKEN_MEDIA = """#EXTM3U
 #EXT-X-PLAYLIST-TYPE:VOD
@@ -89,3 +92,28 @@ class TestSarif:
         log = json.loads(render_sarif([]))
         assert log["runs"][0]["results"] == []
         assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestZeroFindings:
+    """A clean run must produce stable, machine-consumable output in
+    every format — CI diffs against these exact bytes."""
+
+    def test_text_clean_summary_line(self):
+        assert render_text([]) == "clean: no findings\n"
+
+    def test_json_emits_empty_findings_list(self):
+        payload = json.loads(render_json([]))
+        assert payload["findings"] == []
+        assert payload["tool"] == "repro-abr-lint"
+        assert payload["version"] == 1
+
+    def test_sarif_matches_golden_file(self):
+        assert render_sarif([]) == EMPTY_SARIF_GOLDEN.read_text()
+
+    def test_sarif_golden_is_valid_210_run(self):
+        log = json.loads(EMPTY_SARIF_GOLDEN.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = log["runs"]
+        assert run["results"] == []
+        assert run["tool"]["driver"]["name"] == "repro-abr-lint"

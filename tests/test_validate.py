@@ -152,3 +152,37 @@ class TestSeverity:
     def test_finding_str(self):
         text = str(Finding("R", Severity.WARNING, "msg"))
         assert "WARNING" in text and "R" in text and "msg" in text
+
+
+class TestDeprecationShim:
+    """The shim must warn with stacklevel=2 so the warning is
+    attributed to the *caller's* file, not the shim module."""
+
+    def _capture(self, call):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            call()
+        relevant = [
+            w for w in captured if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(relevant) == 1
+        return relevant[0]
+
+    def test_warning_points_at_caller_file(self, hls_sub):
+        warning = self._capture(lambda: lint_hls_package(hls_sub))
+        assert warning.filename == __file__
+
+    def test_master_and_dash_entry_points_too(self, hls_sub, content):
+        from repro.manifest.packager import package_dash
+
+        warning = self._capture(lambda: lint_hls_master(hls_sub.master))
+        assert warning.filename == __file__
+        manifest = package_dash(content)
+        warning = self._capture(lambda: lint_dash_manifest(manifest))
+        assert warning.filename == __file__
+
+    def test_message_names_the_replacement(self, hls_sub):
+        warning = self._capture(lambda: lint_hls_package(hls_sub))
+        assert "repro.analysis.analyze_files" in str(warning.message)
