@@ -33,19 +33,20 @@ class ChaosError(SimulationError):
 
 def log_event(log_path: Optional[str], **event) -> None:
     """Append one JSON event line; a single O_APPEND write so chaos
-    workers and the parent can interleave safely."""
+    workers and the parent can interleave safely.
+
+    The chaos log stays *plain* JSON lines (CI greps it directly); only
+    the append idiom is shared with the framed replay logs via
+    :func:`repro.framing.append_line`.
+    """
     if not log_path:
         return
+    from ..framing import append_line
+
     event.setdefault("pid", os.getpid())
     line = json.dumps(event, sort_keys=True) + "\n"
-    try:
-        fd = os.open(log_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, line.encode("utf-8"))
-        finally:
-            os.close(fd)
-    except OSError:
-        pass  # a lost log line must never fail the run
+    # a lost log line must never fail the run -> best_effort
+    append_line(log_path, line.encode("utf-8"), best_effort=True)
 
 
 def inject(

@@ -81,6 +81,7 @@ def _runner_options_from(args):
         job_timeout_s=args.job_timeout,
         job_retries=args.job_retries,
         chaos=chaos,
+        record_dir=args.record,
     )
 
 
@@ -107,18 +108,20 @@ def cmd_run(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    from .net.resilience import ResilienceModel, RetryPolicy
+    from .net.resilience import RetryPolicy
     from .qoe.diagnosis import diagnose
-    from .sim.session import SessionConfig
+    from .runner.jobs import FailureSpec, PlayerSpec, SimulationJob, TraceSpec
 
-    content = drama_show()
-    player = _build_player(args.player, content, args.combinations)
-    failure_model = None
+    # Expressing the ad-hoc session as a SimulationJob means a recorded
+    # log embeds the full job spec, so `replay --verify` can re-simulate
+    # it later without this command line.
+    failure = None
     retry_policy = None
     if args.failure_p > 0:
-        failure_model = ResilienceModel(
+        failure = FailureSpec.with_mix(
             args.failure_p,
-            seed=args.failure_seed,
+            args.failure_seed,
+            mix=None,
             resume_probability=args.resume_p,
         )
         retry_policy = RetryPolicy(
@@ -127,12 +130,29 @@ def cmd_simulate(args) -> int:
             retry_budget=args.retry_budget,
             request_timeout_s=args.request_timeout,
         )
-    config = SessionConfig(
-        live_offset_s=args.live_offset,
-        failure_model=failure_model,
+    job = SimulationJob(
+        player=PlayerSpec(args.player, combinations=args.combinations),
+        trace=TraceSpec.constant(args.bandwidth),
+        failure=failure,
         retry_policy=retry_policy,
+        live_offset_s=args.live_offset,
     )
-    result = simulate(content, player, shared(constant(args.bandwidth)), config)
+    observer = None
+    if args.record:
+        from .replay import EventRecorder
+
+        observer = EventRecorder(
+            args.record,
+            extra_meta={
+                "job": job.spec_dict(),
+                "key": job.key(),
+                "label": job.label(),
+            },
+        )
+    content, player, network, config = job.build(observer=observer)
+    result = simulate(content, player, network, config)
+    if observer is not None:
+        print(f"recorded {observer.events_written} events to {args.record}")
     summary = result.summary()
     qoe = compute_qoe(result, content)
     for key, value in summary.items():
@@ -331,14 +351,15 @@ def cmd_trace(args) -> int:
     """Generate or convert bandwidth traces."""
     from .net.mahimahi import load_mahimahi, save_mahimahi
     from .net.markov import hspa_preset, lte_preset
-    from .net.traces import load_trace, random_walk, save_trace
+    from .net.traces import from_csv, load_trace, random_walk, save_trace
 
     if args.input:
-        trace = (
-            load_mahimahi(args.input)
-            if args.input_format == "mahimahi"
-            else load_trace(args.input)
-        )
+        if args.input_format == "mahimahi":
+            trace = load_mahimahi(args.input)
+        elif args.input_format == "measured":
+            trace = from_csv(args.input, unit=args.unit)
+        else:
+            trace = load_trace(args.input)
     elif args.preset == "lte":
         trace = lte_preset(duration_s=args.duration, seed=args.seed)
     elif args.preset == "hspa":
@@ -358,6 +379,143 @@ def cmd_trace(args) -> int:
             save_trace(trace, args.output)
         print(f"wrote {args.output} ({args.format})")
     return 0
+
+
+def cmd_replay(args) -> int:
+    """Re-derive session metrics from recorded event logs.
+
+    Exit codes: 0 all logs replayed (and, with --verify, matched a
+    fresh simulation byte-for-byte), 1 a verification mismatch,
+    2 a log could not be replayed at all.
+    """
+    from .replay import ReplayError, replay_session
+
+    status = 0
+    for path in args.logs:
+        try:
+            replayed = replay_session(path, strict=args.strict)
+        except (OSError, ReplayError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = max(status, 2)
+            continue
+        print(f"== {path}")
+        if replayed.damage:
+            where = (
+                f" at line {replayed.damage_line}"
+                if replayed.damage_line is not None
+                else ""
+            )
+            print(f"damage: {replayed.damage}{where} ({replayed.damage_detail})")
+        print(
+            f"events: {len(replayed.events)}, verdict: "
+            f"{'recorded' if replayed.has_verdict else 'missing (torn prefix)'}"
+        )
+        for key, value in replayed.result.summary().items():
+            print(f"{key}: {value}")
+        print("qoe:", replayed.qoe().as_dict())
+        if args.verify:
+            status = max(status, _verify_replay(path, replayed))
+    return status
+
+
+def _verify_replay(path: str, replayed) -> int:
+    """Re-simulate the log's embedded job; compare metrics exactly."""
+    from .runner.jobs import SimulationJob
+
+    spec = replayed.job_spec
+    if spec is None:
+        print(
+            f"{path}: verify impossible: the log embeds no job spec "
+            "(record it through the runner's --record to verify)",
+            file=sys.stderr,
+        )
+        return 2
+    job = SimulationJob.from_spec(spec)
+    content, player, network, config = job.build()
+    live = simulate(content, player, network, config)
+    live_summary = live.summary()
+    replay_summary = replayed.result.summary()
+    live_qoe = compute_qoe(live, content).as_dict()
+    replay_qoe = replayed.qoe().as_dict()
+    mismatches = [
+        f"  {key}: live {live_summary[key]!r} != replay {replay_summary.get(key)!r}"
+        for key in live_summary
+        if live_summary[key] != replay_summary.get(key)
+    ] + [
+        f"  qoe.{key}: live {live_qoe[key]!r} != replay {replay_qoe.get(key)!r}"
+        for key in live_qoe
+        if live_qoe[key] != replay_qoe.get(key)
+    ]
+    if not mismatches:
+        print("verify: OK (re-simulated metrics byte-identical)")
+        return 0
+    print(f"verify: MISMATCH ({len(mismatches)} metric(s) differ)")
+    for line in mismatches:
+        print(line)
+    return 1
+
+
+def cmd_diff_events(args) -> int:
+    """Diff two event logs (or two recording directories pairwise).
+
+    Exit codes: 0 identical within tolerance, 1 any divergence or
+    unpaired log, 2 nothing comparable.
+    """
+    import json
+    import os
+
+    from .replay import ReplayError
+    from .replay.diff import diff_event_logs
+
+    pairs = []
+    problems = 0
+    if os.path.isdir(args.a) and os.path.isdir(args.b):
+        names_a = {n for n in os.listdir(args.a) if n.endswith(".events.jsonl")}
+        names_b = {n for n in os.listdir(args.b) if n.endswith(".events.jsonl")}
+        for name in sorted(names_a ^ names_b):
+            side = args.a if name in names_a else args.b
+            print(f"{name}: only in {side}", file=sys.stderr)
+            problems += 1
+        pairs = [
+            (os.path.join(args.a, n), os.path.join(args.b, n), n)
+            for n in sorted(names_a & names_b)
+        ]
+        if not pairs and not problems:
+            print("no event logs found to compare", file=sys.stderr)
+            return 2
+    else:
+        pairs = [(args.a, args.b, f"{args.a} vs {args.b}")]
+    for path_a, path_b, label in pairs:
+        try:
+            report = diff_event_logs(
+                path_a,
+                path_b,
+                rtol=args.rtol,
+                atol=args.atol,
+                context=args.context,
+            )
+        except (OSError, ReplayError) as exc:
+            print(f"{label}: {exc}", file=sys.stderr)
+            problems += 1
+            continue
+        for side, path, damage in (
+            ("A", path_a, report.damage_a),
+            ("B", path_b, report.damage_b),
+        ):
+            if damage:
+                print(f"{label}: log {side} ({path}) is {damage}")
+        if report.identical:
+            print(f"{label}: identical ({report.events_compared} events)")
+            continue
+        problems += 1
+        print(f"{label}: {report.divergence.describe()}")
+        for event in report.context:
+            print(f"  ...  {json.dumps(event, sort_keys=True)}")
+        if report.divergence.a is not None:
+            print(f"  A -> {json.dumps(report.divergence.a, sort_keys=True)}")
+        if report.divergence.b is not None:
+            print(f"  B -> {json.dumps(report.divergence.b, sort_keys=True)}")
+    return 1 if problems else 0
 
 
 def cmd_report(args) -> int:
@@ -438,6 +596,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="JSON-lines chaos event log (faults injected, watchdog "
             "kills, requeues); only written when --chaos is armed",
         )
+        parser.add_argument(
+            "--record",
+            default=None,
+            metavar="DIR",
+            help="record every simulated session's event log to "
+            "DIR/<job key>.events.jsonl; intact logs double as a cache "
+            "(replayed instead of re-simulated on the next run)",
+        )
 
     run_parser = sub.add_parser("run", help="run experiments")
     run_parser.add_argument("names", nargs="*", help="experiment names")
@@ -497,7 +663,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=8.0,
         help="per-request watchdog in seconds",
     )
+    sim_parser.add_argument(
+        "--record",
+        metavar="FILE",
+        default=None,
+        help="record the session's event log to FILE (replayable with "
+        "'repro-abr replay')",
+    )
     sim_parser.set_defaults(func=cmd_simulate)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="re-derive session metrics from recorded event logs "
+        "without re-simulating",
+    )
+    replay_parser.add_argument("logs", nargs="+", help="event-log files")
+    replay_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="refuse corrupt logs instead of replaying the intact prefix "
+        "(truncation is always tolerated)",
+    )
+    replay_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-simulate each log's embedded job spec and require "
+        "byte-identical summary and QoE metrics",
+    )
+    replay_parser.set_defaults(func=cmd_replay)
+
+    diff_parser = sub.add_parser(
+        "diff-events",
+        help="align two event logs (or recording directories) and report "
+        "the first divergence",
+    )
+    diff_parser.add_argument("a", help="first log file or recording directory")
+    diff_parser.add_argument("b", help="second log file or recording directory")
+    diff_parser.add_argument(
+        "--rtol",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="relative float tolerance (default 0: exact — recorded "
+        "floats round-trip exactly)",
+    )
+    diff_parser.add_argument(
+        "--atol",
+        type=float,
+        default=0.0,
+        metavar="A",
+        help="absolute float tolerance (default 0)",
+    )
+    diff_parser.add_argument(
+        "--context",
+        type=int,
+        default=3,
+        metavar="N",
+        help="events of context to print before a divergence (default 3)",
+    )
+    diff_parser.set_defaults(func=cmd_diff_events)
 
     man_parser = sub.add_parser("manifest", help="emit manifests for the title")
     man_parser.add_argument("--format", default="dash", choices=["dash", "hls"])
@@ -601,7 +825,17 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--mean", type=float, default=600.0, help="random preset mean kbps")
     trace_parser.add_argument("--input", help="convert an existing trace file instead")
     trace_parser.add_argument(
-        "--input-format", default="csv", choices=["csv", "mahimahi"]
+        "--input-format",
+        default="csv",
+        choices=["csv", "mahimahi", "measured"],
+        help="'csv' is the save_trace duration,kbps format; 'measured' "
+        "imports FCC/3G-style timestamp,bandwidth logs",
+    )
+    trace_parser.add_argument(
+        "--unit",
+        default="kbps",
+        choices=["kbps", "mbps", "bps"],
+        help="bandwidth unit of a 'measured' input (default kbps)",
     )
     trace_parser.add_argument("--output", help="write the trace to this path")
     trace_parser.add_argument("--format", default="csv", choices=["csv", "mahimahi"])

@@ -25,8 +25,13 @@ class ManifestParseError(ManifestError):
     """A DASH MPD or HLS playlist document is malformed."""
 
 
-class TraceError(ReproError):
-    """A bandwidth trace is malformed or cannot be evaluated."""
+class TraceError(ReproError, ValueError):
+    """A bandwidth trace is malformed or cannot be evaluated.
+
+    Also a :class:`ValueError`: trace loaders reject bad numeric data
+    (NaN, negative rates, non-increasing timestamps), and callers that
+    validate inputs generically catch ``ValueError``.
+    """
 
 
 class SimulationError(ReproError):

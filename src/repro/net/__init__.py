@@ -16,6 +16,7 @@ from .traces import (
     BandwidthTrace,
     TraceSegment,
     constant,
+    from_csv,
     from_pairs,
     load_trace,
     random_walk,
@@ -49,6 +50,7 @@ __all__ = [
     "TraceSegment",
     "TransferStats",
     "constant",
+    "from_csv",
     "from_pairs",
     "load_trace",
     "random_walk",

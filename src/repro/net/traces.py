@@ -234,7 +234,14 @@ def save_trace(trace: BandwidthTrace, path: str) -> None:
 
 
 def load_trace(path: str, loop: bool = True) -> BandwidthTrace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace`.
+
+    Every numeric pathology is rejected with a :class:`TraceError`
+    (also a ``ValueError``) naming the file and line: NaN or infinite
+    values, non-positive durations, negative bandwidths, unparseable
+    rows. A half-broken measured trace must fail at load time, not as
+    a mystery deep inside a simulation.
+    """
     pairs: List[Tuple[float, float]] = []
     with open(path, "r", encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
@@ -243,9 +250,103 @@ def load_trace(path: str, loop: bool = True) -> BandwidthTrace:
                 continue
             try:
                 duration_text, kbps_text = line.split(",")
-                pairs.append((float(duration_text), float(kbps_text)))
+                duration, kbps = float(duration_text), float(kbps_text)
             except ValueError as exc:
                 raise TraceError(f"{path}:{lineno}: bad trace line {line!r}") from exc
+            if not math.isfinite(duration) or not math.isfinite(kbps):
+                raise TraceError(
+                    f"{path}:{lineno}: non-finite value in trace line {line!r}"
+                )
+            if duration <= 0:
+                raise TraceError(
+                    f"{path}:{lineno}: segment duration must be positive, "
+                    f"got {duration}"
+                )
+            if kbps < 0:
+                raise TraceError(
+                    f"{path}:{lineno}: bandwidth must be non-negative, got {kbps}"
+                )
+            pairs.append((duration, kbps))
     if not pairs:
         raise TraceError(f"{path}: no trace segments found")
+    return from_pairs(pairs, loop=loop)
+
+
+#: Bandwidth-unit multipliers to kbps accepted by :func:`from_csv`.
+_CSV_UNITS = {"kbps": 1.0, "mbps": 1000.0, "bps": 1e-3}
+
+
+def from_csv(
+    path: str,
+    unit: str = "kbps",
+    loop: bool = True,
+) -> BandwidthTrace:
+    """Import a measured ``timestamp, bandwidth`` two-column trace.
+
+    The format of the public FCC broadband, Norway 3G/HSDPA and
+    similar measurement datasets: each row is an absolute timestamp in
+    seconds paired with the bandwidth measured *from* that instant.
+    Columns split on a comma or on whitespace; blank lines and ``#``
+    comments are skipped; ``unit`` scales the bandwidth column
+    (``kbps``/``mbps``/``bps``).
+
+    Each measurement holds until the next timestamp, so row *i* becomes
+    a segment of duration ``t[i+1] - t[i]``. The final row has no
+    successor; it inherits the previous interval (matching how these
+    datasets are replayed by tools like Mahimahi). Timestamps must be
+    finite and strictly increasing, bandwidths finite and non-negative,
+    and at least two rows are needed to define an interval — anything
+    else raises :class:`TraceError` naming the file and line.
+    """
+    if unit not in _CSV_UNITS:
+        raise TraceError(
+            f"unknown bandwidth unit {unit!r}; expected one of "
+            f"{sorted(_CSV_UNITS)}"
+        )
+    scale = _CSV_UNITS[unit]
+    rows: List[Tuple[float, float]] = []  # (timestamp_s, kbps)
+    last_lineno = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split(",") if "," in line else line.split()
+            if len(fields) != 2:
+                raise TraceError(
+                    f"{path}:{lineno}: expected two columns "
+                    f"(timestamp, bandwidth), got {len(fields)}: {line!r}"
+                )
+            try:
+                timestamp, bandwidth = float(fields[0]), float(fields[1])
+            except ValueError as exc:
+                raise TraceError(
+                    f"{path}:{lineno}: non-numeric value in {line!r}"
+                ) from exc
+            if not math.isfinite(timestamp) or not math.isfinite(bandwidth):
+                raise TraceError(
+                    f"{path}:{lineno}: non-finite value in {line!r}"
+                )
+            if bandwidth < 0:
+                raise TraceError(
+                    f"{path}:{lineno}: bandwidth must be non-negative, "
+                    f"got {bandwidth}"
+                )
+            if rows and timestamp <= rows[-1][0]:
+                raise TraceError(
+                    f"{path}:{lineno}: timestamps must be strictly "
+                    f"increasing, got {timestamp} after {rows[-1][0]}"
+                )
+            rows.append((timestamp, bandwidth * scale))
+            last_lineno = lineno
+    if len(rows) < 2:
+        raise TraceError(
+            f"{path}:{last_lineno or 1}: need at least two rows to define "
+            f"a measurement interval, got {len(rows)}"
+        )
+    pairs = [
+        (rows[i + 1][0] - rows[i][0], rows[i][1]) for i in range(len(rows) - 1)
+    ]
+    # The last measurement holds for as long as the one before it.
+    pairs.append((pairs[-1][0], rows[-1][1]))
     return from_pairs(pairs, loop=loop)

@@ -11,6 +11,7 @@ from .metrics import (
     is_undesirable,
     track_utility,
 )
+from .rescore import rescore_log, rescore_logs
 
 __all__ = [
     "DEFAULT_WEIGHTS",
@@ -25,5 +26,7 @@ __all__ = [
     "combination_utility",
     "compute_qoe",
     "is_undesirable",
+    "rescore_log",
+    "rescore_logs",
     "track_utility",
 ]

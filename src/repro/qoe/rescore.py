@@ -1,0 +1,33 @@
+"""Post-hoc QoE re-scoring over recorded event logs.
+
+A recorded session (see :mod:`repro.replay`) carries everything the
+QoE layer needs — the download/stall/buffer timelines plus the content
+ladders with exact bitrates — so a corpus of logs can be re-scored
+under *any* :class:`~repro.qoe.metrics.QoEWeights` without touching
+the simulator. That turns weight sensitivity studies from "re-run the
+grid per weighting" into "one recording pass, N cheap replays".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .metrics import DEFAULT_WEIGHTS, QoEReport, QoEWeights
+
+
+def rescore_log(path: str, weights: Optional[QoEWeights] = None) -> QoEReport:
+    """Re-derive the QoE report of one recorded event log.
+
+    The replay import is deferred: :mod:`repro.replay` imports the QoE
+    layer for the same derivation, and this keeps the cycle lazy.
+    """
+    from ..replay.replayer import replay_session
+
+    return replay_session(path).qoe(weights or DEFAULT_WEIGHTS)
+
+
+def rescore_logs(
+    paths, weights: Optional[QoEWeights] = None
+) -> Dict[str, QoEReport]:
+    """:func:`rescore_log` over many logs, keyed by path."""
+    return {path: rescore_log(path, weights) for path in paths}

@@ -1,0 +1,144 @@
+"""The event-log schema: kinds, versioning, canonical JSON encoding.
+
+One event is one JSON object with at minimum ``k`` (the kind, a value
+of :class:`EventKind`) and ``seq`` (the recorder's 0-based sequence
+number). Every log starts with a ``session_meta`` event carrying the
+schema version, the content description (ladders with exact bitrates,
+chunk geometry) and the session configuration — everything a replayer
+needs to re-derive QoE without the original objects.
+
+**Versioning policy** (see ``docs/event_log.md``): ``schema`` in the
+header is bumped whenever an existing field changes meaning or type,
+or a field a replayer depends on is removed. *Adding* event kinds or
+optional fields is backward compatible and does not bump the version;
+readers must ignore kinds and fields they do not know. A reader
+refuses logs with ``schema`` greater than :data:`EVENT_SCHEMA_VERSION`.
+
+Floats are encoded with :func:`repr` precision (Python's ``json``
+default), which round-trips every IEEE-754 double exactly — the
+property that makes replayed metrics *byte*-identical, not merely
+close. Non-finite floats (a player waiting forever is ``inf``) are
+encoded as the strings ``"inf"``/``"-inf"``/``"nan"`` so the payload
+stays strict JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import math
+from typing import Any, Dict
+
+from ..errors import ReproError
+
+#: Current schema version of the event stream.
+EVENT_SCHEMA_VERSION = 1
+
+
+class ReplayError(ReproError):
+    """An event log cannot be decoded, replayed or diffed."""
+
+
+class EventKind(str, enum.Enum):
+    """Every event kind the session emits, in rough lifecycle order."""
+
+    SESSION_META = "session_meta"
+    DECISION = "decision"
+    DOWNLOAD_START = "download_start"
+    DOWNLOAD_PROGRESS = "download_progress"
+    DOWNLOAD_COMPLETE = "download_complete"
+    DOWNLOAD_ABORT = "download_abort"
+    FAILURE = "failure"
+    RETRY = "retry"
+    SKIP = "skip"
+    STALL_BEGIN = "stall_begin"
+    STALL_END = "stall_end"
+    PLAYBACK_START = "playback_start"
+    BUFFER_SAMPLE = "buffer_sample"
+    ESTIMATE = "estimate"
+    VERDICT = "verdict"
+
+
+_KNOWN_KINDS = frozenset(kind.value for kind in EventKind)
+
+
+def is_known_kind(kind: str) -> bool:
+    return kind in _KNOWN_KINDS
+
+
+def _sanitize(value: Any) -> Any:
+    """Make a payload strict-JSON safe without losing float precision."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, enum.Enum):
+        return value.value
+    return value
+
+
+def encode_event(event: Dict[str, Any]) -> bytes:
+    """Canonical UTF-8 JSON bytes for one event (sorted keys, compact)."""
+    return json.dumps(
+        _sanitize(event),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    ).encode("utf-8")
+
+
+def decode_event(payload: bytes) -> Dict[str, Any]:
+    """Parse one event payload; raises :class:`ReplayError` on garbage.
+
+    The CRC frame already guards against bit damage, so a JSON error
+    here means a writer bug or a hand-edited log — worth a loud error
+    naming the payload rather than a silent skip.
+    """
+    try:
+        event = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ReplayError(
+            f"CRC-valid event line holds invalid JSON: {payload[:80]!r}"
+        ) from exc
+    if not isinstance(event, dict) or "k" not in event:
+        raise ReplayError(
+            f"event line is not an object with a 'k' kind: {payload[:80]!r}"
+        )
+    return event
+
+
+def decode_float(value: Any) -> float:
+    """Undo the non-finite string encoding of :func:`_sanitize`."""
+    if isinstance(value, str):
+        if value == "inf":
+            return math.inf
+        if value == "-inf":
+            return -math.inf
+        if value == "nan":
+            return math.nan
+        raise ReplayError(f"not a float encoding: {value!r}")
+    return float(value)
+
+
+def check_schema(meta: Dict[str, Any]) -> int:
+    """Validate a ``session_meta`` header; returns its schema version."""
+    if meta.get("k") != EventKind.SESSION_META.value:
+        raise ReplayError(
+            "event log does not start with a session_meta header "
+            f"(first event kind: {meta.get('k')!r})"
+        )
+    schema = meta.get("schema")
+    if not isinstance(schema, int):
+        raise ReplayError("session_meta header carries no integer schema")
+    if schema > EVENT_SCHEMA_VERSION:
+        raise ReplayError(
+            f"event log schema {schema} is newer than this reader "
+            f"(supports <= {EVENT_SCHEMA_VERSION}); upgrade to replay it"
+        )
+    return schema

@@ -21,27 +21,23 @@ from __future__ import annotations
 
 import os
 import pickle
-import struct
-import zlib
 from dataclasses import dataclass
 from typing import Optional
 
+# Entry framing (magic, 8-byte big-endian payload length, CRC32 of the
+# payload, then the pickled payload) lives in :mod:`repro.framing`,
+# shared with the replay event logs; re-exported here because tests and
+# the chaos injector historically import it from the cache module.
+from ..framing import (  # noqa: F401  (re-exports)
+    ENTRY_HEADER_SIZE as HEADER_SIZE,
+    ENTRY_MAGIC,
+    TRUNCATED,
+    frame_payload,
+    unframe_payload,
+)
 from ..sim.records import SessionResult
 
 DEFAULT_CACHE_DIR = ".repro-cache"
-
-#: Entry framing: magic, 8-byte big-endian payload length, 4-byte
-#: CRC32 of the payload, then the pickled payload itself. The length
-#: makes truncation detectable without attempting an unpickle; the
-#: CRC catches same-length corruption.
-ENTRY_MAGIC = b"RPRC1"
-_HEADER = struct.Struct(">QI")
-HEADER_SIZE = len(ENTRY_MAGIC) + _HEADER.size
-
-
-def frame_payload(payload: bytes) -> bytes:
-    """Wrap a pickled payload in the cache's on-disk entry framing."""
-    return ENTRY_MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
 @dataclass
@@ -98,10 +94,9 @@ class ResultCache:
         except OSError:
             self._evict(path)
             return None
-        payload = self._unframe(data)
+        payload, kind = unframe_payload(data)
         if payload is None:
-            # _unframe already classified and counted the damage.
-            self._evict(path, truncated=self._last_was_truncation)
+            self._evict(path, truncated=kind == TRUNCATED)
             return None
         try:
             result = pickle.loads(payload)
@@ -116,34 +111,6 @@ class ResultCache:
         self.stats.hits += 1
         self.stats.bytes_read += len(data)
         return result
-
-    #: Scratch flag set by :meth:`_unframe` so :meth:`get` can count a
-    #: truncation without re-deriving the classification.
-    _last_was_truncation = False
-
-    def _unframe(self, data: bytes) -> Optional[bytes]:
-        """The payload of a framed entry, or ``None`` if damaged.
-
-        A file that is a strict prefix of a well-formed entry (cut-off
-        magic, short header, or payload shorter than the declared
-        length) is *truncated*; anything else — wrong magic, surplus
-        bytes, CRC mismatch — is *corrupt*.
-        """
-        self._last_was_truncation = False
-        if len(data) < HEADER_SIZE:
-            prefix_of_magic = ENTRY_MAGIC.startswith(data[: len(ENTRY_MAGIC)])
-            self._last_was_truncation = prefix_of_magic
-            return None
-        if not data.startswith(ENTRY_MAGIC):
-            return None
-        length, crc = _HEADER.unpack_from(data, len(ENTRY_MAGIC))
-        payload = data[HEADER_SIZE:]
-        if len(payload) < length:
-            self._last_was_truncation = True
-            return None
-        if len(payload) > length or zlib.crc32(payload) != crc:
-            return None
-        return payload
 
     def put(self, key: str, result: SessionResult) -> None:
         path = self._path(key)

@@ -40,6 +40,7 @@ every chaos-surviving result.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -76,6 +77,9 @@ class JobOutcome:
     attempts: int = 1
     attempt_times: Tuple[float, ...] = ()
     error: Optional[str] = None
+    #: The result was reconstructed from a recorded event log rather
+    #: than the result cache or a fresh simulation (see ``record_dir``).
+    replayed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -108,6 +112,7 @@ def _execute(
     attempt: int = 1,
     chaos=None,
     cache_root: Optional[str] = None,
+    record_dir: Optional[str] = None,
 ) -> Tuple[SessionResult, float]:
     """Worker entry point: rebuild the cell from its spec and run it.
 
@@ -115,6 +120,13 @@ def _execute(
     the simulation cost alone, excluding queueing and transport. When a
     chaos schedule is active the injector runs first — it may kill this
     process, sleep past the deadline, raise, or tear a cache entry.
+
+    With ``record_dir`` set, the session runs under an
+    :class:`~repro.replay.EventRecorder` writing
+    ``<record_dir>/<job key>.events.jsonl``. The recorder truncates on
+    open, so a retried attempt rewrites the log — one log is always one
+    attempt — and a chaos kill mid-run leaves a torn-but-replayable
+    prefix.
     """
     if chaos is not None:
         from ..chaos.injector import inject
@@ -122,10 +134,53 @@ def _execute(
         inject(chaos, job.key(), attempt, cache_root)
     from ..sim.session import simulate
 
+    observer = None
+    if record_dir is not None:
+        from ..replay.recorder import EventRecorder, record_path
+
+        observer = EventRecorder(
+            record_path(record_dir, job.key()),
+            extra_meta={
+                "job": job.spec_dict(),
+                "key": job.key(),
+                "label": job.label(),
+                "attempt": attempt,
+            },
+        )
     started = time.perf_counter()
-    content, player, network, config = job.build()
-    result = simulate(content, player, network, config)
+    try:
+        content, player, network, config = job.build(observer=observer)
+        result = simulate(content, player, network, config)
+    finally:
+        if observer is not None:
+            observer.close()  # idempotent: the session closes it on success
     return result, time.perf_counter() - started
+
+
+def _replay_from_log(
+    job: SimulationJob, record_dir: str
+) -> Optional[SessionResult]:
+    """A complete recorded log is a second cache: replay it if sound.
+
+    Only an intact log (no tear, no corruption) whose verdict survived
+    and whose embedded key matches the job is trusted; anything else
+    returns ``None`` and the cell simulates fresh, overwriting the log.
+    """
+    from ..replay.recorder import record_path
+    from ..replay.replayer import replay_session
+
+    path = record_path(record_dir, job.key())
+    if not os.path.exists(path):
+        return None
+    try:
+        replayed = replay_session(path)
+    except Exception:
+        return None  # damaged/foreign log: fall through to simulation
+    if not replayed.intact or not replayed.has_verdict:
+        return None
+    if replayed.meta.get("key") != job.key():
+        return None
+    return replayed.result
 
 
 class _JobState:
@@ -172,6 +227,7 @@ def run_jobs(
     retries: int = 2,
     chaos=None,
     stats: Optional[EngineStats] = None,
+    record_dir: Optional[str] = None,
 ) -> List[JobOutcome]:
     """Run every job, returning outcomes in input order.
 
@@ -203,6 +259,20 @@ def run_jobs(
                     attempts=0,
                 )
                 continue
+        if record_dir is not None:
+            replayed = _replay_from_log(job, record_dir)
+            if replayed is not None:
+                outcomes[index] = JobOutcome(
+                    job=job,
+                    result=replayed,
+                    wall_time_s=0.0,
+                    cached=True,
+                    attempts=0,
+                    replayed=True,
+                )
+                if cache is not None:
+                    cache.put(job.key(), replayed)
+                continue
         pending.append(index)
 
     run_serial = workers <= 1 or (
@@ -213,7 +283,7 @@ def run_jobs(
         # propagate (the tier-1 suite runs here), KeyboardInterrupt
         # leaves the completed prefix checkpointed in the cache.
         for index in pending:
-            result, wall = _execute(jobs[index])
+            result, wall = _execute(jobs[index], record_dir=record_dir)
             outcomes[index] = JobOutcome(
                 jobs[index], result, wall, attempts=1, attempt_times=(wall,)
             )
@@ -221,7 +291,16 @@ def run_jobs(
                 cache.put(jobs[index].key(), result)
     elif pending:
         _run_pool(
-            jobs, outcomes, pending, workers, cache, timeout_s, retries, chaos, stats
+            jobs,
+            outcomes,
+            pending,
+            workers,
+            cache,
+            timeout_s,
+            retries,
+            chaos,
+            stats,
+            record_dir,
         )
     return [outcome for outcome in outcomes if outcome is not None]
 
@@ -236,6 +315,7 @@ def _run_pool(
     retries: int,
     chaos,
     stats: EngineStats,
+    record_dir: Optional[str] = None,
 ) -> None:
     """The hardened pool loop: submit-throttle, watchdog, requeue."""
     log_path = chaos.log_path if chaos is not None else None
@@ -329,6 +409,7 @@ def _run_pool(
                         state.attempts + 1,
                         chaos,
                         cache.root if cache is not None else None,
+                        record_dir,
                     )
                 except BrokenProcessPool:
                     queue.appendleft(index)
@@ -469,6 +550,10 @@ class RunnerOptions:
     job_timeout_s: Optional[float] = None
     job_retries: int = 2
     chaos: Optional[object] = None
+    #: Directory for per-job event logs (``--record``): each cell's
+    #: session streams to ``<record_dir>/<job key>.events.jsonl``, and
+    #: intact logs double as a second cache (replay instead of re-run).
+    record_dir: Optional[str] = None
 
 
 _OPTIONS = RunnerOptions()
@@ -484,6 +569,7 @@ def set_runner_options(
     job_timeout_s: Optional[float] = None,
     job_retries: Optional[int] = None,
     chaos: Optional[object] = None,
+    record_dir: Optional[str] = None,
 ) -> RunnerOptions:
     """Replace the session-global options; returns the new value."""
     global _OPTIONS
@@ -495,6 +581,7 @@ def set_runner_options(
     if job_retries is not None:
         changes["job_retries"] = max(0, int(job_retries))
     changes["chaos"] = chaos
+    changes["record_dir"] = record_dir
     # lint: allow[POOL-GLOBAL-MUTABLE] session-global knobs by design:
     # read in the parent at submit time, never inside a worker.
     _OPTIONS = replace(_OPTIONS, **changes)  # lint: allow[POOL-GLOBAL-MUTABLE]
@@ -508,6 +595,7 @@ def runner_options(
     job_timeout_s: Optional[float] = None,
     job_retries: Optional[int] = None,
     chaos: Optional[object] = None,
+    record_dir: Optional[str] = None,
 ) -> Iterator[RunnerOptions]:
     """Temporarily override the global options (the CLI uses this)."""
     global _OPTIONS
@@ -519,6 +607,7 @@ def runner_options(
             job_timeout_s=job_timeout_s,
             job_retries=job_retries,
             chaos=chaos,
+            record_dir=record_dir,
         )
     finally:
         # lint: allow[POOL-GLOBAL-MUTABLE] restores the parent-side
@@ -546,6 +635,7 @@ class GridRunner:
         job_timeout_s: Optional[float] = None,
         job_retries: Optional[int] = None,
         chaos: Optional[object] = None,
+        record_dir: Optional[str] = None,
     ):
         options = get_runner_options()
         self.workers = options.workers if workers is None else max(1, workers)
@@ -558,11 +648,13 @@ class GridRunner:
             options.job_retries if job_retries is None else max(0, job_retries)
         )
         self.chaos = options.chaos if chaos is None else chaos
+        self.record_dir = options.record_dir if record_dir is None else record_dir
         self.stats = EngineStats()
         self._simulated = 0
         self._sim_wall_s = 0.0
         self._slowest_s = 0.0
         self._invariants_checked = 0
+        self._replayed = 0
 
     def run(
         self, jobs: Sequence[SimulationJob], use_cache: bool = True
@@ -579,8 +671,11 @@ class GridRunner:
             retries=self.job_retries,
             chaos=self.chaos,
             stats=self.stats,
+            record_dir=self.record_dir if use_cache else None,
         )
         for outcome in outcomes:
+            if outcome.replayed:
+                self._replayed += 1
             if not outcome.cached and outcome.ok:
                 self._simulated += 1
                 self._sim_wall_s += outcome.wall_time_s
@@ -630,6 +725,9 @@ class GridRunner:
         }
         if self.job_timeout_s is not None:
             stats["job_timeout_s"] = self.job_timeout_s
+        if self.record_dir is not None:
+            stats["record_dir"] = self.record_dir
+            stats["replayed_from_log"] = self._replayed
         if self.chaos is not None:
             stats["chaos"] = self.chaos.spec()
             stats["job_retries"] = self.job_retries

@@ -314,8 +314,14 @@ class SimulationJob:
             f"#{self.key()[:10]}"
         )
 
-    def build(self):
-        """Rebuild (content, player, network, config) from the spec."""
+    def build(self, observer=None):
+        """Rebuild (content, player, network, config) from the spec.
+
+        ``observer`` (a :class:`~repro.sim.session.SessionObserver`)
+        taps the rebuilt session's event stream — the runner passes an
+        :class:`~repro.replay.EventRecorder` here when ``--record`` is
+        set.
+        """
         from ..net.link import shared
         from ..sim.session import SessionConfig
 
@@ -326,5 +332,54 @@ class SimulationJob:
             live_offset_s=self.live_offset_s,
             failure_model=None if self.failure is None else self.failure.build(),
             retry_policy=self.retry_policy,
+            observer=observer,
         )
         return content, player, network, config
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "SimulationJob":
+        """Rebuild a job from its :meth:`spec_dict` (JSON round-trip safe).
+
+        The inverse that makes recorded event logs *re-runnable*: a
+        log's ``session_meta`` embeds the spec, so
+        ``repro-abr replay --verify`` can re-simulate the exact cell
+        and compare. Tuples inside the spec were flattened to lists by
+        JSON; they are restored here so ``from_spec(j.spec_dict()).key()
+        == j.key()`` holds exactly.
+        """
+        schema = spec.get("schema")
+        if schema != SPEC_SCHEMA_VERSION:
+            raise ExperimentError(
+                f"job spec schema {schema!r} does not match this build "
+                f"(expects {SPEC_SCHEMA_VERSION}); the cell cannot be "
+                "re-run faithfully"
+            )
+
+        def tuplify(value):
+            if isinstance(value, (list, tuple)):
+                return tuple(tuplify(item) for item in value)
+            return value
+
+        content = ContentSpec(**spec["content"])
+        player_d = dict(spec["player"])
+        if player_d.get("audio_order") is not None:
+            player_d["audio_order"] = tuplify(player_d["audio_order"])
+        trace_d = dict(spec["trace"])
+        failure_d = spec.get("failure")
+        failure = None
+        if failure_d is not None:
+            failure_d = dict(failure_d)
+            if failure_d.get("mix") is not None:
+                failure_d["mix"] = tuplify(failure_d["mix"])
+            failure = FailureSpec(**failure_d)
+        retry_d = spec.get("retry_policy")
+        return cls(
+            content=content,
+            player=PlayerSpec(**player_d),
+            trace=TraceSpec(trace_d["kind"], tuplify(trace_d.get("args", ()))),
+            rtt_s=float(spec.get("rtt_s", 0.0)),
+            failure=failure,
+            retry_policy=None if retry_d is None else RetryPolicy(**retry_d),
+            live_offset_s=spec.get("live_offset_s"),
+            seed=int(spec.get("seed", 0)),
+        )

@@ -13,7 +13,14 @@ from .records import (
     SkipRecord,
     StallEvent,
 )
-from .session import ActiveDownload, Session, SessionConfig, SessionContext, simulate
+from .session import (
+    ActiveDownload,
+    Session,
+    SessionConfig,
+    SessionContext,
+    SessionObserver,
+    simulate,
+)
 
 __all__ = [
     "AbortRecord",
@@ -30,6 +37,7 @@ __all__ = [
     "Session",
     "SessionConfig",
     "SessionContext",
+    "SessionObserver",
     "SessionResult",
     "SkipRecord",
     "StallEvent",

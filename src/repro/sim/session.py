@@ -45,6 +45,30 @@ _MEDIA = (MediaType.VIDEO, MediaType.AUDIO)
 _EPS = 1e-9
 
 
+class SessionObserver:
+    """Receiver of the session's typed event stream.
+
+    Attach one via ``SessionConfig(observer=...)`` and the session
+    calls :meth:`emit` at every observable moment — downloads starting,
+    bytes flowing, player decisions, stalls, buffer samples, failures —
+    and :meth:`close` once the run ends. The canonical implementation
+    is :class:`repro.replay.EventRecorder`, which streams the events to
+    a crash-safe JSON-lines log; the schema of each ``(kind, payload)``
+    pair is documented in ``docs/event_log.md``.
+
+    Observers must not mutate the session: they see copies of scalars,
+    and determinism requires recording to be a pure tap. Emission sites
+    are guarded so a session without an observer pays one attribute
+    check and nothing else.
+    """
+
+    def emit(self, kind: str, payload: Dict[str, object]) -> None:
+        """Receive one event. ``payload`` is owned by the observer."""
+
+    def close(self) -> None:
+        """The session ended; release any resources."""
+
+
 @dataclass
 class ActiveDownload:
     """A download in flight."""
@@ -146,6 +170,9 @@ class SessionConfig:
     #: with no delay, partial bytes are discarded, and a chunk failing
     #: ``MAX_FAILURES_PER_CHUNK`` times raises ``SimulationError``.
     retry_policy: Optional[RetryPolicy] = None
+    #: Event-stream tap (see :class:`SessionObserver`); ``None`` (the
+    #: default) records nothing and costs nothing.
+    observer: Optional[SessionObserver] = None
 
     def __post_init__(self) -> None:
         if self.live_offset_s is not None and self.live_offset_s < 0:
@@ -238,7 +265,7 @@ class SessionContext:
 
     def log_estimate(self, kbps: float) -> None:
         """Record a bandwidth-estimate reading for the result timeline."""
-        self._session.result.add_estimate(self._session.now, kbps)
+        self._session.record_estimate(kbps)
 
 
 class Session:
@@ -285,6 +312,88 @@ class Session:
             n_chunks=content.n_chunks,
         )
         self.ctx = SessionContext(self)
+        #: Event-stream tap; cached off the config because the guard
+        #: sits on the hot path of every loop iteration.
+        self._observer = self.config.observer
+        self._stall_begins_emitted = 0
+        self._stall_ends_emitted = 0
+        self._startup_emitted = False
+
+    # -- event stream ------------------------------------------------------
+
+    def _emit(self, kind: str, payload: Dict[str, object]) -> None:
+        self._observer.emit(kind, payload)
+
+    def _meta_payload(self) -> Dict[str, object]:
+        """The ``session_meta`` header: everything replay/QoE needs."""
+
+        def tracks_of(ladder) -> List[Dict[str, object]]:
+            out: List[Dict[str, object]] = []
+            for track in ladder:
+                entry: Dict[str, object] = {
+                    "id": track.track_id,
+                    "avg_kbps": track.avg_kbps,
+                    "peak_kbps": track.peak_kbps,
+                    "declared_kbps": track.declared_kbps,
+                }
+                if track.height is not None:
+                    entry["height"] = track.height
+                if track.channels is not None:
+                    entry["channels"] = track.channels
+                if track.sampling_khz is not None:
+                    entry["sampling_khz"] = track.sampling_khz
+                out.append(entry)
+            return out
+
+        return {
+            "content": {
+                "name": self.content.name,
+                "duration_s": self.content.duration_s,
+                "chunk_duration_s": self.content.chunk_duration_s,
+                "n_chunks": self.content.n_chunks,
+                "video": tracks_of(self.content.video),
+                "audio": tracks_of(self.content.audio),
+            },
+            "player": getattr(self.player, "name", type(self.player).__name__),
+            "rtt_s": self.network.rtt_s,
+            "config": {
+                "startup_threshold_s": self.playback.startup_threshold_s,
+                "resume_threshold_s": self.playback.resume_threshold_s,
+                "live_offset_s": self.config.live_offset_s,
+            },
+        }
+
+    def _sync_playback_events(self) -> None:
+        """Emit startup/stall transitions the playback tracker crossed.
+
+        Transitions happen inside :class:`PlaybackTracker`; diffing its
+        state here (rather than threading callbacks through it) keeps
+        the tracker pure and the event order deterministic: a stall
+        that begins and the sample that observes it always appear in
+        the same relative order.
+        """
+        if not self._startup_emitted and self.playback.startup_delay_s is not None:
+            self._startup_emitted = True
+            self._emit("playback_start", {"t": self.playback.startup_delay_s})
+        stalls = self.playback.stalls
+        while self._stall_begins_emitted < len(stalls):
+            stall = stalls[self._stall_begins_emitted]
+            self._stall_begins_emitted += 1
+            self._emit("stall_begin", {"t": stall.start_s})
+        while self._stall_ends_emitted < len(stalls):
+            stall = stalls[self._stall_ends_emitted]
+            if stall.end_s is None:
+                break
+            self._stall_ends_emitted += 1
+            self._emit(
+                "stall_end", {"t": stall.end_s, "duration_s": stall.duration_s}
+            )
+
+    def record_estimate(self, kbps: float) -> None:
+        """Add a bandwidth-estimate reading (and mirror it to the log)."""
+        self.result.add_estimate(self.now, kbps)
+        if self._observer is not None:
+            self._emit("estimate", {"t": self.now, "kbps": kbps})
 
     # -- state helpers ----------------------------------------------------
 
@@ -331,12 +440,32 @@ class Session:
                 continue
             decision = self.player.choose_next(medium, self.ctx)
             if isinstance(decision, Download):
+                if self._observer is not None:
+                    self._emit(
+                        "decision",
+                        {
+                            "t": self.now,
+                            "medium": medium.value,
+                            "action": "download",
+                            "track_id": decision.track_id,
+                        },
+                    )
                 self._start_download(medium, decision.track_id)
             elif isinstance(decision, Wait):
                 if decision.until <= self.now + _EPS and math.isfinite(decision.until):
                     raise PlayerError(
                         f"player waited until the past/present "
                         f"({decision.until} <= {self.now})"
+                    )
+                if self._observer is not None:
+                    self._emit(
+                        "decision",
+                        {
+                            "t": self.now,
+                            "medium": medium.value,
+                            "action": "wait",
+                            "until": decision.until,
+                        },
                     )
                 self._wake_at[medium] = decision.until
             else:
@@ -407,6 +536,19 @@ class Session:
             attempt=self._abort_counts.get(("fail", medium, index), 0) + 1,
         )
         self._wake_at[medium] = 0.0
+        if self._observer is not None:
+            self._emit(
+                "download_start",
+                {
+                    "t": self.now,
+                    "medium": medium.value,
+                    "track_id": track_id,
+                    "chunk_index": index,
+                    "size_bits": chunk.size_bits,
+                    "attempt": self.active[medium].attempt,
+                    "resumed_bits": resumed,
+                },
+            )
         self.player.on_chunk_start(medium, track_id, index, self.ctx)
 
     # -- event horizon -----------------------------------------------------
@@ -475,6 +617,16 @@ class Session:
                 download.segments.append(
                     ProgressSegment(start_s=self.now, end_s=horizon, bits=bits)
                 )
+                if self._observer is not None:
+                    self._emit(
+                        "download_progress",
+                        {
+                            "t0": self.now,
+                            "t1": horizon,
+                            "medium": medium.value,
+                            "bits": bits,
+                        },
+                    )
         self.playback.advance(dt, self._min_frontier_s())
         self.now = horizon
 
@@ -534,6 +686,17 @@ class Session:
                                 attempts=attempt,
                             )
                         )
+                        if self._observer is not None:
+                            self._emit(
+                                "skip",
+                                {
+                                    "t": self.now,
+                                    "medium": medium.value,
+                                    "track_id": download.track_id,
+                                    "chunk_index": index,
+                                    "attempts": attempt,
+                                },
+                            )
                     else:
                         self._terminate("attempts_exhausted")
                 elif self.retries_spent >= policy.retry_budget:
@@ -563,6 +726,32 @@ class Session:
                 retry_at=retry_at,
             )
             self.result.add_failure(record)
+            if self._observer is not None:
+                self._emit(
+                    "failure",
+                    {
+                        "t": self.now,
+                        "medium": medium.value,
+                        "track_id": download.track_id,
+                        "chunk_index": index,
+                        "bits_done": fresh_bits,
+                        "kind": kind.value,
+                        "attempt": attempt,
+                        "resumable": stash,
+                        "retry_at": retry_at,
+                    },
+                )
+                if retry_at is not None:
+                    self._emit(
+                        "retry",
+                        {
+                            "t": self.now,
+                            "medium": medium.value,
+                            "chunk_index": index,
+                            "attempt": attempt + 1,
+                            "at": retry_at,
+                        },
+                    )
             self.player.on_failure(medium, record, self.ctx)
 
     def _complete_downloads(self) -> None:
@@ -585,6 +774,19 @@ class Session:
                 resumed_bits=download.resumed_bits,
             )
             self.result.add_download(record)
+            if self._observer is not None:
+                self._emit(
+                    "download_complete",
+                    {
+                        "t": self.now,
+                        "medium": medium.value,
+                        "track_id": download.track_id,
+                        "chunk_index": download.chunk_index,
+                        "size_bits": download.size_bits,
+                        "started_at": download.started_at,
+                        "resumed_bits": download.resumed_bits,
+                    },
+                )
             self.player.on_chunk_complete(record, self.ctx)
 
     #: Re-requesting the same chunk more than this many times after
@@ -617,15 +819,30 @@ class Session:
                     size_bits=download.size_bits,
                 )
             )
+            if self._observer is not None:
+                self._emit(
+                    "download_abort",
+                    {
+                        "t": self.now,
+                        "medium": medium.value,
+                        "track_id": download.track_id,
+                        "chunk_index": download.chunk_index,
+                        "bits_done": download.bits_done,
+                        "size_bits": download.size_bits,
+                    },
+                )
 
     def _sample_buffers(self) -> None:
+        video_s = self.buffer_level_s(MediaType.VIDEO)
+        audio_s = self.buffer_level_s(MediaType.AUDIO)
         self.result.add_buffer_sample(
-            BufferSample(
-                t=self.now,
-                video_level_s=self.buffer_level_s(MediaType.VIDEO),
-                audio_level_s=self.buffer_level_s(MediaType.AUDIO),
-            )
+            BufferSample(t=self.now, video_level_s=video_s, audio_level_s=audio_s)
         )
+        if self._observer is not None:
+            self._emit(
+                "buffer_sample",
+                {"t": self.now, "video_s": video_s, "audio_s": audio_s},
+            )
 
     # -- main loop ----------------------------------------------------------
 
@@ -633,6 +850,10 @@ class Session:
         max_time = self.config.max_sim_time_s or (
             self.content.duration_s * 20.0 + 120.0
         )
+        if self._observer is not None:
+            # The header must precede every other event: estimates can
+            # flow as early as on_session_start.
+            self._emit("session_meta", self._meta_payload())
         self.player.on_session_start(self.ctx)
         self._sample_buffers()
         zero_dt_streak = 0
@@ -640,6 +861,8 @@ class Session:
             self.playback.update_state(
                 self.now, self._min_frontier_s(), self._all_downloaded()
             )
+            if self._observer is not None:
+                self._sync_playback_events()
             if self.playback.state is PlaybackState.ENDED:
                 break
             self._fill_slots()
@@ -668,6 +891,8 @@ class Session:
             self.playback.update_state(
                 self.now, self._min_frontier_s(), self._all_downloaded()
             )
+            if self._observer is not None:
+                self._sync_playback_events()
             self._sample_buffers()
             if self._terminated is not None:
                 break  # graceful degraded end: keep the result intact
@@ -681,7 +906,22 @@ class Session:
         self.result.ended_at_s = self.now
         self.result.completed = self.playback.state is PlaybackState.ENDED
         self.result.termination_reason = self._terminated
+        if self._observer is not None:
+            # `close` may have sealed a final stall; flush before verdict.
+            self._sync_playback_events()
+            self._emit(
+                "verdict",
+                {
+                    "t": self.now,
+                    "completed": self.result.completed,
+                    "startup_delay_s": self.result.startup_delay_s,
+                    "termination_reason": self._terminated,
+                    "n_stalls": len(self.result.stalls),
+                },
+            )
         self.player.on_session_end(self.ctx)
+        if self._observer is not None:
+            self._observer.close()
         return self.result
 
 

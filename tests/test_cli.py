@@ -165,6 +165,122 @@ class TestCompare:
             assert name in out
 
 
+class TestTraceImport:
+    def test_measured_csv_import(self, capsys, tmp_path):
+        import os
+
+        fixture = os.path.join(
+            os.path.dirname(__file__), "fixtures", "trace_3g.csv"
+        )
+        assert (
+            main(["trace", "--input", fixture, "--input-format", "measured"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "segments" in out
+
+    def test_measured_csv_with_unit(self, capsys, tmp_path):
+        src = tmp_path / "m.csv"
+        src.write_text("0,1.5\n10,2.5\n")
+        out_path = str(tmp_path / "out.csv")
+        assert (
+            main(
+                [
+                    "trace",
+                    "--input",
+                    str(src),
+                    "--input-format",
+                    "measured",
+                    "--unit",
+                    "mbps",
+                    "--output",
+                    out_path,
+                ]
+            )
+            == 0
+        )
+        from repro.net.traces import load_trace
+
+        assert load_trace(out_path).bandwidth_at(0) == 1500.0
+
+
+class TestRecordReplayCli:
+    def _record(self, tmp_path, extra=()):
+        log = str(tmp_path / "session.events.jsonl")
+        code = main(
+            ["simulate", "--bandwidth", "900", "--record", log, *extra]
+        )
+        assert code == 0
+        return log
+
+    def test_simulate_record_then_replay(self, capsys, tmp_path):
+        log = self._record(tmp_path)
+        assert "recorded" in capsys.readouterr().out
+        assert main(["replay", log]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out and "verdict" in out
+
+    def test_replay_verify_is_byte_identical(self, capsys, tmp_path):
+        log = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["replay", log, "--verify"]) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_replay_torn_log(self, capsys, tmp_path):
+        import os
+
+        log = self._record(tmp_path)
+        with open(log, "r+b") as f:
+            f.truncate(os.path.getsize(log) - 20)
+        # A tear is survivable: the prefix replays (exit 0), the damage
+        # and the missing verdict are reported. --strict tolerates
+        # truncation too — it only refuses *corruption*.
+        assert main(["replay", log]) == 0
+        out = capsys.readouterr().out
+        assert "truncated" in out and "torn prefix" in out
+        assert main(["replay", log, "--strict"]) == 0
+
+    def test_replay_corrupt_log_strict(self, capsys, tmp_path):
+        log = self._record(tmp_path)
+        with open(log, "rb") as f:
+            lines = f.read().splitlines(keepends=True)
+        flipped = bytearray(lines[2])
+        flipped[-3] ^= 0x40  # damage a mid-log line, leave it terminated
+        with open(log, "wb") as f:
+            f.write(b"".join(lines[:2]) + bytes(flipped) + b"".join(lines[3:]))
+        assert main(["replay", log]) == 0  # lenient: prefix still replays
+        assert "corrupt" in capsys.readouterr().out
+        assert main(["replay", log, "--strict"]) == 2
+
+    def test_replay_missing_file(self, capsys, tmp_path):
+        assert main(["replay", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_diff_events_identical_and_perturbed(self, capsys, tmp_path):
+        log_a = self._record(tmp_path)
+        log_b = str(tmp_path / "b.events.jsonl")
+        import shutil
+
+        shutil.copy(log_a, log_b)
+        assert main(["diff-events", log_a, log_b]) == 0
+        assert "identical" in capsys.readouterr().out
+        # Perturb one estimate in B: the differ must localize it.
+        from repro.framing import frame_line, scan_line_file
+        from repro.replay import decode_event, encode_event
+
+        scan = scan_line_file(log_b)
+        events = [decode_event(p) for p in scan.payloads]
+        for event in events:
+            if event["k"] == "estimate":
+                event["kbps"] = event["kbps"] * 1.5 + 1.0
+                break
+        with open(log_b, "wb") as f:
+            for event in events:
+                f.write(frame_line(encode_event(event)))
+        assert main(["diff-events", log_a, log_b]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence" in out and "kbps" in out
+        assert main(["diff-events", log_a, log_b, "--rtol", "10"]) == 0
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

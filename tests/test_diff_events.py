@@ -1,0 +1,160 @@
+"""Engine-divergence diffing: localize the first behavioural split."""
+
+from repro.net.link import shared
+from repro.net.traces import square_wave
+from repro.players.estimators import ShakaEstimator
+from repro.players.shaka import ShakaPlayer
+from repro.replay import (
+    EventRecorder,
+    diff_event_logs,
+    diff_event_streams,
+    scan_events,
+)
+from repro.replay.diff import DEFAULT_IGNORE_FIELDS
+from repro.runner.jobs import PlayerSpec
+from repro.sim.session import Session, SessionConfig
+
+
+class SkewedEstimator(ShakaEstimator):
+    """A Shaka estimator reading a fixed fraction high.
+
+    Stands in for a real engine regression: identical inputs, slightly
+    different estimate, so the first divergent event in the log is the
+    estimate itself — exactly what the differ must localize.
+    """
+
+    def __init__(self, skew: float = 1.001, **kwargs):
+        super().__init__(**kwargs)
+        self.skew = skew
+
+    def get_estimate_kbps(self) -> float:
+        return super().get_estimate_kbps() * self.skew
+
+
+def record(content, path, player):
+    network = shared(square_wave(600.0, 2500.0, 15.0), rtt_s=0.05)
+    recorder = EventRecorder(str(path))
+    return Session(content, player, network, SessionConfig(observer=recorder)).run()
+
+
+def shaka_player(content, estimator=None):
+    base = PlayerSpec("shaka").build(content)
+    return ShakaPlayer(base.variants, estimator=estimator)
+
+
+class TestIdenticalRuns:
+    def test_two_identical_runs_diff_clean(self, content, tmp_path):
+        record(content, tmp_path / "a.jsonl", shaka_player(content))
+        record(content, tmp_path / "b.jsonl", shaka_player(content))
+        report = diff_event_logs(
+            str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        )
+        assert report.identical
+        assert report.divergence is None
+        assert report.events_compared == len(
+            scan_events(str(tmp_path / "a.jsonl")).events
+        )
+        assert report.damage_a is None and report.damage_b is None
+
+
+class TestPerturbedEstimator:
+    """Acceptance criterion: a perturbed Shaka estimator is localized."""
+
+    def test_first_divergence_is_the_estimate(self, content, tmp_path):
+        record(content, tmp_path / "base.jsonl", shaka_player(content))
+        record(
+            content,
+            tmp_path / "skew.jsonl",
+            shaka_player(content, estimator=SkewedEstimator(1.001)),
+        )
+        report = diff_event_logs(
+            str(tmp_path / "base.jsonl"), str(tmp_path / "skew.jsonl")
+        )
+        assert not report.identical
+        div = report.divergence
+        # The skew only shows once real samples exist, so everything up
+        # to the first post-download estimate is provably unchanged...
+        assert report.events_compared == div.index
+        assert div.index > 0
+        # ...and the split lands on the estimate's kbps field itself.
+        assert div.a["k"] == "estimate"
+        assert div.field == "kbps"
+        assert div.a["kbps"] != div.b["kbps"]
+        assert "first divergence at event" in div.describe()
+
+    def test_rtol_absorbs_the_skew(self, content, tmp_path):
+        record(content, tmp_path / "base.jsonl", shaka_player(content))
+        record(
+            content,
+            tmp_path / "skew.jsonl",
+            shaka_player(content, estimator=SkewedEstimator(1.0000001)),
+        )
+        exact = diff_event_logs(
+            str(tmp_path / "base.jsonl"), str(tmp_path / "skew.jsonl")
+        )
+        assert not exact.identical  # default comparison is exact
+        loose = diff_event_logs(
+            str(tmp_path / "base.jsonl"), str(tmp_path / "skew.jsonl"), rtol=1e-3
+        )
+        # An ulp-level skew never moves a decision, so rtol flattens it.
+        assert loose.identical
+
+
+class TestStreamDiff:
+    def test_length_mismatch_reports_survivor(self):
+        a = [{"k": "estimate", "seq": 0, "kbps": 500.0}]
+        report = diff_event_streams(a, [])
+        assert report.divergence.index == 0
+        assert "log B ends after 0 events" in report.divergence.reason
+        assert report.divergence.b is None
+
+    def test_kind_mismatch(self):
+        a = [{"k": "estimate", "seq": 0}]
+        b = [{"k": "decision", "seq": 0}]
+        report = diff_event_streams(a, b)
+        assert report.divergence.field == "k"
+        assert "estimate" in report.divergence.reason
+
+    def test_ignore_fields_skip_provenance(self):
+        a = [{"k": "session_meta", "seq": 0, "label": "run-a"}]
+        b = [{"k": "session_meta", "seq": 0, "label": "run-b"}]
+        assert diff_event_streams(a, b).identical
+        strict = diff_event_streams(a, b, ignore_fields=frozenset())
+        assert strict.divergence.field == "label"
+        assert "label" in DEFAULT_IGNORE_FIELDS
+
+    def test_nested_field_path(self):
+        a = [{"k": "session_meta", "seq": 0, "config": {"rtt_s": 0.05}}]
+        b = [{"k": "session_meta", "seq": 0, "config": {"rtt_s": 0.06}}]
+        report = diff_event_streams(a, b)
+        assert report.divergence.field == "config.rtt_s"
+
+    def test_non_finite_floats_compare_by_value(self):
+        a = [{"k": "estimate", "seq": 0, "kbps": "inf"}]
+        assert diff_event_streams(a, a).identical
+        b = [{"k": "estimate", "seq": 0, "kbps": "nan"}]
+        assert diff_event_streams(b, b).identical  # NaN == NaN for diffing
+        report = diff_event_streams(a, b)
+        assert report.divergence.field == "kbps"
+
+    def test_context_precedes_divergence(self):
+        a = [{"k": "estimate", "seq": i, "kbps": 100.0 + i} for i in range(6)]
+        b = [dict(e) for e in a]
+        b[5]["kbps"] = 999.0
+        report = diff_event_streams(a, b, context=3)
+        assert [e["seq"] for e in report.context] == [2, 3, 4]
+
+
+class TestTornLogDiff:
+    def test_torn_log_reports_damage_not_agreement(self, content, tmp_path):
+        import os
+
+        record(content, tmp_path / "a.jsonl", shaka_player(content))
+        record(content, tmp_path / "b.jsonl", shaka_player(content))
+        torn = str(tmp_path / "b.jsonl")
+        with open(torn, "r+b") as f:
+            f.truncate(os.path.getsize(torn) // 2)
+        report = diff_event_logs(str(tmp_path / "a.jsonl"), torn)
+        assert report.damage_b == "truncated"
+        assert not report.identical  # the tear shows up as a length split
+        assert "log B ends" in report.divergence.reason

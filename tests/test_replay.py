@@ -1,0 +1,318 @@
+"""Record -> replay: event logs rebuild sessions byte-identically."""
+
+import json
+import os
+
+import pytest
+
+from repro.net.failures import FailureModel
+from repro.net.link import shared
+from repro.net.resilience import ResilienceModel, RetryPolicy
+from repro.net.traces import constant, square_wave
+from repro.qoe.metrics import DEFAULT_WEIGHTS, QoEWeights, compute_qoe
+from repro.qoe.rescore import rescore_log
+from repro.replay import (
+    EVENT_SCHEMA_VERSION,
+    EventRecorder,
+    ReplayError,
+    record_path,
+    replay_session,
+    scan_events,
+)
+from repro.runner.jobs import PlayerSpec, SimulationJob, TraceSpec
+from repro.sim.session import Session, SessionConfig
+
+PLAYERS = ["shaka", "dashjs", "exoplayer-dash", "exoplayer-hls", "recommended"]
+
+
+def record_run(content, tmp_path, player_name="shaka", name="run", **config_kw):
+    """Simulate one recorded session; returns (live result, log path)."""
+    path = str(tmp_path / f"{name}.events.jsonl")
+    player = PlayerSpec(player_name).build(content)
+    network = shared(square_wave(600.0, 2500.0, 15.0), rtt_s=0.05)
+    recorder = EventRecorder(path)
+    config = SessionConfig(observer=recorder, **config_kw)
+    result = Session(content, player, network, config).run()
+    assert recorder.closed  # the session closes its observer
+    return result, path
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("player_name", PLAYERS)
+    def test_summary_and_qoe_byte_identical(self, content, tmp_path, player_name):
+        result, path = record_run(content, tmp_path, player_name)
+        replayed = replay_session(path)
+        assert replayed.intact and replayed.has_verdict
+        assert replayed.result.summary() == result.summary()
+        live_qoe = compute_qoe(result, content, DEFAULT_WEIGHTS)
+        assert replayed.qoe().as_dict() == live_qoe.as_dict()
+
+    def test_timelines_match(self, content, tmp_path):
+        result, path = record_run(content, tmp_path)
+        replayed = replay_session(path)
+        assert len(replayed.result.downloads) == len(result.downloads)
+        for live, rep in zip(result.downloads, replayed.result.downloads):
+            assert rep == live  # dataclass equality: every float identical
+        assert replayed.result.buffer_timeline == result.buffer_timeline
+        assert replayed.result.estimate_timeline == result.estimate_timeline
+        assert replayed.result.stalls == result.stalls
+
+    def test_failures_and_retries_round_trip(self, content, tmp_path):
+        result, path = record_run(
+            content,
+            tmp_path,
+            failure_model=ResilienceModel(0.25, seed=7),
+            retry_policy=RetryPolicy(),
+        )
+        assert result.failures  # the scenario must actually exercise failures
+        replayed = replay_session(path)
+        assert replayed.result.failures == result.failures
+        assert replayed.result.summary() == result.summary()
+
+    def test_live_skips_round_trip(self, content, tmp_path):
+        result, path = record_run(
+            content,
+            tmp_path,
+            failure_model=ResilienceModel(0.35, seed=3),
+            retry_policy=RetryPolicy(max_attempts=2),
+            live_offset_s=4.0,
+        )
+        replayed = replay_session(path)
+        assert replayed.result.skips == result.skips
+        assert replayed.result.summary() == result.summary()
+
+    def test_legacy_failure_model_round_trip(self, content, tmp_path):
+        result, path = record_run(
+            content, tmp_path, failure_model=FailureModel(0.15, seed=5)
+        )
+        assert result.failures
+        replayed = replay_session(path)
+        assert replayed.result.summary() == result.summary()
+
+    def test_rescore_with_other_weights(self, content, tmp_path):
+        result, path = record_run(content, tmp_path)
+        weights = QoEWeights(rebuffer_per_s=50.0)
+        live = compute_qoe(result, content, weights)
+        assert rescore_log(path, weights).as_dict() == live.as_dict()
+
+
+class TestTornLogs:
+    def test_torn_log_replays_prefix(self, content, tmp_path):
+        _, path = record_run(content, tmp_path)
+        whole = scan_events(path)
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 41)  # tear mid final line
+        replayed = replay_session(path)
+        assert replayed.damage == "truncated"
+        assert not replayed.has_verdict
+        assert len(replayed.events) == len(whole.events) - 1
+        # The torn prefix still yields a well-formed partial result.
+        assert replayed.result.summary()
+        assert replayed.qoe().as_dict()
+
+    def test_every_tear_point_replays_cleanly(self, content, tmp_path):
+        _, path = record_run(content, tmp_path)
+        with open(path, "rb") as f:
+            data = f.read()
+        header_len = data.index(b"\n") + 1
+        for cut in range(header_len + 1, min(len(data), header_len + 400), 13):
+            torn = str(tmp_path / "torn.jsonl")
+            with open(torn, "wb") as f:
+                f.write(data[:cut])
+            replayed = replay_session(torn)  # must never raise
+            assert replayed.result.summary()
+
+    def test_corrupt_mid_log_stops_at_damage(self, content, tmp_path):
+        _, path = record_run(content, tmp_path)
+        with open(path, "r+b") as f:
+            data = f.read()
+            # Flip a byte inside the 5th line's payload.
+            offset = 0
+            for _ in range(4):
+                offset = data.index(b"\n", offset) + 1
+            f.seek(offset + 40)
+            f.write(b"~")
+        replayed = replay_session(path)
+        assert replayed.damage == "corrupt"
+        assert replayed.damage_line == 5
+        with pytest.raises(ReplayError):
+            replay_session(path, strict=True)
+
+    def test_strict_tolerates_truncation(self, content, tmp_path):
+        _, path = record_run(content, tmp_path)
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 7)
+        replayed = replay_session(path, strict=True)  # tears are contract
+        assert replayed.damage == "truncated"
+
+
+class TestSchema:
+    def test_header_carries_schema_and_content(self, content, tmp_path):
+        _, path = record_run(content, tmp_path)
+        meta = scan_events(path).events[0]
+        assert meta["k"] == "session_meta"
+        assert meta["schema"] == EVENT_SCHEMA_VERSION
+        ladder = meta["content"]["video"]
+        assert [t["id"] for t in ladder] == [t.track_id for t in content.video]
+
+    def test_newer_schema_refused(self, content, tmp_path):
+        _, path = record_run(content, tmp_path)
+        scan = scan_events(path)
+        scan.events[0]["schema"] = EVENT_SCHEMA_VERSION + 1
+        from repro.framing import frame_line
+        from repro.replay.events import encode_event
+
+        with open(path, "wb") as f:
+            for event in scan.events:
+                f.write(frame_line(encode_event(event)))
+        with pytest.raises(ReplayError, match="newer than this reader"):
+            replay_session(path)
+
+    def test_unknown_event_kinds_ignored(self, content, tmp_path):
+        result, path = record_run(content, tmp_path)
+        from repro.framing import frame_line
+        from repro.replay.events import encode_event
+
+        scan = scan_events(path)
+        with open(path, "wb") as f:
+            for i, event in enumerate(scan.events):
+                f.write(frame_line(encode_event(event)))
+                if i == 3:
+                    f.write(
+                        frame_line(
+                            encode_event({"k": "future_kind", "seq": -1, "t": 0.0})
+                        )
+                    )
+        assert replay_session(path).result.summary() == result.summary()
+
+    def test_missing_header_refused(self, tmp_path):
+        from repro.framing import frame_line
+        from repro.replay.events import encode_event
+
+        path = str(tmp_path / "headless.jsonl")
+        with open(path, "wb") as f:
+            f.write(frame_line(encode_event({"k": "estimate", "t": 0.0, "kbps": 1})))
+        with pytest.raises(ReplayError, match="session_meta"):
+            replay_session(path)
+
+    def test_payload_is_strict_json(self, content, tmp_path):
+        # Wait-forever decisions carry until=inf; it must be encoded as
+        # a string, keeping every payload parseable by a strict reader.
+        _, path = record_run(content, tmp_path)
+        from repro.framing import scan_line_file
+
+        for payload in scan_line_file(path).payloads:
+            json.loads(payload.decode("utf-8"))  # must not need NaN/Infinity
+
+
+class TestRunnerRecording:
+    def test_record_dir_writes_keyed_logs(self, tmp_path):
+        from repro.runner.engine import run_jobs
+
+        record_dir = str(tmp_path / "rec")
+        jobs = [
+            SimulationJob(
+                player=PlayerSpec("shaka"), trace=TraceSpec.constant(900.0)
+            ),
+            SimulationJob(
+                player=PlayerSpec("dashjs"), trace=TraceSpec.constant(700.0)
+            ),
+        ]
+        outcomes = run_jobs(jobs, record_dir=record_dir)
+        for job, outcome in zip(jobs, outcomes):
+            path = record_path(record_dir, job.key())
+            assert os.path.exists(path)
+            replayed = replay_session(path)
+            assert replayed.meta["key"] == job.key()
+            assert replayed.result.summary() == outcome.result.summary()
+            # The embedded spec is re-runnable.
+            assert SimulationJob.from_spec(replayed.job_spec).key() == job.key()
+
+    def test_intact_log_replays_instead_of_resimulating(self, tmp_path):
+        from repro.runner.engine import run_jobs
+
+        record_dir = str(tmp_path / "rec")
+        jobs = [
+            SimulationJob(player=PlayerSpec("shaka"), trace=TraceSpec.constant(900.0))
+        ]
+        first = run_jobs(jobs, record_dir=record_dir)
+        second = run_jobs(jobs, record_dir=record_dir)
+        assert not first[0].replayed
+        assert second[0].replayed and second[0].cached
+        assert second[0].result.summary() == first[0].result.summary()
+
+    def test_torn_log_falls_back_to_simulation(self, tmp_path):
+        from repro.runner.engine import run_jobs
+
+        record_dir = str(tmp_path / "rec")
+        jobs = [
+            SimulationJob(player=PlayerSpec("shaka"), trace=TraceSpec.constant(900.0))
+        ]
+        run_jobs(jobs, record_dir=record_dir)
+        path = record_path(record_dir, jobs[0].key())
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 10)
+        outcome = run_jobs(jobs, record_dir=record_dir)[0]
+        assert not outcome.replayed  # torn log is not trusted as a cache
+        assert replay_session(path).has_verdict  # ...and was re-recorded whole
+
+    def test_pool_workers_record_too(self, tmp_path):
+        from repro.runner.engine import run_jobs
+
+        record_dir = str(tmp_path / "rec")
+        jobs = [
+            SimulationJob(player=PlayerSpec("shaka"), trace=TraceSpec.constant(900.0)),
+            SimulationJob(player=PlayerSpec("dashjs"), trace=TraceSpec.constant(700.0)),
+        ]
+        outcomes = run_jobs(jobs, workers=2, record_dir=record_dir)
+        for job, outcome in zip(jobs, outcomes):
+            replayed = replay_session(record_path(record_dir, job.key()))
+            assert replayed.result.summary() == outcome.result.summary()
+
+    def test_grid_runner_reports_provenance(self, tmp_path):
+        from repro.runner.engine import GridRunner
+
+        record_dir = str(tmp_path / "rec")
+        runner = GridRunner(record_dir=record_dir)
+        jobs = [
+            SimulationJob(player=PlayerSpec("shaka"), trace=TraceSpec.constant(900.0))
+        ]
+        runner.run(jobs)
+        runner.run(jobs)
+        params = runner.params()
+        assert params["record_dir"] == record_dir
+        assert params["replayed_from_log"] == 1
+
+    def test_spec_round_trip_through_json(self):
+        job = SimulationJob(
+            player=PlayerSpec("exoplayer-hls", audio_order=("A3", "A1")),
+            trace=TraceSpec.pairs([(10.0, 600.0), (5.0, 1800.0)]),
+            retry_policy=RetryPolicy(max_attempts=3),
+            rtt_s=0.08,
+            live_offset_s=4.0,
+            seed=9,
+        )
+        spec = json.loads(json.dumps(job.spec_dict()))
+        assert SimulationJob.from_spec(spec).key() == job.key()
+
+
+class TestRecorder:
+    def test_truncates_on_open(self, content, tmp_path):
+        _, path = record_run(content, tmp_path, name="same")
+        first_size = os.path.getsize(path)
+        _, path2 = record_run(content, tmp_path, name="same")
+        assert path2 == path
+        assert os.path.getsize(path) == first_size  # rewritten, not appended
+        assert replay_session(path).intact
+
+    def test_emit_after_close_raises(self, tmp_path):
+        recorder = EventRecorder(str(tmp_path / "log.jsonl"))
+        recorder.close()
+        with pytest.raises(ValueError):
+            recorder.emit("estimate", {"t": 0.0, "kbps": 1.0})
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "log.jsonl")
+        with EventRecorder(path) as recorder:
+            recorder.emit("session_meta", {"content": {}})
+        assert os.path.exists(path)

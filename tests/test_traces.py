@@ -1,21 +1,25 @@
 """Bandwidth traces."""
 
 import math
+import os
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import TraceError
+from repro.errors import ReproError, TraceError
 from repro.net.traces import (
     BandwidthTrace,
     TraceSegment,
     constant,
+    from_csv,
     from_pairs,
     load_trace,
     random_walk,
     save_trace,
     square_wave,
 )
+
+FIXTURE_3G = os.path.join(os.path.dirname(__file__), "fixtures", "trace_3g.csv")
 
 
 class TestTraceSegment:
@@ -201,6 +205,104 @@ class TestSaveLoad:
         path.write_text("# only a comment\n")
         with pytest.raises(TraceError):
             load_trace(str(path))
+
+
+class TestLoadTraceHardening:
+    """A half-broken measured trace must fail at load, naming file:line."""
+
+    @pytest.mark.parametrize(
+        "row",
+        ["nan,500", "10,nan", "inf,500", "10,-inf", "-5,500", "0,500", "10,-1"],
+    )
+    def test_pathological_rows_rejected(self, tmp_path, row):
+        path = tmp_path / "bad.csv"
+        path.write_text(f"10,100\n{row}\n")
+        with pytest.raises(TraceError) as excinfo:
+            load_trace(str(path))
+        message = str(excinfo.value)
+        assert f"{path}:2" in message  # the offending line, not just the file
+
+    def test_trace_error_is_a_value_error(self, tmp_path):
+        """Callers that predate TraceError catch ValueError; both work."""
+        assert issubclass(TraceError, ValueError)
+        assert issubclass(TraceError, ReproError)
+        path = tmp_path / "bad.csv"
+        path.write_text("nan,500\n")
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+
+class TestFromCsv:
+    def test_fixture_imports(self):
+        trace = from_csv(FIXTURE_3G)
+        pairs = trace.to_pairs()
+        # 12 timestamped rows at 5 s spacing -> 12 segments (the final
+        # row inherits the previous interval), all 5 s long.
+        assert len(pairs) == 12
+        assert all(duration == 5.0 for duration, _ in pairs)
+        assert pairs[0] == (5.0, 842.0)
+        assert pairs[-1] == (5.0, 602.0)
+        assert trace.min_kbps() == 95.0
+        assert trace.max_kbps() == 1184.0
+
+    def test_measurement_holds_until_next_timestamp(self):
+        trace = from_csv(FIXTURE_3G)
+        assert trace.bandwidth_at(0.0) == 842.0
+        assert trace.bandwidth_at(4.999) == 842.0
+        assert trace.bandwidth_at(5.0) == 611.0
+        assert trace.bandwidth_at(57.0) == 602.0  # final row's interval
+
+    def test_whitespace_separated_columns(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0 1000\n2 2000\n")
+        assert from_csv(str(path)).to_pairs() == [(2.0, 1000.0), (2.0, 2000.0)]
+
+    def test_units_scale_bandwidth(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,5\n10,3\n")
+        assert from_csv(str(path), unit="mbps").bandwidth_at(0) == 5000.0
+        assert from_csv(str(path), unit="bps").bandwidth_at(0) == 0.005
+        with pytest.raises(TraceError):
+            from_csv(str(path), unit="furlongs")
+
+    def test_uneven_intervals(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,100\n1,200\n4,300\n")
+        # Final row inherits the previous (3 s) interval.
+        assert from_csv(str(path)).to_pairs() == [
+            (1.0, 100.0),
+            (3.0, 200.0),
+            (3.0, 300.0),
+        ]
+
+    def test_non_increasing_timestamps_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,100\n5,200\n5,300\n")
+        with pytest.raises(TraceError) as excinfo:
+            from_csv(str(path))
+        assert f"{path}:3" in str(excinfo.value)
+
+    def test_single_row_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,100\n")
+        with pytest.raises(TraceError):
+            from_csv(str(path))
+
+    @pytest.mark.parametrize(
+        "row", ["nan,100", "5,inf", "5,-1", "5", "5,1,2", "t,100"]
+    )
+    def test_bad_rows_name_the_line(self, tmp_path, row):
+        path = tmp_path / "trace.csv"
+        path.write_text(f"0,100\n{row}\n")
+        with pytest.raises(TraceError) as excinfo:
+            from_csv(str(path))
+        assert f"{path}:2" in str(excinfo.value)
+
+    def test_no_loop(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,100\n10,200\n")
+        trace = from_csv(str(path), loop=False)
+        assert trace.bandwidth_at(1000.0) == 200.0
 
 
 class TestTraceProperties:
