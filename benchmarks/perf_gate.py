@@ -1,0 +1,127 @@
+"""Performance-regression gate for the kernel benchmark timers.
+
+Compares a fresh ``pytest-benchmark`` JSON export against the pinned
+numbers in ``BENCH_baseline.json`` and fails (exit 1) when any shared
+timer regressed beyond the tolerance band. Usage::
+
+    PYTHONPATH=src pytest benchmarks/test_bench_kernel.py \
+        --benchmark-only --benchmark-json=bench.json
+    python benchmarks/perf_gate.py bench.json
+
+    # Accept a deliberate change and refresh the pinned numbers:
+    python benchmarks/perf_gate.py bench.json --update
+
+Gating is on each timer's *minimum* round time: the minimum is the
+least noise-sensitive location statistic a shared CI box offers (mean
+and stddev absorb scheduler interference; the min is bounded below by
+the actual cost of the work). The tolerance band must stay generous
+enough for cross-machine variance — the baseline records one machine,
+CI runs another — while still catching an accidental return of the
+pre-overhaul kernel, which is multiples slower, not percent slower
+(see the ``kernel_overhaul`` section of the baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def distill(pytest_benchmark_json: dict) -> dict:
+    """Per-timer summary stats from a raw pytest-benchmark export."""
+    out = {}
+    for bench in pytest_benchmark_json["benchmarks"]:
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "mean_s": round(stats["mean"], 6),
+            "min_s": round(stats["min"], 6),
+            "rounds": stats["rounds"],
+            "stddev_s": round(stats["stddev"], 6),
+        }
+    return out
+
+
+def gate(current: dict, baseline: dict, tolerance: float):
+    """(failures, lines): regressions beyond ``tolerance`` x baseline."""
+    failures = []
+    lines = []
+    shared = sorted(set(current) & set(baseline))
+    for name in shared:
+        base_min = baseline[name]["min_s"]
+        cur_min = current[name]["min_s"]
+        ratio = cur_min / base_min if base_min > 0 else float("inf")
+        verdict = "ok"
+        if ratio > tolerance:
+            verdict = f"REGRESSION (> {tolerance:.2f}x)"
+            failures.append(name)
+        lines.append(
+            f"  {name}: {cur_min * 1e3:9.2f} ms vs baseline "
+            f"{base_min * 1e3:9.2f} ms ({ratio:5.2f}x)  {verdict}"
+        )
+    return failures, lines, shared
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="pytest-benchmark JSON export")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_baseline.json",
+        help="pinned baseline file (default: BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="fail when a timer's min exceeds X times its baseline min "
+        "(default 2.0; use a wider band on machines unlike the one "
+        "that recorded the baseline)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="refresh the baseline's pinned numbers from these results "
+        "instead of gating (for deliberate, reviewed perf changes)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.results) as f:
+        current = distill(json.load(f))
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+    baseline = base_doc.get("benchmarks", {})
+
+    if args.update:
+        baseline.update(current)
+        base_doc["benchmarks"] = baseline
+        with open(args.baseline, "w") as f:
+            json.dump(base_doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"refreshed {len(current)} timer(s) in {args.baseline}")
+        return 0
+
+    failures, lines, shared = gate(current, baseline, args.tolerance)
+    if not shared:
+        print("perf gate: no timers in common with the baseline", file=sys.stderr)
+        return 2
+    print(f"perf gate: {len(shared)} timer(s), tolerance {args.tolerance:.2f}x")
+    for line in lines:
+        print(line)
+    only_current = sorted(set(current) - set(baseline))
+    if only_current:
+        print(
+            "  (not pinned yet, run --update to add: "
+            + ", ".join(only_current)
+            + ")"
+        )
+    if failures:
+        print(f"perf gate: FAIL ({len(failures)} regression(s))")
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

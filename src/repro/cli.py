@@ -493,6 +493,7 @@ def cmd_diff_events(args) -> int:
                 rtol=args.rtol,
                 atol=args.atol,
                 context=args.context,
+                canonical=args.canonical,
             )
         except (OSError, ReplayError) as exc:
             print(f"{label}: {exc}", file=sys.stderr)
@@ -720,6 +721,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         metavar="N",
         help="events of context to print before a divergence (default 3)",
+    )
+    diff_parser.add_argument(
+        "--canonical",
+        action="store_true",
+        help="compare deduplicated canonical forms: collapse coincident "
+        "duplicate buffer samples and ignore seq renumbering, accepting "
+        "logs recorded before the kernel deduped them (default: exact)",
     )
     diff_parser.set_defaults(func=cmd_diff_events)
 

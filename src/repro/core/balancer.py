@@ -18,7 +18,7 @@ from typing import Optional
 
 from ..errors import PlayerError
 from ..media.tracks import MediaType
-from ..sim.decisions import Wait
+from ..sim.decisions import WAIT_FOREVER, Wait
 
 
 def other_medium(medium: MediaType) -> MediaType:
@@ -47,7 +47,7 @@ class PrefetchBalancer:
         mine = ctx.completed_chunks(medium)
         others = ctx.completed_chunks(other_medium(medium))
         if mine - others >= self.max_lead_chunks:
-            return Wait(until=math.inf)
+            return WAIT_FOREVER
         return None
 
     def imbalance_chunks(self, ctx) -> int:

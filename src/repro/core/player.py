@@ -32,7 +32,7 @@ from ..media.tracks import MediaType
 from ..net.resilience import CircuitBreaker
 from ..players.base import BasePlayer
 from ..players.estimators import HarmonicMeanEstimator, SharedThroughputEstimator
-from ..sim.decisions import Decision, Download
+from ..sim.decisions import Decision, download_for
 from ..sim.records import DownloadRecord
 from .balancer import PrefetchBalancer
 from .combinations import Combination, CombinationSet
@@ -251,8 +251,8 @@ class RecommendedPlayer(BasePlayer):
         position = ctx.next_chunk_index(medium)
         combo = self._selection_at(position, ctx)
         if medium is MediaType.VIDEO:
-            return Download(track_id=combo.video.track_id)
-        return Download(track_id=combo.audio.track_id)
+            return download_for(combo.video.track_id)
+        return download_for(combo.audio.track_id)
 
     def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
         self._estimator.observe_download(record)

@@ -38,6 +38,18 @@ class SimulationError(ReproError):
     """The playback simulation reached an inconsistent state."""
 
 
+class LinkConfigError(SimulationError, TraceError):
+    """A network path model was configured with invalid parameters.
+
+    Raised for things like a negative RTT: link configuration belongs
+    to the simulation setup, not to trace data, so this is primarily a
+    :class:`SimulationError`. :class:`TraceError` remains a base as a
+    deprecation shim — these mistakes historically raised ``TraceError``
+    and existing ``except TraceError`` handlers keep working — and will
+    be dropped from the bases in a future release.
+    """
+
+
 class PlayerError(ReproError):
     """A player model was misconfigured or made an invalid decision."""
 

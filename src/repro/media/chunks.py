@@ -161,6 +161,10 @@ class ChunkTable:
         self._sizes: Dict[str, Tuple[float, ...]] = {
             k: tuple(float(x) for x in v) for k, v in sizes_bits.items()
         }
+        # ``chunk`` is called for every request the simulator issues (and
+        # for every segment line the packagers render); :class:`Chunk` is
+        # frozen, so the instances can be built once per track and shared.
+        self._chunk_cache: Dict[str, Tuple[Chunk, ...]] = {}
 
     @property
     def duration_s(self) -> float:
@@ -189,19 +193,31 @@ class ChunkTable:
         except KeyError:
             raise MediaError(f"no chunk sizes for track {track_id!r}") from None
 
+    def row(self, track_id: str) -> Tuple[Chunk, ...]:
+        """All chunks of one track, built once and shared."""
+        chunks = self._chunk_cache.get(track_id)
+        if chunks is None:
+            sizes = self.sizes(track_id)
+            chunks = tuple(
+                Chunk(
+                    track_id=track_id,
+                    index=i,
+                    duration_s=self._duration_s,
+                    size_bits=size,
+                )
+                for i, size in enumerate(sizes)
+            )
+            self._chunk_cache[track_id] = chunks
+        return chunks
+
     def chunk(self, track_id: str, index: int) -> Chunk:
-        sizes = self.sizes(track_id)
-        if not 0 <= index < len(sizes):
+        chunks = self.row(track_id)
+        if not 0 <= index < len(chunks):
             raise MediaError(
-                f"chunk index {index} out of range [0, {len(sizes)}) "
+                f"chunk index {index} out of range [0, {len(chunks)}) "
                 f"for track {track_id!r}"
             )
-        return Chunk(
-            track_id=track_id,
-            index=index,
-            duration_s=self._duration_s,
-            size_bits=sizes[index],
-        )
+        return chunks[index]
 
     def measured_avg_kbps(self, track_id: str) -> float:
         sizes = self.sizes(track_id)

@@ -41,6 +41,20 @@ class Content:
         for track in list(self.video) + list(self.audio):
             if not self.chunk_table.has_track(track.track_id):
                 raise MediaError(f"chunk table missing track {track.track_id!r}")
+        # Track lookups sit on the simulator's request hot path; index
+        # them once here. First ladder wins on a (validated-elsewhere)
+        # duplicate id, matching the scan order ``track`` used to have.
+        index: Dict[str, Track] = {}
+        for track in list(self.video) + list(self.audio):
+            index.setdefault(track.track_id, track)
+        object.__setattr__(self, "_track_index", index)
+        # Chunk objects are frozen, so the per-track rows can be built
+        # once and indexed directly by :meth:`chunk` (the simulator hits
+        # it for every request it issues).
+        rows: Dict[str, Tuple[Chunk, ...]] = {
+            track_id: self.chunk_table.row(track_id) for track_id in index
+        }
+        object.__setattr__(self, "_chunk_rows", rows)
 
     @property
     def chunk_duration_s(self) -> float:
@@ -59,15 +73,23 @@ class Content:
 
     def track(self, track_id: str) -> Track:
         """Look up a track of either medium by id."""
-        for ladder in (self.video, self.audio):
-            for track in ladder:
-                if track.track_id == track_id:
-                    return track
-        raise MediaError(f"content {self.name!r} has no track {track_id!r}")
+        try:
+            return self._track_index[track_id]
+        except KeyError:
+            raise MediaError(
+                f"content {self.name!r} has no track {track_id!r}"
+            ) from None
 
     def chunk(self, track_id: str, index: int) -> Chunk:
-        self.track(track_id)  # validate the id belongs to this content
-        return self.chunk_table.chunk(track_id, index)
+        row = self._chunk_rows.get(track_id)
+        if row is None:  # id must belong to this content
+            raise MediaError(f"content {self.name!r} has no track {track_id!r}")
+        if 0 <= index < len(row):
+            return row[index]
+        raise MediaError(
+            f"chunk index {index} out of range [0, {len(row)}) "
+            f"for track {track_id!r}"
+        )
 
     def with_audio(self, audio: Ladder, name: Optional[str] = None, seed: int = 2019) -> "Content":
         """A copy of this content with a different audio adaptation set.

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Mapping, Tuple
 
-from ..errors import TraceError
+from ..errors import LinkConfigError
 from ..media.tracks import MediaType
 from .traces import BandwidthTrace
 
@@ -42,9 +42,46 @@ class NetworkModel:
         """Per-download rate in kbps at time ``t``."""
         raise NotImplementedError
 
+    def media_rates(
+        self, video_active: bool, audio_active: bool, t: float
+    ) -> Tuple[float, float]:
+        """Kernel fast path: ``(video_kbps, audio_kbps)`` at time ``t``.
+
+        The session runs at most one download per medium, so the
+        general :meth:`rates` mapping collapses to a pair of floats.
+        This default delegates to :meth:`rates` — custom network models
+        keep working unchanged and produce bit-identical values — while
+        the built-in models override it to skip the per-event dict
+        traffic. An inactive medium's rate is 0.0.
+        """
+        live: Dict[Hashable, MediaType] = {}
+        if video_active:
+            live[MediaType.VIDEO] = MediaType.VIDEO
+        if audio_active:
+            live[MediaType.AUDIO] = MediaType.AUDIO
+        rates = self.rates(live, t) if live else {}
+        return (
+            rates.get(MediaType.VIDEO, 0.0),
+            rates.get(MediaType.AUDIO, 0.0),
+        )
+
     def next_change_after(self, t: float) -> float:
         """Next absolute time any underlying trace changes rate."""
         raise NotImplementedError
+
+    def media_step(
+        self, video_active: bool, audio_active: bool, t: float
+    ) -> Tuple[float, float, float]:
+        """``(video_kbps, audio_kbps, next_change_after(t))`` at ``t``.
+
+        One call per simulation event instead of two. The default
+        composes :meth:`media_rates` and :meth:`next_change_after`, so
+        custom network models see exactly the calls the kernel used to
+        make; the built-in models override it to resolve both answers
+        from a single trace lookup.
+        """
+        v_rate, a_rate = self.media_rates(video_active, audio_active, t)
+        return v_rate, a_rate, self.next_change_after(t)
 
 
 class SharedBottleneck(NetworkModel):
@@ -52,7 +89,7 @@ class SharedBottleneck(NetworkModel):
 
     def __init__(self, trace: BandwidthTrace, rtt_s: float = 0.0):
         if rtt_s < 0:
-            raise TraceError(f"rtt must be non-negative, got {rtt_s}")
+            raise LinkConfigError(f"rtt must be non-negative, got {rtt_s}")
         self.trace = trace
         self.rtt_s = rtt_s
 
@@ -64,8 +101,35 @@ class SharedBottleneck(NetworkModel):
         share = self.trace.bandwidth_at(t) / len(active)
         return {key: share for key in active}
 
+    def media_rates(
+        self, video_active: bool, audio_active: bool, t: float
+    ) -> Tuple[float, float]:
+        # Same arithmetic as rates(): full bandwidth over the number of
+        # active flows, so concurrent A+V each get an equal share.
+        if video_active:
+            if audio_active:
+                share = self.trace.bandwidth_at(t) / 2
+                return share, share
+            return self.trace.bandwidth_at(t), 0.0
+        if audio_active:
+            return 0.0, self.trace.bandwidth_at(t)
+        return 0.0, 0.0
+
     def next_change_after(self, t: float) -> float:
         return self.trace.next_change_after(t)
+
+    def media_step(
+        self, video_active: bool, audio_active: bool, t: float
+    ) -> Tuple[float, float, float]:
+        kbps, change = self.trace.rate_and_next_change(t)
+        if video_active:
+            if audio_active:
+                share = kbps / 2
+                return share, share, change
+            return kbps, 0.0, change
+        if audio_active:
+            return 0.0, kbps, change
+        return 0.0, 0.0, change
 
 
 class SeparatePaths(NetworkModel):
@@ -78,7 +142,7 @@ class SeparatePaths(NetworkModel):
         rtt_s: float = 0.0,
     ):
         if rtt_s < 0:
-            raise TraceError(f"rtt must be non-negative, got {rtt_s}")
+            raise LinkConfigError(f"rtt must be non-negative, got {rtt_s}")
         self.video_trace = video_trace
         self.audio_trace = audio_trace
         self.rtt_s = rtt_s
@@ -101,10 +165,31 @@ class SeparatePaths(NetworkModel):
             out[key] = rate / by_medium[medium]
         return out
 
+    def media_rates(
+        self, video_active: bool, audio_active: bool, t: float
+    ) -> Tuple[float, float]:
+        # One download per medium on its own path: each active medium
+        # gets its full path rate (the general split divides by 1).
+        return (
+            self.video_trace.bandwidth_at(t) if video_active else 0.0,
+            self.audio_trace.bandwidth_at(t) if audio_active else 0.0,
+        )
+
     def next_change_after(self, t: float) -> float:
         return min(
             self.video_trace.next_change_after(t),
             self.audio_trace.next_change_after(t),
+        )
+
+    def media_step(
+        self, video_active: bool, audio_active: bool, t: float
+    ) -> Tuple[float, float, float]:
+        v_kbps, v_change = self.video_trace.rate_and_next_change(t)
+        a_kbps, a_change = self.audio_trace.rate_and_next_change(t)
+        return (
+            v_kbps if video_active else 0.0,
+            a_kbps if audio_active else 0.0,
+            a_change if a_change < v_change else v_change,
         )
 
 

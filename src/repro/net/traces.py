@@ -49,6 +49,14 @@ class BandwidthTrace:
         for segment in self._segments:
             self._starts.append(offset)
             offset += segment.duration_s
+        self._n = len(self._segments)
+        #: Cursor: index of the segment the last lookup landed in. The
+        #: simulator's queries are near-monotonic, so the next query
+        #: almost always hits the same segment or its successor; the
+        #: cursor turns the per-event lookup into O(1) with a bisect
+        #: fallback for arbitrary seeks. Pure cache — never affects
+        #: results, only which path computes them.
+        self._cursor = 0
 
     @property
     def segments(self) -> Tuple[TraceSegment, ...]:
@@ -72,12 +80,37 @@ class BandwidthTrace:
         elif t >= self._period:
             # Past the end of a non-looping trace the last rate holds.
             return len(self._segments) - 1, t - self._starts[-1]
-        # Linear scan is fine: traces have few segments and the simulator
-        # advances monotonically; bisect would be over-engineering here.
-        for i in range(len(self._segments) - 1, -1, -1):
-            if t >= self._starts[i] - 1e-12:
-                return i, t - self._starts[i]
-        return 0, t
+        # The target is the largest i with t >= starts[i] - 1e-12 (0 if
+        # none). Every path below answers that exact predicate, so the
+        # cursor/bisect fast paths are bit-identical to the historical
+        # linear scan from the end.
+        starts = self._starts
+        n = self._n
+        i = self._cursor
+        if t >= starts[i] - 1e-12:
+            # Same segment as the last lookup?
+            if i + 1 >= n or not t >= starts[i + 1] - 1e-12:
+                return i, t - starts[i]
+            # The immediate successor (the monotonic-advance case)?
+            i += 1
+            if i + 1 >= n or not t >= starts[i + 1] - 1e-12:
+                self._cursor = i
+                return i, t - starts[i]
+            lo = i + 1
+        else:
+            lo = 0
+        # Arbitrary seek: binary search on the same predicate. The
+        # predicate is monotone in i (starts are increasing), pred(0) is
+        # always true (starts[0] == 0 <= t + 1e-12 for t >= 0).
+        hi = n - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if t >= starts[mid] - 1e-12:
+                lo = mid
+            else:
+                hi = mid - 1
+        self._cursor = lo
+        return lo, t - starts[lo]
 
     def bandwidth_at(self, t: float) -> float:
         """Link bandwidth in kbps at absolute time ``t``."""
@@ -111,6 +144,26 @@ class BandwidthTrace:
             # change the way jumping a whole period would.
             boundary = math.nextafter(t, math.inf)
         return boundary
+
+    def rate_and_next_change(self, t: float) -> Tuple[float, float]:
+        """``(bandwidth_at(t), next_change_after(t))`` in one lookup.
+
+        The kernel needs both values for every event; answering them
+        from a single :meth:`_locate` halves the hot-path segment
+        lookups. The pair is bit-identical to calling the two methods
+        separately (same located segment, same boundary arithmetic).
+        """
+        index, offset = self._locate(t)
+        kbps = self._segments[index].kbps
+        if self._loop:
+            if self._n == 1:
+                return kbps, math.inf
+        elif t >= self._period:
+            return kbps, math.inf
+        boundary = t + (self._segments[index].duration_s - offset)
+        if boundary <= t:
+            boundary = math.nextafter(t, math.inf)
+        return kbps, boundary
 
     def average_kbps(self, duration_s: float = 0.0) -> float:
         """Time-average bandwidth over ``duration_s`` (one period if 0)."""

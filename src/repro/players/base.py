@@ -14,7 +14,13 @@ import math
 from typing import Optional
 
 from ..media.tracks import MediaType
-from ..sim.decisions import Decision, Download, Wait
+from ..sim.decisions import (
+    WAIT_FOREVER,
+    Decision,
+    Download,
+    Wait,
+    download_for,
+)
 from ..sim.playback import PlaybackState
 from ..sim.records import DownloadRecord
 
@@ -102,8 +108,8 @@ class BasePlayer(abc.ABC):
             return None
         if ctx.playback_state is PlaybackState.PLAYING:
             return Wait(until=ctx.now + (level - target_s) + 1e-6)
-        return Wait(until=math.inf)
+        return WAIT_FOREVER
 
     @staticmethod
     def download(track_id: str) -> Download:
-        return Download(track_id=track_id)
+        return download_for(track_id)

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import PlayerError
 from ..manifest.dash import DashManifest
 from ..media.tracks import MediaType
-from ..sim.decisions import Decision, Download
+from ..sim.decisions import Decision, download_for
 from ..sim.records import DownloadRecord
 from .base import BasePlayer
 from .bola import BolaState, bola_quality, build_bola_state
@@ -154,7 +154,7 @@ class DashJsPlayer(BasePlayer):
             estimate = state.estimator.get_estimate_kbps()
             if estimate is not None:
                 ctx.log_estimate(estimate)
-        return Download(track_id=state.track_ids[state.current_rung])
+        return download_for(state.track_ids[state.current_rung])
 
     def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
         # Per-medium estimation: "based on past audio (video) downloading only".

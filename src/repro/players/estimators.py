@@ -38,11 +38,20 @@ class Ewma:
         self.half_life_s = half_life_s
         self._estimate = 0.0
         self._total_weight = 0.0
+        # One-entry alpha memo: interval-sampled estimators feed a long
+        # run of identically-weighted samples, making the pow redundant.
+        self._alpha_weight = -1.0
+        self._alpha = 0.0
 
     def sample(self, weight_s: float, value: float) -> None:
         if weight_s <= 0:
             raise PlayerError(f"sample weight must be positive, got {weight_s}")
-        alpha = math.pow(0.5, weight_s / self.half_life_s)
+        if weight_s == self._alpha_weight:
+            alpha = self._alpha
+        else:
+            alpha = math.pow(0.5, weight_s / self.half_life_s)
+            self._alpha_weight = weight_s
+            self._alpha = alpha
         self._estimate = value * (1 - alpha) + alpha * self._estimate
         self._total_weight += weight_s
 
@@ -108,44 +117,79 @@ class ShakaEstimator:
         """
         if not segments:
             return []
-        end = max(s.end_s for s in segments)
-        n_intervals = max(1, math.ceil((end - started_at) / self.interval_s - 1e-12))
+        interval_s = self.interval_s
+        # Progress segments are appended in event order, so the last
+        # one carries the maximal end time.
+        end = segments[-1].end_s
+        n_intervals = max(1, math.ceil((end - started_at) / interval_s - 1e-12))
         bits = [0.0] * n_intervals
         for segment in segments:
-            if segment.bits <= 0 or segment.duration_s <= 0:
+            seg_bits = segment.bits
+            seg_start = segment.start_s
+            seg_end = segment.end_s
+            if seg_bits <= 0 or segment.duration_s <= 0:
                 continue
-            rate = segment.bits / segment.duration_s
+            rate = seg_bits / segment.duration_s
             # Spread the segment's bits over the δ-grid it overlaps.
-            first = int((segment.start_s - started_at) / self.interval_s)
+            first = int((seg_start - started_at) / interval_s)
             last = min(
                 n_intervals - 1,
-                int((segment.end_s - started_at - 1e-12) / self.interval_s),
+                int((seg_end - started_at - 1e-12) / interval_s),
             )
             for i in range(max(0, first), last + 1):
-                lo = started_at + i * self.interval_s
-                hi = lo + self.interval_s
-                overlap = min(hi, segment.end_s) - max(lo, segment.start_s)
+                lo = started_at + i * interval_s
+                hi = lo + interval_s
+                overlap = (hi if hi < seg_end else seg_end) - (
+                    lo if lo > seg_start else seg_start
+                )
                 if overlap > 0:
                     bits[i] += rate * overlap
-        durations = [self.interval_s] * n_intervals
-        tail = end - started_at - (n_intervals - 1) * self.interval_s
-        if 0 < tail < self.interval_s - 1e-12:
+        durations = [interval_s] * n_intervals
+        tail = end - started_at - (n_intervals - 1) * interval_s
+        if 0 < tail < interval_s - 1e-12:
             durations[-1] = tail
         return list(zip(bits, durations))
 
     def observe_download(self, record: DownloadRecord) -> None:
-        """Sample one finished download's progress timeline."""
+        """Sample one finished download's progress timeline.
+
+        The two EWMAs are updated inline (same arithmetic as
+        :meth:`Ewma.sample`, in the same order): a chunk contributes
+        dozens of identically-weighted δ-interval samples, so the
+        method-call and pow overhead dominated the whole estimator.
+        """
+        fast = self._fast
+        slow = self._slow
+        min_sample_bits = self.min_sample_bits
+        valid = 0
+        discarded = 0
         for interval_bits, duration_s in self._intervals_of(
             record.segments, record.started_at
         ):
-            if interval_bits >= self.min_sample_bits and duration_s > 1e-9:
+            if interval_bits >= min_sample_bits and duration_s > 1e-9:
                 kbps = interval_bits / duration_s / 1000.0
-                self._fast.sample(duration_s, kbps)
-                self._slow.sample(duration_s, kbps)
+                if duration_s == fast._alpha_weight:
+                    alpha = fast._alpha
+                else:
+                    alpha = math.pow(0.5, duration_s / fast.half_life_s)
+                    fast._alpha_weight = duration_s
+                    fast._alpha = alpha
+                fast._estimate = kbps * (1 - alpha) + alpha * fast._estimate
+                fast._total_weight += duration_s
+                if duration_s == slow._alpha_weight:
+                    alpha = slow._alpha
+                else:
+                    alpha = math.pow(0.5, duration_s / slow.half_life_s)
+                    slow._alpha_weight = duration_s
+                    slow._alpha = alpha
+                slow._estimate = kbps * (1 - alpha) + alpha * slow._estimate
+                slow._total_weight += duration_s
                 self._bits_sampled += interval_bits
-                self.valid_samples += 1
+                valid += 1
             else:
-                self.discarded_samples += 1
+                discarded += 1
+        self.valid_samples += valid
+        self.discarded_samples += discarded
 
     def get_estimate_kbps(self) -> float:
         if self._bits_sampled < self.min_total_bits:
@@ -170,12 +214,14 @@ class SlidingPercentile:
         self.percentile = percentile
         self._samples: List[Tuple[float, float]] = []  # (weight, value) FIFO
         self._total_weight = 0.0
+        self._ordered: Optional[List[Tuple[float, float]]] = None  # sort cache
 
     def add_sample(self, weight: float, value: float) -> None:
         if weight <= 0:
             raise PlayerError(f"sample weight must be positive, got {weight}")
         self._samples.append((weight, value))
         self._total_weight += weight
+        self._ordered = None
         while self._total_weight > self.max_weight and len(self._samples) > 1:
             old_weight, _ = self._samples.pop(0)
             self._total_weight -= old_weight
@@ -183,7 +229,11 @@ class SlidingPercentile:
     def get_percentile(self) -> Optional[float]:
         if not self._samples:
             return None
-        ordered = sorted(self._samples, key=lambda s: s[1])
+        # The sample window only changes in add_sample; re-sorting on
+        # every read (players poll the estimate per decision) is wasted.
+        ordered = self._ordered
+        if ordered is None:
+            ordered = self._ordered = sorted(self._samples, key=lambda s: s[1])
         threshold = self.percentile * self._total_weight
         acc = 0.0
         for weight, value in ordered:
@@ -284,6 +334,11 @@ class SharedThroughputEstimator:
         self.initial_estimate_kbps = initial_estimate_kbps
         self._segments: List[Tuple[float, float, float]] = []  # (t0, t1, bits)
         self._now = 0.0
+        #: Memoized estimate: the busy-interval merge is a function of
+        #: (_segments, _now) only, both of which change solely in
+        #: observe_download — so between downloads every read returns
+        #: the same value and the merge can be done once.
+        self._cached: Optional[Tuple[Optional[float]]] = None
 
     def observe_download(self, record: DownloadRecord) -> None:
         for segment in record.segments:
@@ -292,11 +347,19 @@ class SharedThroughputEstimator:
                     (segment.start_s, segment.end_s, segment.bits)
                 )
         self._now = max(self._now, record.completed_at)
+        self._cached = None
         # Drop segments that can no longer enter the window.
         horizon = self._now - self.window_s
         self._segments = [s for s in self._segments if s[1] > horizon]
 
     def get_estimate_kbps(self) -> Optional[float]:
+        if self._cached is not None:
+            return self._cached[0]
+        estimate = self._compute_estimate_kbps()
+        self._cached = (estimate,)
+        return estimate
+
+    def _compute_estimate_kbps(self) -> Optional[float]:
         if not self._segments:
             return self.initial_estimate_kbps
         horizon = self._now - self.window_s

@@ -34,7 +34,7 @@ from ..errors import PlayerError
 from ..manifest.dash import DashManifest
 from ..manifest.hls import HlsMasterPlaylist
 from ..media.tracks import MediaType
-from ..sim.decisions import Decision, Download, Wait
+from ..sim.decisions import WAIT_FOREVER, Decision, Wait, download_for
 from ..sim.records import DownloadRecord
 from .allocation import RungPair, exoplayer_predetermined_combinations
 from .base import BasePlayer
@@ -124,19 +124,19 @@ class _ExoAdaptiveBase(BasePlayer):
             # Video leads each position; it may start position i only
             # once audio has caught up to position i.
             if audio_done < video_done:
-                return Wait(until=math.inf)
+                return WAIT_FOREVER
             gate = self.buffer_gate(ctx, medium, self.max_buffer_s)
             if gate is not None:
                 return gate
             position = video_done
             rung = self._selection_at(position, ctx)
-            return Download(track_id=self._video_id_for(rung))
+            return download_for(self._video_id_for(rung))
         # Audio trails: it may fetch position i only after video finished i.
         if video_done <= audio_done:
-            return Wait(until=math.inf)
+            return WAIT_FOREVER
         position = audio_done
         rung = self._selection_at(position, ctx)
-        return Download(track_id=self._audio_id_for(rung))
+        return download_for(self._audio_id_for(rung))
 
     def _video_id_for(self, rung: int) -> str:
         raise NotImplementedError

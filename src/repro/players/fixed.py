@@ -7,12 +7,11 @@ download schedule must be predictable.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from ..errors import PlayerError
 from ..media.tracks import MediaType
-from ..sim.decisions import Decision, Download, Wait
+from ..sim.decisions import WAIT_FOREVER, Decision, download_for
 from .base import BasePlayer
 
 
@@ -47,12 +46,12 @@ class FixedTracksPlayer(BasePlayer):
             video_done = ctx.completed_chunks(MediaType.VIDEO)
             audio_done = ctx.completed_chunks(MediaType.AUDIO)
             if medium is MediaType.VIDEO and audio_done < video_done:
-                return Wait(until=math.inf)
+                return WAIT_FOREVER
             if medium is MediaType.AUDIO and video_done <= audio_done:
-                return Wait(until=math.inf)
+                return WAIT_FOREVER
         gate = self.buffer_gate(ctx, medium, self.buffer_target_s)
         if gate is not None:
             return gate
         if medium is MediaType.VIDEO:
-            return Download(track_id=self.video_id)
-        return Download(track_id=self.audio_id)
+            return download_for(self.video_id)
+        return download_for(self.audio_id)

@@ -27,7 +27,7 @@ from ..errors import PlayerError
 from ..manifest.dash import DashManifest
 from ..manifest.hls import HlsMasterPlaylist
 from ..media.tracks import MediaType
-from ..sim.decisions import Decision, Download
+from ..sim.decisions import Decision, download_for
 from ..sim.records import DownloadRecord
 from .base import BasePlayer
 from .estimators import ShakaEstimator
@@ -139,8 +139,8 @@ class ShakaPlayer(BasePlayer):
         position = ctx.next_chunk_index(medium)
         selected = self._selection_at(position, ctx)
         if medium is MediaType.VIDEO:
-            return Download(track_id=selected.video_id)
-        return Download(track_id=selected.audio_id)
+            return download_for(selected.video_id)
+        return download_for(selected.audio_id)
 
     def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
         self.estimator.observe_download(record)

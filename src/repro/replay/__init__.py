@@ -32,7 +32,13 @@ from .events import (
     decode_event,
     encode_event,
 )
-from .diff import DiffReport, Divergence, diff_event_logs, diff_event_streams
+from .diff import (
+    DiffReport,
+    Divergence,
+    canonicalize_events,
+    diff_event_logs,
+    diff_event_streams,
+)
 from .recorder import EventRecorder, record_path
 from .replayer import ReplayContent, ReplayedSession, replay_session, scan_events
 
@@ -46,6 +52,7 @@ __all__ = [
     "ReplayError",
     "ReplayedSession",
     "decode_event",
+    "canonicalize_events",
     "diff_event_logs",
     "diff_event_streams",
     "encode_event",

@@ -1,0 +1,21 @@
+"""Shared numeric tolerances of the simulation kernel.
+
+One constant, one meaning: ``EPS`` is the event-coincidence tolerance
+used everywhere the kernel asks "has this instant been reached yet" —
+dead-time expiry, wake-up times, failure deadlines, playback thresholds
+and frontier checks. ``session.py`` and ``playback.py`` historically
+carried their own copies (``_EPS = 1e-9`` vs inline ``1e-9`` literals);
+they must never drift apart, because the event scheduler and the
+playback tracker have to agree on whether a boundary event has fired.
+
+Not covered here: deliberately *different* tolerances with their own
+physical meaning, such as the millibit completion snap in
+``ActiveDownload.finished`` or the 1e-6 s playback-overshoot allowance
+in ``PlaybackTracker.advance``.
+"""
+
+from __future__ import annotations
+
+#: Event-coincidence tolerance in seconds (and the generic "close
+#: enough to the boundary" epsilon for second-valued comparisons).
+EPS = 1e-9

@@ -36,3 +36,24 @@ class Wait:
 
 
 Decision = object  # Download | Wait (typing.Union kept loose for 3.9)
+
+#: Shared "blocked on another medium, re-poll at the next event"
+#: decision. Both decision types are frozen, so hot players return the
+#: same instance instead of constructing one per poll.
+WAIT_FOREVER = Wait()
+
+_DOWNLOAD_CACHE: dict = {}
+
+
+def download_for(track_id: str) -> Download:
+    """A (shared, frozen) :class:`Download` decision for ``track_id``.
+
+    Players issue the same few decisions tens of thousands of times per
+    session sweep; interning them removes the per-poll construction.
+    """
+    decision = _DOWNLOAD_CACHE.get(track_id)
+    if decision is None:
+        # Intern cache: the value is a pure function of the key, so
+        # each worker rebuilding its own copy is correct by design.
+        decision = _DOWNLOAD_CACHE[track_id] = Download(track_id=track_id)  # lint: allow[POOL-GLOBAL-MUTABLE]
+    return decision

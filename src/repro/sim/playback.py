@@ -13,6 +13,7 @@ import enum
 from typing import List, Optional
 
 from ..errors import SimulationError
+from .constants import EPS
 from .records import StallEvent
 
 
@@ -57,7 +58,7 @@ class PlaybackTracker:
         """
         remaining = self.content_duration_s - self.position_s
         needed = min(threshold_s, remaining)
-        return frontier_s - self.position_s >= needed - 1e-9
+        return frontier_s - self.position_s >= needed - EPS
 
     def advance(self, dt: float, frontier_s: float) -> None:
         """Advance wall time by ``dt``; play if in PLAYING state.
@@ -67,7 +68,7 @@ class PlaybackTracker:
         lands exactly on the frontier at an event boundary rather than
         overshooting; overshoot means the event schedule was wrong.
         """
-        if dt < -1e-9:
+        if dt < -EPS:
             raise SimulationError(f"negative time step {dt}")
         if self.state is not PlaybackState.PLAYING:
             return
@@ -87,11 +88,11 @@ class PlaybackTracker:
         """
         if self.state is PlaybackState.ENDED:
             return
-        if self.position_s >= self.content_duration_s - 1e-9:
+        if self.position_s >= self.content_duration_s - EPS:
             self._end(now)
             return
         if self.state is PlaybackState.PLAYING:
-            if self.position_s >= frontier_s - 1e-9 and not all_downloaded:
+            if self.position_s >= frontier_s - EPS and not all_downloaded:
                 self.state = PlaybackState.STALLED
                 self.stalls.append(StallEvent(start_s=now))
             return

@@ -9,7 +9,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..media.tracks import MediaType
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProgressSegment:
     """Bits received by one download over one constant-rate interval."""
 
@@ -22,7 +22,7 @@ class ProgressSegment:
         return self.end_s - self.start_s
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DownloadRecord:
     """One completed chunk download.
 
@@ -54,7 +54,7 @@ class DownloadRecord:
         return self.size_bits / self.duration_s / 1000.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbortRecord:
     """An in-flight download the player abandoned."""
 
@@ -71,7 +71,7 @@ class AbortRecord:
         return self.bits_done / self.size_bits if self.size_bits else 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FailureRecord:
     """One failed request attempt.
 
@@ -99,7 +99,7 @@ class FailureRecord:
     retry_at: Optional[float] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SkipRecord:
     """A live chunk skipped to preserve liveness after attempts ran out."""
 
@@ -110,7 +110,7 @@ class SkipRecord:
     attempts: int
 
 
-@dataclass
+@dataclass(slots=True)
 class StallEvent:
     """One rebuffering interval (shaded regions of the paper's Fig. 3)."""
 
@@ -124,7 +124,7 @@ class StallEvent:
         return self.end_s - self.start_s
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BufferSample:
     """Buffer levels (seconds of content) at one instant."""
 
@@ -138,7 +138,7 @@ class BufferSample:
         return abs(self.video_level_s - self.audio_level_s)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EstimateSample:
     """A bandwidth-estimate reading logged by the player."""
 
@@ -280,6 +280,22 @@ class SessionResult:
 
     def add_buffer_sample(self, sample: BufferSample) -> None:
         self.buffer_timeline.append(sample)
+
+    def extend_buffer_samples(
+        self,
+        t: Sequence[float],
+        video_level_s: Sequence[float],
+        audio_level_s: Sequence[float],
+    ) -> None:
+        """Batch-ingest three parallel arrays of buffer samples.
+
+        The session kernel accumulates samples in flat lists on its hot
+        path and materializes the :class:`BufferSample` records here in
+        one pass at result-build time.
+        """
+        self.buffer_timeline.extend(
+            map(BufferSample, t, video_level_s, audio_level_s)
+        )
 
     def add_estimate(self, t: float, kbps: float) -> None:
         self.estimate_timeline.append(EstimateSample(t=t, kbps=kbps))

@@ -10,6 +10,19 @@ next event time (trace change, request dead-time expiry, download
 completion, injected failure point, request-timeout expiry,
 buffer-frontier hit, scheduled player wake-up, backoff-retry dispatch)
 can be computed in closed form.
+
+The main loop is the hot path of every experiment, sweep and chaos run,
+so it is written for throughput: per-medium state lives in two
+``__slots__`` lane objects instead of ``MediaType``-keyed dicts, rates
+come from the :meth:`~repro.net.link.NetworkModel.media_rates` tuple
+fast path, buffer samples accumulate in flat lists and are materialized
+once at result-build time, and runs of *quiet* events (trace boundaries
+and dead-time expiries with no decision, completion, failure, wake-up
+or playback transition in between) are collapsed by a fast-forward
+inner loop that skips the scheduling/bookkeeping machinery. Every fast
+path is required to be observably equivalent to the plain loop — same
+event stream, same floats; see ``docs/architecture.md`` ("kernel fast
+paths") and the recorded-log oracle in ``tests/fixtures/eventlogs/``.
 """
 
 from __future__ import annotations
@@ -27,6 +40,7 @@ from ..net.resilience import (
     FailureKind,
     RetryPolicy,
 )
+from .constants import EPS
 from .decisions import Download, Wait
 from .playback import PlaybackState, PlaybackTracker
 from .records import (
@@ -42,7 +56,8 @@ from .records import (
 from ..net.failures import FailureModel  # noqa: F401  (config type)
 
 _MEDIA = (MediaType.VIDEO, MediaType.AUDIO)
-_EPS = 1e-9
+_EPS = EPS  # shared kernel tolerance; see repro.sim.constants
+_INF = math.inf
 
 
 class SessionObserver:
@@ -69,7 +84,7 @@ class SessionObserver:
         """The session ended; release any resources."""
 
 
-@dataclass
+@dataclass(slots=True)
 class ActiveDownload:
     """A download in flight."""
 
@@ -141,6 +156,28 @@ class ActiveDownload:
         return self.remaining_bits
 
 
+class _MediumLane:
+    """Per-medium hot state: one slot, one wake-up, one completion count.
+
+    The kernel historically kept these in ``MediaType``-keyed dicts,
+    which put two enum hashes on every hot-path access; the lane object
+    turns each into one attribute load.
+    """
+
+    __slots__ = ("medium", "completed", "active", "wake_at")
+
+    def __init__(self, medium: MediaType):
+        self.medium = medium
+        #: Chunks fully downloaded (the buffered frontier is
+        #: ``completed * chunk_duration_s``, always recomputed by
+        #: multiplication so it cannot drift from accumulation error).
+        self.completed = 0
+        self.active: Optional[ActiveDownload] = None
+        #: Next time the idle slot should re-ask the player (0.0 = now;
+        #: ``inf`` = re-poll on every event).
+        self.wake_at = 0.0
+
+
 @dataclass
 class SessionConfig:
     """Session-level playback policy knobs.
@@ -193,41 +230,46 @@ class SessionContext:
 
     def __init__(self, session: "Session"):
         self._session = session
+        # Plain attributes, not properties: players read these on every
+        # decision and both are immutable for the session's lifetime.
+        self.chunk_duration_s = session.content.chunk_duration_s
+        self.n_chunks = session.content.n_chunks
+        # Direct references into the kernel state: the accessors below
+        # sit on the player decision hot path, and each saved attribute
+        # hop is measurable at tens of thousands of calls per session.
+        self._playback = session.playback
+        self._video = session._video
+        self._audio = session._audio
+        self._chunk_s = session._chunk_s
 
     @property
     def now(self) -> float:
         return self._session.now
 
     @property
-    def chunk_duration_s(self) -> float:
-        return self._session.content.chunk_duration_s
-
-    @property
-    def n_chunks(self) -> int:
-        return self._session.content.n_chunks
-
-    @property
     def playback_state(self) -> PlaybackState:
-        return self._session.playback.state
+        return self._playback.state
 
     @property
     def play_position_s(self) -> float:
-        return self._session.playback.position_s
+        return self._playback.position_s
 
     def buffer_level_s(self, medium: MediaType) -> float:
-        return self._session.buffer_level_s(medium)
+        lane = self._video if medium is MediaType.VIDEO else self._audio
+        level = lane.completed * self._chunk_s - self._playback.position_s
+        return level if level > 0.0 else 0.0
 
     def completed_chunks(self, medium: MediaType) -> int:
-        return self._session.completed[medium]
+        lane = self._video if medium is MediaType.VIDEO else self._audio
+        return lane.completed
 
     def next_chunk_index(self, medium: MediaType) -> int:
         """Index of the chunk the medium would fetch next."""
-        return self._session.completed[medium] + (
-            1 if self._session.active.get(medium) else 0
-        )
+        lane = self._video if medium is MediaType.VIDEO else self._audio
+        return lane.completed + (1 if lane.active else 0)
 
     def in_flight(self, medium: MediaType) -> Optional[ActiveDownload]:
-        return self._session.active.get(medium)
+        return (self._video if medium is MediaType.VIDEO else self._audio).active
 
     @property
     def is_live(self) -> bool:
@@ -243,7 +285,7 @@ class SessionContext:
         if not self.is_live:
             return last
         for index in range(last, -1, -1):
-            if self.chunk_available_at(index) <= self.now + 1e-9:
+            if self.chunk_available_at(index) <= self.now + _EPS:
                 return index
         return -1
 
@@ -292,12 +334,15 @@ class Session:
             resume_threshold_s=resume,
         )
         self.now = 0.0
-        self.completed: Dict[MediaType, int] = {m: 0 for m in _MEDIA}
-        self.active: Dict[MediaType, Optional[ActiveDownload]] = {
-            m: None for m in _MEDIA
-        }
-        self._wake_at: Dict[MediaType, float] = {m: 0.0 for m in _MEDIA}
+        self._chunk_s = chunk
+        self._n_chunks = content.n_chunks
+        self._video = _MediumLane(MediaType.VIDEO)
+        self._audio = _MediumLane(MediaType.AUDIO)
+        self._lanes = (self._video, self._audio)
         self._abort_counts: Dict[tuple, int] = {}
+        #: Per-track medium memo: ``_start_download`` validates each
+        #: chosen track id once instead of on every request.
+        self._track_media: Dict[str, MediaType] = {}
         #: Retries spent against the policy's per-session budget.
         self.retries_spent = 0
         #: Range-resume stash per medium: (track_id, chunk_index, bits)
@@ -318,6 +363,24 @@ class Session:
         self._stall_begins_emitted = 0
         self._stall_ends_emitted = 0
         self._startup_emitted = False
+        #: Buffer samples accumulate in flat parallel lists on the hot
+        #: path; record objects are built once at result-build time.
+        self._bt_t: List[float] = []
+        self._bt_v: List[float] = []
+        self._bt_a: List[float] = []
+        # Last emitted sample, for deduping coincident zero-dt events
+        # that would otherwise sample twice at the identical instant.
+        self._ls_t = -1.0
+        self._ls_v = -1.0
+        self._ls_a = -1.0
+        #: Does the player override ``consider_abort``? If not, the
+        #: abort scan is provably a no-op and the loop skips it.
+        from ..players.base import BasePlayer  # local: avoids import cycle
+
+        self._player_may_abort = (
+            getattr(type(player), "consider_abort", None)
+            is not BasePlayer.consider_abort
+        )
 
     # -- event stream ------------------------------------------------------
 
@@ -397,21 +460,47 @@ class Session:
 
     # -- state helpers ----------------------------------------------------
 
+    def _lane(self, medium: MediaType) -> _MediumLane:
+        return self._video if medium is MediaType.VIDEO else self._audio
+
+    @property
+    def completed(self) -> Dict[MediaType, int]:
+        """Chunks fully downloaded per medium (read-only snapshot)."""
+        return {
+            MediaType.VIDEO: self._video.completed,
+            MediaType.AUDIO: self._audio.completed,
+        }
+
+    @property
+    def active(self) -> Dict[MediaType, Optional[ActiveDownload]]:
+        """In-flight download per medium (read-only snapshot)."""
+        return {
+            MediaType.VIDEO: self._video.active,
+            MediaType.AUDIO: self._audio.active,
+        }
+
     def buffered_frontier_s(self, medium: MediaType) -> float:
         """Playable content time buffered for one medium."""
-        return self.completed[medium] * self.content.chunk_duration_s
+        return self._lane(medium).completed * self._chunk_s
 
     def buffer_level_s(self, medium: MediaType) -> float:
-        return max(0.0, self.buffered_frontier_s(medium) - self.playback.position_s)
+        level = (
+            self._lane(medium).completed * self._chunk_s
+            - self.playback.position_s
+        )
+        return level if level > 0.0 else 0.0
 
     def _min_frontier_s(self) -> float:
-        return min(self.buffered_frontier_s(m) for m in _MEDIA)
+        fv = self._video.completed * self._chunk_s
+        fa = self._audio.completed * self._chunk_s
+        return fv if fv <= fa else fa
 
     def _all_downloaded(self) -> bool:
-        return all(self.completed[m] >= self.content.n_chunks for m in _MEDIA)
+        n = self.content.n_chunks
+        return self._video.completed >= n and self._audio.completed >= n
 
     def _medium_done(self, medium: MediaType) -> bool:
-        return self.completed[medium] >= self.content.n_chunks
+        return self._lane(medium).completed >= self.content.n_chunks
 
     def chunk_available_at(self, index: int) -> float:
         """Wall time at which chunk ``index`` becomes requestable."""
@@ -422,23 +511,30 @@ class Session:
     # -- scheduling --------------------------------------------------------
 
     def _fill_slots(self) -> None:
-        for medium in _MEDIA:
-            if self.active[medium] is not None or self._medium_done(medium):
+        n_chunks = self._n_chunks
+        deadline = self.now + _EPS
+        vod = self.config.live_offset_s is None
+        choose_next = self.player.choose_next
+        ctx = self.ctx
+        for lane in self._lanes:
+            if lane.active is not None or lane.completed >= n_chunks:
                 continue
-            wake = self._wake_at[medium]
+            wake = lane.wake_at
             # A finite wake time is a timed wait; an infinite one means
             # "re-poll on every event", so it never blocks this pass.
-            if math.isfinite(wake) and wake > self.now + _EPS:
+            if wake != _INF and wake > deadline:
                 continue
             # Live mode: the next chunk may not exist yet; sleep until
             # the packager publishes it. This is session policy, not a
             # player decision — a real client simply sees the segment
             # missing from the refreshed manifest.
-            available_at = self.chunk_available_at(self.completed[medium])
-            if available_at > self.now + _EPS:
-                self._wake_at[medium] = available_at
-                continue
-            decision = self.player.choose_next(medium, self.ctx)
+            if not vod:
+                available_at = self.chunk_available_at(lane.completed)
+                if available_at > deadline:
+                    lane.wake_at = available_at
+                    continue
+            medium = lane.medium
+            decision = choose_next(medium, ctx)
             if isinstance(decision, Download):
                 if self._observer is not None:
                     self._emit(
@@ -450,9 +546,9 @@ class Session:
                             "track_id": decision.track_id,
                         },
                     )
-                self._start_download(medium, decision.track_id)
+                self._start_download(lane, decision.track_id)
             elif isinstance(decision, Wait):
-                if decision.until <= self.now + _EPS and math.isfinite(decision.until):
+                if decision.until <= deadline and math.isfinite(decision.until):
                     raise PlayerError(
                         f"player waited until the past/present "
                         f"({decision.until} <= {self.now})"
@@ -467,39 +563,47 @@ class Session:
                             "until": decision.until,
                         },
                     )
-                self._wake_at[medium] = decision.until
+                lane.wake_at = decision.until
             else:
                 raise PlayerError(
                     f"choose_next must return Download or Wait, got {decision!r}"
                 )
 
-    def _start_download(self, medium: MediaType, track_id: str) -> None:
-        track = self.content.track(track_id)
-        if track.media_type is not medium:
+    def _start_download(self, lane: _MediumLane, track_id: str) -> None:
+        medium = lane.medium
+        # Track identity/medium never changes mid-session; validate each
+        # track id once and remember its medium.
+        media_type = self._track_media.get(track_id)
+        if media_type is None:
+            media_type = self.content.track(track_id).media_type
+            self._track_media[track_id] = media_type
+        if media_type is not medium:
             raise PlayerError(
-                f"player chose {track_id!r} ({track.media_type}) for {medium}"
+                f"player chose {track_id!r} ({media_type}) for {medium}"
             )
-        index = self.completed[medium]
+        index = lane.completed
         chunk = self.content.chunk(track_id, index)
-        policy = self.config.retry_policy
+        now = self.now
         # Consume the range-resume stash: bytes survive only into a
         # request for the *same* resource. A player that re-targets
         # (downshifts) after the failure implicitly wastes them.
         resumed = 0.0
-        stash = self._resume_stash.pop(medium, None)
-        if stash is not None and stash[0] == track_id and stash[1] == index:
-            resumed = min(stash[2], chunk.size_bits)
-        timeout = (
-            policy.timeout_for(medium)
-            if policy is not None
-            else DEFAULT_REQUEST_TIMEOUT_S
-        )
+        if self._resume_stash:
+            stash = self._resume_stash.pop(medium, None)
+            if stash is not None and stash[0] == track_id and stash[1] == index:
+                resumed = min(stash[2], chunk.size_bits)
         fail_at_bits: Optional[float] = None
         fail_at_time: Optional[float] = None
         fail_kind: Optional[FailureKind] = None
         stalled = False
         resumable = False
         if self.config.failure_model is not None:
+            policy = self.config.retry_policy
+            timeout = (
+                policy.timeout_for(medium)
+                if policy is not None
+                else DEFAULT_REQUEST_TIMEOUT_S
+            )
             verdict = self.config.failure_model.next_request()
             if verdict is not None:
                 fail_kind = verdict.kind or FailureKind.CONNECTION_RESET
@@ -507,35 +611,42 @@ class Session:
                 if fail_kind is FailureKind.TIMEOUT:
                     # Hung connection: no bytes, watchdog fires.
                     stalled = True
-                    fail_at_time = self.now + timeout
+                    fail_at_time = now + timeout
                 elif fail_kind in (FailureKind.HTTP_5XX, FailureKind.HTTP_404):
                     # Error response arrives at response time; no payload.
                     stalled = True
-                    fail_at_time = self.now + self.network.rtt_s
+                    fail_at_time = now + self.network.rtt_s
                 elif fail_kind is FailureKind.SLOW_TRANSFER:
                     # Bytes flow; the watchdog kills whatever is unfinished.
-                    fail_at_time = self.now + timeout
+                    fail_at_time = now + timeout
                 else:  # CONNECTION_RESET, incl. the legacy anonymous death
                     fail_at_bits = resumed + verdict.fraction * (
                         chunk.size_bits - resumed
                     )
-        self.active[medium] = ActiveDownload(
-            medium=medium,
-            track_id=track_id,
-            chunk_index=index,
-            size_bits=chunk.size_bits,
-            started_at=self.now,
-            dead_until=self.now + self.network.rtt_s,
-            bits_done=resumed,
-            fail_at_bits=fail_at_bits,
-            fail_kind=fail_kind,
-            fail_at_time=fail_at_time,
-            stalled=stalled,
-            resumable=resumable,
-            resumed_bits=resumed,
-            attempt=self._abort_counts.get(("fail", medium, index), 0) + 1,
+        # Positional, in field order (hot path: one per chunk request).
+        download = ActiveDownload(
+            medium,
+            track_id,
+            index,
+            chunk.size_bits,
+            now,
+            now + self.network.rtt_s,
+            resumed,
+            [],
+            fail_at_bits,
+            fail_kind,
+            fail_at_time,
+            stalled,
+            resumable,
+            resumed,
+            (
+                self._abort_counts.get(("fail", medium, index), 0) + 1
+                if self._abort_counts
+                else 1
+            ),
         )
-        self._wake_at[medium] = 0.0
+        lane.active = download
+        lane.wake_at = 0.0
         if self._observer is not None:
             self._emit(
                 "download_start",
@@ -545,90 +656,11 @@ class Session:
                     "track_id": track_id,
                     "chunk_index": index,
                     "size_bits": chunk.size_bits,
-                    "attempt": self.active[medium].attempt,
+                    "attempt": download.attempt,
                     "resumed_bits": resumed,
                 },
             )
         self.player.on_chunk_start(medium, track_id, index, self.ctx)
-
-    # -- event horizon -----------------------------------------------------
-
-    def _current_rates(self) -> Dict[MediaType, float]:
-        """kbps per active download at the current instant."""
-        live = {
-            m: dl.medium
-            for m, dl in self.active.items()
-            if dl is not None
-            and not dl.stalled
-            and self.now >= dl.dead_until - _EPS
-        }
-        rates = self.network.rates(live, self.now) if live else {}
-        return {m: rates.get(m, 0.0) for m in _MEDIA}
-
-    def _next_event_time(self) -> float:
-        candidates: List[float] = [self.network.next_change_after(self.now)]
-        rates = self._current_rates()
-        for medium in _MEDIA:
-            download = self.active[medium]
-            if download is None:
-                wake = self._wake_at[medium]
-                if math.isfinite(wake) and wake > self.now + _EPS:
-                    candidates.append(wake)
-                continue
-            if download.fail_at_time is not None:
-                candidates.append(download.fail_at_time)
-            if download.stalled:
-                continue  # no bytes will ever flow; only the deadline
-            if self.now < download.dead_until - _EPS:
-                candidates.append(download.dead_until)
-                continue
-            rate = rates[medium]
-            if rate > 0:
-                candidates.append(
-                    self.now + download.next_target_bits / (rate * 1000.0)
-                )
-        if self.playback.is_playing:
-            frontier = self._min_frontier_s()
-            candidates.append(self.now + max(0.0, frontier - self.playback.position_s))
-        horizon = min(candidates)
-        if not math.isfinite(horizon):
-            raise SimulationError(
-                "deadlock: no future event (all media waiting forever while "
-                f"playback is {self.playback.state})"
-            )
-        return max(horizon, self.now)
-
-    # -- advancing ---------------------------------------------------------
-
-    def _advance_to(self, horizon: float) -> None:
-        dt = horizon - self.now
-        if dt < -1e-6:
-            raise SimulationError(f"time went backwards: {self.now} -> {horizon}")
-        dt = max(dt, 0.0)
-        rates = self._current_rates()
-        for medium in _MEDIA:
-            download = self.active[medium]
-            if download is None:
-                continue
-            rate = rates[medium]
-            if rate > 0 and dt > 0:
-                bits = min(rate * 1000.0 * dt, download.remaining_bits)
-                download.bits_done += bits
-                download.segments.append(
-                    ProgressSegment(start_s=self.now, end_s=horizon, bits=bits)
-                )
-                if self._observer is not None:
-                    self._emit(
-                        "download_progress",
-                        {
-                            "t0": self.now,
-                            "t1": horizon,
-                            "medium": medium.value,
-                            "bits": bits,
-                        },
-                    )
-        self.playback.advance(dt, self._min_frontier_s())
-        self.now = horizon
 
     #: More consecutive failures than this on one chunk indicates a
     #: pathological failure model rather than transient weather.
@@ -641,12 +673,13 @@ class Session:
 
     def _process_failures(self) -> None:
         policy = self.config.retry_policy
-        for medium in _MEDIA:
-            download = self.active[medium]
+        for lane in self._lanes:
+            download = lane.active
             if download is None or not download.failed_by(self.now):
                 continue
-            self.active[medium] = None
-            self._wake_at[medium] = 0.0
+            medium = lane.medium
+            lane.active = None
+            lane.wake_at = 0.0
             index = download.chunk_index
             key = ("fail", medium, index)
             self._abort_counts[key] = self._abort_counts.get(key, 0) + 1
@@ -676,7 +709,7 @@ class Session:
                     if self.ctx.is_live and policy.live_skip:
                         # Preserve liveness: give the chunk up and move
                         # on — the real player plays through the gap.
-                        self.completed[medium] += 1
+                        lane.completed += 1
                         self.result.add_skip(
                             SkipRecord(
                                 medium=medium,
@@ -707,7 +740,7 @@ class Session:
                     retry_at = self.now + policy.delay_s(
                         attempt + 1, medium, index
                     )
-                    self._wake_at[medium] = retry_at
+                    lane.wake_at = retry_at
             if stash:
                 self._resume_stash[medium] = (
                     download.track_id,
@@ -754,50 +787,57 @@ class Session:
                     )
             self.player.on_failure(medium, record, self.ctx)
 
+    def _complete(self, lane: _MediumLane, download: ActiveDownload) -> None:
+        """Book one finished download (caller checked ``finished``)."""
+        medium = lane.medium
+        lane.active = None
+        lane.completed += 1
+        # Positional, in field order (hot path: one per finished chunk).
+        record = DownloadRecord(
+            medium,
+            download.track_id,
+            download.chunk_index,
+            download.size_bits,
+            download.started_at,
+            self.now,
+            tuple(download.segments),
+            download.resumed_bits,
+        )
+        self.result.add_download(record)
+        if self._observer is not None:
+            self._emit(
+                "download_complete",
+                {
+                    "t": self.now,
+                    "medium": medium.value,
+                    "track_id": download.track_id,
+                    "chunk_index": download.chunk_index,
+                    "size_bits": download.size_bits,
+                    "started_at": download.started_at,
+                    "resumed_bits": download.resumed_bits,
+                },
+            )
+        self.player.on_chunk_complete(record, self.ctx)
+
     def _complete_downloads(self) -> None:
-        for medium in _MEDIA:
-            download = self.active[medium]
+        for lane in self._lanes:
+            download = lane.active
             if download is None or not download.finished:
                 continue
             if download.failed:
                 continue  # handled by _process_failures
-            self.active[medium] = None
-            self.completed[medium] += 1
-            record = DownloadRecord(
-                medium=medium,
-                track_id=download.track_id,
-                chunk_index=download.chunk_index,
-                size_bits=download.size_bits,
-                started_at=download.started_at,
-                completed_at=self.now,
-                segments=tuple(download.segments),
-                resumed_bits=download.resumed_bits,
-            )
-            self.result.add_download(record)
-            if self._observer is not None:
-                self._emit(
-                    "download_complete",
-                    {
-                        "t": self.now,
-                        "medium": medium.value,
-                        "track_id": download.track_id,
-                        "chunk_index": download.chunk_index,
-                        "size_bits": download.size_bits,
-                        "started_at": download.started_at,
-                        "resumed_bits": download.resumed_bits,
-                    },
-                )
-            self.player.on_chunk_complete(record, self.ctx)
+            self._complete(lane, download)
 
     #: Re-requesting the same chunk more than this many times after
     #: aborting it indicates a player abort-loop bug.
     MAX_ABORTS_PER_CHUNK = 8
 
     def _check_aborts(self) -> None:
-        for medium in _MEDIA:
-            download = self.active[medium]
+        for lane in self._lanes:
+            download = lane.active
             if download is None or download.finished:
                 continue
+            medium = lane.medium
             if not self.player.consider_abort(medium, download, self.ctx):
                 continue
             key = (medium, download.chunk_index)
@@ -807,8 +847,8 @@ class Session:
                     f"player aborted {medium} chunk {download.chunk_index} "
                     f"more than {self.MAX_ABORTS_PER_CHUNK} times"
                 )
-            self.active[medium] = None
-            self._wake_at[medium] = 0.0
+            lane.active = None
+            lane.wake_at = 0.0
             self.result.add_abort(
                 AbortRecord(
                     medium=medium,
@@ -833,73 +873,453 @@ class Session:
                 )
 
     def _sample_buffers(self) -> None:
-        video_s = self.buffer_level_s(MediaType.VIDEO)
-        audio_s = self.buffer_level_s(MediaType.AUDIO)
-        self.result.add_buffer_sample(
-            BufferSample(t=self.now, video_level_s=video_s, audio_level_s=audio_s)
-        )
+        now = self.now
+        pos = self.playback.position_s
+        video_s = self._video.completed * self._chunk_s - pos
+        if not video_s > 0.0:
+            video_s = 0.0
+        audio_s = self._audio.completed * self._chunk_s - pos
+        if not audio_s > 0.0:
+            audio_s = 0.0
+        # Coincident zero-dt events would sample the identical instant
+        # twice; keep one. Only *fully identical* consecutive samples
+        # are dropped, which leaves the max and the time-weighted mean
+        # imbalance bit-for-bit unchanged (the dropped interval has
+        # zero width and equal values).
+        if now == self._ls_t and video_s == self._ls_v and audio_s == self._ls_a:
+            return
+        self._ls_t = now
+        self._ls_v = video_s
+        self._ls_a = audio_s
+        self._bt_t.append(now)
+        self._bt_v.append(video_s)
+        self._bt_a.append(audio_s)
         if self._observer is not None:
             self._emit(
                 "buffer_sample",
-                {"t": self.now, "video_s": video_s, "audio_s": audio_s},
+                {"t": now, "video_s": video_s, "audio_s": audio_s},
             )
+
+    def _flush_buffer_timeline(self) -> None:
+        """Materialize the flat sample arrays into result records."""
+        if self._bt_t:
+            self.result.extend_buffer_samples(
+                self._bt_t, self._bt_v, self._bt_a
+            )
+            self._bt_t = []
+            self._bt_v = []
+            self._bt_a = []
 
     # -- main loop ----------------------------------------------------------
 
+    #: Identical zero-length event repetitions tolerated before the
+    #: stuck-clock guard declares the schedule wedged. Coincident events
+    #: legitimately produce short zero-dt runs *with* state changes;
+    #: only a run with bit-identical kernel state is hopeless.
+    MAX_STUCK_EVENTS = 64
+
     def run(self) -> SessionResult:
-        max_time = self.config.max_sim_time_s or (
-            self.content.duration_s * 20.0 + 120.0
-        )
-        if self._observer is not None:
+        config = self.config
+        content = self.content
+        playback = self.playback
+        network = self.network
+        player = self.player
+        observer = self._observer
+        video = self._video
+        audio = self._audio
+        chunk_s = self._chunk_s
+        n_chunks = content.n_chunks
+        max_time = config.max_sim_time_s or (content.duration_s * 20.0 + 120.0)
+        failures_possible = config.failure_model is not None
+        may_abort = self._player_may_abort
+        events_left = config.max_events
+        update_state = playback.update_state
+        ended_state = PlaybackState.ENDED
+        playing_state = PlaybackState.PLAYING
+        bt_t = self._bt_t
+        bt_v = self._bt_v
+        bt_a = self._bt_a
+        # The loop tail runs update_state with arguments that cannot
+        # change before the next iteration's head; this flag elides the
+        # duplicate head call (update_state is idempotent on identical
+        # arguments, so eliding it is exact).
+        state_fresh = False
+        # Stuck-clock guard state: fingerprint of the kernel state at
+        # the last zero-dt event and the length of the identical run.
+        stuck_fp: Optional[tuple] = None
+        stuck_streak = 0
+
+        if observer is not None:
             # The header must precede every other event: estimates can
             # flow as early as on_session_start.
             self._emit("session_meta", self._meta_payload())
-        self.player.on_session_start(self.ctx)
-        self._sample_buffers()
-        zero_dt_streak = 0
-        for _ in range(self.config.max_events):
-            self.playback.update_state(
-                self.now, self._min_frontier_s(), self._all_downloaded()
-            )
-            if self._observer is not None:
-                self._sync_playback_events()
-            if self.playback.state is PlaybackState.ENDED:
-                break
-            self._fill_slots()
-            # A fill can complete... no: downloads take time. But the
-            # playback state may change due to scheduling being a no-op,
-            # so recheck the horizon after filling.
-            horizon = self._next_event_time()
-            if horizon > max_time:
-                break
-            # Progress guard: simultaneous events legitimately yield a
-            # few zero-length steps, but a long run of them means the
-            # event schedule is stuck (clock not advancing).
-            if horizon <= self.now + _EPS:
-                zero_dt_streak += 1
-                if zero_dt_streak > 64:
-                    raise SimulationError(
-                        f"simulation clock stuck at t={self.now}: "
-                        "64 consecutive zero-length events"
-                    )
-            else:
-                zero_dt_streak = 0
-            self._advance_to(horizon)
-            self._process_failures()
-            self._complete_downloads()
-            self._check_aborts()
-            self.playback.update_state(
-                self.now, self._min_frontier_s(), self._all_downloaded()
-            )
-            if self._observer is not None:
-                self._sync_playback_events()
+        try:
+            player.on_session_start(self.ctx)
             self._sample_buffers()
-            if self._terminated is not None:
-                break  # graceful degraded end: keep the result intact
-        else:
-            raise SimulationError(
-                f"event cap ({self.config.max_events}) exceeded at t={self.now}"
-            )
+            while True:
+                if events_left == 0:
+                    raise SimulationError(
+                        f"event cap ({config.max_events}) exceeded "
+                        f"at t={self.now}"
+                    )
+                fv = video.completed * chunk_s
+                fa = audio.completed * chunk_s
+                frontier = fv if fv <= fa else fa
+                all_downloaded = (
+                    video.completed >= n_chunks and audio.completed >= n_chunks
+                )
+                if not state_fresh:
+                    update_state(self.now, frontier, all_downloaded)
+                    if observer is not None:
+                        self._sync_playback_events()
+                state = playback.state
+                if state is ended_state:
+                    break
+                now = self.now
+                if (
+                    video.active is None
+                    and video.completed < n_chunks
+                    and (video.wake_at == _INF or video.wake_at <= now + _EPS)
+                ) or (
+                    audio.active is None
+                    and audio.completed < n_chunks
+                    and (audio.wake_at == _INF or audio.wake_at <= now + _EPS)
+                ):
+                    self._fill_slots()
+                    state = playback.state  # unchanged; re-read for clarity
+                # Fast-forward is admissible only while every lane is
+                # *engaged* — downloading, finished, or in a timed wait.
+                # An idle lane with an infinite wake means "re-ask the
+                # player at every event", which fast-forward would skip.
+                ff_ok = not may_abort and (
+                    video.active is not None
+                    or video.completed >= n_chunks
+                    or video.wake_at != _INF
+                ) and (
+                    audio.active is not None
+                    or audio.completed >= n_chunks
+                    or audio.wake_at != _INF
+                )
+                playing = state is playing_state
+                # Event micro-loop: the first pass is the ordinary
+                # event step; further passes collapse runs of *quiet*
+                # events (trace boundaries, dead-time expiries) that
+                # need none of the scheduling machinery above. Each
+                # pass consumes one unit of the event budget and emits
+                # exactly the stream the plain loop would.
+                while True:
+                    events_left -= 1
+                    vdl = video.active
+                    adl = audio.active
+                    v_live = (
+                        vdl is not None
+                        and not vdl.stalled
+                        and now >= vdl.dead_until - _EPS
+                    )
+                    a_live = (
+                        adl is not None
+                        and not adl.stalled
+                        and now >= adl.dead_until - _EPS
+                    )
+                    # Quiet bound: rate-change instants (trace boundary,
+                    # dead-time expiry) — nothing terminal happens there.
+                    if v_live or a_live:
+                        v_rate, a_rate, quiet = network.media_step(
+                            v_live, a_live, now
+                        )
+                    else:
+                        v_rate = a_rate = 0.0
+                        quiet = network.next_change_after(now)
+                    # Loud bound: every event that needs the full outer
+                    # machinery (completion, failure, wake-up, frontier).
+                    loud = _INF
+                    if vdl is None:
+                        w = video.wake_at
+                        if w > now + _EPS and w < loud:
+                            loud = w
+                    else:
+                        ft = vdl.fail_at_time
+                        if ft is not None and ft < loud:
+                            loud = ft
+                        if not vdl.stalled:
+                            if now < vdl.dead_until - _EPS:
+                                if vdl.dead_until < quiet:
+                                    quiet = vdl.dead_until
+                            elif v_rate > 0:
+                                c = now + vdl.next_target_bits / (v_rate * 1000.0)
+                                if c < loud:
+                                    loud = c
+                    if adl is None:
+                        w = audio.wake_at
+                        if w > now + _EPS and w < loud:
+                            loud = w
+                    else:
+                        ft = adl.fail_at_time
+                        if ft is not None and ft < loud:
+                            loud = ft
+                        if not adl.stalled:
+                            if now < adl.dead_until - _EPS:
+                                if adl.dead_until < quiet:
+                                    quiet = adl.dead_until
+                            elif a_rate > 0:
+                                c = now + adl.next_target_bits / (a_rate * 1000.0)
+                                if c < loud:
+                                    loud = c
+                    if playing:
+                        gap = frontier - playback.position_s
+                        c = now + (gap if gap > 0.0 else 0.0)
+                        if c < loud:
+                            loud = c
+                    is_quiet = quiet < loud
+                    horizon = quiet if is_quiet else loud
+                    if not horizon < _INF:
+                        raise SimulationError(
+                            "deadlock: no future event (all media waiting "
+                            f"forever while playback is {playback.state})"
+                        )
+                    if horizon < now:
+                        horizon = now
+                    if horizon > max_time:
+                        self.now = now
+                        return self._finish()
+                    # Progress guard: simultaneous events legitimately
+                    # yield zero-length steps, but a run of them with
+                    # *no kernel state change at all* means the event
+                    # schedule is wedged (e.g. a network model whose
+                    # next_change_after is not strictly in the future).
+                    if horizon <= now + _EPS:
+                        fp = (
+                            now,
+                            video.completed,
+                            audio.completed,
+                            None
+                            if vdl is None
+                            else (vdl.chunk_index, vdl.attempt, vdl.bits_done),
+                            None
+                            if adl is None
+                            else (adl.chunk_index, adl.attempt, adl.bits_done),
+                            video.wake_at,
+                            audio.wake_at,
+                            playback.state,
+                            playback.position_s,
+                            self.retries_spent,
+                        )
+                        if fp == stuck_fp:
+                            stuck_streak += 1
+                            if stuck_streak >= self.MAX_STUCK_EVENTS:
+                                raise SimulationError(
+                                    f"simulation clock stuck at t={now}: "
+                                    f"{stuck_streak} consecutive zero-length "
+                                    "events with identical kernel state "
+                                    f"(playback={playback.state.value} "
+                                    f"pos={playback.position_s}, video: "
+                                    f"completed={video.completed} "
+                                    f"active={vdl is not None} "
+                                    f"wake={video.wake_at}, audio: "
+                                    f"completed={audio.completed} "
+                                    f"active={adl is not None} "
+                                    f"wake={audio.wake_at})"
+                                )
+                        else:
+                            stuck_fp = fp
+                            stuck_streak = 1
+                    else:
+                        stuck_fp = None
+                        stuck_streak = 0
+                    # Advance every live transfer at its constant rate.
+                    dt = horizon - now
+                    if dt < -1e-6:
+                        raise SimulationError(
+                            f"time went backwards: {now} -> {horizon}"
+                        )
+                    if dt > 0.0:
+                        if v_live and v_rate > 0:
+                            bits = v_rate * 1000.0 * dt
+                            rem = vdl.size_bits - vdl.bits_done
+                            if rem < bits:
+                                bits = rem
+                            vdl.bits_done += bits
+                            vdl.segments.append(
+                                ProgressSegment(now, horizon, bits)
+                            )
+                            if observer is not None:
+                                self._emit(
+                                    "download_progress",
+                                    {
+                                        "t0": now,
+                                        "t1": horizon,
+                                        "medium": "video",
+                                        "bits": bits,
+                                    },
+                                )
+                        if a_live and a_rate > 0:
+                            bits = a_rate * 1000.0 * dt
+                            rem = adl.size_bits - adl.bits_done
+                            if rem < bits:
+                                bits = rem
+                            adl.bits_done += bits
+                            adl.segments.append(
+                                ProgressSegment(now, horizon, bits)
+                            )
+                            if observer is not None:
+                                self._emit(
+                                    "download_progress",
+                                    {
+                                        "t0": now,
+                                        "t1": horizon,
+                                        "medium": "audio",
+                                        "bits": bits,
+                                    },
+                                )
+                        if playing:
+                            new_position = playback.position_s + dt
+                            if new_position > frontier + 1e-6:
+                                raise SimulationError(
+                                    "playback overshot buffered frontier: "
+                                    f"{new_position} > {frontier}"
+                                )
+                            playback.position_s = (
+                                new_position
+                                if new_position <= frontier
+                                else frontier
+                            )
+                    now = horizon
+                    self.now = horizon
+                    if not (is_quiet and ff_ok):
+                        break
+                    # A quiet step can still land inside the epsilon
+                    # window of a loud deadline: a wake-up now due, a
+                    # transfer within completion tolerance, a failure
+                    # watchdog within _EPS, or a playback transition
+                    # (stall at the frontier, end of content). The
+                    # plain loop would act on those *this instant*, so
+                    # fall back to the outer machinery — it re-derives
+                    # the same state and applies the action exactly as
+                    # the plain loop does.
+                    if vdl is not None:
+                        if vdl.finished or vdl.failed_by(now):
+                            break
+                    elif (
+                        video.completed < n_chunks
+                        and video.wake_at <= now + _EPS
+                    ):
+                        break
+                    if adl is not None:
+                        if adl.finished or adl.failed_by(now):
+                            break
+                    elif (
+                        audio.completed < n_chunks
+                        and audio.wake_at <= now + _EPS
+                    ):
+                        break
+                    if playing:
+                        position = playback.position_s
+                        if position >= content.duration_s - _EPS or (
+                            position >= frontier - _EPS and not all_downloaded
+                        ):
+                            break
+                    # Quiet event: no completion, failure, wake-up or
+                    # transition is possible here, so the outer pass
+                    # (fill_slots/update_state/failure scan) is a
+                    # provable no-op. Sample (inline — this is the
+                    # hottest line of trace-dense sessions) and take
+                    # the next event directly.
+                    pos = playback.position_s
+                    video_s = video.completed * chunk_s - pos
+                    if not video_s > 0.0:
+                        video_s = 0.0
+                    audio_s = audio.completed * chunk_s - pos
+                    if not audio_s > 0.0:
+                        audio_s = 0.0
+                    if not (
+                        now == self._ls_t
+                        and video_s == self._ls_v
+                        and audio_s == self._ls_a
+                    ):
+                        self._ls_t = now
+                        self._ls_v = video_s
+                        self._ls_a = audio_s
+                        bt_t.append(now)
+                        bt_v.append(video_s)
+                        bt_a.append(audio_s)
+                        if observer is not None:
+                            self._emit(
+                                "buffer_sample",
+                                {
+                                    "t": now,
+                                    "video_s": video_s,
+                                    "audio_s": audio_s,
+                                },
+                            )
+                    if events_left == 0:
+                        raise SimulationError(
+                            f"event cap ({config.max_events}) exceeded "
+                            f"at t={self.now}"
+                        )
+                # Loud event: run the full bookkeeping.
+                if failures_possible:
+                    self._process_failures()
+                vdl = video.active
+                if vdl is not None:
+                    rem = vdl.size_bits - vdl.bits_done
+                    tol = vdl.size_bits * 1e-9
+                    if rem <= (tol if tol > 1e-3 else 1e-3) and not vdl.failed:
+                        self._complete(video, vdl)
+                adl = audio.active
+                if adl is not None:
+                    rem = adl.size_bits - adl.bits_done
+                    tol = adl.size_bits * 1e-9
+                    if rem <= (tol if tol > 1e-3 else 1e-3) and not adl.failed:
+                        self._complete(audio, adl)
+                if may_abort:
+                    self._check_aborts()
+                fv = video.completed * chunk_s
+                fa = audio.completed * chunk_s
+                frontier = fv if fv <= fa else fa
+                all_downloaded = (
+                    video.completed >= n_chunks and audio.completed >= n_chunks
+                )
+                update_state(self.now, frontier, all_downloaded)
+                state_fresh = True
+                if observer is not None:
+                    self._sync_playback_events()
+                # Inlined _sample_buffers (hot: once per loud event).
+                now = self.now
+                pos = playback.position_s
+                video_s = video.completed * chunk_s - pos
+                if not video_s > 0.0:
+                    video_s = 0.0
+                audio_s = audio.completed * chunk_s - pos
+                if not audio_s > 0.0:
+                    audio_s = 0.0
+                if (
+                    now != self._ls_t
+                    or video_s != self._ls_v
+                    or audio_s != self._ls_a
+                ):
+                    self._ls_t = now
+                    self._ls_v = video_s
+                    self._ls_a = audio_s
+                    bt_t.append(now)
+                    bt_v.append(video_s)
+                    bt_a.append(audio_s)
+                    if observer is not None:
+                        self._emit(
+                            "buffer_sample",
+                            {
+                                "t": now,
+                                "video_s": video_s,
+                                "audio_s": audio_s,
+                            },
+                        )
+                if self._terminated is not None:
+                    break  # graceful degraded end: keep the result intact
+            return self._finish()
+        finally:
+            self._flush_buffer_timeline()
+
+    def _finish(self) -> SessionResult:
+        """Seal the result after the event loop ends."""
         self.playback.close(self.now)
         self.result.stalls = list(self.playback.stalls)
         self.result.startup_delay_s = self.playback.startup_delay_s

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import TraceError
+from repro.errors import LinkConfigError, SimulationError, TraceError
 from repro.media.tracks import MediaType
 from repro.net.link import SeparatePaths, SharedBottleneck, shared
 from repro.net.traces import constant, from_pairs
@@ -35,6 +35,17 @@ class TestSharedBottleneck:
         assert link.next_change_after(3) == 10
 
     def test_negative_rtt_rejected(self):
+        # A bad RTT is a simulation-setup mistake, not bad trace data.
+        with pytest.raises(SimulationError):
+            SharedBottleneck(constant(100), rtt_s=-0.1)
+
+    def test_negative_rtt_error_type(self):
+        with pytest.raises(LinkConfigError):
+            SharedBottleneck(constant(100), rtt_s=-0.1)
+
+    def test_negative_rtt_legacy_handlers_still_catch(self):
+        # Deprecation shim: this historically raised TraceError, and
+        # ``except TraceError`` handlers must keep working for now.
         with pytest.raises(TraceError):
             SharedBottleneck(constant(100), rtt_s=-0.1)
 
@@ -68,5 +79,9 @@ class TestSeparatePaths:
         assert paths.next_change_after(0) == 4
 
     def test_negative_rtt_rejected(self):
+        with pytest.raises(SimulationError):
+            SeparatePaths(constant(1), constant(1), rtt_s=-1)
+
+    def test_negative_rtt_legacy_handlers_still_catch(self):
         with pytest.raises(TraceError):
             SeparatePaths(constant(1), constant(1), rtt_s=-1)

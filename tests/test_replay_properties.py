@@ -108,3 +108,62 @@ class TestTornLogProperty:
         # the first N events of the untorn log.
         assert scan.damage in (None, "truncated")
         assert scan.events == whole.events[: len(scan.events)]
+
+
+def _load_oracle_module():
+    import importlib.util
+
+    path = os.path.join(
+        os.path.dirname(__file__), "fixtures", "eventlogs", "regenerate.py"
+    )
+    spec = importlib.util.spec_from_file_location("eventlog_oracle", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_ORACLE = _load_oracle_module()
+_ORACLE_JOBS = _ORACLE.fixture_jobs()
+
+
+class TestPinnedOracleProperty:
+    """The kernel-equivalence oracle: pre-rewrite logs, current engine.
+
+    The logs under ``tests/fixtures/eventlogs/`` were recorded by the
+    pre-overhaul kernel. Equivalence is enforced, not hoped for: for
+    any pinned job, re-recording with the current engine must produce
+    the byte-for-byte identical event stream. Hypothesis samples the
+    grid so a shrunk counterexample names the offending cell directly.
+    """
+
+    @settings(
+        max_examples=len(_ORACLE_JOBS),
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(job_index=st.integers(min_value=0, max_value=len(_ORACLE_JOBS) - 1))
+    def test_prerewrite_log_rerecords_byte_identically(
+        self, tmp_path, job_index
+    ):
+        from repro.replay.recorder import record_path
+        from repro.sim.session import Session as _Session
+
+        job = _ORACLE_JOBS[job_index]
+        pinned = record_path(_ORACLE.FIXTURE_DIR, job.key())
+        assert os.path.exists(pinned), f"missing oracle log for {job.label()}"
+        fresh = record_path(str(tmp_path), job.key())
+        recorder = EventRecorder(
+            fresh,
+            extra_meta={
+                "job": job.spec_dict(),
+                "key": job.key(),
+                "label": job.label(),
+            },
+        )
+        content, player, network, config = job.build(observer=recorder)
+        _Session(content, player, network, config).run()
+
+        old = scan_events(pinned)
+        new = scan_events(fresh)
+        assert old.damage is None and new.damage is None
+        assert new.events == old.events, job.label()

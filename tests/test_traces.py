@@ -342,3 +342,109 @@ class TestTraceProperties:
         if math.isfinite(boundary):
             midpoint = (t + boundary) / 2
             assert trace.bandwidth_at(midpoint) == trace.bandwidth_at(t)
+
+
+class TestTraceCursor:
+    """The cursor is a pure cache: any query order, identical answers.
+
+    The reference below is the predicate the historical linear scan
+    answered — the largest ``i`` with ``t >= starts[i] - 1e-12`` — so
+    these tests pin the cursor/bisect fast paths to the exact semantics
+    the kernel's recordings were made under.
+    """
+
+    @staticmethod
+    def _reference_locate(trace, t):
+        if trace.loops:
+            t = math.fmod(t, trace.period_s)
+        elif t >= trace.period_s:
+            return len(trace.segments) - 1
+        starts, offset = [], 0.0
+        for segment in trace.segments:
+            starts.append(offset)
+            offset += segment.duration_s
+        for i in range(len(starts) - 1, -1, -1):
+            if t >= starts[i] - 1e-12:
+                return i
+        return 0
+
+    def _check_sequence(self, trace, times):
+        for t in times:
+            want = trace.segments[self._reference_locate(trace, t)].kbps
+            assert trace.bandwidth_at(t) == want, t
+
+    def test_seek_backward_after_advancing(self):
+        trace = from_pairs([(10, 100), (10, 200), (10, 300), (10, 400)])
+        # Advance the cursor to the last segment, then jump back.
+        self._check_sequence(trace, [35.0, 5.0, 25.0, 0.0, 15.0, 39.9])
+
+    def test_seek_past_end_of_nonlooping_trace(self):
+        trace = BandwidthTrace(
+            [TraceSegment(10, 100), TraceSegment(10, 900)], loop=False
+        )
+        assert trace.bandwidth_at(500.0) == 900  # last rate holds
+        assert trace.next_change_after(500.0) == math.inf
+        # Seeking backward from past-the-end still answers exactly.
+        assert trace.bandwidth_at(5.0) == 100
+        assert trace.next_change_after(5.0) == 10.0
+
+    def test_repeated_queries_at_same_time(self):
+        trace = from_pairs([(10, 100), (10, 200), (10, 300)])
+        for t in (0.0, 10.0, 15.0, 29.999999999, 10.0, 10.0):
+            first = (trace.bandwidth_at(t), trace.next_change_after(t))
+            for _ in range(3):
+                assert (trace.bandwidth_at(t), trace.next_change_after(t)) == first
+
+    def test_loop_wraparound_resets_cursor_correctly(self):
+        trace = from_pairs([(10, 100), (10, 200), (10, 300)])
+        # Monotonic queries crossing the loop boundary: fmod lands the
+        # wrapped time back in segment 0 while the cursor sits at 2.
+        self._check_sequence(trace, [25.0, 29.9, 30.0, 31.0, 55.0, 61.0])
+
+    def test_boundary_epsilon_matches_reference(self):
+        trace = from_pairs([(10, 100), (10, 200)])
+        for t in (10.0 - 1e-13, 10.0 - 1e-11, 10.0, 10.0 + 1e-13):
+            self._check_sequence(trace, [t])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=50),
+                st.floats(min_value=1, max_value=1e4),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        times=st.lists(
+            st.floats(min_value=0, max_value=2e3), min_size=1, max_size=30
+        ),
+        loop=st.booleans(),
+    )
+    def test_any_query_order_matches_reference(self, pairs, times, loop):
+        trace = BandwidthTrace(
+            [TraceSegment(d, k) for d, k in pairs], loop=loop
+        )
+        self._check_sequence(trace, times)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=50),
+                st.floats(min_value=1, max_value=1e4),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        times=st.lists(
+            st.floats(min_value=0, max_value=2e3), min_size=1, max_size=20
+        ),
+    )
+    def test_fused_lookup_bit_identical_to_separate_calls(self, pairs, times):
+        fused = from_pairs(pairs)
+        separate = from_pairs(pairs)
+        for t in times:
+            kbps, boundary = fused.rate_and_next_change(t)
+            assert kbps == separate.bandwidth_at(t)
+            assert boundary == separate.next_change_after(t)
