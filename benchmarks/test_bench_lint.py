@@ -1,9 +1,11 @@
 """repro.analysis — full-tree code lint speed.
 
-The code-lint CI gate runs every UNIT/POOL/DET rule over all of
-``src/repro`` on each push, so analyzer throughput is a trajectory we
-track: a rule that re-walks the AST per finding or re-tokenizes per
-query shows up here long before the gate feels slow.
+The code-lint CI gate runs every UNIT/POOL/DET/SHARE/HOT rule over
+all of ``src/repro`` on each push, so analyzer throughput is a
+trajectory we track: a rule that re-walks the AST per finding or
+re-tokenizes per query shows up here long before the gate feels slow.
+The ``jobs4`` timer pins the two-phase parallel path (summarize, merge
+the whole-program index, lint) that ``repro-abr lint --jobs N`` runs.
 """
 
 from pathlib import Path
@@ -11,6 +13,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import AnalyzerConfig, analyze_files
+from repro.analysis.parallel import analyze_files_parallel
 
 SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
 
@@ -23,6 +26,11 @@ FILES = {
 def test_bench_full_tree_code_lint(benchmark):
     findings = benchmark(analyze_files, FILES)
     assert findings == []  # the tree is pinned clean
+
+
+def test_bench_full_tree_code_lint_jobs4(benchmark):
+    findings = benchmark(analyze_files_parallel, FILES, None, 4)
+    assert findings == []
 
 
 def test_bench_units_family_only(benchmark):

@@ -42,6 +42,7 @@ from . import dash_rules as _dash_rules  # noqa: F401
 from . import hls_rules as _hls_rules  # noqa: F401
 from . import pylint_determinism as _pylint_determinism  # noqa: F401
 from . import code_rules as _code_rules  # noqa: F401
+from . import code_share_hot as _code_share_hot  # noqa: F401
 
 __all__ = [
     "AnalysisParseFailure",

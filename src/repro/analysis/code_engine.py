@@ -11,19 +11,32 @@ inline suppression grammar all code rules share::
 
 ``# lint: allow[ID, ID2]`` suppresses the named rules on that line;
 ``# lint: allow[*]`` suppresses every code rule. The legacy
-``# det: allow`` comment still suppresses ``DET-*`` rules for one
-release but draws a ``LINT-DEPRECATED-SUPPRESS`` note (see
+``# det: allow`` comment is **inert** — it suppresses nothing and draws
+a ``LINT-DEPRECATED-SUPPRESS`` note until removed (see
 :mod:`repro.analysis.code_rules`). Suppression is applied centrally by
 the analysis engine, not inside individual rules, so every present and
-future code rule obeys the same grammar for free.
+future code rule obeys the same grammar for free — and the engine
+tracks which allow-comments actually matched a finding, so stale ones
+draw ``LINT-UNUSED-SUPPRESS``.
 
-The second half of this module is the **dimension-flow** machinery the
+The middle of this module is the **dimension-flow** machinery the
 ``UNIT-*`` rules build on: :func:`dim_of_identifier` maps names to
 dimensions through the tables in :mod:`repro.units`
 (``DIMENSION_SUFFIXES`` / ``DIMENSION_NAMES`` /
 ``CONVERTER_SIGNATURES``), and :class:`ScopeEnv` propagates inferred
 dimensions through a function's locals so that un-suffixed names
 (``budget = chunk_bits(...)``) still participate in mix checks.
+
+The last section is the **whole-program index**: per-module summaries
+(:func:`summarize_module`) of every function (parameters, return
+dimension, escape/aliasing facts, callees), every class (``__slots__``,
+frozen-ness, ``# shared`` annotation) and every interning site, merged
+into a :class:`ProgramIndex` with a module-level call graph and a
+fixed-point pass that resolves return dimensions *through* calls. The
+index is what turns the per-function ``UNIT-*`` rules interprocedural
+and what the ``SHARE-*`` / ``HOT-*`` families are built on. Summaries
+are plain picklable dataclasses, so parallel linting can compute them
+per worker batch and merge in the parent.
 """
 
 from __future__ import annotations
@@ -32,16 +45,32 @@ import ast
 import io
 import re
 import tokenize
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from ..units import CONVERTER_SIGNATURES, DIMENSION_NAMES, DIMENSION_SUFFIXES
 from .spans import Document, SourceSpan
 
-#: Unified inline suppression: ``# lint: allow[RULE-ID, ...]``.
+#: Unified inline suppression: a comment beginning ``lint: allow``
+#: followed by a bracketed rule-ID list (or ``*`` for all rules).
+#: (The grammar is not spelled literally here — a comment that *shows*
+#: a bracketed example would itself parse as an allow-comment and draw
+#: LINT-UNUSED-SUPPRESS; see the regex below for the exact shape.)
 _ALLOW_RE = re.compile(r"lint:\s*allow\[([^\]]*)\]")
 
-#: Legacy grammar, honoured for DET-* rules for one release.
+#: Legacy grammar. Inert since the PR-5 deprecation window closed: it
+#: suppresses nothing and only feeds ``LINT-DEPRECATED-SUPPRESS``.
 LEGACY_SUPPRESS_COMMENT = "det: allow"
+
+#: Hot-path annotation: ``# hot`` marks a function as kernel fast path,
+#: ``# hot: pure`` on a loop marks a closed-form fast-forward region.
+#: The marker must *start* the comment (trailing justification is fine).
+_HOT_RE = re.compile(r"^#\s*hot(?P<pure>\s*:\s*pure)?\b")
+
+#: Shared-object annotation: ``# shared`` on a class marks instances as
+#: reachable from more than one session/worker, so methods must not
+#: mutate attributes after construction.
+_SHARED_RE = re.compile(r"^#\s*shared\b")
 
 
 def _scan_comments(text: str) -> Dict[int, str]:
@@ -166,18 +195,63 @@ class PySource:
         """Is ``rule_id`` suppressed on 1-based ``line``?
 
         Without a ``rule_id`` (legacy call shape) only the blanket
-        ``# lint: allow[*]`` and ``# det: allow`` comments match.
+        ``# lint: allow[*]`` comment matches. The retired
+        ``# det: allow`` grammar is inert here by design.
         """
-        comment = self.comments.get(line)
-        if comment is None:
-            return False
-        match = _ALLOW_RE.search(comment)
-        if match:
-            ids = {part.strip() for part in match.group(1).split(",")}
-            if "*" in ids or (rule_id and rule_id in ids):
+        ids = set(self.allow_tokens().get(line, ()))
+        return "*" in ids or (bool(rule_id) and rule_id in ids)
+
+    def allow_tokens(self) -> Dict[int, List[str]]:
+        """{line: [token, ...]} for every ``# lint: allow[...]`` comment.
+
+        Tokens are rule IDs or ``"*"``, in source order, duplicates
+        kept — the engine matches findings against them and reports the
+        tokens that suppressed nothing as ``LINT-UNUSED-SUPPRESS``.
+        """
+        cached = getattr(self, "_allow_tokens", None)
+        if cached is None:
+            cached = {}
+            for line, comment in self.comments.items():
+                tokens = [
+                    part.strip()
+                    for match in _ALLOW_RE.finditer(comment)
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                ]
+                if tokens:
+                    cached[line] = tokens
+            self._allow_tokens = cached  # type: ignore[attr-defined]
+        return cached
+
+    def hot_annotations(self) -> Dict[int, str]:
+        """{line: "hot" | "pure"} for every ``# hot`` comment."""
+        cached = getattr(self, "_hot_annotations", None)
+        if cached is None:
+            cached = {}
+            for line, comment in self.comments.items():
+                match = _HOT_RE.match(comment)
+                if match:
+                    cached[line] = "pure" if match.group("pure") else "hot"
+            self._hot_annotations = cached  # type: ignore[attr-defined]
+        return cached
+
+    def hot_mark(self, node: ast.AST) -> Optional[str]:
+        """The hot annotation attached to a def/loop node, if any.
+
+        The marker lives on the node's own line or the line directly
+        above it (the decorator / lead-comment position).
+        """
+        marks = self.hot_annotations()
+        line = getattr(node, "lineno", 0)
+        return marks.get(line) or marks.get(line - 1)
+
+    def shared_mark(self, node: ast.AST) -> bool:
+        """Is a class definition annotated ``# shared``?"""
+        line = getattr(node, "lineno", 0)
+        for candidate in (line, line - 1):
+            comment = self.comments.get(candidate)
+            if comment is not None and _SHARED_RE.match(comment):
                 return True
-        if LEGACY_SUPPRESS_COMMENT in comment:
-            return not rule_id or rule_id.startswith("DET-")
         return False
 
     def span(self, node: ast.AST) -> SourceSpan:
@@ -265,14 +339,22 @@ class ScopeEnv:
         return self._dims.get(name)
 
 
-def dim_of(node: ast.AST, imports: ImportTracker, env: Optional[ScopeEnv] = None) -> Optional[str]:
+def dim_of(
+    node: ast.AST,
+    imports: ImportTracker,
+    env: Optional[ScopeEnv] = None,
+    index: Optional["ProgramIndex"] = None,
+) -> Optional[str]:
     """Infer the dimension of an expression, or ``None`` for unknown.
 
     Deliberately conservative: multiplication and division yield
     unknown (a product changes the unit, and a scale factor such as
     ``duration_ms / 1000`` is a legitimate manual conversion), so only
     same-unit operations — additive arithmetic, comparison, argument
-    passing, assignment, return — are ever checked.
+    passing, assignment, return — are ever checked. With a
+    :class:`ProgramIndex`, calls additionally resolve through the
+    callee's *summarized* return dimension, making the flow
+    interprocedural.
     """
     if isinstance(node, ast.Name):
         declared = dim_of_identifier(node.id)
@@ -283,22 +365,22 @@ def dim_of(node: ast.AST, imports: ImportTracker, env: Optional[ScopeEnv] = None
         return dim_of_identifier(node.attr)
     if isinstance(node, ast.Subscript):
         # chunk_sizes_bits[i] carries its sequence's dimension.
-        return dim_of(node.value, imports, env)
+        return dim_of(node.value, imports, env, index)
     if isinstance(node, ast.Call):
-        return _dim_of_call(node, imports, env)
+        return _dim_of_call(node, imports, env, index)
     if isinstance(node, ast.UnaryOp) and isinstance(
         node.op, (ast.UAdd, ast.USub)
     ):
-        return dim_of(node.operand, imports, env)
+        return dim_of(node.operand, imports, env, index)
     if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
-        left = dim_of(node.left, imports, env)
-        right = dim_of(node.right, imports, env)
+        left = dim_of(node.left, imports, env, index)
+        right = dim_of(node.right, imports, env, index)
         if left is not None and left == right:
             return left
         return None
     if isinstance(node, ast.IfExp):
-        body = dim_of(node.body, imports, env)
-        orelse = dim_of(node.orelse, imports, env)
+        body = dim_of(node.body, imports, env, index)
+        orelse = dim_of(node.orelse, imports, env, index)
         if body is not None and body == orelse:
             return body
         return None
@@ -306,7 +388,10 @@ def dim_of(node: ast.AST, imports: ImportTracker, env: Optional[ScopeEnv] = None
 
 
 def _dim_of_call(
-    node: ast.Call, imports: ImportTracker, env: Optional[ScopeEnv]
+    node: ast.Call,
+    imports: ImportTracker,
+    env: Optional[ScopeEnv],
+    index: Optional["ProgramIndex"] = None,
 ) -> Optional[str]:
     name = _callee_name(node.func)
     if name is None:
@@ -316,16 +401,24 @@ def _dim_of_call(
     if name in CONVERTER_SIGNATURES:
         return CONVERTER_SIGNATURES[name][1]
     if name in _TRANSPARENT_CALLS and len(node.args) == 1:
-        return dim_of(node.args[0], imports, env)
+        return dim_of(node.args[0], imports, env, index)
     if name in _AGGREGATING_CALLS and node.args:
-        dims = {dim_of(arg, imports, env) for arg in node.args}
+        dims = {dim_of(arg, imports, env, index) for arg in node.args}
         dims.discard(None)
         if len(dims) == 1:
             return dims.pop()
         return None
     # Functions advertise their return dimension by name, the same
     # convention as variables: trace.average_kbps() is rate-kbps.
-    return dim_of_identifier(name)
+    declared = dim_of_identifier(name)
+    if declared is not None:
+        return declared
+    # Interprocedural: an un-suffixed callee may still have a known
+    # return dimension in the whole-program index (declared by the
+    # callee's own returns, possibly through further calls).
+    if index is not None:
+        return index.return_dim(name)
+    return None
 
 
 def converter_signature(
@@ -375,6 +468,41 @@ def iter_scope_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
             yield from iter_scope_statements(handler.body)
 
 
+def _mutable_global_names(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to mutable containers (caches etc.)."""
+    mutable_ctors = {
+        "dict",
+        "list",
+        "set",
+        "defaultdict",
+        "deque",
+        "OrderedDict",
+        "Counter",
+    }
+    out: Set[str] = set()
+    for stmt in iter_scope_statements(tree.body):
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        is_mutable = isinstance(
+            value,
+            (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.SetComp,
+             ast.ListComp),
+        ) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in mutable_ctors
+        )
+        if is_mutable:
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out
+
+
 def iter_scope_expressions(body: List[ast.stmt]) -> Iterator[ast.AST]:
     """Every AST node of one scope, pruning nested function/class defs
     (they are checked as their own scopes, with their own env)."""
@@ -397,3 +525,450 @@ def iter_scope_expressions(body: List[ast.stmt]) -> Iterator[ast.AST]:
                 if isinstance(child, ast.stmt):
                     continue  # reached via iter_scope_statements
                 stack.append(child)
+
+
+# -- whole-program index ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Picklable per-function facts the interprocedural rules consume.
+
+    ``return_dim`` is the dimension declared by the function's own name
+    or locally inferred when every return statement agrees;
+    ``return_calls`` names callees whose (not yet known) return
+    dimension the function forwards — the fixed-point pass in
+    :meth:`ProgramIndex.resolve` closes those. ``returns_opaque`` marks
+    functions with at least one return no summary can type, which
+    blocks inference entirely (never guess).
+    """
+
+    name: str
+    qualname: str
+    module: str
+    line: int
+    params: Tuple[str, ...]
+    return_dim: Optional[str]
+    return_calls: Tuple[str, ...]
+    returns_opaque: bool
+    callees: Tuple[str, ...]
+    hot: bool
+    #: Name of the class this function interns into a module-level
+    #: cache (``""`` when the stored value's class is not syntactically
+    #: evident); ``None`` when the function does not intern at all.
+    interns: Optional[str]
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """Picklable per-class facts: slots, frozen-ness, sharing."""
+
+    name: str
+    module: str
+    line: int
+    bases: Tuple[str, ...]
+    #: Declared ``__slots__`` names (including ``dataclass(slots=True)``
+    #: fields); ``None`` when the class has no slots declaration.
+    slots: Optional[Tuple[str, ...]]
+    frozen: bool
+    shared: bool
+    is_dataclass: bool
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Everything one module contributes to the program index."""
+
+    module: str
+    functions: Tuple[FunctionSummary, ...]
+    classes: Tuple[ClassSummary, ...]
+    mutable_globals: Tuple[str, ...]
+
+
+def _dataclass_facts(node: ast.ClassDef) -> Tuple[bool, bool, bool]:
+    """(is_dataclass, slots=True, frozen=True) from the decorators."""
+    is_dc = has_slots = frozen = False
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name != "dataclass":
+            continue
+        is_dc = True
+        if isinstance(deco, ast.Call):
+            for kw in deco.keywords:
+                if not isinstance(kw.value, ast.Constant):
+                    continue
+                if kw.arg == "slots" and kw.value.value is True:
+                    has_slots = True
+                elif kw.arg == "frozen" and kw.value.value is True:
+                    frozen = True
+    return is_dc, has_slots, frozen
+
+
+def _class_slots(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+    """The class's declared slot names, or ``None`` without slots."""
+    is_dc, dc_slots, _frozen = _dataclass_facts(node)
+    names: List[str] = []
+    found = False
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "__slots__"
+        ):
+            found = True
+            if isinstance(stmt.value, (ast.Tuple, ast.List, ast.Set)):
+                for elt in stmt.value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(
+                        elt.value, str
+                    ):
+                        names.append(elt.value)
+                    else:
+                        return None  # non-literal slots: unknowable
+            elif isinstance(stmt.value, ast.Constant) and isinstance(
+                stmt.value.value, str
+            ):
+                names.append(stmt.value.value)
+            else:
+                return None
+    if found:
+        return tuple(names)
+    if is_dc and dc_slots:
+        # dataclass(slots=True): the synthesized slots are the fields.
+        fields = [
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+        ]
+        return tuple(fields)
+    return None
+
+
+def _base_names(node: ast.ClassDef) -> Tuple[str, ...]:
+    names: List[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+        else:
+            names.append("?")  # unresolvable base expression
+    return tuple(names)
+
+
+def _function_env(
+    node: ast.AST, imports: ImportTracker
+) -> ScopeEnv:
+    """A cheap locals env for summarization (assignment pass only)."""
+    env = ScopeEnv()
+    for stmt in iter_scope_statements(node.body):
+        if isinstance(stmt, ast.Assign):
+            value_dim = dim_of(stmt.value, imports, env)
+            for target in stmt.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        env.record(name_node.id, value_dim)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                env.record(
+                    stmt.target.id, dim_of(stmt.value, imports, env)
+                )
+    return env
+
+
+def _summarize_function(
+    node: ast.AST,
+    qualname: str,
+    module: str,
+    src: PySource,
+    mutable_globals: Set[str],
+) -> FunctionSummary:
+    imports = src.imports
+    params = [a.arg for a in node.args.posonlyargs + node.args.args]
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    declared = dim_of_identifier(node.name)
+    return_dim: Optional[str] = declared
+    return_calls: List[str] = []
+    returns_opaque = False
+    if declared is None:
+        env = _function_env(node, imports)
+        local_dims: Set[str] = set()
+        for stmt in iter_scope_statements(node.body):
+            if not isinstance(stmt, ast.Return) or stmt.value is None:
+                continue
+            d = dim_of(stmt.value, imports, env)
+            if d is not None:
+                local_dims.add(d)
+            elif isinstance(stmt.value, ast.Call):
+                callee = _callee_name(stmt.value.func)
+                if callee is None:
+                    returns_opaque = True
+                else:
+                    return_calls.append(callee)
+            elif isinstance(stmt.value, ast.Constant):
+                pass  # dimensionless literal: never blocks inference
+            else:
+                returns_opaque = True
+        if not returns_opaque and local_dims and not return_calls:
+            if len(local_dims) == 1:
+                return_dim = local_dims.pop()
+            else:
+                returns_opaque = True
+        elif local_dims and return_calls:
+            # Mixed known/deferred returns: resolved at fixed point
+            # only if the callees end up agreeing with the known dims;
+            # encode the known dims as pseudo-deferred via opaqueness
+            # when they already disagree.
+            if len(local_dims) > 1:
+                returns_opaque = True
+                return_calls = []
+    callees = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            callee = _callee_name(sub.func)
+            if callee is not None:
+                callees.append(callee)
+    interns: Optional[str] = None
+    has_return_value = any(
+        isinstance(stmt, ast.Return) and stmt.value is not None
+        for stmt in iter_scope_statements(node.body)
+    )
+    if has_return_value and mutable_globals:
+        for stmt in iter_scope_statements(node.body):
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AugAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in mutable_globals
+                ):
+                    stored = ""
+                    if isinstance(value, ast.Call):
+                        stored = _callee_name(value.func) or ""
+                    interns = stored
+    return FunctionSummary(
+        name=node.name,
+        qualname=qualname,
+        module=module,
+        line=node.lineno,
+        params=tuple(params),
+        return_dim=return_dim,
+        return_calls=tuple(return_calls),
+        returns_opaque=returns_opaque,
+        callees=tuple(callees),
+        hot=src.hot_mark(node) is not None,
+        interns=interns,
+    )
+
+
+def summarize_module(src: PySource, module: str) -> ModuleSummary:
+    """Summarize one parsed module for the program index.
+
+    Summaries are plain picklable dataclasses: a parallel lint run
+    computes them per worker batch and merges them in the parent into
+    the same :class:`ProgramIndex` a serial run builds.
+    """
+    mutable_globals = _mutable_global_names(src.tree)
+    functions: List[FunctionSummary] = []
+    classes: List[ClassSummary] = []
+
+    def visit(body: List[ast.stmt], prefix: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{stmt.name}"
+                functions.append(
+                    _summarize_function(
+                        stmt, qualname, module, src, mutable_globals
+                    )
+                )
+                visit(stmt.body, f"{qualname}.<locals>.")
+            elif isinstance(stmt, ast.ClassDef):
+                is_dc, _dc_slots, frozen = _dataclass_facts(stmt)
+                classes.append(
+                    ClassSummary(
+                        name=stmt.name,
+                        module=module,
+                        line=stmt.lineno,
+                        bases=_base_names(stmt),
+                        slots=_class_slots(stmt),
+                        frozen=frozen,
+                        shared=src.shared_mark(stmt),
+                        is_dataclass=is_dc,
+                    )
+                )
+                visit(stmt.body, f"{prefix}{stmt.name}.")
+
+    visit(src.tree.body, "")
+    return ModuleSummary(
+        module=module,
+        functions=tuple(functions),
+        classes=tuple(classes),
+        mutable_globals=tuple(sorted(mutable_globals)),
+    )
+
+
+def _merge_function(
+    existing: Optional[FunctionSummary], new: FunctionSummary
+) -> Optional[FunctionSummary]:
+    """Name-collision policy: keep only facts every definition shares."""
+    if existing is None:
+        return None
+    if (
+        existing.params == new.params
+        and existing.return_dim == new.return_dim
+        and existing.return_calls == new.return_calls
+        and existing.returns_opaque == new.returns_opaque
+    ):
+        return existing
+    return None
+
+
+class ProgramIndex:
+    """The merged whole-program view: call graph + summaries by name.
+
+    Resolution is by *bare name*, matching the house style of
+    ``_module_param_table``: a name defined more than once with
+    conflicting facts is ambiguous and answers ``None`` to every query
+    (conservative — never checked). The index is picklable, so the
+    parallel lint path ships it into worker processes.
+    """
+
+    def __init__(
+        self,
+        functions: Dict[str, Optional[FunctionSummary]],
+        classes: Dict[str, Optional[ClassSummary]],
+    ) -> None:
+        self.functions = functions
+        self.classes = classes
+
+    @classmethod
+    def build(cls, summaries: Iterable["ModuleSummary"]) -> "ProgramIndex":
+        functions: Dict[str, Optional[FunctionSummary]] = {}
+        classes: Dict[str, Optional[ClassSummary]] = {}
+        for summary in summaries:
+            for fn in summary.functions:
+                if fn.name in functions:
+                    functions[fn.name] = _merge_function(
+                        functions[fn.name], fn
+                    )
+                else:
+                    functions[fn.name] = fn
+            for klass in summary.classes:
+                if klass.name in classes:
+                    if classes[klass.name] != klass:
+                        classes[klass.name] = None
+                else:
+                    classes[klass.name] = klass
+        index = cls(functions, classes)
+        index.resolve()
+        return index
+
+    def resolve(self) -> None:
+        """Fixed point: push return dimensions through the call graph.
+
+        A function whose returns all forward calls picks up its
+        callees' dimensions once those are known; iteration stops when
+        a full pass changes nothing (monotone — dims only ever go from
+        unknown to known — so termination is by |functions| passes).
+        """
+        changed = True
+        while changed:
+            changed = False
+            for name, fn in self.functions.items():
+                if (
+                    fn is None
+                    or fn.return_dim is not None
+                    or fn.returns_opaque
+                    or not fn.return_calls
+                ):
+                    continue
+                dims: Set[str] = set()
+                resolved = True
+                for callee in fn.return_calls:
+                    d = self.return_dim(callee)
+                    if d is None:
+                        resolved = False
+                        break
+                    dims.add(d)
+                if resolved and len(dims) == 1:
+                    self.functions[name] = replace(
+                        fn, return_dim=dims.pop()
+                    )
+                    changed = True
+
+    # -- queries ------------------------------------------------------
+
+    def function(self, name: str) -> Optional[FunctionSummary]:
+        return self.functions.get(name)
+
+    def class_summary(self, name: str) -> Optional[ClassSummary]:
+        return self.classes.get(name)
+
+    def return_dim(self, name: str) -> Optional[str]:
+        declared = dim_of_identifier(name)
+        if declared is not None:
+            return declared
+        fn = self.functions.get(name)
+        return fn.return_dim if fn is not None else None
+
+    def param_names(self, name: str) -> Optional[Tuple[str, ...]]:
+        fn = self.functions.get(name)
+        return fn.params if fn is not None else None
+
+    def intern_class(self, name: str) -> Optional[str]:
+        """The class ``name()`` interns, ``""`` unknown, None: not an
+        interning function."""
+        fn = self.functions.get(name)
+        return fn.interns if fn is not None else None
+
+    def slots_union(self, class_name: str) -> Optional[frozenset]:
+        """All slot names of a *fully slotted* class hierarchy.
+
+        ``None`` when the class (or any base) lacks slots or cannot be
+        resolved — instances then carry a ``__dict__`` and arbitrary
+        attribute writes are legal, so slot checks must stay silent.
+        """
+        seen: Set[str] = set()
+
+        def walk(name: str) -> Optional[frozenset]:
+            if name == "object":
+                return frozenset()
+            if name in seen:
+                return None  # cycle: be conservative
+            seen.add(name)
+            klass = self.classes.get(name)
+            if klass is None or klass.slots is None:
+                return None
+            union = set(klass.slots)
+            for base in klass.bases:
+                base_slots = walk(base)
+                if base_slots is None:
+                    return None
+                union |= base_slots
+            return frozenset(union)
+
+        return walk(class_name)
+
+
+def build_program_index(
+    sources: Mapping[str, PySource]
+) -> ProgramIndex:
+    """Summarize and merge every parsed module of one analysis run."""
+    return ProgramIndex.build(
+        summarize_module(src, name) for name, src in sources.items()
+    )

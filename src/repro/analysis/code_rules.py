@@ -16,7 +16,12 @@ dimensions can silently collide: additive arithmetic, comparisons,
 assignments, argument passing, and return statements. Multiplication
 and division intentionally yield *unknown* (they change the unit, and
 ``duration_ms / 1000`` is a legitimate manual conversion), so the lint
-never second-guesses scale factors.
+never second-guesses scale factors. The flow is **interprocedural**:
+through the run's :class:`~repro.analysis.code_engine.ProgramIndex`,
+calls resolve the callee's summarized return dimension (fixed-point
+across the call graph) and arguments are checked against parameter
+names of functions defined in *other* modules, not just the current
+one.
 
 **Pickle/fork safety (``POOL-*``)** — the runner ships job specs to
 ``ProcessPoolExecutor`` workers by pickle; a spec dataclass (any class
@@ -25,15 +30,18 @@ picklable by construction, worker-executed code must not capture
 lambdas or open handles, and module-level mutable state mutated inside
 functions diverges silently between forked workers.
 
-``LINT-DEPRECATED-SUPPRESS`` keeps the legacy ``# det: allow``
-suppression working for one release while nudging it toward the
-unified ``# lint: allow[RULE-ID]`` grammar.
+**Suppression hygiene (``LINT-*``)** — ``LINT-DEPRECATED-SUPPRESS``
+flags the retired ``# det: allow`` grammar (inert since the PR-5
+deprecation window closed), and ``LINT-UNUSED-SUPPRESS`` flags
+``# lint: allow[...]`` tokens that suppressed nothing this run (the
+engine tracks token usage centrally; the rule registered here carries
+the metadata and the autofix hook).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING, Tuple
 
 from .code_engine import (
     PySource,
@@ -47,6 +55,9 @@ from .code_engine import (
 )
 from .findings import Finding, Severity
 from .registry import Category, Kind, rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .code_engine import ProgramIndex
 
 # -- units/dimension flow ---------------------------------------------------
 
@@ -85,10 +96,12 @@ def _check_call(
     env: ScopeEnv,
     params: Dict[str, Optional[List[str]]],
     events: List[_UnitEvent],
+    index: Optional["ProgramIndex"] = None,
 ) -> None:
     """Argument passing: positional args against known signatures
-    (units.py converters, then same-module functions), keyword args
-    against the dimension their own name declares."""
+    (units.py converters, then same-module functions, then any function
+    the whole-program index knows), keyword args against the dimension
+    their own name declares."""
     imports = src.imports
     signature = converter_signature(node, imports)
     if signature is not None:
@@ -101,6 +114,10 @@ def _check_call(
         elif isinstance(node.func, ast.Attribute):
             callee = node.func.attr
         param_names = params.get(callee) if callee else None
+        if param_names is None and callee and index is not None:
+            # Interprocedural: the callee lives in another module of
+            # the run; its (unambiguous) signature comes from the index.
+            param_names = index.param_names(callee)
         param_dims = (
             [dim_of_identifier(p) for p in param_names]
             if param_names is not None
@@ -110,7 +127,7 @@ def _check_call(
         for i, arg in enumerate(node.args):
             if i >= len(param_dims) or param_dims[i] is None:
                 continue
-            arg_dim = dim_of(arg, imports, env)
+            arg_dim = dim_of(arg, imports, env, index=index)
             if _mismatch(param_dims[i], arg_dim):
                 target = (
                     f"parameter {param_names[i]!r}"
@@ -129,7 +146,7 @@ def _check_call(
         if kw.arg is None:
             continue
         kw_dim = dim_of_identifier(kw.arg)
-        arg_dim = dim_of(kw.value, imports, env)
+        arg_dim = dim_of(kw.value, imports, env, index=index)
         if _mismatch(kw_dim, arg_dim):
             events.append(
                 (
@@ -141,9 +158,18 @@ def _check_call(
             )
 
 
-def _unit_events(src: PySource) -> List[_UnitEvent]:
+def _unit_events(
+    src: PySource, index: Optional["ProgramIndex"] = None
+) -> List[_UnitEvent]:
     """Run the dimension-flow analysis once per module (memoized on the
-    parsed source, so each UNIT rule filters a shared result)."""
+    parsed source, so each UNIT rule filters a shared result).
+
+    ``index`` is the run's whole-program index: it resolves return
+    dimensions of calls into other modules and the parameter names of
+    cross-module callees. A parsed source belongs to exactly one run,
+    so memoizing on the source is safe even though the index varies
+    between runs.
+    """
     cached = getattr(src, "_unit_events", None)
     if cached is not None:
         return cached
@@ -156,7 +182,7 @@ def _unit_events(src: PySource) -> List[_UnitEvent]:
         # and teach the env the dimension of un-suffixed locals.
         for stmt in iter_scope_statements(body):
             if isinstance(stmt, ast.Assign):
-                value_dim = dim_of(stmt.value, imports, env)
+                value_dim = dim_of(stmt.value, imports, env, index=index)
                 for target in stmt.targets:
                     for name_node in ast.walk(target):
                         if not isinstance(name_node, ast.Name):
@@ -174,7 +200,7 @@ def _unit_events(src: PySource) -> List[_UnitEvent]:
                         env.record(name_node.id, value_dim)
             elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
                 if isinstance(stmt.target, ast.Name):
-                    value_dim = dim_of(stmt.value, imports, env)
+                    value_dim = dim_of(stmt.value, imports, env, index=index)
                     declared = dim_of_identifier(stmt.target.id)
                     if _mismatch(declared, value_dim):
                         events.append(
@@ -189,8 +215,8 @@ def _unit_events(src: PySource) -> List[_UnitEvent]:
             elif isinstance(stmt, ast.AugAssign) and isinstance(
                 stmt.op, (ast.Add, ast.Sub)
             ):
-                target_dim = dim_of(stmt.target, imports, env)
-                value_dim = dim_of(stmt.value, imports, env)
+                target_dim = dim_of(stmt.target, imports, env, index=index)
+                value_dim = dim_of(stmt.value, imports, env, index=index)
                 if _mismatch(target_dim, value_dim):
                     events.append(
                         (
@@ -205,8 +231,8 @@ def _unit_events(src: PySource) -> List[_UnitEvent]:
             if isinstance(node, ast.BinOp) and isinstance(
                 node.op, (ast.Add, ast.Sub)
             ):
-                left = dim_of(node.left, imports, env)
-                right = dim_of(node.right, imports, env)
+                left = dim_of(node.left, imports, env, index=index)
+                right = dim_of(node.right, imports, env, index=index)
                 if _mismatch(left, right):
                     op = "+" if isinstance(node.op, ast.Add) else "-"
                     events.append(
@@ -223,8 +249,8 @@ def _unit_events(src: PySource) -> List[_UnitEvent]:
                 ):
                     if not isinstance(op, _COMPARE_OPS):
                         continue
-                    left = dim_of(a, imports, env)
-                    right = dim_of(b, imports, env)
+                    left = dim_of(a, imports, env, index=index)
+                    right = dim_of(b, imports, env, index=index)
                     if _mismatch(left, right):
                         events.append(
                             (
@@ -234,7 +260,7 @@ def _unit_events(src: PySource) -> List[_UnitEvent]:
                             )
                         )
             elif isinstance(node, ast.Call):
-                _check_call(node, src, env, params, events)
+                _check_call(node, src, env, params, events, index=index)
         # Pass 3 — returns: a function named for a dimension must
         # return it.
         if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -243,7 +269,7 @@ def _unit_events(src: PySource) -> List[_UnitEvent]:
                 for stmt in iter_scope_statements(body):
                     if not isinstance(stmt, ast.Return) or stmt.value is None:
                         continue
-                    value_dim = dim_of(stmt.value, imports, env)
+                    value_dim = dim_of(stmt.value, imports, env, index=index)
                     if _mismatch(ret_dim, value_dim):
                         events.append(
                             (
@@ -257,8 +283,9 @@ def _unit_events(src: PySource) -> List[_UnitEvent]:
     return events
 
 
-def _emit_unit(src: PySource, check, rule_id: str) -> Iterator[Finding]:
-    for event_rule, message, node in _unit_events(src):
+def _emit_unit(src: PySource, check, rule_id: str, ctx) -> Iterator[Finding]:
+    index = getattr(ctx, "program", None)
+    for event_rule, message, node in _unit_events(src, index):
         if event_rule == rule_id:
             yield check.rule.finding(
                 f"{message}; convert explicitly with repro.units "
@@ -277,7 +304,7 @@ def _emit_unit(src: PySource, check, rule_id: str) -> Iterator[Finding]:
     reference="repro.units conventions; paper Table 1 (Kbps ladder)",
 )
 def check_unit_mix_arith(src: PySource, ctx) -> Iterator[Finding]:
-    return _emit_unit(src, check_unit_mix_arith, "UNIT-MIX-ARITH")
+    return _emit_unit(src, check_unit_mix_arith, "UNIT-MIX-ARITH", ctx)
 
 
 @rule(
@@ -289,7 +316,7 @@ def check_unit_mix_arith(src: PySource, ctx) -> Iterator[Finding]:
     reference="repro.units conventions; paper §3.3 (16 KB sample filter)",
 )
 def check_unit_mix_compare(src: PySource, ctx) -> Iterator[Finding]:
-    return _emit_unit(src, check_unit_mix_compare, "UNIT-MIX-COMPARE")
+    return _emit_unit(src, check_unit_mix_compare, "UNIT-MIX-COMPARE", ctx)
 
 
 @rule(
@@ -301,7 +328,7 @@ def check_unit_mix_compare(src: PySource, ctx) -> Iterator[Finding]:
     reference="repro.units conventions",
 )
 def check_unit_assign(src: PySource, ctx) -> Iterator[Finding]:
-    return _emit_unit(src, check_unit_assign, "UNIT-ASSIGN-MISMATCH")
+    return _emit_unit(src, check_unit_assign, "UNIT-ASSIGN-MISMATCH", ctx)
 
 
 @rule(
@@ -313,7 +340,7 @@ def check_unit_assign(src: PySource, ctx) -> Iterator[Finding]:
     reference="repro.units CONVERTER_SIGNATURES",
 )
 def check_unit_arg(src: PySource, ctx) -> Iterator[Finding]:
-    return _emit_unit(src, check_unit_arg, "UNIT-ARG-MISMATCH")
+    return _emit_unit(src, check_unit_arg, "UNIT-ARG-MISMATCH", ctx)
 
 
 @rule(
@@ -325,7 +352,7 @@ def check_unit_arg(src: PySource, ctx) -> Iterator[Finding]:
     reference="repro.units conventions",
 )
 def check_unit_return(src: PySource, ctx) -> Iterator[Finding]:
-    return _emit_unit(src, check_unit_return, "UNIT-RETURN-MISMATCH")
+    return _emit_unit(src, check_unit_return, "UNIT-RETURN-MISMATCH", ctx)
 
 
 # -- pickle/fork safety -----------------------------------------------------
@@ -678,17 +705,39 @@ def check_fork_unsafe(src: PySource, ctx) -> Iterator[Finding]:
     Severity.INFO,
     Category.HYGIENE,
     Kind.PYTHON,
-    summary="migrate '# det: allow' to the unified '# lint: allow[...]' grammar",
+    summary="the retired '# det: allow' grammar is inert; delete or migrate it",
     reference="docs/static_analysis.md (suppression grammar)",
 )
 def check_deprecated_suppress(src: PySource, ctx) -> Iterator[Finding]:
     for line in sorted(src.comments):
         comment = src.comments[line]
-        if "det: allow" in comment and "lint: allow" not in comment:
+        if "det: allow" in comment:
             yield check_deprecated_suppress.rule.finding(
-                "'# det: allow' is deprecated and will stop suppressing "
-                "in the next release; use '# lint: allow[DET-...]' with "
-                "the rule IDs to waive",
+                "'# det: allow' is inert (its deprecation window closed); "
+                "it no longer suppresses anything — delete it or migrate "
+                "to '# lint: allow[DET-...]' with the rule IDs to waive",
                 src.doc.find_in_line(line, "det: allow"),
                 line_text=src.doc.line_text(line),
             )
+
+
+@rule(
+    "LINT-UNUSED-SUPPRESS",
+    Severity.WARNING,
+    Category.HYGIENE,
+    Kind.PYTHON,
+    summary="a '# lint: allow[...]' token that suppresses nothing is stale",
+    reference="docs/static_analysis.md (suppression grammar); "
+    "flake8 unused-noqa precedent",
+    fixable=True,
+)
+def check_unused_suppress(src: PySource, ctx) -> Iterator[Finding]:
+    """Emitted centrally by the engine, not here.
+
+    Staleness is only decidable *after* every other rule has run and
+    inline suppression has been applied — the engine tracks which
+    ``(line, token)`` pairs matched a finding and reports the rest
+    (see ``engine._stale_suppress_findings``). This registration
+    carries the rule's metadata, severity, and the autofix hook.
+    """
+    return iter(())

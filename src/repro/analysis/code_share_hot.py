@@ -1,0 +1,516 @@
+"""Shared-state and hot-path rules over the whole-program index.
+
+The PR-7 kernel overhaul bought its ~10x session throughput with
+exactly the constructs that go wrong first at multi-client scale:
+memoized cursors on shared trace objects, interned decision singletons,
+``__slots__`` hot objects, and a closed-form fast-forward loop that is
+only correct while its body stays pure. These rules encode those
+contracts so the analyzer — not a flaky population sweep — is what
+catches a violation.
+
+**Shared-state safety (``SHARE-*``)** — a class marked ``# shared``
+(on its ``class`` line or the line above) promises to be safely usable
+from several consumers at once: read-only after ``__init__``, with all
+per-consumer state pushed into cursor/view objects. The family flags
+post-init mutation of shared classes, mutation of values returned by
+interning caches (every holder sees the write), interning caches whose
+value class is not frozen, and mutable default parameter values (one
+shared instance per *definition*, not per call).
+
+**Hot-path discipline (``HOT-*``)** — a function or loop marked
+``# hot`` (or ``# hot: pure``) is on the per-chunk simulator fast
+path. The family flags mutable-container allocation inside hot loops,
+construction of ``__dict__``-carrying classes in hot code, attribute
+writes that miss a fully slotted hierarchy's ``__slots__`` union
+(an ``AttributeError`` at runtime), and side-effecting calls — ABR
+policy hooks, RNG — inside ``# hot: pure`` fast-forward regions whose
+closed form must be derivable from trace state alone.
+
+Both families lean on :class:`~repro.analysis.code_engine.ProgramIndex`
+— slots unions resolve base classes across modules, and interning
+functions are visible from every call site, not just their defining
+module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, TYPE_CHECKING
+
+from .code_engine import (
+    PySource,
+    _callee_name,
+    iter_scope_statements,
+    iter_scopes,
+)
+from .findings import Finding, Severity
+from .registry import Category, Kind, rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .code_engine import ProgramIndex
+
+# -- shared helpers ---------------------------------------------------------
+
+#: Methods that may legitimately write ``self`` state on a shared class:
+#: construction and (un)pickling, which happen before any sharing.
+_INIT_METHODS = {"__init__", "__post_init__", "__new__", "__setstate__"}
+
+#: Container-mutator method names: calling one on a ``self`` attribute
+#: mutates shared state just as surely as an attribute assignment.
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "popleft",
+    "appendleft",
+    "remove",
+    "discard",
+    "clear",
+    "sort",
+    "reverse",
+}
+
+#: Constructors whose result is a fresh mutable container.
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+#: ABR policy hooks + RNG: the calls a ``# hot: pure`` fast-forward
+#: region must not make. The closed form replays network state from the
+#: trace alone; a policy hook or RNG draw inside it would observe
+#: (or perturb) state the replay does not reproduce.
+_IMPURE_CALLS = {
+    # policy/estimator entry points (sim.abr / sim.estimator protocol)
+    "choose_next",
+    "on_chunk_start",
+    "on_chunk_complete",
+    "on_failure",
+    "consider_abort",
+    "on_session_start",
+    "on_session_end",
+    "update",
+    "add_sample",
+    "observe",
+    # random-module surface (module functions and Random methods)
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "triangular",
+    "vonmisesvariate",
+}
+
+
+def _program(ctx) -> Optional["ProgramIndex"]:
+    return getattr(ctx, "program", None)
+
+
+def _self_attr_target(node: ast.expr) -> Optional[ast.Attribute]:
+    """``self.<attr>`` (the Attribute node) if ``node`` stores into one.
+
+    Handles plain attributes and subscript stores (``self.x[i] = v``
+    mutates ``self.x`` just the same).
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node
+    return None
+
+
+def _iter_methods(klass: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for stmt in klass.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def _self_writes(method: ast.AST) -> Iterator[ast.Attribute]:
+    """Every ``self.<attr>`` store or mutator call inside ``method``."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr_target(target)
+                if attr is not None:
+                    yield attr
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = _self_attr_target(node.target)
+            if attr is not None and (
+                isinstance(node, ast.AugAssign) or node.value is not None
+            ):
+                yield attr
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+            ):
+                attr = _self_attr_target(func.value)
+                if attr is not None:
+                    yield attr
+
+
+# -- SHARE-* ---------------------------------------------------------------
+
+
+@rule(
+    "SHARE-MUTATES-SHARED",
+    Severity.ERROR,
+    Category.SHARE,
+    Kind.PYTHON,
+    summary="a '# shared' class must not mutate itself after __init__",
+    reference="docs/static_analysis.md (shared-state contract); "
+    "BandwidthTrace cursor hazard",
+)
+def check_mutates_shared(src: PySource, ctx) -> Iterator[Finding]:
+    """Post-construction ``self`` mutation in a shared class.
+
+    The canonical bug: ``BandwidthTrace`` memoized a ``_cursor`` on the
+    *trace*, so two sessions walking one trace object invalidated each
+    other's fast path. Per-consumer state belongs in a cursor/view
+    object the shared class hands out.
+    """
+    for scope in ast.walk(src.tree):
+        if not isinstance(scope, ast.ClassDef) or not src.shared_mark(scope):
+            continue
+        for method in _iter_methods(scope):
+            if method.name in _INIT_METHODS:
+                continue
+            for attr in _self_writes(method):
+                yield check_mutates_shared.rule.finding(
+                    f"{scope.name} is marked '# shared' but "
+                    f"{method.name}() mutates self.{attr.attr}; move "
+                    "per-consumer state into a cursor/view object "
+                    "(e.g. BandwidthTrace.cursor())",
+                    src.span(attr),
+                    line_text=src.line_text(attr),
+                )
+
+
+@rule(
+    "SHARE-INTERN-MUTATE",
+    Severity.ERROR,
+    Category.SHARE,
+    Kind.PYTHON,
+    summary="values returned by interning caches must not be mutated",
+    reference="sim.decisions interned decision objects",
+)
+def check_intern_mutate(src: PySource, ctx) -> Iterator[Finding]:
+    """Attribute stores on objects obtained from an interning function.
+
+    ``download_for(track)`` returns the *same* object for every caller;
+    writing to it edits every holder's copy at once. Flags stores on
+    locals bound from an interning call and on the call result
+    directly.
+    """
+    index = _program(ctx)
+    if index is None:
+        return
+    for _scope, body in iter_scopes(src.tree):
+        interned: Set[str] = set()
+        for stmt in iter_scope_statements(body):
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, ast.Call
+            ):
+                callee = _callee_name(stmt.value.func)
+                if callee and index.intern_class(callee) is not None:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            interned.add(target.id)
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    target = target.value
+                if not isinstance(target, ast.Attribute):
+                    continue
+                base = target.value
+                bad = None
+                if isinstance(base, ast.Name) and base.id in interned:
+                    bad = base.id
+                elif isinstance(base, ast.Call):
+                    callee = _callee_name(base.func)
+                    if callee and index.intern_class(callee) is not None:
+                        bad = f"{callee}(...)"
+                if bad is not None:
+                    yield check_intern_mutate.rule.finding(
+                        f"{bad} is interned — every holder shares this "
+                        f"object, so writing .{target.attr} edits all of "
+                        "them; build a new value instead",
+                        src.span(target),
+                        line_text=src.line_text(target),
+                    )
+
+
+@rule(
+    "SHARE-INTERN-UNFROZEN",
+    Severity.WARNING,
+    Category.SHARE,
+    Kind.PYTHON,
+    summary="an interning cache should store frozen instances",
+    reference="sim.decisions frozen decision dataclasses",
+)
+def check_intern_unfrozen(src: PySource, ctx) -> Iterator[Finding]:
+    """An interning function whose cached class is not frozen.
+
+    SHARE-INTERN-MUTATE only sees syntactically evident writes; a
+    frozen dataclass closes the hole at runtime for everything else.
+    """
+    index = _program(ctx)
+    if index is None:
+        return
+    for scope, _body in iter_scopes(src.tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        fn = index.function(scope.name)
+        if (
+            fn is None
+            or fn.module != src.doc.name
+            or fn.line != scope.lineno
+            or not fn.interns  # None (no interning) or "" (class unknown)
+        ):
+            continue
+        klass = index.class_summary(fn.interns)
+        if klass is not None and not klass.frozen:
+            yield check_intern_unfrozen.rule.finding(
+                f"{scope.name}() interns {fn.interns} instances but "
+                f"{fn.interns} is not frozen; any holder can mutate the "
+                "shared value — declare it "
+                "@dataclass(frozen=True)",
+                src.span(scope),
+                line_text=src.line_text(scope),
+            )
+
+
+@rule(
+    "SHARE-MUTABLE-DEFAULT",
+    Severity.ERROR,
+    Category.SHARE,
+    Kind.PYTHON,
+    summary="default parameter values must not be mutable objects",
+    reference="one default instance per definition, shared by every call",
+)
+def check_mutable_default(src: PySource, ctx) -> Iterator[Finding]:
+    for scope, _body in iter_scopes(src.tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(scope.args.defaults) + [
+            d for d in scope.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp),
+            )
+            if isinstance(default, ast.Call):
+                callee = _callee_name(default.func)
+                mutable = callee in _MUTABLE_CTORS
+            if mutable:
+                yield check_mutable_default.rule.finding(
+                    f"mutable default in {scope.name}(): the object is "
+                    "created once and shared by every call that omits "
+                    "the argument; default to None (or use "
+                    "dataclasses.field(default_factory=...))",
+                    src.span(default),
+                    line_text=src.line_text(default),
+                )
+
+
+# -- HOT-* ------------------------------------------------------------------
+
+
+def _hot_functions(src: PySource) -> Iterator[ast.AST]:
+    for scope, _body in iter_scopes(src.tree):
+        if isinstance(
+            scope, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and src.hot_mark(scope):
+            yield scope
+
+
+@rule(
+    "HOT-ALLOC-IN-LOOP",
+    Severity.WARNING,
+    Category.HOT,
+    Kind.PYTHON,
+    summary="hot loops should not allocate mutable containers per iteration",
+    reference="PR-7 kernel overhaul (allocation-free fast paths)",
+)
+def check_alloc_in_loop(src: PySource, ctx) -> Iterator[Finding]:
+    """Container literals/constructors inside a loop of a hot function.
+
+    Appending to a pre-allocated list is fine; building a fresh
+    list/dict/set every iteration is the allocation churn the kernel
+    overhaul removed. Hoist the container out of the loop or switch to
+    tuples/scalars.
+    """
+    for fn in _hot_functions(src):
+        seen: Set[ast.AST] = set()  # nested loops walk shared nodes
+        for loop in ast.walk(fn):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if node is loop or node in seen:
+                    continue
+                alloc = isinstance(
+                    node,
+                    (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp),
+                )
+                if isinstance(node, ast.Call):
+                    alloc = _callee_name(node.func) in _MUTABLE_CTORS
+                if alloc:
+                    seen.add(node)
+                    yield check_alloc_in_loop.rule.finding(
+                        f"mutable container allocated inside a loop of "
+                        f"hot function {fn.name}(); hoist it out of the "
+                        "loop or use an immutable value",
+                        src.span(node),
+                        line_text=src.line_text(node),
+                    )
+
+
+@rule(
+    "HOT-NONSLOT-CONSTRUCT",
+    Severity.WARNING,
+    Category.HOT,
+    Kind.PYTHON,
+    summary="hot code should construct __slots__ classes",
+    reference="PR-7 kernel overhaul (__slots__ hot objects)",
+)
+def check_nonslot_construct(src: PySource, ctx) -> Iterator[Finding]:
+    """Constructing a ``__dict__``-carrying class in a hot function.
+
+    Only fires when the whole-program index knows the class and knows
+    it has no slots declaration; exception classes are exempt (the
+    raise path is off the fast path by definition).
+    """
+    index = _program(ctx)
+    if index is None:
+        return
+    for fn in _hot_functions(src):
+        raised = {
+            stmt.exc
+            for stmt in ast.walk(fn)
+            if isinstance(stmt, ast.Raise) and stmt.exc is not None
+        }
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call) or node in raised:
+                continue
+            callee = _callee_name(node.func)
+            if not callee or not callee[:1].isupper():
+                continue  # house style: classes are CapWords
+            if callee.endswith(("Error", "Exception", "Warning")):
+                continue
+            klass = index.class_summary(callee)
+            if klass is not None and klass.slots is None:
+                yield check_nonslot_construct.rule.finding(
+                    f"hot function {fn.name}() constructs {callee}, "
+                    "which has no __slots__ — each instance carries a "
+                    "__dict__; add __slots__ or "
+                    "@dataclass(slots=True)",
+                    src.span(node),
+                    line_text=src.line_text(node),
+                )
+
+
+@rule(
+    "HOT-SLOTS-VIOLATION",
+    Severity.ERROR,
+    Category.HOT,
+    Kind.PYTHON,
+    summary="attribute writes must stay inside the __slots__ union",
+    reference="AttributeError at runtime on fully slotted hierarchies",
+)
+def check_slots_violation(src: PySource, ctx) -> Iterator[Finding]:
+    """``self.<attr> = ...`` missing a fully slotted hierarchy's slots.
+
+    Uses the index's cross-module slots union, so a base class in
+    another file still counts. Silent whenever any class in the
+    hierarchy is unslotted or unresolvable (instances then have a
+    ``__dict__`` and the write is legal), and whenever the name could
+    be a property/descriptor defined in the class body.
+    """
+    index = _program(ctx)
+    if index is None:
+        return
+    for scope in ast.walk(src.tree):
+        if not isinstance(scope, ast.ClassDef):
+            continue
+        union = index.slots_union(scope.name)
+        if union is None:
+            continue
+        # Descriptors (properties, methods assigned in the body) are
+        # legal write targets even though they are not slots.
+        allowed = set(union)
+        for stmt in scope.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                allowed.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        allowed.add(target.id)
+        for method in _iter_methods(scope):
+            for attr in _self_writes(method):
+                if attr.attr not in allowed:
+                    yield check_slots_violation.rule.finding(
+                        f"{scope.name}.{method.name}() writes "
+                        f"self.{attr.attr}, which is not in the "
+                        "hierarchy's __slots__ union — this raises "
+                        "AttributeError at runtime; declare the slot "
+                        "or drop the write",
+                        src.span(attr),
+                        line_text=src.line_text(attr),
+                    )
+
+
+@rule(
+    "HOT-IMPURE-FASTFORWARD",
+    Severity.ERROR,
+    Category.HOT,
+    Kind.PYTHON,
+    summary="'# hot: pure' regions must not call policy hooks or RNG",
+    reference="PR-7 quiet micro-loop fast-forward (closed-form replay)",
+)
+def check_impure_fastforward(src: PySource, ctx) -> Iterator[Finding]:
+    """Side-effecting calls inside a ``# hot: pure`` loop.
+
+    The fast-forward loop advances time in closed form from trace
+    state; an ABR policy hook or RNG draw inside it would observe or
+    perturb state the closed form does not replay, silently diverging
+    from the stepped simulation it replaces.
+    """
+    for node in ast.walk(src.tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        if src.hot_mark(node) != "pure":
+            continue
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            callee = _callee_name(sub.func)
+            if callee in _IMPURE_CALLS:
+                yield check_impure_fastforward.rule.finding(
+                    f"call to {callee}() inside a '# hot: pure' "
+                    "fast-forward loop; policy hooks and RNG must run "
+                    "in the stepped path, not the closed-form region",
+                    src.span(sub),
+                    line_text=src.line_text(sub),
+                )

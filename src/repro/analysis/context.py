@@ -22,6 +22,7 @@ from .hls_syntax import ScannedPlaylist
 from .spans import Document
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .code_engine import ProgramIndex
     from .engine import AnalyzerConfig
 
 
@@ -32,6 +33,9 @@ class RuleContext:
     documents: Dict[str, Document] = field(default_factory=dict)
     playlists: Dict[str, ScannedPlaylist] = field(default_factory=dict)
     config: Optional["AnalyzerConfig"] = None
+    #: Whole-program index over the run's Python documents (call graph,
+    #: function/class summaries); None for manifest-only runs.
+    program: Optional["ProgramIndex"] = None
 
     @property
     def media_playlists(self) -> Dict[str, ScannedPlaylist]:

@@ -20,9 +20,14 @@ a deterministically ordered list of findings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from .code_engine import PySource, parse_python
+from .code_engine import (
+    ProgramIndex,
+    PySource,
+    build_program_index,
+    parse_python,
+)
 from .context import RuleContext
 from .dash_syntax import XmlElement, XmlParseFailure, parse_xml
 from .findings import Baseline, Finding, sort_findings
@@ -95,9 +100,17 @@ def classify_name(name: str, text: str) -> str:
 
 
 def prepare(
-    files: Mapping[str, str], config: Optional[AnalyzerConfig] = None
+    files: Mapping[str, str],
+    config: Optional[AnalyzerConfig] = None,
+    program: Optional[ProgramIndex] = None,
 ) -> Tuple[List[AnalyzedDocument], RuleContext]:
-    """Parse every document and build the shared rule context."""
+    """Parse every document and build the shared rule context.
+
+    ``program`` lets a caller supply a pre-built whole-program index
+    (the parallel lint path merges worker-batch summaries in the
+    parent); without one, the index is built here from the run's own
+    Python documents.
+    """
     prepared: List[AnalyzedDocument] = []
     ctx = RuleContext(config=config or DEFAULT_CONFIG)
     for name, text in files.items():
@@ -141,6 +154,12 @@ def prepare(
             )
             ctx.playlists[name] = scanned
         ctx.documents[name] = doc
+    if program is not None:
+        ctx.program = program
+    else:
+        sources = {a.name: a.python for a in prepared if a.python is not None}
+        if sources:
+            ctx.program = build_program_index(sources)
     return prepared, ctx
 
 
@@ -152,6 +171,62 @@ def _rule_kinds_for(kind: str) -> List[str]:
     return [kind]
 
 
+def _suppress_and_track(
+    python: PySource, produced: List[Finding]
+) -> Tuple[List[Finding], Set[Tuple[int, str]]]:
+    """Apply ``# lint: allow[...]`` comments to one document's findings.
+
+    Returns the findings that survive plus the ``(line, token)`` pairs
+    that actually suppressed something — a named rule ID is preferred
+    over a ``*`` on the same line, so a redundant star next to an
+    exact ID is itself reported stale.
+    """
+    tokens = python.allow_tokens()
+    kept: List[Finding] = []
+    used: Set[Tuple[int, str]] = set()
+    for finding in produced:
+        line_tokens = tokens.get(finding.span.line, ())
+        if finding.rule in line_tokens:
+            used.add((finding.span.line, finding.rule))
+        elif "*" in line_tokens:
+            used.add((finding.span.line, "*"))
+        else:
+            kept.append(finding)
+    return kept, used
+
+
+def _stale_suppress_findings(
+    python: PySource, used: Set[Tuple[int, str]], config: AnalyzerConfig
+) -> List[Finding]:
+    """LINT-UNUSED-SUPPRESS: allow-tokens that suppressed nothing.
+
+    The ``LINT-UNUSED-SUPPRESS`` token itself is exempt (it waives the
+    staleness report on its own line, never draws one), mirroring how
+    flake8 treats ``# noqa`` of its unused-noqa code.
+    """
+    if not config.rule_enabled("LINT-UNUSED-SUPPRESS"):
+        return []
+    entry = REGISTRY.get("LINT-UNUSED-SUPPRESS")
+    findings: List[Finding] = []
+    for line, line_tokens in sorted(python.allow_tokens().items()):
+        if "LINT-UNUSED-SUPPRESS" in line_tokens:
+            continue
+        for token in line_tokens:
+            if (line, token) in used:
+                continue
+            what = "blanket '*'" if token == "*" else f"'{token}'"
+            findings.append(
+                entry.finding(
+                    f"suppression {what} matched no finding on this "
+                    "line; remove the stale token (or the whole "
+                    "comment) — `repro-abr lint --fix` does it",
+                    python.doc.find_in_line(line, token),
+                    line_text=python.doc.line_text(line),
+                )
+            )
+    return findings
+
+
 def run_rules(
     prepared: List[AnalyzedDocument], ctx: RuleContext
 ) -> List[Finding]:
@@ -159,21 +234,29 @@ def run_rules(
     config = ctx.config or DEFAULT_CONFIG
     findings: List[Finding] = []
     for analyzed in prepared:
+        if analyzed.kind == Kind.PYTHON:
+            # Python findings are gathered for the whole document first,
+            # then the unified inline allow-comments are applied
+            # centrally — one grammar for every code rule — while
+            # tracking which tokens matched, so stale allow-comments can
+            # be reported by LINT-UNUSED-SUPPRESS afterwards.
+            produced: List[Finding] = []
+            for entry in REGISTRY.for_kind(Kind.PYTHON):
+                if not config.rule_enabled(entry.rule_id):
+                    continue
+                produced.extend(entry.check(analyzed.python, ctx))
+            kept, used = _suppress_and_track(analyzed.python, produced)
+            findings.extend(kept)
+            findings.extend(
+                _stale_suppress_findings(analyzed.python, used, config)
+            )
+            continue
         for rule_kind in _rule_kinds_for(analyzed.kind):
             for entry in REGISTRY.for_kind(rule_kind):
                 if not config.rule_enabled(entry.rule_id):
                     continue
                 if analyzed.kind == Kind.DASH:
                     produced = entry.check(analyzed.doc, analyzed.xml_root, ctx)
-                elif analyzed.kind == Kind.PYTHON:
-                    # Inline suppression (# lint: allow[RULE-ID], plus the
-                    # legacy det-style comment for DET-* rules) is applied
-                    # here, centrally, so every code rule obeys one grammar.
-                    produced = [
-                        f
-                        for f in entry.check(analyzed.python, ctx)
-                        if not analyzed.python.suppressed(f.span.line, f.rule)
-                    ]
                 else:
                     produced = entry.check(analyzed.playlist, ctx)
                 findings.extend(produced)
@@ -181,11 +264,13 @@ def run_rules(
 
 
 def analyze_files(
-    files: Mapping[str, str], config: Optional[AnalyzerConfig] = None
+    files: Mapping[str, str],
+    config: Optional[AnalyzerConfig] = None,
+    program: Optional[ProgramIndex] = None,
 ) -> List[Finding]:
     """Analyze a set of documents; the package-level entry point."""
     config = config or DEFAULT_CONFIG
-    prepared, ctx = prepare(files, config)
+    prepared, ctx = prepare(files, config, program=program)
     findings = run_rules(prepared, ctx)
     if config.baseline is not None:
         findings = config.baseline.filter(findings)

@@ -1,0 +1,136 @@
+"""File-parallel lint: two-phase fan-out, byte-identical to serial.
+
+Interprocedural rules need the whole-program index, so a naive
+per-file fan-out would either rebuild the index in every worker
+(quadratic parsing) or silently lose cross-module facts. The split
+here mirrors how distributed analyzers shard:
+
+1. **Summarize** — workers parse batches of Python sources and return
+   picklable :class:`~repro.analysis.code_engine.ModuleSummary` lists.
+2. **Merge** — the parent builds one
+   :class:`~repro.analysis.code_engine.ProgramIndex` from every
+   summary, exactly the index a serial run would build (merging is
+   order-independent: collisions resolve by fact equality, not
+   arrival order).
+3. **Lint** — workers re-lint their file batches with the merged
+   index shipped in, so every rule sees the same whole-program view
+   as a serial run.
+
+Manifest documents (MPD/m3u8) are kept together in a single batch:
+cross-manifest HLS rules resolve renditions across the whole package,
+which sharding would break. Python files are split round-robin.
+
+The contract — asserted by ``tests/test_analysis_parallel.py`` and
+timed by ``benchmarks/test_bench_lint.py`` — is that
+``analyze_files_parallel(files, config, jobs)`` returns the exact
+finding list of ``analyze_files(files, config)`` for every ``jobs``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .code_engine import (
+    ModuleSummary,
+    ProgramIndex,
+    parse_python,
+    summarize_module,
+)
+from .engine import (
+    AnalysisParseFailure,
+    AnalyzerConfig,
+    analyze_files,
+)
+from .findings import Finding, sort_findings
+from .spans import Document
+
+
+def _summarize_batch(
+    batch: List[Tuple[str, str]]
+) -> Tuple[str, object]:
+    """Worker, phase 1: parse + summarize a batch of Python sources."""
+    summaries: List[ModuleSummary] = []
+    for name, text in batch:
+        try:
+            src = parse_python(Document(name=name, text=text))
+        except SyntaxError as exc:
+            # Phase 2 reports the parse failure with full context;
+            # phase 1 just skips the module (no summary, no facts).
+            return ("parse_failure", (name, exc.msg or "syntax error",
+                                      exc.lineno or 0))
+        summaries.append(summarize_module(src, name))
+    return ("ok", summaries)
+
+
+def _lint_batch(
+    args: Tuple[Dict[str, str], Optional[AnalyzerConfig], ProgramIndex]
+) -> Tuple[str, object]:
+    """Worker, phase 2: lint a file batch against the shipped index."""
+    files, config, index = args
+    try:
+        return ("ok", analyze_files(files, config, program=index))
+    except AnalysisParseFailure as exc:
+        # AnalysisParseFailure's formatted args don't round-trip
+        # through pickle; ship the fields and re-raise in the parent.
+        return ("parse_failure", (exc.file, exc.message, exc.line))
+
+
+def _partition(
+    files: Mapping[str, str], jobs: int
+) -> List[Dict[str, str]]:
+    """Round-robin Python batches plus one batch for all manifests."""
+    manifest_batch: Dict[str, str] = {}
+    python_batches: List[Dict[str, str]] = [{} for _ in range(jobs)]
+    i = 0
+    for name, text in files.items():
+        if name.lower().endswith(".py"):
+            python_batches[i % jobs][name] = text
+            i += 1
+        else:
+            manifest_batch[name] = text
+    batches = [b for b in python_batches if b]
+    if manifest_batch:
+        batches.append(manifest_batch)
+    return batches
+
+
+def analyze_files_parallel(
+    files: Mapping[str, str],
+    config: Optional[AnalyzerConfig] = None,
+    jobs: int = 1,
+) -> List[Finding]:
+    """``analyze_files`` fanned out over ``jobs`` worker processes.
+
+    Byte-identical to the serial entry point for every ``jobs`` value;
+    ``jobs <= 1`` (or a single batch) short-circuits to it directly.
+    """
+    if jobs <= 1 or len(files) <= 1:
+        return analyze_files(files, config)
+    batches = _partition(files, jobs)
+    if len(batches) <= 1:
+        return analyze_files(files, config)
+    python_items = [
+        [(n, t) for n, t in batch.items() if n.lower().endswith(".py")]
+        for batch in batches
+    ]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # Phase 1: per-batch module summaries.
+        all_summaries: List[ModuleSummary] = []
+        for status, payload in pool.map(
+            _summarize_batch, [b for b in python_items if b]
+        ):
+            if status == "ok":
+                all_summaries.extend(payload)
+            # parse failures surface in phase 2 with full context
+        index = ProgramIndex.build(all_summaries)
+        # Phase 2: lint every batch against the merged index.
+        findings: List[Finding] = []
+        for status, payload in pool.map(
+            _lint_batch, [(batch, config, index) for batch in batches]
+        ):
+            if status == "parse_failure":
+                name, message, line = payload
+                raise AnalysisParseFailure(name, message, line=line)
+            findings.extend(payload)
+    return sort_findings(findings)

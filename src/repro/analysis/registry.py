@@ -37,6 +37,8 @@ class Category:
     UNITS = "units-dimension-flow"
     POOL = "pickle-fork-safety"
     HYGIENE = "lint-hygiene"
+    SHARE = "shared-state-safety"
+    HOT = "hot-path-discipline"
 
 
 class Kind:

@@ -295,7 +295,12 @@ def cmd_lint(args) -> int:
         files = result.files
 
     try:
-        findings = analysis.analyze_files(files, config)
+        if args.jobs > 1:
+            from .analysis.parallel import analyze_files_parallel
+
+            findings = analyze_files_parallel(files, config, jobs=args.jobs)
+        else:
+            findings = analysis.analyze_files(files, config)
     except analysis.AnalysisParseFailure as exc:
         print(f"parse failure: {exc}", file=sys.stderr)
         return 2
@@ -747,7 +752,8 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="static-analyze manifests (RFC 8216 / DASH-IF / Section 4.1) "
         "and Python sources (determinism DET-*, units/dimension flow "
-        "UNIT-*, pickle/fork safety POOL-*)",
+        "UNIT-*, pickle/fork safety POOL-*, shared-state SHARE-*, "
+        "hot-path discipline HOT-*)",
     )
     lint_parser.add_argument(
         "paths",
@@ -801,6 +807,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="RULES",
         help="comma-separated rule IDs to run exclusively (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint with N worker processes (two-phase: summarize, then "
+        "lint against the merged whole-program index); findings are "
+        "identical to a serial run",
     )
     lint_parser.add_argument(
         "--baseline",

@@ -151,8 +151,8 @@ def register(name: str):
     """Decorator registering a zero-arg experiment runner."""
 
     def decorate(fn: Callable[[], ExperimentReport]):
-        # lint: allow[POOL-GLOBAL-MUTABLE] import-time registration runs
-        # identically in every process before any pool exists.
+        # Import-time registration runs identically in every process
+        # before any pool exists (hence the waiver below).
         _REGISTRY[name] = fn  # lint: allow[POOL-GLOBAL-MUTABLE]
         return fn
 

@@ -25,7 +25,7 @@ from typing import Dict, Hashable, Mapping, Tuple
 
 from ..errors import LinkConfigError
 from ..media.tracks import MediaType
-from .traces import BandwidthTrace
+from .traces import BandwidthTrace, TraceCursor
 
 
 class NetworkModel:
@@ -85,12 +85,19 @@ class NetworkModel:
 
 
 class SharedBottleneck(NetworkModel):
-    """A single shaped link shared by all active downloads."""
+    """A single shaped link shared by all active downloads.
+
+    The model holds its own :class:`~repro.net.traces.TraceCursor`
+    over the (immutable, shareable) trace: many models — one per
+    session of a population sweep — can be built over one trace object
+    without their memoized fast paths interfering.
+    """
 
     def __init__(self, trace: BandwidthTrace, rtt_s: float = 0.0):
         if rtt_s < 0:
             raise LinkConfigError(f"rtt must be non-negative, got {rtt_s}")
         self.trace = trace
+        self._cursor = trace.cursor()
         self.rtt_s = rtt_s
 
     def rates(
@@ -98,9 +105,10 @@ class SharedBottleneck(NetworkModel):
     ) -> Dict[Hashable, float]:
         if not active:
             return {}
-        share = self.trace.bandwidth_at(t) / len(active)
+        share = self._cursor.bandwidth_at(t) / len(active)
         return {key: share for key in active}
 
+    # hot
     def media_rates(
         self, video_active: bool, audio_active: bool, t: float
     ) -> Tuple[float, float]:
@@ -108,20 +116,21 @@ class SharedBottleneck(NetworkModel):
         # active flows, so concurrent A+V each get an equal share.
         if video_active:
             if audio_active:
-                share = self.trace.bandwidth_at(t) / 2
+                share = self._cursor.bandwidth_at(t) / 2
                 return share, share
-            return self.trace.bandwidth_at(t), 0.0
+            return self._cursor.bandwidth_at(t), 0.0
         if audio_active:
-            return 0.0, self.trace.bandwidth_at(t)
+            return 0.0, self._cursor.bandwidth_at(t)
         return 0.0, 0.0
 
     def next_change_after(self, t: float) -> float:
-        return self.trace.next_change_after(t)
+        return self._cursor.next_change_after(t)
 
+    # hot
     def media_step(
         self, video_active: bool, audio_active: bool, t: float
     ) -> Tuple[float, float, float]:
-        kbps, change = self.trace.rate_and_next_change(t)
+        kbps, change = self._cursor.rate_and_next_change(t)
         if video_active:
             if audio_active:
                 share = kbps / 2
@@ -145,10 +154,14 @@ class SeparatePaths(NetworkModel):
             raise LinkConfigError(f"rtt must be non-negative, got {rtt_s}")
         self.video_trace = video_trace
         self.audio_trace = audio_trace
+        self._video_cursor = video_trace.cursor()
+        self._audio_cursor = audio_trace.cursor()
         self.rtt_s = rtt_s
 
-    def _trace_for(self, medium: MediaType) -> BandwidthTrace:
-        return self.video_trace if medium is MediaType.VIDEO else self.audio_trace
+    def _cursor_for(self, medium: MediaType) -> "TraceCursor":
+        if medium is MediaType.VIDEO:
+            return self._video_cursor
+        return self._audio_cursor
 
     def rates(
         self, active: Mapping[Hashable, MediaType], t: float
@@ -161,31 +174,33 @@ class SeparatePaths(NetworkModel):
             by_medium[medium] = by_medium.get(medium, 0) + 1
         out: Dict[Hashable, float] = {}
         for key, medium in active.items():
-            rate = self._trace_for(medium).bandwidth_at(t)
+            rate = self._cursor_for(medium).bandwidth_at(t)
             out[key] = rate / by_medium[medium]
         return out
 
+    # hot
     def media_rates(
         self, video_active: bool, audio_active: bool, t: float
     ) -> Tuple[float, float]:
         # One download per medium on its own path: each active medium
         # gets its full path rate (the general split divides by 1).
         return (
-            self.video_trace.bandwidth_at(t) if video_active else 0.0,
-            self.audio_trace.bandwidth_at(t) if audio_active else 0.0,
+            self._video_cursor.bandwidth_at(t) if video_active else 0.0,
+            self._audio_cursor.bandwidth_at(t) if audio_active else 0.0,
         )
 
     def next_change_after(self, t: float) -> float:
         return min(
-            self.video_trace.next_change_after(t),
-            self.audio_trace.next_change_after(t),
+            self._video_cursor.next_change_after(t),
+            self._audio_cursor.next_change_after(t),
         )
 
+    # hot
     def media_step(
         self, video_active: bool, audio_active: bool, t: float
     ) -> Tuple[float, float, float]:
-        v_kbps, v_change = self.video_trace.rate_and_next_change(t)
-        a_kbps, a_change = self.audio_trace.rate_and_next_change(t)
+        v_kbps, v_change = self._video_cursor.rate_and_next_change(t)
+        a_kbps, a_change = self._audio_cursor.rate_and_next_change(t)
         return (
             v_kbps if video_active else 0.0,
             a_kbps if audio_active else 0.0,

@@ -34,8 +34,20 @@ class TraceSegment:
             raise TraceError(f"segment bandwidth must be non-negative, got {self.kbps}")
 
 
+# shared — read-only after __init__; per-consumer lookup state lives in
+# TraceCursor views handed out by cursor().
 class BandwidthTrace:
-    """A piecewise-constant bandwidth profile, looping by default."""
+    """A piecewise-constant bandwidth profile, looping by default.
+
+    The trace itself is immutable once built, so any number of sessions
+    (or link models) can share one trace object. Anything that queries
+    it on a hot path should hold its own :class:`TraceCursor` from
+    :meth:`cursor` — the cursor memoizes the last-hit segment for O(1)
+    near-monotonic lookups, and keeping it *per consumer* means two
+    interleaved sessions cannot thrash (or corrupt) each other's fast
+    path. The trace's own query methods are stateless (pure bisect):
+    always correct under sharing, just without the O(1) memoized hop.
+    """
 
     def __init__(self, segments: Iterable[TraceSegment], loop: bool = True):
         self._segments: Tuple[TraceSegment, ...] = tuple(segments)
@@ -50,13 +62,6 @@ class BandwidthTrace:
             self._starts.append(offset)
             offset += segment.duration_s
         self._n = len(self._segments)
-        #: Cursor: index of the segment the last lookup landed in. The
-        #: simulator's queries are near-monotonic, so the next query
-        #: almost always hits the same segment or its successor; the
-        #: cursor turns the per-event lookup into O(1) with a bisect
-        #: fallback for arbitrary seeks. Pure cache — never affects
-        #: results, only which path computes them.
-        self._cursor = 0
 
     @property
     def segments(self) -> Tuple[TraceSegment, ...]:
@@ -71,45 +76,34 @@ class BandwidthTrace:
         """Total duration of one pass through the segments."""
         return self._period
 
+    def cursor(self) -> "TraceCursor":
+        """A fresh per-consumer lookup view over this trace."""
+        return TraceCursor(self)
+
     def _locate(self, t: float) -> Tuple[int, float]:
-        """(segment index, time offset within that segment) at time ``t``."""
+        """(segment index, time offset within that segment) at time ``t``.
+
+        Stateless: answers "largest i with t >= starts[i] - 1e-12" by
+        bisect alone, so concurrent callers on one shared trace can
+        never disturb each other. :meth:`TraceCursor._locate` answers
+        the same predicate with a memoized fast path.
+        """
         if t < 0:
             raise TraceError(f"time must be non-negative, got {t}")
         if self._loop:
             t = math.fmod(t, self._period)
         elif t >= self._period:
             # Past the end of a non-looping trace the last rate holds.
-            return len(self._segments) - 1, t - self._starts[-1]
-        # The target is the largest i with t >= starts[i] - 1e-12 (0 if
-        # none). Every path below answers that exact predicate, so the
-        # cursor/bisect fast paths are bit-identical to the historical
-        # linear scan from the end.
+            return self._n - 1, t - self._starts[-1]
         starts = self._starts
-        n = self._n
-        i = self._cursor
-        if t >= starts[i] - 1e-12:
-            # Same segment as the last lookup?
-            if i + 1 >= n or not t >= starts[i + 1] - 1e-12:
-                return i, t - starts[i]
-            # The immediate successor (the monotonic-advance case)?
-            i += 1
-            if i + 1 >= n or not t >= starts[i + 1] - 1e-12:
-                self._cursor = i
-                return i, t - starts[i]
-            lo = i + 1
-        else:
-            lo = 0
-        # Arbitrary seek: binary search on the same predicate. The
-        # predicate is monotone in i (starts are increasing), pred(0) is
-        # always true (starts[0] == 0 <= t + 1e-12 for t >= 0).
-        hi = n - 1
+        lo = 0
+        hi = self._n - 1
         while lo < hi:
             mid = (lo + hi + 1) // 2
             if t >= starts[mid] - 1e-12:
                 lo = mid
             else:
                 hi = mid - 1
-        self._cursor = lo
         return lo, t - starts[lo]
 
     def bandwidth_at(self, t: float) -> float:
@@ -130,7 +124,7 @@ class BandwidthTrace:
         :meth:`_locate` arithmetic — the remaining time in the located
         segment *is* the next boundary.
         """
-        if len(self._segments) == 1 and self._loop:
+        if self._n == 1 and self._loop:
             return math.inf
         if not self._loop and t >= self._period:
             return math.inf
@@ -148,10 +142,8 @@ class BandwidthTrace:
     def rate_and_next_change(self, t: float) -> Tuple[float, float]:
         """``(bandwidth_at(t), next_change_after(t))`` in one lookup.
 
-        The kernel needs both values for every event; answering them
-        from a single :meth:`_locate` halves the hot-path segment
-        lookups. The pair is bit-identical to calling the two methods
-        separately (same located segment, same boundary arithmetic).
+        The pair is bit-identical to calling the two methods separately
+        (same located segment, same boundary arithmetic).
         """
         index, offset = self._locate(t)
         kbps = self._segments[index].kbps
@@ -195,6 +187,129 @@ class BandwidthTrace:
 
     def to_pairs(self) -> List[Tuple[float, float]]:
         return [(s.duration_s, s.kbps) for s in self._segments]
+
+
+class TraceCursor:
+    """One consumer's memoized lookup view over a shared trace.
+
+    The kernel's queries are near-monotonic, so the next lookup almost
+    always lands in the last-hit segment or its successor; memoizing
+    that index turns the per-event lookup into O(1) with a bisect
+    fallback for arbitrary seeks. The cursor is a pure cache — it never
+    affects results, only which path computes them — and it is the
+    *only* mutable state in the trace machinery, owned by exactly one
+    consumer. PR-7 memoized it on the trace itself, which silently
+    serialized (and could have corrupted the fast path of) two sessions
+    walking one trace object; SHARE-MUTATES-SHARED now guards that
+    contract.
+
+    Every query is bit-identical to the trace's own stateless methods:
+    both answer the predicate "largest i with t >= starts[i] - 1e-12".
+    """
+
+    __slots__ = ("_trace", "_segments", "_starts", "_n", "_loop", "_period",
+                 "_cursor")
+
+    def __init__(self, trace: BandwidthTrace) -> None:
+        self._trace = trace
+        # Immutable views, re-referenced to keep the hot path free of
+        # attribute chains through the trace.
+        self._segments = trace._segments
+        self._starts = trace._starts
+        self._n = trace._n
+        self._loop = trace._loop
+        self._period = trace._period
+        self._cursor = 0
+
+    @property
+    def trace(self) -> BandwidthTrace:
+        return self._trace
+
+    # hot
+    def _locate(self, t: float) -> Tuple[int, float]:
+        """(segment index, time offset within that segment) at time ``t``."""
+        if t < 0:
+            raise TraceError(f"time must be non-negative, got {t}")
+        if self._loop:
+            t = math.fmod(t, self._period)
+        elif t >= self._period:
+            # Past the end of a non-looping trace the last rate holds.
+            return self._n - 1, t - self._starts[-1]
+        # The target is the largest i with t >= starts[i] - 1e-12 (0 if
+        # none). Every path below answers that exact predicate, so the
+        # cursor/bisect fast paths are bit-identical to the stateless
+        # bisect in BandwidthTrace._locate.
+        starts = self._starts
+        n = self._n
+        i = self._cursor
+        if t >= starts[i] - 1e-12:
+            # Same segment as the last lookup?
+            if i + 1 >= n or not t >= starts[i + 1] - 1e-12:
+                return i, t - starts[i]
+            # The immediate successor (the monotonic-advance case)?
+            i += 1
+            if i + 1 >= n or not t >= starts[i + 1] - 1e-12:
+                self._cursor = i
+                return i, t - starts[i]
+            lo = i + 1
+        else:
+            lo = 0
+        # Arbitrary seek: binary search on the same predicate. The
+        # predicate is monotone in i (starts are increasing), pred(0) is
+        # always true (starts[0] == 0 <= t + 1e-12 for t >= 0).
+        hi = n - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if t >= starts[mid] - 1e-12:
+                lo = mid
+            else:
+                hi = mid - 1
+        self._cursor = lo
+        return lo, t - starts[lo]
+
+    # hot
+    def bandwidth_at(self, t: float) -> float:
+        """Link bandwidth in kbps at absolute time ``t``."""
+        index, _ = self._locate(t)
+        return self._segments[index].kbps
+
+    # hot
+    def next_change_after(self, t: float) -> float:
+        """Absolute time of the next rate change strictly after ``t``.
+
+        Same contract as :meth:`BandwidthTrace.next_change_after`.
+        """
+        if self._n == 1 and self._loop:
+            return math.inf
+        if not self._loop and t >= self._period:
+            return math.inf
+        index, offset = self._locate(t)
+        boundary = t + (self._segments[index].duration_s - offset)
+        if boundary <= t:
+            # Within a few ulps of the segment end: the rate flips at
+            # the next representable instant (see BandwidthTrace).
+            boundary = math.nextafter(t, math.inf)
+        return boundary
+
+    # hot
+    def rate_and_next_change(self, t: float) -> Tuple[float, float]:
+        """``(bandwidth_at(t), next_change_after(t))`` in one lookup.
+
+        The kernel needs both values for every event; answering them
+        from a single :meth:`_locate` halves the hot-path segment
+        lookups. Bit-identical to calling the two methods separately.
+        """
+        index, offset = self._locate(t)
+        kbps = self._segments[index].kbps
+        if self._loop:
+            if self._n == 1:
+                return kbps, math.inf
+        elif t >= self._period:
+            return kbps, math.inf
+        boundary = t + (self._segments[index].duration_s - offset)
+        if boundary <= t:
+            boundary = math.nextafter(t, math.inf)
+        return kbps, boundary
 
 
 def constant(kbps: float) -> BandwidthTrace:

@@ -582,8 +582,8 @@ def set_runner_options(
         changes["job_retries"] = max(0, int(job_retries))
     changes["chaos"] = chaos
     changes["record_dir"] = record_dir
-    # lint: allow[POOL-GLOBAL-MUTABLE] session-global knobs by design:
-    # read in the parent at submit time, never inside a worker.
+    # Session-global knobs by design: read in the parent at submit
+    # time, never inside a worker (hence the waiver below).
     _OPTIONS = replace(_OPTIONS, **changes)  # lint: allow[POOL-GLOBAL-MUTABLE]
     return _OPTIONS
 
@@ -610,8 +610,8 @@ def runner_options(
             record_dir=record_dir,
         )
     finally:
-        # lint: allow[POOL-GLOBAL-MUTABLE] restores the parent-side
-        # session global on context-manager exit.
+        # Restores the parent-side session global on context-manager
+        # exit (hence the waiver below).
         _OPTIONS = previous  # lint: allow[POOL-GLOBAL-MUTABLE]
 
 

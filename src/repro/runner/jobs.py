@@ -51,8 +51,8 @@ def register_content(name: str):
     """Decorator registering a zero-arg content factory under ``name``."""
 
     def decorate(fn: Callable[[], object]):
-        # lint: allow[POOL-GLOBAL-MUTABLE] import-time registration runs
-        # identically in every process before any pool exists.
+        # Import-time registration runs identically in every process
+        # before any pool exists (hence the waiver below).
         _CONTENT_REGISTRY[name] = fn  # lint: allow[POOL-GLOBAL-MUTABLE]
         return fn
 

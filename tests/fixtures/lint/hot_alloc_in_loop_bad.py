@@ -1,0 +1,12 @@
+"""Seeded mutation: a hot loop allocates a fresh container every
+iteration — exactly the churn the kernel overhaul removed from the
+per-chunk path."""
+
+
+# hot
+def drain(samples):
+    total = 0.0
+    for sample in samples:
+        window = [sample]
+        total += sum(window)
+    return total

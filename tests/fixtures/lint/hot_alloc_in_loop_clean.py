@@ -1,0 +1,10 @@
+"""Clean twin: the container is hoisted out of the loop (or avoided
+entirely — scalars and tuples are fine)."""
+
+
+# hot
+def drain(samples):
+    total = 0.0
+    for sample in samples:
+        total += sample
+    return total

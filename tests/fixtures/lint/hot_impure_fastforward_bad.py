@@ -1,0 +1,14 @@
+"""Seeded mutation: an ABR policy hook called inside a '# hot: pure'
+fast-forward loop. The closed form replays trace state only; a policy
+call here observes state the replay does not reproduce."""
+
+
+def fast_forward(policy, boundaries, horizon):
+    t = 0.0
+    # hot: pure
+    for boundary in boundaries:
+        if boundary > horizon:
+            break
+        policy.on_chunk_complete(boundary)
+        t = boundary
+    return t

@@ -1,0 +1,13 @@
+"""Clean twin: the pure region only advances closed-form state; the
+policy hook runs after the loop, in the stepped path."""
+
+
+def fast_forward(policy, boundaries, horizon):
+    t = 0.0
+    # hot: pure
+    for boundary in boundaries:
+        if boundary > horizon:
+            break
+        t = boundary
+    policy.on_chunk_complete(t)
+    return t

@@ -1,0 +1,13 @@
+"""Seeded mutation: a hot function constructs a class without
+__slots__, paying a per-instance __dict__ on the per-chunk path."""
+
+
+class Sample:
+    def __init__(self, t, kbps):
+        self.t = t
+        self.kbps = kbps
+
+
+# hot
+def observe(t, kbps):
+    return Sample(t, kbps)

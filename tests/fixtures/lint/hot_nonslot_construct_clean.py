@@ -1,0 +1,14 @@
+"""Clean twin: hot objects declare __slots__."""
+
+
+class Sample:
+    __slots__ = ("t", "kbps")
+
+    def __init__(self, t, kbps):
+        self.t = t
+        self.kbps = kbps
+
+
+# hot
+def observe(t, kbps):
+    return Sample(t, kbps)

@@ -1,0 +1,14 @@
+"""Seeded mutation: a write outside a fully slotted hierarchy's
+__slots__ union — AttributeError the first time the method runs."""
+
+
+class Lane:
+    __slots__ = ("medium", "completed")
+
+    def __init__(self, medium):
+        self.medium = medium
+        self.completed = 0
+
+    def finish(self, chunk):
+        self.completed += 1
+        self.last_chunk = chunk

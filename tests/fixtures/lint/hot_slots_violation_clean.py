@@ -1,0 +1,14 @@
+"""Clean twin: every written attribute is declared in __slots__."""
+
+
+class Lane:
+    __slots__ = ("medium", "completed", "last_chunk")
+
+    def __init__(self, medium):
+        self.medium = medium
+        self.completed = 0
+        self.last_chunk = None
+
+    def finish(self, chunk):
+        self.completed += 1
+        self.last_chunk = chunk

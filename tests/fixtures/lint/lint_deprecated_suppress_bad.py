@@ -1,8 +1,5 @@
-"""Seeded mutation: a legacy det-style suppression comment. It still
-suppresses the DET finding for one release, but draws a note."""
+"""Seeded mutation: a legacy det-style suppression comment. The
+grammar is inert — it suppresses nothing — so the note is the only
+trace it leaves."""
 
-import random
-
-
-def jitter() -> float:
-    return random.random()  # det: allow
+CHUNK_DURATION_S = 2.0  # det: allow

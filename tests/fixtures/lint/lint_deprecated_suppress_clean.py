@@ -1,7 +1,4 @@
-"""Clean twin: the unified grammar names the rule it waives."""
+"""Clean twin: the retired comment is simply deleted (it suppressed
+nothing); real waivers use the unified grammar."""
 
-import random
-
-
-def jitter() -> float:
-    return random.random()  # lint: allow[DET-UNSEEDED-RANDOM]
+CHUNK_DURATION_S = 2.0

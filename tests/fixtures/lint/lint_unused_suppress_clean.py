@@ -1,0 +1,4 @@
+"""Clean twin: no waiver where nothing fires (`repro-abr lint --fix`
+removes stale tokens automatically)."""
+
+TARGET_BUFFER_S = 12.0

@@ -1,0 +1,26 @@
+"""Seeded mutation: writing to a value returned by an interning cache.
+Every call site holds the *same* object, so the write edits all of
+them at once."""
+
+from dataclasses import dataclass
+
+_CACHE = {}
+
+
+@dataclass(frozen=True)
+class Download:
+    track_id: str
+    urgent: bool = False
+
+
+def download_for(track_id):
+    decision = _CACHE.get(track_id)
+    if decision is None:
+        decision = _CACHE[track_id] = Download(track_id=track_id)  # lint: allow[POOL-GLOBAL-MUTABLE] per-process intern pool
+    return decision
+
+
+def escalate(track_id):
+    decision = download_for(track_id)
+    decision.urgent = True
+    return decision

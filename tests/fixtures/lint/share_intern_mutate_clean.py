@@ -1,0 +1,23 @@
+"""Clean twin: derive a new value instead of editing the interned one
+(dataclasses.replace leaves the shared instance untouched)."""
+
+from dataclasses import dataclass, replace
+
+_CACHE = {}
+
+
+@dataclass(frozen=True)
+class Download:
+    track_id: str
+    urgent: bool = False
+
+
+def download_for(track_id):
+    decision = _CACHE.get(track_id)
+    if decision is None:
+        decision = _CACHE[track_id] = Download(track_id=track_id)  # lint: allow[POOL-GLOBAL-MUTABLE] per-process intern pool
+    return decision
+
+
+def escalate(track_id):
+    return replace(download_for(track_id), urgent=True)

@@ -1,0 +1,19 @@
+"""Seeded mutation: an interning cache stores instances of a class
+that is not frozen — any holder can mutate the shared value and every
+other holder silently sees the edit."""
+
+from dataclasses import dataclass
+
+_CACHE = {}
+
+
+@dataclass
+class Wait:
+    duration_s: float = 0.25
+
+
+def wait_for(key):
+    decision = _CACHE.get(key)
+    if decision is None:
+        decision = _CACHE[key] = Wait()  # lint: allow[POOL-GLOBAL-MUTABLE] per-process intern pool
+    return decision

@@ -1,0 +1,18 @@
+"""Clean twin: interned values are frozen, so the runtime enforces
+what SHARE-INTERN-MUTATE can only check syntactically."""
+
+from dataclasses import dataclass
+
+_CACHE = {}
+
+
+@dataclass(frozen=True)
+class Wait:
+    duration_s: float = 0.25
+
+
+def wait_for(key):
+    decision = _CACHE.get(key)
+    if decision is None:
+        decision = _CACHE[key] = Wait()  # lint: allow[POOL-GLOBAL-MUTABLE] per-process intern pool
+    return decision

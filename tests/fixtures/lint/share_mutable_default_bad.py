@@ -1,0 +1,8 @@
+"""Seeded mutation: a mutable default argument. The list is created
+once at definition time and shared by every call that omits the
+argument — one session's history leaks into the next."""
+
+
+def record_stall(event, history=[]):
+    history.append(event)
+    return history

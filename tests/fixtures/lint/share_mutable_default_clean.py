@@ -1,0 +1,8 @@
+"""Clean twin: default to None and allocate per call."""
+
+
+def record_stall(event, history=None):
+    if history is None:
+        history = []
+    history.append(event)
+    return history

@@ -1,0 +1,14 @@
+"""Seeded mutation: a '# shared' class memoizes per-consumer lookup
+state on itself, so two sessions walking one instance corrupt each
+other's fast path (the PR-7 BandwidthTrace cursor hazard)."""
+
+
+# shared
+class Profile:
+    def __init__(self, starts):
+        self.starts = tuple(starts)
+        self._cursor = 0
+
+    def locate(self, t):
+        self._cursor = 1
+        return self.starts[self._cursor] <= t

@@ -1,0 +1,23 @@
+"""Clean twin: the shared class is read-only after __init__; each
+consumer holds its own cursor view over the immutable data."""
+
+
+# shared
+class Profile:
+    def __init__(self, starts):
+        self.starts = tuple(starts)
+
+    def cursor(self):
+        return ProfileCursor(self)
+
+
+class ProfileCursor:
+    __slots__ = ("_profile", "_cursor")
+
+    def __init__(self, profile):
+        self._profile = profile
+        self._cursor = 0
+
+    def locate(self, t):
+        self._cursor = 1
+        return self._profile.starts[self._cursor] <= t

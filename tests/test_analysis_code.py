@@ -45,7 +45,7 @@ CLEAN_FIXTURES = sorted(FIXTURES.glob("*_clean.py"))
 
 class TestFixtureCorpus:
     def test_corpus_is_paired(self):
-        assert len(BAD_FIXTURES) == len(CLEAN_FIXTURES) == 10
+        assert len(BAD_FIXTURES) == len(CLEAN_FIXTURES) == 19
         assert [rule_id_of(p) for p in BAD_FIXTURES] == [
             rule_id_of(p) for p in CLEAN_FIXTURES
         ]
@@ -55,7 +55,9 @@ class TestFixtureCorpus:
         new_rules = {
             r.rule_id
             for r in REGISTRY
-            if r.rule_id.startswith(("UNIT-", "POOL-", "LINT-"))
+            if r.rule_id.startswith(
+                ("UNIT-", "POOL-", "LINT-", "SHARE-", "HOT-")
+            )
         }
         assert covered == new_rules
 
@@ -85,25 +87,32 @@ class TestSuppressionGrammar:
         assert analyze_text("m.py", text) == []
 
     def test_multiple_ids_in_one_comment(self):
+        # Both rules genuinely fire on the line, so both tokens are
+        # used and neither draws LINT-UNUSED-SUPPRESS.
         text = (
             "import random\n"
             "delay_ms = 4.0\n"
-            "x = random.random() + delay_ms"
-            "  # lint: allow[DET-UNSEEDED-RANDOM, UNIT-MIX-ARITH]\n"
+            "dur_s = 2.0\n"
+            "x = random.random() if dur_s > delay_ms else 0.0"
+            "  # lint: allow[DET-UNSEEDED-RANDOM, UNIT-MIX-COMPARE]\n"
         )
         assert analyze_text("m.py", text) == []
 
     def test_wrong_id_does_not_suppress(self):
+        # The finding survives, and the mismatched token is itself
+        # reported stale.
         text = self.BUG.format(comment="  # lint: allow[DET-WALLCLOCK]")
-        assert [f.rule for f in analyze_text("m.py", text)] == [
-            "DET-UNSEEDED-RANDOM"
-        ]
+        rules = [f.rule for f in analyze_text("m.py", text)]
+        assert "DET-UNSEEDED-RANDOM" in rules
+        assert "LINT-UNUSED-SUPPRESS" in rules
 
-    def test_legacy_det_allow_still_suppresses_det_rules(self):
+    def test_legacy_det_allow_is_inert(self):
+        # The PR-5 deprecation window closed: the old grammar no longer
+        # suppresses anything, it only draws the migration note.
         text = self.BUG.format(comment="  # det: allow")
         rules = [f.rule for f in analyze_text("m.py", text)]
-        assert "DET-UNSEEDED-RANDOM" not in rules
-        assert rules == ["LINT-DEPRECATED-SUPPRESS"]
+        assert "DET-UNSEEDED-RANDOM" in rules
+        assert "LINT-DEPRECATED-SUPPRESS" in rules
 
     def test_legacy_det_allow_does_not_cover_unit_rules(self):
         text = (
@@ -126,13 +135,19 @@ class TestSuppressionGrammar:
 
     def test_deprecation_note_severity_maps_to_sarif_note(self):
         text = self.BUG.format(comment="  # det: allow")
-        (finding,) = analyze_text("m.py", text)
+        (finding,) = [
+            f
+            for f in analyze_text("m.py", text)
+            if f.rule == "LINT-DEPRECATED-SUPPRESS"
+        ]
         assert finding.severity is Severity.INFO
         assert SARIF_LEVELS[finding.severity] == "note"
 
     def test_deprecation_note_itself_can_be_waived(self):
+        # The DET rule needs its own token now that det: allow is inert.
         text = self.BUG.format(
-            comment="  # det: allow  # lint: allow[LINT-DEPRECATED-SUPPRESS]"
+            comment="  # det: allow  "
+            "# lint: allow[LINT-DEPRECATED-SUPPRESS, DET-UNSEEDED-RANDOM]"
         )
         assert analyze_text("m.py", text) == []
 
@@ -317,14 +332,22 @@ class TestEngineIntegration:
         config = AnalyzerConfig(selected=frozenset({"POOL-FORK-UNSAFE"}))
         assert analyze_files({"m.py": bad}, config) == []
 
-    def test_python_rules_are_not_fixable(self):
-        # The autofix layer only repairs manifest rules; running it over
-        # Python sources must be a no-op (fix idempotence trivially
-        # holds for the code-rule families).
+    def test_only_unused_suppress_is_fixable_among_python_rules(self):
+        # The autofix layer repairs manifest rules plus exactly one
+        # python-side rule: LINT-UNUSED-SUPPRESS (stale-token removal).
+        # Every other code-rule fixture must pass through untouched.
         files = {p.name: p.read_text() for p in BAD_FIXTURES}
         result = fix_files(files)
-        assert result.files == files
-        assert result.fixed == []
+        changed = {
+            name for name in files if result.files[name] != files[name]
+        }
+        assert changed == {"lint_unused_suppress_bad.py"}
+        assert result.fixed
+        assert {f.rule for f in result.fixed} == {"LINT-UNUSED-SUPPRESS"}
+        # The fixed file matches its clean twin byte for byte.
+        twin = (FIXTURES / "lint_unused_suppress_clean.py").read_text()
+        fixed_body = result.files["lint_unused_suppress_bad.py"]
+        assert fixed_body.splitlines()[2:] == twin.splitlines()[2:]
 
     def test_src_repro_lints_clean_under_full_code_rule_set(self):
         # The dogfooding pin: the whole tree stays clean under every

@@ -38,9 +38,17 @@ class TestUnseededRandom:
 
     def test_suppression_comment(self):
         findings = lint_py(
-            "import random\nx = random.random()  # det: allow\n"
+            "import random\n"
+            "x = random.random()  # lint: allow[DET-UNSEEDED-RANDOM]\n"
         )
         assert "DET-UNSEEDED-RANDOM" not in rules(findings)
+
+    def test_legacy_suppression_comment_is_inert(self):
+        findings = lint_py(
+            "import random\nx = random.random()  # det: allow\n"
+        )
+        assert "DET-UNSEEDED-RANDOM" in rules(findings)
+        assert "LINT-DEPRECATED-SUPPRESS" in rules(findings)
 
 
 class TestWallclock:

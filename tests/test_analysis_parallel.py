@@ -1,0 +1,100 @@
+"""Parallel lint (`--jobs N`) must be a pure speed knob: identical
+findings, identical order, same failure surface as the serial path."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalyzerConfig, analyze_files
+from repro.analysis.engine import AnalysisParseFailure
+from repro.analysis.parallel import _partition, analyze_files_parallel
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
+
+
+def load_tree():
+    files = {}
+    for path in sorted(SRC_REPRO.rglob("*.py")):
+        files[str(path.relative_to(SRC_REPRO.parent))] = path.read_text()
+    return files
+
+
+class TestPartition:
+    def test_manifests_stay_in_one_batch(self):
+        # Cross-manifest HLS rules need every manifest in one worker.
+        files = {
+            "a.m3u8": "#EXTM3U",
+            "b.m3u8": "#EXTM3U",
+            "c.mpd": "<MPD/>",
+            "x.py": "pass",
+            "y.py": "pass",
+            "z.py": "pass",
+        }
+        batches = _partition(files, jobs=3)
+        manifest_batches = [
+            b for b in batches if any(not n.endswith(".py") for n in b)
+        ]
+        assert len(manifest_batches) == 1
+        names = {n for n in manifest_batches[0] if not n.endswith(".py")}
+        assert names == {"a.m3u8", "b.m3u8", "c.mpd"}
+
+    def test_every_file_lands_in_exactly_one_batch(self):
+        files = {f"f{i}.py": "pass" for i in range(13)}
+        batches = _partition(files, jobs=4)
+        seen = [n for batch in batches for n in batch]
+        assert sorted(seen) == sorted(files)
+
+
+class TestParallelMatchesSerial:
+    def test_fixture_corpus_identical(self):
+        files = {p.name: p.read_text() for p in FIXTURES.glob("*.py")}
+        serial = analyze_files(files)
+        assert serial  # the bad fixtures guarantee findings to compare
+        parallel = analyze_files_parallel(files, jobs=4)
+        assert parallel == serial
+
+    def test_src_tree_identical(self):
+        files = load_tree()
+        assert len(files) > 50
+        serial = analyze_files(files)
+        parallel = analyze_files_parallel(files, jobs=4)
+        assert parallel == serial
+
+    def test_cross_module_units_survive_partitioning(self):
+        # The two halves of an interprocedural finding are forced into
+        # different workers; the shared program index must still connect
+        # them.
+        files = {
+            "sender.py": "def send(timeout_s):\n    return timeout_s\n",
+            "caller.py": (
+                "from sender import send\n"
+                "def f(grace_ms):\n"
+                "    return send(grace_ms)\n"
+            ),
+        }
+        serial = analyze_files(files)
+        assert [f.rule for f in serial] == ["UNIT-ARG-MISMATCH"]
+        parallel = analyze_files_parallel(files, jobs=2)
+        assert parallel == serial
+
+    def test_config_selection_is_honored(self):
+        files = {p.name: p.read_text() for p in FIXTURES.glob("*_bad.py")}
+        config = AnalyzerConfig(selected=frozenset({"SHARE-MUTABLE-DEFAULT"}))
+        serial = analyze_files(files, config)
+        parallel = analyze_files_parallel(files, config, jobs=4)
+        assert [f.rule for f in serial] == ["SHARE-MUTABLE-DEFAULT"]
+        assert parallel == serial
+
+    def test_jobs_one_short_circuits_to_serial(self):
+        files = {p.name: p.read_text() for p in FIXTURES.glob("*.py")}
+        assert analyze_files_parallel(files, jobs=1) == analyze_files(files)
+
+
+class TestParallelFailures:
+    def test_parse_failure_propagates_with_location(self):
+        files = {f"ok{i}.py": "pass\n" for i in range(6)}
+        files["broken.py"] = "def f(:\n"
+        with pytest.raises(AnalysisParseFailure) as exc:
+            analyze_files_parallel(files, jobs=3)
+        assert "broken.py" in str(exc.value)

@@ -1,0 +1,336 @@
+"""SHARE-* / HOT-* rule families, the ``# hot`` / ``# shared``
+annotation grammar, interprocedural UNIT flow through the program
+index, and the LINT-UNUSED-SUPPRESS autofix.
+
+The fixture corpus in ``tests/fixtures/lint/`` pins one bad/clean pair
+per rule; these tests cover the behavioral edges the pairs don't:
+annotation placement, init-method carve-outs, cross-module summaries,
+and fix idempotence.
+"""
+
+from repro.analysis import analyze_files, analyze_text, fix_files
+
+
+def rules_of(text, name="m.py"):
+    return [f.rule for f in analyze_text(name, text)]
+
+
+class TestShareMutatesShared:
+    SHARED_CLASS = (
+        "# shared\n"
+        "class Trace:\n"
+        "    def __init__(self, segments):\n"
+        "        self.segments = segments\n"
+        "        self.cursor = 0\n"
+        "{method}"
+    )
+
+    def test_post_init_write_is_flagged(self):
+        text = self.SHARED_CLASS.format(
+            method=(
+                "    def locate(self, t):\n"
+                "        self.cursor = t\n"
+                "        return self.cursor\n"
+            )
+        )
+        assert rules_of(text) == ["SHARE-MUTATES-SHARED"]
+
+    def test_init_writes_are_exempt(self):
+        text = self.SHARED_CLASS.format(
+            method=(
+                "    def locate(self, t):\n"
+                "        return self.segments[0]\n"
+            )
+        )
+        assert rules_of(text) == []
+
+    def test_mutator_call_on_self_attr_is_flagged(self):
+        text = self.SHARED_CLASS.format(
+            method=(
+                "    def locate(self, t):\n"
+                "        self.segments.append(t)\n"
+            )
+        )
+        assert rules_of(text) == ["SHARE-MUTATES-SHARED"]
+
+    def test_subscript_store_is_flagged(self):
+        text = self.SHARED_CLASS.format(
+            method=(
+                "    def locate(self, t):\n"
+                "        self.segments[0] = t\n"
+            )
+        )
+        assert rules_of(text) == ["SHARE-MUTATES-SHARED"]
+
+    def test_unmarked_class_is_not_checked(self):
+        text = (
+            "class Trace:\n"
+            "    def __init__(self):\n"
+            "        self.cursor = 0\n"
+            "    def locate(self, t):\n"
+            "        self.cursor = t\n"
+        )
+        assert rules_of(text) == []
+
+    def test_setstate_is_exempt_like_init(self):
+        text = self.SHARED_CLASS.format(
+            method=(
+                "    def __setstate__(self, state):\n"
+                "        self.segments = state\n"
+            )
+        )
+        assert rules_of(text) == []
+
+
+class TestShareMutableDefault:
+    def test_positional_default(self):
+        assert rules_of("def f(history=[]):\n    return history\n") == [
+            "SHARE-MUTABLE-DEFAULT"
+        ]
+
+    def test_keyword_only_default(self):
+        assert rules_of("def f(*, cache={}):\n    return cache\n") == [
+            "SHARE-MUTABLE-DEFAULT"
+        ]
+
+    def test_ctor_call_default(self):
+        assert rules_of("def f(seen=set()):\n    return seen\n") == [
+            "SHARE-MUTABLE-DEFAULT"
+        ]
+
+    def test_none_default_is_clean(self):
+        assert rules_of("def f(history=None):\n    return history\n") == []
+
+    def test_immutable_defaults_are_clean(self):
+        assert rules_of("def f(n=3, name='x', pair=(1, 2)):\n    pass\n") == []
+
+
+class TestHotAnnotationGrammar:
+    def test_trailing_comment_on_def_line(self):
+        text = (
+            "def step(samples):  # hot\n"
+            "    for s in samples:\n"
+            "        acc = [s]\n"
+            "    return acc\n"
+        )
+        assert rules_of(text) == ["HOT-ALLOC-IN-LOOP"]
+
+    def test_comment_on_line_above_def(self):
+        text = (
+            "# hot\n"
+            "def step(samples):\n"
+            "    for s in samples:\n"
+            "        acc = {s: 1}\n"
+            "    return acc\n"
+        )
+        assert rules_of(text) == ["HOT-ALLOC-IN-LOOP"]
+
+    def test_unannotated_function_is_not_checked(self):
+        text = (
+            "def step(samples):\n"
+            "    for s in samples:\n"
+            "        acc = [s]\n"
+            "    return acc\n"
+        )
+        assert rules_of(text) == []
+
+    def test_hot_must_start_the_comment(self):
+        # "# not hot" or "# see hot path" must not mark the function.
+        text = (
+            "def step(samples):  # not hot\n"
+            "    for s in samples:\n"
+            "        acc = [s]\n"
+            "    return acc\n"
+        )
+        assert rules_of(text) == []
+
+    def test_nested_loop_alloc_reported_once(self):
+        text = (
+            "def step(rows):  # hot\n"
+            "    for row in rows:\n"
+            "        for cell in row:\n"
+            "            acc = [cell]\n"
+            "    return acc\n"
+        )
+        findings = analyze_text("m.py", text)
+        assert [f.rule for f in findings] == ["HOT-ALLOC-IN-LOOP"]
+
+
+class TestHotImpureFastForward:
+    def test_policy_hook_in_pure_loop(self):
+        text = (
+            "def ff(policy, ts):\n"
+            "    # hot: pure\n"
+            "    for t in ts:\n"
+            "        policy.on_chunk_complete(t)\n"
+        )
+        assert rules_of(text) == ["HOT-IMPURE-FASTFORWARD"]
+
+    def test_rng_in_pure_loop(self):
+        text = (
+            "import random\n"
+            "def ff(ts):\n"
+            "    # hot: pure\n"
+            "    for t in ts:\n"
+            "        x = random.random()  # lint: allow[DET-UNSEEDED-RANDOM]\n"
+            "    return x\n"
+        )
+        assert rules_of(text) == ["HOT-IMPURE-FASTFORWARD"]
+
+    def test_plain_hot_loop_is_not_purity_checked(self):
+        text = (
+            "def ff(policy, ts):\n"
+            "    # hot\n"
+            "    for t in ts:\n"
+            "        policy.on_chunk_complete(t)\n"
+        )
+        assert rules_of(text) == []
+
+
+class TestHotSlots:
+    def test_write_outside_slots(self):
+        text = (
+            "class Lane:\n"
+            "    __slots__ = ('a',)\n"
+            "    def __init__(self):\n"
+            "        self.a = 0\n"
+            "        self.b = 1\n"
+        )
+        assert rules_of(text) == ["HOT-SLOTS-VIOLATION"]
+
+    def test_inherited_slots_union(self):
+        text = (
+            "class Base:\n"
+            "    __slots__ = ('a',)\n"
+            "class Lane(Base):\n"
+            "    __slots__ = ('b',)\n"
+            "    def __init__(self):\n"
+            "        self.a = 0\n"
+            "        self.b = 1\n"
+        )
+        assert rules_of(text) == []
+
+    def test_slotless_base_disables_the_check(self):
+        # A base without __slots__ gives instances a __dict__, so any
+        # attribute is legal; the check must stay silent.
+        text = (
+            "class Base:\n"
+            "    pass\n"
+            "class Lane(Base):\n"
+            "    __slots__ = ('a',)\n"
+            "    def __init__(self):\n"
+            "        self.a = 0\n"
+            "        self.b = 1\n"
+        )
+        assert rules_of(text) == []
+
+
+class TestInterproceduralUnits:
+    def test_return_dim_flows_across_modules(self):
+        files = {
+            "units_helpers.py": (
+                "def startup_delay_ms(result):\n"
+                "    return result.startup_ms\n"
+            ),
+            "report.py": (
+                "from units_helpers import startup_delay_ms\n"
+                "def f(result, budget_s):\n"
+                "    return startup_delay_ms(result) + budget_s\n"
+            ),
+        }
+        findings = analyze_files(files)
+        assert [(f.file, f.rule) for f in findings] == [
+            ("report.py", "UNIT-MIX-ARITH")
+        ]
+
+    def test_transitive_return_dim(self):
+        # a() returns b()'s value; b's suffix gives the dim, resolved by
+        # the fixed-point pass over the whole-program index.
+        files = {
+            "a.py": (
+                "from b import horizon_ms\n"
+                "def horizon(cfg):\n"
+                "    return horizon_ms(cfg)\n"
+            ),
+            "b.py": "def horizon_ms(cfg):\n    return cfg.h_ms\n",
+            "use.py": (
+                "from a import horizon\n"
+                "def f(cfg, deadline_s):\n"
+                "    return horizon(cfg) > deadline_s\n"
+            ),
+        }
+        findings = analyze_files(files)
+        assert [(f.file, f.rule) for f in findings] == [
+            ("use.py", "UNIT-MIX-COMPARE")
+        ]
+
+    def test_cross_module_param_names_checked_positionally(self):
+        files = {
+            "sender.py": "def send(timeout_s):\n    return timeout_s\n",
+            "caller.py": (
+                "from sender import send\n"
+                "def f(grace_ms):\n"
+                "    return send(grace_ms)\n"
+            ),
+        }
+        findings = analyze_files(files)
+        assert [(f.file, f.rule) for f in findings] == [
+            ("caller.py", "UNIT-ARG-MISMATCH")
+        ]
+
+    def test_colliding_names_with_conflicting_facts_go_ambiguous(self):
+        # Two modules define f() with different return dims: the merged
+        # index must refuse to guess, so no finding anywhere.
+        files = {
+            "a.py": "def f(x):\n    return x.v_ms\n",
+            "b.py": "def f(x):\n    return x.v_s\n",
+            "use.py": (
+                "from a import f\n"
+                "def g(x, budget_s):\n"
+                "    return f(x) + budget_s\n"
+            ),
+        }
+        assert analyze_files(files) == []
+
+
+class TestUnusedSuppressFix:
+    def test_single_stale_token_comment_line_removed(self):
+        files = {
+            "m.py": "X_S = 1.0  # lint: allow[UNIT-ASSIGN-MISMATCH]\n"
+        }
+        result = fix_files(files)
+        assert result.files["m.py"] == "X_S = 1.0\n"
+        assert [f.rule for f in result.fixed] == ["LINT-UNUSED-SUPPRESS"]
+
+    def test_stale_token_removed_from_live_list(self):
+        files = {
+            "m.py": (
+                "import random\n"
+                "x = random.random()"
+                "  # lint: allow[DET-UNSEEDED-RANDOM, UNIT-MIX-ARITH]\n"
+            )
+        }
+        result = fix_files(files)
+        assert result.files["m.py"] == (
+            "import random\n"
+            "x = random.random()  # lint: allow[DET-UNSEEDED-RANDOM]\n"
+        )
+
+    def test_prose_after_grammar_survives(self):
+        files = {
+            "m.py": (
+                "X_S = 1.0  # lint: allow[UNIT-ASSIGN-MISMATCH]"
+                " keeps the ladder honest\n"
+            )
+        }
+        result = fix_files(files)
+        assert result.files["m.py"] == "X_S = 1.0  # keeps the ladder honest\n"
+
+    def test_fix_is_idempotent(self):
+        files = {
+            "m.py": "X_S = 1.0  # lint: allow[UNIT-ASSIGN-MISMATCH]\n"
+        }
+        once = fix_files(files)
+        twice = fix_files(dict(once.files))
+        assert twice.files == once.files
+        assert twice.fixed == []

@@ -158,6 +158,59 @@ class TestNetworkVariants:
         assert len(video_first.segments) == 2
 
 
+class TestSharedTraceObject:
+    """One trace object feeding multiple consumers must behave exactly
+    like private copies: the trace is immutable and every link model
+    holds its own TraceCursor, so no query order can leak state."""
+
+    PAIRS = [(0.4, 1200.0), (0.6, 300.0), (0.5, 2000.0)]
+
+    def _result_key(self, result):
+        return [
+            (r.medium, r.chunk_index, r.started_at, r.completed_at)
+            for r in result.downloads
+        ]
+
+    def test_two_sessions_over_one_trace_object(self):
+        # Session A leaves its cursor deep in the trace; session B must
+        # start from t=0 unaffected, byte-identical to a fresh trace.
+        trace = from_pairs(self.PAIRS)
+        content = flat_content(n_chunks=6)
+
+        def run(t):
+            return simulate(content, FixedTracksPlayer("V1", "A1"), shared(t))
+
+        a_shared = run(trace)
+        b_shared = run(trace)
+        fresh = run(from_pairs(self.PAIRS))
+        assert self._result_key(a_shared) == self._result_key(fresh)
+        assert self._result_key(b_shared) == self._result_key(fresh)
+        assert b_shared.ended_at_s == fresh.ended_at_s
+
+    def test_separate_paths_sharing_one_trace_between_media(self):
+        # The audio and video lanes interleave queries at different
+        # times *within* one session — the tightest interleaving the
+        # kernel produces. Same object for both lanes must equal two
+        # private copies.
+        trace = from_pairs(self.PAIRS)
+        content = flat_content(n_chunks=6)
+        one_object = simulate(
+            content,
+            FixedTracksPlayer("V1", "A1", balanced=False),
+            SeparatePaths(video_trace=trace, audio_trace=trace),
+        )
+        two_copies = simulate(
+            content,
+            FixedTracksPlayer("V1", "A1", balanced=False),
+            SeparatePaths(
+                video_trace=from_pairs(self.PAIRS),
+                audio_trace=from_pairs(self.PAIRS),
+            ),
+        )
+        assert self._result_key(one_object) == self._result_key(two_copies)
+        assert one_object.ended_at_s == two_copies.ended_at_s
+
+
 class TestBufferCaps:
     def test_buffer_target_paces_downloads(self):
         content = flat_content(n_chunks=20)

@@ -448,3 +448,87 @@ class TestTraceCursor:
             kbps, boundary = fused.rate_and_next_change(t)
             assert kbps == separate.bandwidth_at(t)
             assert boundary == separate.next_change_after(t)
+
+
+class TestSharedTraceCursors:
+    """One immutable trace, many per-consumer cursors.
+
+    The shared-state hazard SHARE-MUTATES-SHARED exists to catch: a
+    lookup cursor memoized *on the trace object* lets one consumer's
+    seek corrupt another's fast path. The fix keeps the trace stateless
+    and hands each consumer its own ``TraceCursor`` view; these tests
+    pin that contract by adversarially interleaving two consumers over
+    a single trace object.
+    """
+
+    def _trace(self):
+        return from_pairs([(10, 100), (10, 200), (10, 300), (10, 400)])
+
+    def test_interleaved_cursors_match_stateless_answers(self):
+        trace = self._trace()
+        a, b = trace.cursor(), trace.cursor()
+        # a walks forward, b seeks backward, strictly alternating —
+        # the worst case for a cursor shared through the trace.
+        a_times = [0.0, 12.0, 25.0, 38.0, 1.0]
+        b_times = [38.0, 25.0, 12.0, 0.0, 39.9]
+        for ta, tb in zip(a_times, b_times):
+            assert a.bandwidth_at(ta) == trace.bandwidth_at(ta)
+            assert b.bandwidth_at(tb) == trace.bandwidth_at(tb)
+            assert a.next_change_after(ta) == trace.next_change_after(ta)
+            assert b.next_change_after(tb) == trace.next_change_after(tb)
+
+    def test_cursor_queries_leave_the_trace_untouched(self):
+        trace = self._trace()
+        before = dict(vars(trace))
+        cursor = trace.cursor()
+        for t in (35.0, 2.0, 17.0, 39.0, 0.0):
+            cursor.bandwidth_at(t)
+            cursor.rate_and_next_change(t)
+        assert vars(trace) == before
+
+    def test_fused_lookup_interleaved_across_cursors(self):
+        trace = self._trace()
+        a, b = trace.cursor(), trace.cursor()
+        for t in (5.0, 15.0, 25.0, 35.0, 45.0, 3.0):
+            want = (trace.bandwidth_at(t), trace.next_change_after(t))
+            assert a.rate_and_next_change(t) == want
+            # b deliberately queries a different epoch first.
+            b.bandwidth_at((t + 20.0) % 40.0)
+            assert b.rate_and_next_change(t) == want
+
+    def test_cursor_exposes_its_trace(self):
+        trace = self._trace()
+        assert trace.cursor().trace is trace
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=50),
+                st.floats(min_value=1, max_value=1e4),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        a_times=st.lists(
+            st.floats(min_value=0, max_value=500), min_size=1, max_size=15
+        ),
+        b_times=st.lists(
+            st.floats(min_value=0, max_value=500), min_size=1, max_size=15
+        ),
+        loop=st.booleans(),
+    )
+    def test_two_cursors_any_interleaving_matches_reference(
+        self, pairs, a_times, b_times, loop
+    ):
+        trace = BandwidthTrace(
+            [TraceSegment(d, k) for d, k in pairs], loop=loop
+        )
+        a, b = trace.cursor(), trace.cursor()
+        for i in range(max(len(a_times), len(b_times))):
+            if i < len(a_times):
+                t = a_times[i]
+                assert a.bandwidth_at(t) == trace.bandwidth_at(t)
+            if i < len(b_times):
+                t = b_times[i]
+                assert b.next_change_after(t) == trace.next_change_after(t)
