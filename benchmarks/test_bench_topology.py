@@ -1,0 +1,55 @@
+"""repro.topology — multi-client cohort kernel throughput.
+
+Times the flash-crowd grid every chaos CI run pays for: cohorts of
+concurrent sessions max-min fair-sharing edge bottlenecks, with and
+without a mid-run edge outage. The timer asserts every session reaches
+a verdict and the cohort invariants hold before the timing is
+accepted — a kernel that got fast by losing sessions does not count.
+"""
+
+import pytest
+
+from repro.chaos import check_cohort
+from repro.runner import run_jobs
+from repro.topology import (
+    CohortJob,
+    FaultDomainKind,
+    FaultDomainSchedule,
+    FaultWindow,
+    TopologySpec,
+)
+
+_TOPOLOGY = TopologySpec.uniform(4, capacity_kbps=25_000.0)
+_OUTAGE = FaultDomainSchedule(
+    kinds=(),
+    pinned=(
+        FaultWindow(FaultDomainKind.EDGE_OUTAGE, "edge-1", 60.0, 100.0),
+    ),
+)
+
+GRID = [
+    CohortJob(
+        topology=_TOPOLOGY,
+        faults=faults,
+        n_sessions=100,
+        arrival_burst_s=30.0,
+        seed=seed,
+        keep_summaries=False,
+    )
+    for faults in (None, _OUTAGE)
+    for seed in (0, 1)
+]
+
+
+def test_bench_cohort_grid(benchmark):
+    """4 cells x 100 sessions: the CI cohort-chaos workload shape."""
+    outcomes = benchmark(run_jobs, GRID, 1)
+    assert len(outcomes) == len(GRID)
+    for outcome in outcomes:
+        result = outcome.result
+        assert sum(result.verdict_counts.values()) == 100
+        assert check_cohort(result) == []
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "--benchmark-only"])

@@ -21,7 +21,12 @@ its incomplete cells.
 """
 
 from .injector import ChaosError, inject, log_event
-from .invariants import InvariantViolation, check_outcomes, check_session
+from .invariants import (
+    InvariantViolation,
+    check_cohort,
+    check_outcomes,
+    check_session,
+)
 from .schedule import ALL_KINDS, ChaosSchedule, FaultKind
 
 __all__ = [
@@ -30,6 +35,7 @@ __all__ = [
     "ChaosSchedule",
     "FaultKind",
     "InvariantViolation",
+    "check_cohort",
     "check_outcomes",
     "check_session",
     "inject",

@@ -14,9 +14,13 @@ session must obey regardless of how many times its worker died:
   past the content duration);
 * stalls and download records are well-formed and inside the session.
 
-:func:`check_session` inspects one result; :func:`check_outcomes`
-sweeps a grid's outcomes and tags each violation with the offending
-job. The engine runs the sweep automatically after any chaos run.
+:func:`check_session` inspects one result; :func:`check_cohort` does
+the same for a multi-session :class:`~repro.sim.cohort.CohortResult`
+(per-edge byte conservation, fair-share bounds, every-session-has-a-
+verdict, no silent starvation); :func:`check_outcomes` sweeps a grid's
+outcomes, dispatching per result type and tagging each violation with
+the offending job. The engine runs the sweep automatically after any
+chaos run.
 """
 
 from __future__ import annotations
@@ -129,6 +133,125 @@ def check_session(result: SessionResult) -> List[InvariantViolation]:
     return violations
 
 
+#: Relative slack for the cohort edge ledger: the fluid kernel credits
+#: a completing flow its exact size while the edge integrates
+#: ``rate * dt``, so the two sides agree only to fp accumulation error.
+_LEDGER_RTOL = 1e-6
+#: Absolute ledger slack (bits) for nearly-idle edges.
+_LEDGER_ATOL = 1e4
+
+
+def check_cohort(result) -> List[InvariantViolation]:
+    """Cohort-level laws for one :class:`~repro.sim.cohort.CohortResult`.
+
+    * **edge-byte-ledger** — per edge, the capacity integral over busy
+      time equals the sum of per-flow settlements (useful + wasted
+      bits); and settlements never exceed what the uplink could have
+      carried (``capacity * busy_s``). A processor-sharing bookkeeping
+      bug (lost flow, double-credited completion, missed settle)
+      breaks one of the two.
+    * **fair-share-bounds** — no edge serves more than its capacity
+      times its busy time; wasted + useful add up to settled.
+    * **every-session-verdicted** — the summaries (when kept) and the
+      verdict counts agree with ``n_sessions``, and no verdict is the
+      ``no_verdict`` sentinel: every session either completed or
+      carries an explicit degradation reason. "Zero aborted sessions"
+      is this line.
+    * **no-silent-starvation** — a session that neither completed nor
+      downloaded a single chunk must carry a termination reason (it
+      must have died of exhausted attempts/budget/ceiling, not fallen
+      out of the event loop).
+    """
+    violations: List[InvariantViolation] = []
+
+    for edge_id, ledger in result.edges.items():
+        served = ledger["served_bits"]
+        settled = ledger["settled_bits"]
+        useful = ledger["useful_bits"]
+        wasted = ledger["wasted_bits"]
+        capacity_bits = ledger["capacity_kbps"] * 1000.0 * ledger["busy_s"]
+        slack = _LEDGER_RTOL * max(served, settled, 1.0) + _LEDGER_ATOL
+        if abs(served - settled) > slack:
+            violations.append(
+                InvariantViolation(
+                    "edge-byte-ledger",
+                    f"{edge_id}: served {served:.0f} != settled {settled:.0f} "
+                    f"(useful {useful:.0f} + wasted {wasted:.0f})",
+                )
+            )
+        if abs((useful + wasted) - settled) > slack:
+            violations.append(
+                InvariantViolation(
+                    "edge-byte-ledger",
+                    f"{edge_id}: useful {useful:.0f} + wasted {wasted:.0f} "
+                    f"!= settled {settled:.0f}",
+                )
+            )
+        if settled > capacity_bits + slack:
+            violations.append(
+                InvariantViolation(
+                    "fair-share-bounds",
+                    f"{edge_id}: settled {settled:.0f} bits exceed capacity "
+                    f"* busy time = {capacity_bits:.0f}",
+                )
+            )
+
+    counted = sum(result.verdict_counts.values())
+    if counted != result.n_sessions:
+        violations.append(
+            InvariantViolation(
+                "every-session-verdicted",
+                f"verdict counts cover {counted} of {result.n_sessions} sessions",
+            )
+        )
+    if result.verdict_counts.get("no_verdict"):
+        violations.append(
+            InvariantViolation(
+                "every-session-verdicted",
+                f"{result.verdict_counts['no_verdict']} session(s) ended "
+                "without completing and without a termination reason",
+            )
+        )
+    if result.completed_sessions + result.degraded_sessions != result.n_sessions:
+        violations.append(
+            InvariantViolation(
+                "every-session-verdicted",
+                f"completed {result.completed_sessions} + degraded "
+                f"{result.degraded_sessions} != {result.n_sessions}",
+            )
+        )
+
+    for summary in result.summaries:
+        if not summary.completed and summary.termination_reason is None:
+            violations.append(
+                InvariantViolation(
+                    "every-session-verdicted",
+                    f"session {summary.session_id} is incomplete with no reason",
+                )
+            )
+        if (
+            not summary.completed
+            and summary.chunks_downloaded == 0
+            and summary.termination_reason is None
+        ):
+            violations.append(
+                InvariantViolation(
+                    "no-silent-starvation",
+                    f"session {summary.session_id} starved with no verdict",
+                )
+            )
+        if summary.stall_s < -_NEG_EPS or summary.startup_delay_s < -_NEG_EPS:
+            violations.append(
+                InvariantViolation(
+                    "non-negative-buffers",
+                    f"session {summary.session_id}: stall {summary.stall_s:.6f}s "
+                    f"startup {summary.startup_delay_s:.6f}s",
+                )
+            )
+
+    return violations
+
+
 def check_outcomes(outcomes: Sequence) -> List[InvariantViolation]:
     """Sweep a grid's outcomes; failed jobs (no result) are skipped —
     they are already surfaced through ``JobOutcome.error``."""
@@ -138,8 +261,14 @@ def check_outcomes(outcomes: Sequence) -> List[InvariantViolation]:
         if result is None:
             continue
         label = outcome.job.key()[:12]
+        if isinstance(result, SessionResult):
+            found = check_session(result)
+        elif hasattr(result, "verdict_counts"):
+            found = check_cohort(result)
+        else:  # unknown result types have no laws to check
+            continue
         violations.extend(
             InvariantViolation(v.invariant, v.detail, job=label)
-            for v in check_session(result)
+            for v in found
         )
     return violations

@@ -15,6 +15,7 @@ shape-level checks, so CI can gate on reproduction.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -165,6 +166,66 @@ def cmd_simulate(args) -> int:
             print(f"  {finding}")
     else:
         print("diagnosis: clean (no known pathologies)")
+    return 0
+
+
+def cmd_cohort(args) -> int:
+    import json as _json
+
+    from .chaos.invariants import check_cohort
+    from .net.resilience import FailoverPolicy
+    from .topology import CohortJob, FaultDomainSchedule, TopologySpec
+
+    faults = None
+    if args.faults:
+        faults = FaultDomainSchedule.from_spec(args.faults)
+    job = CohortJob(
+        topology=TopologySpec.uniform(
+            args.edges,
+            capacity_kbps=args.capacity,
+            cache_chunks=args.cache_chunks,
+        ),
+        faults=faults,
+        n_sessions=args.sessions,
+        arrival_burst_s=args.burst,
+        failover=FailoverPolicy(failover_budget=args.failover_budget),
+        seed=args.seed,
+        keep_summaries=not args.no_summaries,
+    )
+    record_dir = None
+    if args.fault_log:
+        record_dir = os.path.dirname(os.path.abspath(args.fault_log)) or "."
+    result = job.execute(record_dir=record_dir)
+    if args.fault_log:
+        from .replay.recorder import record_path
+
+        written = record_path(record_dir, job.key())
+        target = os.path.abspath(args.fault_log)
+        if written != target:
+            os.replace(written, target)
+        print(f"fault-domain event log: {args.fault_log}")
+    print(f"cohort {job.label()}")
+    print(f"fingerprint: {result.fingerprint()}")
+    print(
+        f"sessions: {result.n_sessions}  completed: "
+        f"{result.completed_sessions}  degraded: {result.degraded_sessions}"
+    )
+    print(f"verdicts: {result.verdict_counts}")
+    print("aggregate:")
+    print(_json.dumps(result.aggregate, indent=2, sort_keys=True))
+    print("edges:")
+    for edge_id, ledger in result.edges.items():
+        print(f"  {edge_id}: " + ", ".join(
+            f"{k}={v:.0f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in ledger.items()
+        ))
+    violations = check_cohort(result)
+    if violations:
+        print("INVARIANT VIOLATIONS:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("invariants: all hold")
     return 0
 
 
@@ -677,6 +738,49 @@ def build_parser() -> argparse.ArgumentParser:
         "'repro-abr replay')",
     )
     sim_parser.set_defaults(func=cmd_simulate)
+
+    cohort_parser = sub.add_parser(
+        "cohort",
+        help="run a multi-session cohort over an edge topology with "
+        "correlated fault domains",
+    )
+    cohort_parser.add_argument(
+        "--sessions", type=int, default=100, help="cohort size"
+    )
+    cohort_parser.add_argument(
+        "--edges", type=int, default=3, help="number of CDN edges"
+    )
+    cohort_parser.add_argument(
+        "--capacity", type=float, default=20_000.0,
+        help="per-edge uplink capacity in kbps (fair-shared)",
+    )
+    cohort_parser.add_argument(
+        "--cache-chunks", type=int, default=512,
+        help="per-edge LRU cache capacity in chunks (0 disables)",
+    )
+    cohort_parser.add_argument(
+        "--burst", type=float, default=30.0,
+        help="flash-crowd arrival window in seconds",
+    )
+    cohort_parser.add_argument(
+        "--faults", default=None,
+        help="fault-domain spec, e.g. 'all', 'edge_outage:seed=3', "
+        "'none:pin=edge_outage@edge-1@60@90'",
+    )
+    cohort_parser.add_argument(
+        "--failover-budget", type=int, default=8,
+        help="endpoint switches each session may spend",
+    )
+    cohort_parser.add_argument("--seed", type=int, default=0)
+    cohort_parser.add_argument(
+        "--no-summaries", action="store_true",
+        help="drop per-session summaries (O(1) memory for huge cohorts)",
+    )
+    cohort_parser.add_argument(
+        "--fault-log", metavar="FILE", default=None,
+        help="write the schema-2 fault-domain event log to FILE",
+    )
+    cohort_parser.set_defaults(func=cmd_cohort)
 
     replay_parser = sub.add_parser(
         "replay",

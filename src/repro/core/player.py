@@ -94,6 +94,11 @@ class RecommendedPlayer(BasePlayer):
             raise PlayerError(f"up_patience must be >= 1, got {up_patience}")
         if rate_key not in ("avg", "peak", "declared"):
             raise PlayerError(f"bad rate_key {rate_key!r}")
+        if len(combinations) == 0:
+            # CombinationSet already rejects empty construction; this
+            # guards hand-rolled sequences so degradation always has a
+            # rung 0 to fall back to.
+            raise PlayerError("player needs at least one combination")
         self.combinations = combinations
         self.safety_factor = safety_factor
         self.up_buffer_s = up_buffer_s
@@ -227,6 +232,14 @@ class RecommendedPlayer(BasePlayer):
             self.emergency_engaged = True
             index = 0
         allowed = self._allowed_indices(ctx)
+        if not allowed:
+            # Unreachable while _allowed_indices keeps its never-empty
+            # guarantee; fail loudly (not IndexError below) if a
+            # subclass override breaks it.
+            raise PlayerError(
+                "circuit breaker ejected every combination including the "
+                "emergency rung; _allowed_indices must never return empty"
+            )
         if index in allowed:
             return index
         lower = [i for i in allowed if i < index]

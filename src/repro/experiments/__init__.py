@@ -16,6 +16,7 @@ from . import (  # noqa: F401
     fig3,
     fig4,
     fig5,
+    flashcrowd,
     fluctuation,
     live,
     muxed,

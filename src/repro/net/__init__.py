@@ -5,6 +5,8 @@ from .link import NetworkModel, SeparatePaths, SharedBottleneck, shared
 from .resilience import (
     DEFAULT_FAILURE_MIX,
     CircuitBreaker,
+    EndpointHealth,
+    FailoverPolicy,
     FailureKind,
     ResilienceModel,
     RetryPolicy,
@@ -30,6 +32,8 @@ __all__ = [
     "ChunkKey",
     "CircuitBreaker",
     "DEFAULT_FAILURE_MIX",
+    "EndpointHealth",
+    "FailoverPolicy",
     "FailureKind",
     "FailureModel",
     "ResilienceModel",

@@ -30,7 +30,7 @@ import random
 import zlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Mapping, Optional, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import TraceError
 from ..media.tracks import MediaType
@@ -257,6 +257,116 @@ class RetryPolicy:
     def emergency_threshold(self) -> int:
         """Remaining-budget level at which emergency fallback engages."""
         return max(1, int(self.retry_budget * self.emergency_budget_fraction))
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """How a session walks its ordered endpoint list when edges fail.
+
+    Kept separate from :class:`RetryPolicy` on purpose: retry policies
+    participate in every :class:`~repro.runner.jobs.SimulationJob` cache
+    key, and growing them would invalidate every cached single-session
+    cell for a knob only topology runs read.
+
+    :param failover_budget: endpoint switches one session may spend;
+        once exhausted the session stays on its current endpoint and
+        spends its remaining retry budget there (degrading gracefully
+        rather than oscillating forever across a dead neighborhood).
+    :param endpoint_threshold: consecutive failures on one endpoint
+        before its circuit opens and the session fails over.
+    :param endpoint_cooldown_s: how long an opened endpoint circuit
+        stays open before the endpoint is eligible again.
+    """
+
+    failover_budget: int = 8
+    endpoint_threshold: int = 2
+    endpoint_cooldown_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.failover_budget < 0:
+            raise TraceError(
+                f"failover budget must be >= 0, got {self.failover_budget}"
+            )
+        if self.endpoint_threshold < 1:
+            raise TraceError(
+                f"endpoint threshold must be >= 1, got {self.endpoint_threshold}"
+            )
+        if self.endpoint_cooldown_s <= 0:
+            raise TraceError(
+                f"endpoint cooldown must be positive, got "
+                f"{self.endpoint_cooldown_s}"
+            )
+
+
+class EndpointHealth:
+    """Per-session health view over an ordered endpoint list.
+
+    Wraps a :class:`CircuitBreaker` keyed by endpoint id: consecutive
+    failures open an endpoint's circuit and :meth:`current` advances to
+    the next closed endpoint in ring order, charging one unit of the
+    :class:`FailoverPolicy` budget per switch. Mirroring the player's
+    rung-ejection guard, there is always a serving endpoint — when every
+    circuit is open (or the budget is spent) the session stays where it
+    is rather than being left with nothing, and the retry budget decides
+    when to give up.
+    """
+
+    def __init__(self, endpoints: Sequence[str], policy: FailoverPolicy):
+        if not endpoints:
+            raise TraceError("endpoint list must not be empty")
+        if len(set(endpoints)) != len(tuple(endpoints)):
+            raise TraceError(f"duplicate endpoint ids in {tuple(endpoints)!r}")
+        self.endpoints = tuple(endpoints)
+        self.policy = policy
+        self._breaker = CircuitBreaker(
+            threshold=policy.endpoint_threshold,
+            cooldown_s=policy.endpoint_cooldown_s,
+        )
+        self._active = 0
+        #: Endpoint switches performed, capped by the failover budget.
+        self.failovers = 0
+        #: (time, from, to) of each switch — bounded by the budget.
+        self.hops: List[Tuple[float, str, str]] = []
+
+    @property
+    def active(self) -> str:
+        return self.endpoints[self._active]
+
+    def current(self, now: float) -> str:
+        """The endpoint to use at ``now``, failing over if needed.
+
+        Advances in ring order past circuit-open endpoints while budget
+        remains; never returns nothing — with every circuit open or the
+        budget exhausted, the currently active endpoint is the last
+        resort.
+        """
+        n = len(self.endpoints)
+        while (
+            self.failovers < self.policy.failover_budget
+            and self._breaker.is_open(self.endpoints[self._active], now)
+        ):
+            for step in range(1, n):
+                candidate = (self._active + step) % n
+                if not self._breaker.is_open(self.endpoints[candidate], now):
+                    self.failovers += 1
+                    self.hops.append(
+                        (now, self.endpoints[self._active], self.endpoints[candidate])
+                    )
+                    self._active = candidate
+                    break
+            else:
+                return self.endpoints[self._active]  # every circuit open
+        return self.endpoints[self._active]
+
+    def record_failure(self, endpoint: str, now: float) -> bool:
+        """Count a failure against ``endpoint``; True when it trips."""
+        return self._breaker.record_failure(endpoint, now)
+
+    def record_success(self, endpoint: str) -> None:
+        self._breaker.record_success(endpoint)
+
+    def open_endpoints(self, now: float) -> Set[str]:
+        return self._breaker.open_keys(now)
 
 
 @dataclass

@@ -1,6 +1,6 @@
 """QoE metrics for demuxed A/V streaming sessions."""
 
-from .aggregate import QoEAggregate, percentile
+from .aggregate import CohortAggregate, OnlineStats, QoEAggregate, percentile
 from .diagnosis import Diagnosis, DiagnosisThresholds, Pathology, diagnose
 from .metrics import (
     DEFAULT_WEIGHTS,
@@ -14,8 +14,10 @@ from .metrics import (
 from .rescore import rescore_log, rescore_logs
 
 __all__ = [
+    "CohortAggregate",
     "DEFAULT_WEIGHTS",
     "Diagnosis",
+    "OnlineStats",
     "DiagnosisThresholds",
     "Pathology",
     "QoEAggregate",

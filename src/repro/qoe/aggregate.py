@@ -4,6 +4,17 @@ One session is an anecdote; services care about distributions — mean
 and tail QoE, the fraction of sessions that stall at all, switch rates.
 :class:`QoEAggregate` folds many :class:`~repro.qoe.metrics.QoEReport`
 objects into those statistics for the corpus experiments.
+
+:class:`QoEAggregate` keeps every report, which is fine for dozens of
+sessions and wrong for cohorts of thousands: a flash-crowd grid cell
+would hold the whole population in memory just to compute means. The
+streaming pair — :class:`OnlineStats` (Welford's single-pass moments
+with Chan's parallel merge) and :class:`CohortAggregate` (a fixed set
+of :class:`OnlineStats` plus counters) — folds each finished session
+in O(1) time and keeps O(1) total state regardless of cohort size, and
+merges across shards exactly: fold-one-by-one and merge-of-partials
+produce identical statistics, which is what lets parallel grid cells
+aggregate without ever materializing the union of their sessions.
 """
 
 from __future__ import annotations
@@ -30,6 +41,171 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     high = int(math.ceil(rank))
     weight = rank - low
     return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+class OnlineStats:
+    """Single-pass mean/variance/extrema (Welford), mergeable (Chan).
+
+    ``add`` is O(1) and numerically stable; ``merge`` combines two
+    partial aggregates exactly, so sharded cohorts reduce to the same
+    numbers a single pass would produce. Empty stats are a valid merge
+    identity.
+    """
+
+    __slots__ = ("n", "mean", "m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ReproError(f"non-finite sample {value!r} in online stats")
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def merge(self, other: "OnlineStats") -> None:
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n = other.n
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min = other.min
+            self.max = other.max
+            return
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.n * other.n / n
+        self.mean += delta * other.n / n
+        self.n = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def variance(self) -> float:
+        """Population variance (0 for fewer than two samples)."""
+        if self.n < 2:
+            return 0.0
+        return self.m2 / self.n
+
+    def stddev(self) -> float:
+        return math.sqrt(self.variance())
+
+    def summary(self) -> Dict[str, float]:
+        if self.n == 0:
+            return {"n": 0, "mean": 0.0, "stddev": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "stddev": self.stddev(),
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+#: The per-session metrics a cohort tracks distributions over.
+_COHORT_METRICS = (
+    "startup_delay_s",
+    "stall_s",
+    "stall_ratio",
+    "switch_rate_per_min",
+    "av_imbalance_s",
+    "failovers",
+    "retries",
+    "wasted_fraction",
+)
+
+
+class CohortAggregate:
+    """Streaming cohort QoE: O(1) memory however many sessions fold in.
+
+    Accepts any object with the
+    :class:`~repro.sim.cohort.CohortSessionSummary` fields (duck-typed
+    so the qoe layer does not import the sim layer). Derived per-session
+    metrics:
+
+    * ``stall_ratio`` — stalled seconds over session lifetime;
+    * ``switch_rate_per_min`` — A+V track switches per minute alive;
+    * ``av_imbalance_s`` — time-mean ``|video buffer − audio buffer|``;
+    * ``wasted_fraction`` — abandoned-transfer bits over all bits.
+    """
+
+    __slots__ = ("sessions", "completed", "degraded", "stalled_sessions",
+                 "failover_sessions", "verdicts", "stats")
+
+    def __init__(self) -> None:
+        self.sessions = 0
+        self.completed = 0
+        self.degraded = 0
+        self.stalled_sessions = 0
+        self.failover_sessions = 0
+        self.verdicts: Dict[str, int] = {}
+        self.stats: Dict[str, OnlineStats] = {
+            name: OnlineStats() for name in _COHORT_METRICS
+        }
+
+    def __len__(self) -> int:
+        return self.sessions
+
+    def add_session(self, summary) -> None:
+        """Fold one finished session in (O(1) time and memory)."""
+        self.sessions += 1
+        if summary.completed:
+            self.completed += 1
+            verdict = "completed"
+        else:
+            self.degraded += 1
+            verdict = summary.termination_reason or "no_verdict"
+        self.verdicts[verdict] = self.verdicts.get(verdict, 0) + 1
+        if summary.n_stalls > 0:
+            self.stalled_sessions += 1
+        if summary.failovers > 0:
+            self.failover_sessions += 1
+        lifetime = max(summary.end_s - summary.arrival_s, 1e-12)
+        bits = summary.bits_useful + summary.bits_wasted
+        switches = summary.video_switches + summary.audio_switches
+        self.stats["startup_delay_s"].add(summary.startup_delay_s)
+        self.stats["stall_s"].add(summary.stall_s)
+        self.stats["stall_ratio"].add(summary.stall_s / lifetime)
+        self.stats["switch_rate_per_min"].add(switches * 60.0 / lifetime)
+        self.stats["av_imbalance_s"].add(summary.mean_av_imbalance_s)
+        self.stats["failovers"].add(float(summary.failovers))
+        self.stats["retries"].add(float(summary.retries))
+        self.stats["wasted_fraction"].add(
+            summary.bits_wasted / bits if bits > 0 else 0.0
+        )
+
+    def merge(self, other: "CohortAggregate") -> None:
+        """Absorb another shard's partial aggregate exactly."""
+        self.sessions += other.sessions
+        self.completed += other.completed
+        self.degraded += other.degraded
+        self.stalled_sessions += other.stalled_sessions
+        self.failover_sessions += other.failover_sessions
+        for verdict, count in other.verdicts.items():
+            self.verdicts[verdict] = self.verdicts.get(verdict, 0) + count
+        for name, stats in other.stats.items():
+            self.stats[name].merge(stats)
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "sessions": self.sessions,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "stalled_sessions": self.stalled_sessions,
+            "failover_sessions": self.failover_sessions,
+            "verdicts": dict(sorted(self.verdicts.items())),
+        }
+        for name in _COHORT_METRICS:
+            out[name] = self.stats[name].summary()
+        return out
 
 
 @dataclass

@@ -26,11 +26,14 @@ See ``docs/event_log.md`` for the schema and the compat policy.
 """
 
 from .events import (
+    EVENT_SCHEMA_BASE_VERSION,
     EVENT_SCHEMA_VERSION,
+    TOPOLOGY_META_FIELDS,
     EventKind,
     ReplayError,
     decode_event,
     encode_event,
+    schema_for_meta,
 )
 from .diff import (
     DiffReport,
@@ -43,7 +46,9 @@ from .recorder import EventRecorder, record_path
 from .replayer import ReplayContent, ReplayedSession, replay_session, scan_events
 
 __all__ = [
+    "EVENT_SCHEMA_BASE_VERSION",
     "EVENT_SCHEMA_VERSION",
+    "TOPOLOGY_META_FIELDS",
     "DiffReport",
     "Divergence",
     "EventKind",
@@ -59,4 +64,5 @@ __all__ = [
     "record_path",
     "replay_session",
     "scan_events",
+    "schema_for_meta",
 ]

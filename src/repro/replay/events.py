@@ -14,6 +14,16 @@ optional fields is backward compatible and does not bump the version;
 readers must ignore kinds and fields they do not know. A reader
 refuses logs with ``schema`` greater than :data:`EVENT_SCHEMA_VERSION`.
 
+Schema 2 adds the *optional* topology fields of
+:data:`TOPOLOGY_META_FIELDS` to the ``session_meta`` header (which
+edge served the session, its failover hops) for logs recorded from
+cohort/topology runs. Writers stamp the lowest version their header
+actually needs (:func:`schema_for_meta`): a log with no topology
+fields is still written as schema 1, byte-identical to what a schema-1
+writer produced — which is what keeps the pinned oracle logs stable —
+while a schema-1 reader correctly refuses the topology logs it cannot
+interpret.
+
 Floats are encoded with :func:`repr` precision (Python's ``json``
 default), which round-trips every IEEE-754 double exactly — the
 property that makes replayed metrics *byte*-identical, not merely
@@ -31,8 +41,27 @@ from typing import Any, Dict
 
 from ..errors import ReproError
 
-#: Current schema version of the event stream.
-EVENT_SCHEMA_VERSION = 1
+#: Highest schema version this reader understands.
+EVENT_SCHEMA_VERSION = 2
+
+#: The version a header with no version-gated fields is written as.
+EVENT_SCHEMA_BASE_VERSION = 1
+
+#: Optional ``session_meta`` fields introduced by schema 2: the
+#: topology context of a cohort-recorded log.
+TOPOLOGY_META_FIELDS = ("edge_id", "edges", "failover_hops")
+
+
+def schema_for_meta(meta: Dict[str, Any]) -> int:
+    """The lowest schema version whose fields ``meta`` uses.
+
+    Writers call this so a header without topology fields keeps the
+    exact bytes a schema-1 writer produced (pinned oracles stay
+    byte-identical), while topology-bearing headers are stamped 2.
+    """
+    if any(field in meta for field in TOPOLOGY_META_FIELDS):
+        return 2
+    return EVENT_SCHEMA_BASE_VERSION
 
 
 class ReplayError(ReproError):

@@ -18,7 +18,7 @@ import os
 from typing import Any, Dict, Optional
 
 from ..framing import frame_line
-from .events import EVENT_SCHEMA_VERSION, EventKind, encode_event
+from .events import EventKind, encode_event, schema_for_meta
 
 
 def record_path(record_dir: str, key: str) -> str:
@@ -59,7 +59,9 @@ class EventRecorder:
             raise ValueError(f"recorder for {self.path} is closed")
         event: Dict[str, Any] = {"k": kind, "seq": self._seq}
         if kind == EventKind.SESSION_META.value:
-            event["schema"] = EVENT_SCHEMA_VERSION
+            # Stamp the lowest version the header's fields need, so
+            # topology-free logs stay byte-identical to schema-1 logs.
+            event["schema"] = schema_for_meta({**self._extra_meta, **payload})
             event.update(self._extra_meta)
         event.update(payload)
         line = frame_line(encode_event(event))

@@ -40,6 +40,18 @@ from ..sim.records import SessionResult
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
+def _cacheable_types() -> tuple:
+    """What a CRC-valid entry may deserialize to. Anything else is a
+    stale class layout or a hostile write: evicted, never returned.
+
+    Resolved lazily: ``sim.cohort`` reaches back into ``runner`` (via
+    ``topology.jobs``), so a top-level import here would cycle.
+    """
+    from ..sim.cohort import CohortResult
+
+    return (SessionResult, CohortResult)
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/byte counters for one cache handle's lifetime."""
@@ -105,7 +117,7 @@ class ResultCache:
             # class layout (or a hostile write): corrupt, not truncated.
             self._evict(path)
             return None
-        if not isinstance(result, SessionResult):
+        if not isinstance(result, _cacheable_types()):
             self._evict(path)
             return None
         self.stats.hits += 1

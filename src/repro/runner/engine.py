@@ -132,6 +132,13 @@ def _execute(
         from ..chaos.injector import inject
 
         inject(chaos, job.key(), attempt, cache_root)
+    execute = getattr(job, "execute", None)
+    if execute is not None:
+        # Self-executing jobs (topology cohorts) own their whole run;
+        # the engine only times them and hands through the record dir.
+        started = time.perf_counter()
+        result = execute(attempt=attempt, record_dir=record_dir)
+        return result, time.perf_counter() - started
     from ..sim.session import simulate
 
     observer = None
@@ -166,6 +173,8 @@ def _replay_from_log(
     and whose embedded key matches the job is trusted; anything else
     returns ``None`` and the cell simulates fresh, overwriting the log.
     """
+    if not isinstance(job, SimulationJob):
+        return None  # only session logs replay; cohort logs are artifacts
     from ..replay.recorder import record_path
     from ..replay.replayer import replay_session
 

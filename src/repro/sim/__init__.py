@@ -1,5 +1,11 @@
 """Playback simulation: event engine, buffers, session driver."""
 
+from .cohort import (
+    CohortConfig,
+    CohortKernel,
+    CohortResult,
+    CohortSessionSummary,
+)
 from .decisions import Decision, Download, Wait
 from .playback import PlaybackState, PlaybackTracker
 from .records import (
@@ -26,6 +32,10 @@ __all__ = [
     "AbortRecord",
     "ActiveDownload",
     "BufferSample",
+    "CohortConfig",
+    "CohortKernel",
+    "CohortResult",
+    "CohortSessionSummary",
     "FailureRecord",
     "Decision",
     "Download",

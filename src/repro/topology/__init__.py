@@ -1,0 +1,53 @@
+"""Multi-client edge/origin topologies with correlated fault domains.
+
+The paper's measurement setup is one client behind one throttled link;
+its best practices are stated per session. This package asks the
+operator's question instead: what happens to a *cohort* — a flash
+crowd of hundreds of sessions spread over CDN edges — when the
+infrastructure itself misbehaves? Faults here are correlated domains
+(a whole edge goes dark, the origin browns out, a cache is flushed),
+not independent per-request coin flips, because that correlation is
+what actually stresses failover logic: every session on a dead edge
+stampedes onto the same neighbor at once.
+
+Layout:
+
+* :mod:`~repro.topology.spec` — frozen edge/origin descriptions and
+  deterministic session→edge placement;
+* :mod:`~repro.topology.faults` — seeded fault-domain schedules
+  (outages, brownouts, eviction storms) sharing the chaos schedule's
+  sha256 idiom;
+* :mod:`~repro.topology.cache` — the per-edge LRU chunk cache;
+* :mod:`~repro.topology.jobs` — :class:`CohortJob`, the
+  content-addressed unit the runner executes, caches and resumes.
+
+The kernel that animates these specs lives in :mod:`repro.sim.cohort`;
+cohort QoE folds into :class:`repro.qoe.aggregate.CohortAggregate`;
+cohort invariants live in :mod:`repro.chaos.invariants`.
+"""
+
+from .cache import ChunkAddress, EdgeCache
+from .faults import (
+    ALL_FAULT_KINDS,
+    ORIGIN_DOMAIN,
+    FaultDomainKind,
+    FaultDomainSchedule,
+    FaultWindow,
+)
+from .jobs import COHORT_SPEC_SCHEMA_VERSION, CohortJob
+from .spec import EdgeSpec, OriginSpec, TopologySpec
+
+__all__ = [
+    "ALL_FAULT_KINDS",
+    "COHORT_SPEC_SCHEMA_VERSION",
+    "ChunkAddress",
+    "CohortJob",
+    "EdgeCache",
+    "EdgeSpec",
+    "FaultDomainKind",
+    "FaultDomainSchedule",
+    "FaultWindow",
+    "ORIGIN_DOMAIN",
+    "OriginSpec",
+    "TopologySpec",
+]

@@ -1,0 +1,148 @@
+"""Edge/origin topology descriptions for cohort simulations.
+
+A :class:`TopologySpec` is plain frozen data — like the runner's job
+specs it crosses process boundaries by pickling, hashes canonically
+into cohort job keys, and rebuilds live state (edge caches, fair-share
+queues) inside the worker. Each :class:`EdgeSpec` is one CDN edge: a
+bottleneck uplink that all sessions attached to it max-min fair-share,
+plus an LRU chunk cache in front of the origin. The single
+:class:`OriginSpec` contributes latency (and, under brownout, errors)
+to cache misses.
+
+Sessions are spread over edges deterministically: a session's primary
+edge is a sha256 hash of ``(seed, session id)`` and its failover order
+is ring order from there, so every rerun of a cohort assigns identical
+endpoint lists without any shared RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One CDN edge: a shared bottleneck uplink plus a chunk cache.
+
+    :param edge_id: unique name; also the endpoint id sessions fail
+        over across and the key of the per-edge byte ledger.
+    :param capacity_kbps: uplink capacity all attached transfers share
+        (max-min fair: every backlogged flow gets an equal split).
+    :param rtt_s: client-to-edge round trip added before each transfer.
+    :param cache_chunks: LRU capacity in chunks; 0 disables caching
+        (every request pays the origin miss latency).
+    """
+
+    edge_id: str
+    capacity_kbps: float = 20_000.0
+    rtt_s: float = 0.03
+    cache_chunks: int = 512
+
+    def __post_init__(self) -> None:
+        if not self.edge_id:
+            raise ExperimentError("edge id must be non-empty")
+        if self.capacity_kbps <= 0:
+            raise ExperimentError(
+                f"edge capacity must be positive, got {self.capacity_kbps}"
+            )
+        if self.rtt_s < 0:
+            raise ExperimentError(f"edge rtt must be >= 0, got {self.rtt_s}")
+        if self.cache_chunks < 0:
+            raise ExperimentError(
+                f"cache size must be >= 0 chunks, got {self.cache_chunks}"
+            )
+
+
+@dataclass(frozen=True)
+class OriginSpec:
+    """The origin behind every edge: misses pay its latency.
+
+    :param rtt_s: edge-to-origin round trip on a cache miss.
+    :param miss_penalty_s: origin service time on a miss (lookup +
+        first byte); origin brownouts inflate this multiplicatively.
+    """
+
+    rtt_s: float = 0.08
+    miss_penalty_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rtt_s < 0:
+            raise ExperimentError(f"origin rtt must be >= 0, got {self.rtt_s}")
+        if self.miss_penalty_s < 0:
+            raise ExperimentError(
+                f"miss penalty must be >= 0, got {self.miss_penalty_s}"
+            )
+
+
+def _default_edges() -> Tuple[EdgeSpec, ...]:
+    return (
+        EdgeSpec("edge-a"),
+        EdgeSpec("edge-b"),
+        EdgeSpec("edge-c"),
+    )
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A full client-facing topology: edges in ring order plus origin."""
+
+    edges: Tuple[EdgeSpec, ...] = field(default_factory=_default_edges)
+    origin: OriginSpec = field(default_factory=OriginSpec)
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ExperimentError("topology needs at least one edge")
+        ids = [edge.edge_id for edge in self.edges]
+        if len(set(ids)) != len(ids):
+            raise ExperimentError(f"duplicate edge ids: {ids}")
+
+    def edge(self, edge_id: str) -> EdgeSpec:
+        for edge in self.edges:
+            if edge.edge_id == edge_id:
+                return edge
+        raise ExperimentError(
+            f"unknown edge {edge_id!r}; known: {[e.edge_id for e in self.edges]}"
+        )
+
+    def endpoint_order(self, seed: int, session_id: int) -> Tuple[str, ...]:
+        """This session's ordered endpoint list (primary first).
+
+        The primary is a pure sha256 hash of ``(seed, session id)`` —
+        uniform load spread, replayable everywhere — and the fallbacks
+        follow in ring order, so a dead edge stampedes onto its ring
+        neighbor (the correlated-contention spike the single-session
+        model cannot express).
+        """
+        digest = hashlib.sha256(
+            f"topo|{seed}|{session_id}".encode("utf-8")
+        ).digest()
+        primary = int.from_bytes(digest[:8], "big") % len(self.edges)
+        n = len(self.edges)
+        return tuple(self.edges[(primary + i) % n].edge_id for i in range(n))
+
+    @classmethod
+    def uniform(
+        cls,
+        n_edges: int,
+        capacity_kbps: float = 20_000.0,
+        rtt_s: float = 0.03,
+        cache_chunks: int = 512,
+        origin: Optional[OriginSpec] = None,
+    ) -> "TopologySpec":
+        """``n_edges`` identical edges named ``edge-1..n``."""
+        if n_edges < 1:
+            raise ExperimentError(f"need at least one edge, got {n_edges}")
+        edges = tuple(
+            EdgeSpec(
+                f"edge-{i + 1}",
+                capacity_kbps=capacity_kbps,
+                rtt_s=rtt_s,
+                cache_chunks=cache_chunks,
+            )
+            for i in range(n_edges)
+        )
+        return cls(edges=edges, origin=origin or OriginSpec())

@@ -12,6 +12,7 @@ from repro.net.traces import constant, square_wave
 from repro.qoe.metrics import DEFAULT_WEIGHTS, QoEWeights, compute_qoe
 from repro.qoe.rescore import rescore_log
 from repro.replay import (
+    EVENT_SCHEMA_BASE_VERSION,
     EVENT_SCHEMA_VERSION,
     EventRecorder,
     ReplayError,
@@ -151,7 +152,10 @@ class TestSchema:
         _, path = record_run(content, tmp_path)
         meta = scan_events(path).events[0]
         assert meta["k"] == "session_meta"
-        assert meta["schema"] == EVENT_SCHEMA_VERSION
+        # Writers stamp the lowest version their fields need (schema 2
+        # is only for topology-bearing headers), never past the reader.
+        assert meta["schema"] == EVENT_SCHEMA_BASE_VERSION
+        assert meta["schema"] <= EVENT_SCHEMA_VERSION
         ladder = meta["content"]["video"]
         assert [t["id"] for t in ladder] == [t.track_id for t in content.video]
 
@@ -194,6 +198,38 @@ class TestSchema:
             f.write(frame_line(encode_event({"k": "estimate", "t": 0.0, "kbps": 1})))
         with pytest.raises(ReplayError, match="session_meta"):
             replay_session(path)
+
+    def test_topology_meta_promotes_to_schema_2(self, content, tmp_path):
+        from repro.replay import TOPOLOGY_META_FIELDS, schema_for_meta
+
+        path = str(tmp_path / "topo.events.jsonl")
+        recorder = EventRecorder(
+            path, extra_meta={"edges": ["edge-1", "edge-2"]}
+        )
+        player = PlayerSpec("shaka").build(content)
+        network = shared(constant(2000.0))
+        Session(
+            content, player, network, SessionConfig(observer=recorder)
+        ).run()
+        meta = scan_events(path).events[0]
+        assert meta["schema"] == 2
+        assert meta["edges"] == ["edge-1", "edge-2"]
+        # And the replayer accepts the topology-bearing header.
+        assert replay_session(path).result.completed
+        # The stamping rule itself: any topology field promotes.
+        assert schema_for_meta({}) == EVENT_SCHEMA_BASE_VERSION
+        for name in TOPOLOGY_META_FIELDS:
+            assert schema_for_meta({name: 1}) == 2
+
+    def test_v1_log_replays_unchanged(self, content, tmp_path):
+        # Back-compat: a pre-topology (schema 1) log must replay to the
+        # identical session under the schema-2 reader.
+        result, path = record_run(content, tmp_path)
+        meta = scan_events(path).events[0]
+        assert meta["schema"] == EVENT_SCHEMA_BASE_VERSION
+        for name in ("edge_id", "edges", "failover_hops"):
+            assert name not in meta
+        assert replay_session(path).result.summary() == result.summary()
 
     def test_payload_is_strict_json(self, content, tmp_path):
         # Wait-forever decisions carry until=inf; it must be encoded as
