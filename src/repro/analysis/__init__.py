@@ -6,7 +6,11 @@ checks it supersedes in :mod:`repro.manifest.validate`. It is also a
 whole-program analyzer for the simulator's own Python source: a
 determinism lint (``DET-*``, :mod:`repro.analysis.pylint_determinism`),
 a units/dimension-flow lint (``UNIT-*``) and a pickle/fork-safety lint
-(``POOL-*``) (both in :mod:`repro.analysis.code_rules`), all sharing
+(``POOL-*``) (both in :mod:`repro.analysis.code_rules`), shared-state
+and hot-path lints (``SHARE-*``/``HOT-*``), compatibility-surface
+drift rules (``SURF-*``, :mod:`repro.analysis.code_surfaces`) checked
+against committed ``surfaces/*.json`` snapshots, and player-contract
+rules (``POLICY-*``, :mod:`repro.analysis.code_policy`), all sharing
 one registry, one config, one baseline format and one inline
 suppression grammar (``# lint: allow[RULE-ID]``, see
 :mod:`repro.analysis.code_engine`).
@@ -43,6 +47,8 @@ from . import hls_rules as _hls_rules  # noqa: F401
 from . import pylint_determinism as _pylint_determinism  # noqa: F401
 from . import code_rules as _code_rules  # noqa: F401
 from . import code_share_hot as _code_share_hot  # noqa: F401
+from . import code_surfaces as _code_surfaces  # noqa: F401
+from . import code_policy as _code_policy  # noqa: F401
 
 __all__ = [
     "AnalysisParseFailure",

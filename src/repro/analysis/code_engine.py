@@ -118,6 +118,68 @@ WALLCLOCK_TIME_FUNCS = {"time", "time_ns"}
 WALLCLOCK_DATETIME_FUNCS = {"now", "utcnow", "today"}
 
 
+def unseeded_random_call(node: "ast.Call", imports: "ImportTracker") -> Optional[str]:
+    """Describe ``node`` if it draws from the global RNG, else ``None``.
+
+    The single source of truth for what counts as unseeded randomness:
+    ``DET-UNSEEDED-RANDOM`` fires on it per call site, and the function
+    summaries record it per function so ``POLICY-NONDETERMINISM`` can
+    chase it through the call graph.
+    """
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in imports.random_modules
+    ):
+        if func.attr in RANDOM_MODULE_FUNCS:
+            return f"random.{func.attr}()"
+        if func.attr in {"Random", "seed"} and not (node.args or node.keywords):
+            return f"random.{func.attr}() without a seed"
+    elif isinstance(func, ast.Name) and func.id in imports.random_funcs:
+        original = imports.random_funcs[func.id]
+        if original == "seed":
+            if not (node.args or node.keywords):
+                return "seed() without a seed value"
+        else:
+            return f"{original}() imported from random"
+    return None
+
+
+def wallclock_call(node: "ast.Call", imports: "ImportTracker") -> Optional[str]:
+    """Describe ``node`` if it reads the wall clock, else ``None``.
+
+    Shared by ``DET-WALLCLOCK`` (per call site) and the function
+    summaries feeding ``POLICY-NONDETERMINISM`` (per function).
+    """
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in imports.time_modules
+            and func.attr in WALLCLOCK_TIME_FUNCS
+        ):
+            return f"time.{func.attr}()"
+        if (
+            isinstance(base, ast.Name)
+            and base.id in imports.datetime_classes
+            and func.attr in WALLCLOCK_DATETIME_FUNCS
+        ):
+            return f"datetime.{func.attr}()"
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id in imports.datetime_modules
+            and base.attr in {"datetime", "date"}
+            and func.attr in WALLCLOCK_DATETIME_FUNCS
+        ):
+            return f"datetime.{base.attr}.{func.attr}()"
+    elif isinstance(func, ast.Name) and func.id in imports.time_funcs:
+        return f"{imports.time_funcs[func.id]}() imported from time"
+    return None
+
+
 class ImportTracker:
     """What local names refer to the modules/classes code rules care about."""
 
@@ -557,6 +619,12 @@ class FunctionSummary:
     #: cache (``""`` when the stored value's class is not syntactically
     #: evident); ``None`` when the function does not intern at all.
     interns: Optional[str]
+    #: Direct ambient-nondeterminism facts (the DET machinery applied
+    #: per function): does the body read the wall clock / draw from the
+    #: process-global RNG? ``POLICY-NONDETERMINISM`` closes these over
+    #: the call graph.
+    wallclock: bool = False
+    unseeded_random: bool = False
 
 
 @dataclass(frozen=True)
@@ -573,6 +641,23 @@ class ClassSummary:
     frozen: bool
     shared: bool
     is_dataclass: bool
+    #: Annotated class-body fields as ``(name, annotation source)``
+    #: pairs in declaration order — the compatibility surface of a spec
+    #: dataclass (``SURF-KEY-CHURN`` compares these against the
+    #: committed snapshot).
+    fields: Tuple[Tuple[str, str], ...] = ()
+    #: Does the class define a ``key()`` method? Marks the roots of the
+    #: content-addressed spec closure.
+    has_key: bool = False
+    #: String keys of the dict literal a ``spec_dict()`` method
+    #: returns — the canonical-JSON key layout feeding ``key()``;
+    #: ``None`` when there is no such method (or its return is not a
+    #: plain dict literal).
+    spec_dict_keys: Optional[Tuple[str, ...]] = None
+    #: Names of methods defined directly on the class body — the
+    #: POLICY rules walk these across module boundaries to decide
+    #: whether a player inherits a failure hook from a real base.
+    methods: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -583,6 +668,10 @@ class ModuleSummary:
     functions: Tuple[FunctionSummary, ...]
     classes: Tuple[ClassSummary, ...]
     mutable_globals: Tuple[str, ...]
+    #: Module-level ``*_SCHEMA_VERSION`` integer constants as
+    #: ``(name, value)`` pairs — the versions that gate the module's
+    #: compatibility surfaces.
+    schema_versions: Tuple[Tuple[str, int], ...] = ()
 
 
 def _dataclass_facts(node: ast.ClassDef) -> Tuple[bool, bool, bool]:
@@ -648,6 +737,71 @@ def _class_slots(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
         ]
         return tuple(fields)
     return None
+
+
+def _class_fields(node: ast.ClassDef) -> Tuple[Tuple[str, str], ...]:
+    """Annotated class-body fields as (name, annotation source) pairs."""
+    fields: List[Tuple[str, str]] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            fields.append((stmt.target.id, ast.unparse(stmt.annotation)))
+    return tuple(fields)
+
+
+def _spec_dict_keys(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+    """Keys of the dict literal a ``spec_dict`` method returns.
+
+    ``None`` when the class has no ``spec_dict`` or when any return is
+    not a plain dict literal with constant string keys (unknowable —
+    the surface rule then falls back to the field set alone).
+    """
+    for stmt in node.body:
+        if not (
+            isinstance(stmt, ast.FunctionDef) and stmt.name == "spec_dict"
+        ):
+            continue
+        for sub in iter_scope_statements(stmt.body):
+            if not isinstance(sub, ast.Return) or sub.value is None:
+                continue
+            if not isinstance(sub.value, ast.Dict):
+                return None
+            keys: List[str] = []
+            for key in sub.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    keys.append(key.value)
+                else:
+                    return None
+            return tuple(keys)
+    return None
+
+
+def _has_method(node: ast.ClassDef, name: str) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name == name
+        for stmt in node.body
+    )
+
+
+def _module_schema_versions(tree: ast.Module) -> Tuple[Tuple[str, int], ...]:
+    """Module-level ``*_SCHEMA_VERSION = <int>`` constants, in order."""
+    versions: List[Tuple[str, int]] = []
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id.endswith("_SCHEMA_VERSION")
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, int)
+            and not isinstance(stmt.value.value, bool)
+        ):
+            versions.append((stmt.targets[0].id, stmt.value.value))
+    return tuple(versions)
 
 
 def _base_names(node: ast.ClassDef) -> Tuple[str, ...]:
@@ -730,11 +884,20 @@ def _summarize_function(
                 returns_opaque = True
                 return_calls = []
     callees = []
+    wallclock = False
+    unseeded_random = False
     for sub in ast.walk(node):
         if isinstance(sub, ast.Call):
             callee = _callee_name(sub.func)
             if callee is not None:
                 callees.append(callee)
+            if not wallclock and wallclock_call(sub, imports) is not None:
+                wallclock = True
+            if (
+                not unseeded_random
+                and unseeded_random_call(sub, imports) is not None
+            ):
+                unseeded_random = True
     interns: Optional[str] = None
     has_return_value = any(
         isinstance(stmt, ast.Return) and stmt.value is not None
@@ -773,6 +936,8 @@ def _summarize_function(
         callees=tuple(callees),
         hot=src.hot_mark(node) is not None,
         interns=interns,
+        wallclock=wallclock,
+        unseeded_random=unseeded_random,
     )
 
 
@@ -809,6 +974,16 @@ def summarize_module(src: PySource, module: str) -> ModuleSummary:
                         frozen=frozen,
                         shared=src.shared_mark(stmt),
                         is_dataclass=is_dc,
+                        fields=_class_fields(stmt),
+                        has_key=_has_method(stmt, "key"),
+                        spec_dict_keys=_spec_dict_keys(stmt),
+                        methods=tuple(
+                            inner.name
+                            for inner in stmt.body
+                            if isinstance(
+                                inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                            )
+                        ),
                     )
                 )
                 visit(stmt.body, f"{prefix}{stmt.name}.")
@@ -819,6 +994,7 @@ def summarize_module(src: PySource, module: str) -> ModuleSummary:
         functions=tuple(functions),
         classes=tuple(classes),
         mutable_globals=tuple(sorted(mutable_globals)),
+        schema_versions=_module_schema_versions(src.tree),
     )
 
 
@@ -834,6 +1010,18 @@ def _merge_function(
         and existing.return_calls == new.return_calls
         and existing.returns_opaque == new.returns_opaque
     ):
+        if (new.wallclock and not existing.wallclock) or (
+            new.unseeded_random and not existing.unseeded_random
+        ):
+            # Taint is OR-merged (commutative, so merge order still
+            # does not matter): one nondeterministic namesake taints
+            # the bare name for every caller.
+            return replace(
+                existing,
+                wallclock=existing.wallclock or new.wallclock,
+                unseeded_random=existing.unseeded_random
+                or new.unseeded_random,
+            )
         return existing
     return None
 
@@ -852,15 +1040,23 @@ class ProgramIndex:
         self,
         functions: Dict[str, Optional[FunctionSummary]],
         classes: Dict[str, Optional[ClassSummary]],
+        schema_versions: Optional[Dict[str, Tuple[Tuple[str, int], ...]]] = None,
     ) -> None:
         self.functions = functions
         self.classes = classes
+        #: ``{module: ((constant name, value), ...)}`` for modules that
+        #: define ``*_SCHEMA_VERSION`` constants (the SURF-* rules read
+        #: these to tell a version bump from silent churn).
+        self.schema_versions = schema_versions or {}
 
     @classmethod
     def build(cls, summaries: Iterable["ModuleSummary"]) -> "ProgramIndex":
         functions: Dict[str, Optional[FunctionSummary]] = {}
         classes: Dict[str, Optional[ClassSummary]] = {}
+        schema_versions: Dict[str, Tuple[Tuple[str, int], ...]] = {}
         for summary in summaries:
+            if summary.schema_versions:
+                schema_versions[summary.module] = summary.schema_versions
             for fn in summary.functions:
                 if fn.name in functions:
                     functions[fn.name] = _merge_function(
@@ -874,7 +1070,7 @@ class ProgramIndex:
                         classes[klass.name] = None
                 else:
                     classes[klass.name] = klass
-        index = cls(functions, classes)
+        index = cls(functions, classes, schema_versions)
         index.resolve()
         return index
 

@@ -1,0 +1,485 @@
+"""``POLICY-*`` rules: the player/replay kernel contract.
+
+Every :class:`~repro.players.base.BasePlayer` subclass runs inside the
+session kernel's record/replay and fast-forward machinery. That
+machinery is only sound if players keep a narrow contract:
+
+* ``choose_next`` returns *interned* decision objects
+  (:func:`repro.sim.decisions.download_for`, ``WAIT_FOREVER``) — the
+  fast-forward kernel and the replay differ compare decisions by
+  identity-stable canonical values, and fresh ``Download(...)``
+  construction defeats the intern cache on the hottest call path.
+* player methods never consult ambient nondeterminism (wall clock,
+  process-global RNG) — directly *or through helper functions*. The
+  direct case is ``DET-WALLCLOCK`` / ``DET-UNSEEDED-RANDOM``'s job;
+  ``POLICY-NONDETERMINISM`` closes the same facts over the call graph
+  so a helper three calls away still convicts the player.
+* state mutation is confined to the declared lifecycle hooks. Public
+  non-hook methods (``rung_of``, ``choose_variant``, ...) are the
+  replay introspection surface — observers call them *between* events,
+  and a mutating getter would make replay outcomes depend on observer
+  presence.
+* a concrete player handles failures: it defines ``on_failure`` or
+  ``on_download_failed`` somewhere in its real base chain, or carries
+  an explicit ``# policy: inherit-failure`` annotation acknowledging
+  that ``BasePlayer``'s silent default is intended.
+* overridden hooks keep the base signature's parameter names — the
+  kernel and tests call hooks by keyword, and the suffixed names
+  (``track_id``, ``medium``) carry the unit/dimension conventions the
+  UNIT rules check.
+
+Like the other code rules, findings suppress with the unified
+``# lint: allow[POLICY-...]`` grammar.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .code_engine import ProgramIndex, PySource
+from .context import RuleContext
+from .findings import Severity
+from .registry import Category, Kind, rule
+
+#: The lifecycle hooks BasePlayer declares; mutation is legal only here.
+PLAYER_HOOKS = frozenset(
+    {
+        "__init__",
+        "on_session_start",
+        "on_session_end",
+        "choose_next",
+        "on_chunk_start",
+        "on_chunk_complete",
+        "on_download_failed",
+        "on_failure",
+        "consider_abort",
+    }
+)
+
+#: Positional parameter names of every overridable hook, as declared by
+#: BasePlayer. ``tests/test_analysis_policy.py`` asserts this table
+#: matches ``inspect.signature`` of the real class, so the lint cannot
+#: silently drift from the code it polices.
+HOOK_SIGNATURES: Dict[str, Tuple[str, ...]] = {
+    "on_session_start": ("self", "ctx"),
+    "on_session_end": ("self", "ctx"),
+    "choose_next": ("self", "medium", "ctx"),
+    "on_chunk_start": ("self", "medium", "track_id", "index", "ctx"),
+    "on_chunk_complete": ("self", "record", "ctx"),
+    "on_download_failed": ("self", "record", "ctx"),
+    "on_failure": ("self", "medium", "failure", "ctx"),
+    "consider_abort": ("self", "medium", "download", "ctx"),
+}
+
+#: Method calls on ``self.<attr>`` that mutate the receiver.
+_MUTATOR_NAMES = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "popleft",
+    }
+)
+
+#: The inherit-failure acknowledgement annotation.
+INHERIT_FAILURE_MARK = "policy: inherit-failure"
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Generic[...] style bases
+        return _base_name(node.value)
+    return None
+
+
+def _bases_of(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        name = _base_name(base)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def _player_chain(
+    node: ast.ClassDef, program: Optional[ProgramIndex]
+) -> Optional[List[str]]:
+    """Base-class chain (bare names, BFS order) when the class is a
+    BasePlayer subclass; None otherwise.
+
+    Walks the program index across modules; unknown or colliding base
+    names end the walk conservatively (the class is then only a player
+    if a known path reaches ``BasePlayer``).
+    """
+    chain: List[str] = []
+    seen: Set[str] = {node.name}
+    pending = _bases_of(node)
+    is_player = False
+    while pending:
+        name = pending.pop(0)
+        if name in seen:
+            continue
+        seen.add(name)
+        if name == "BasePlayer":
+            is_player = True
+            continue
+        chain.append(name)
+        if program is not None:
+            summary = program.classes.get(name)
+            if summary is not None:
+                pending.extend(summary.bases)
+    return chain if is_player else None
+
+
+def _methods_of(node: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in node.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+def _chain_defines(
+    chain: List[str],
+    method_names: Set[str],
+    src: PySource,
+    program: Optional[ProgramIndex],
+) -> bool:
+    """Does any real base in the chain define one of ``method_names``?"""
+    local_classes = {
+        stmt.name: stmt
+        for stmt in src.tree.body
+        if isinstance(stmt, ast.ClassDef)
+    }
+    for base in chain:
+        if base in local_classes:
+            if method_names & set(_methods_of(local_classes[base])):
+                return True
+            continue
+        if program is not None:
+            summary = program.classes.get(base)
+            if summary is not None and method_names & set(summary.methods):
+                return True
+    return False
+
+
+def _iter_player_classes(
+    src: PySource, ctx: RuleContext
+) -> Iterator[Tuple[ast.ClassDef, List[str]]]:
+    for stmt in src.tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        if stmt.name == "BasePlayer":
+            continue
+        chain = _player_chain(stmt, ctx.program)
+        if chain is not None:
+            yield stmt, chain
+
+
+def _own_returns(func: ast.FunctionDef) -> Iterator[ast.Return]:
+    """Return statements of ``func`` itself, not of nested functions."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Return):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# POLICY-DECISION-TYPE
+# ---------------------------------------------------------------------------
+
+
+def _bad_return_reason(value: ast.expr) -> Optional[str]:
+    if isinstance(value, ast.Constant):
+        return f"the constant {ast.unparse(value)}"
+    if isinstance(value, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+        return "a literal container"
+    if isinstance(value, (ast.JoinedStr, ast.BinOp, ast.UnaryOp, ast.Compare)):
+        return "a computed scalar"
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in {"Download", "Wait"}:
+            return (
+                f"a freshly constructed {value.func.id}(...) — use the "
+                "interned decisions (download_for(track_id) / "
+                "WAIT_FOREVER) so identical decisions stay "
+                "identity-stable and allocation-free"
+            )
+    return None
+
+
+@rule(
+    "POLICY-DECISION-TYPE",
+    Severity.ERROR,
+    Category.POLICY,
+    Kind.PYTHON,
+    summary="choose_next must return interned decision objects",
+    reference="repro.sim.decisions intern cache (PR 3); players/base.py",
+)
+def check_decision_type(src: PySource, ctx: RuleContext):
+    for node, _chain in _iter_player_classes(src, ctx):
+        methods = _methods_of(node)
+        chooser = methods.get("choose_next")
+        if chooser is None:
+            continue
+        for ret in _own_returns(chooser):
+            if ret.value is None:
+                continue
+            reason = _bad_return_reason(ret.value)
+            if reason is None:
+                continue
+            yield check_decision_type.rule.finding(
+                f"{node.name}.choose_next returns {reason}; the replay "
+                "and fast-forward kernels compare decisions by canonical "
+                "interned value, so choose_next must return "
+                "download_for(...) / WAIT_FOREVER / buffer_gate(...) "
+                "decisions, never raw values",
+                src.span(ret),
+                line_text=src.line_text(ret),
+            )
+
+
+# ---------------------------------------------------------------------------
+# POLICY-NONDETERMINISM
+# ---------------------------------------------------------------------------
+
+
+def _impure_path(
+    start_callees: Tuple[str, ...], program: ProgramIndex
+) -> Optional[Tuple[str, str]]:
+    """(helper name, vice) for the first reachable impure free function.
+
+    Deterministic BFS over bare-name callees; unknown names (no
+    summary, or colliding summaries merged to None) are skipped rather
+    than guessed at.
+    """
+    seen: Set[str] = set()
+    pending = sorted(set(start_callees))
+    while pending:
+        name = pending.pop(0)
+        if name in seen:
+            continue
+        seen.add(name)
+        summary = program.functions.get(name)
+        if summary is None:
+            continue
+        if summary.wallclock:
+            return name, "reads the wall clock"
+        if summary.unseeded_random:
+            return name, "draws from the process-global RNG"
+        pending.extend(sorted(set(summary.callees) - seen))
+    return None
+
+
+@rule(
+    "POLICY-NONDETERMINISM",
+    Severity.ERROR,
+    Category.POLICY,
+    Kind.PYTHON,
+    summary="player methods must be deterministic, transitively",
+    reference="repro.runner cache contract (PR 2); docs/architecture.md",
+)
+def check_policy_nondeterminism(src: PySource, ctx: RuleContext):
+    program = ctx.program
+    if program is None:
+        return
+    for node, _chain in _iter_player_classes(src, ctx):
+        for name, method in sorted(_methods_of(node).items()):
+            # Direct impure calls are DET-WALLCLOCK /
+            # DET-UNSEEDED-RANDOM's job; this rule adds the
+            # *transitive* conviction through named callees (free
+            # functions and ``self.``-methods, matched bare-name
+            # through the index), so the two never report one line
+            # twice.
+            callees: Set[str] = set()
+            for inner in ast.walk(method):
+                if not isinstance(inner, ast.Call):
+                    continue
+                if isinstance(inner.func, ast.Name):
+                    callees.add(inner.func.id)
+                elif (
+                    isinstance(inner.func, ast.Attribute)
+                    and isinstance(inner.func.value, ast.Name)
+                    and inner.func.value.id == "self"
+                ):
+                    callees.add(inner.func.attr)
+            hit = _impure_path(tuple(sorted(callees)), program)
+            if hit is None:
+                continue
+            helper, vice = hit
+            yield check_policy_nondeterminism.rule.finding(
+                f"{node.name}.{name} reaches {helper}(), which {vice}; "
+                "player decisions must be a pure function of session "
+                "state or replayed logs diverge from live runs — thread "
+                "seeded randomness / event-loop time through the "
+                "session context instead",
+                src.span(method),
+                line_text=src.line_text(method),
+            )
+
+
+# ---------------------------------------------------------------------------
+# POLICY-HOOK-MUTATION
+# ---------------------------------------------------------------------------
+
+
+def _self_mutation(method: ast.FunctionDef) -> Optional[ast.AST]:
+    """First statement mutating ``self`` state, or None."""
+
+    def is_self_attr(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Attribute):
+            return is_self_attr(expr.value) or (
+                isinstance(expr.value, ast.Name) and expr.value.id == "self"
+            )
+        if isinstance(expr, ast.Subscript):
+            return is_self_attr(expr.value)
+        return False
+
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if is_self_attr(target):
+                    return node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if is_self_attr(target):
+                    return node
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_NAMES
+                and is_self_attr(func.value)
+            ):
+                return node
+    return None
+
+
+@rule(
+    "POLICY-HOOK-MUTATION",
+    Severity.ERROR,
+    Category.POLICY,
+    Kind.PYTHON,
+    summary="players mutate state only inside declared lifecycle hooks",
+    reference="repro.sim.session replay soundness (PR 4)",
+)
+def check_hook_mutation(src: PySource, ctx: RuleContext):
+    for node, _chain in _iter_player_classes(src, ctx):
+        for name, method in sorted(_methods_of(node).items()):
+            if name in PLAYER_HOOKS:
+                continue
+            if name.startswith("_"):
+                continue
+            mutation = _self_mutation(method)
+            if mutation is None:
+                continue
+            yield check_hook_mutation.rule.finding(
+                f"{node.name}.{name} writes player state outside the "
+                "declared lifecycle hooks; public non-hook methods are "
+                "the replay introspection surface and must stay "
+                "read-only, or replay outcomes depend on whether an "
+                "observer happened to call them",
+                src.span(mutation),
+                line_text=src.line_text(mutation),
+            )
+
+
+# ---------------------------------------------------------------------------
+# POLICY-MISSING-FAILURE-HOOK
+# ---------------------------------------------------------------------------
+
+
+def _has_inherit_failure_mark(src: PySource, node: ast.ClassDef) -> bool:
+    for line in (node.lineno, node.lineno - 1):
+        comment = src.comments.get(line, "")
+        if INHERIT_FAILURE_MARK in comment:
+            return True
+    return False
+
+
+@rule(
+    "POLICY-MISSING-FAILURE-HOOK",
+    Severity.ERROR,
+    Category.POLICY,
+    Kind.PYTHON,
+    summary="concrete players must handle (or explicitly inherit) failures",
+    reference="players/base.py failure model (PR 6)",
+)
+def check_missing_failure_hook(src: PySource, ctx: RuleContext):
+    failure_hooks = {"on_failure", "on_download_failed"}
+    for node, chain in _iter_player_classes(src, ctx):
+        methods = _methods_of(node)
+        concrete = "choose_next" in methods or _chain_defines(
+            chain, {"choose_next"}, src, ctx.program
+        )
+        if not concrete:
+            continue
+        if failure_hooks & set(methods):
+            continue
+        if _chain_defines(chain, failure_hooks, src, ctx.program):
+            continue
+        if _has_inherit_failure_mark(src, node):
+            continue
+        yield check_missing_failure_hook.rule.finding(
+            f"{node.name} defines choose_next but no failure hook; "
+            "BasePlayer's default silently swallows download failures. "
+            "Implement on_failure/on_download_failed, or annotate the "
+            "class with `# policy: inherit-failure` to record that the "
+            "silent default is intended",
+            src.span(node),
+            line_text=src.line_text(node),
+        )
+
+
+# ---------------------------------------------------------------------------
+# POLICY-HOOK-SIGNATURE
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "POLICY-HOOK-SIGNATURE",
+    Severity.ERROR,
+    Category.POLICY,
+    Kind.PYTHON,
+    summary="overridden hooks keep BasePlayer's parameter names",
+    reference="players/base.py; UNIT suffix conventions (PR 5)",
+)
+def check_hook_signature(src: PySource, ctx: RuleContext):
+    for node, _chain in _iter_player_classes(src, ctx):
+        for name, method in sorted(_methods_of(node).items()):
+            expected = HOOK_SIGNATURES.get(name)
+            if expected is None:
+                continue
+            actual = tuple(arg.arg for arg in method.args.args)
+            if actual == expected:
+                continue
+            yield check_hook_signature.rule.finding(
+                f"{node.name}.{name} signature is "
+                f"({', '.join(actual)}) but BasePlayer declares "
+                f"({', '.join(expected)}); the kernel and tests call "
+                "hooks by keyword, and the suffixed names carry the "
+                "unit conventions — keep the base parameter names",
+                src.span(method),
+                line_text=src.line_text(method),
+            )

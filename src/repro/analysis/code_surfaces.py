@@ -1,0 +1,1101 @@
+"""Compatibility-surface extraction and the ``SURF-*`` drift rules.
+
+The repo has four externally observable surfaces whose silent drift has
+historically been the most expensive class of bug:
+
+* **spec keys** — the field set and canonical-JSON key layout of every
+  dataclass feeding a sha256 ``key()`` (``SimulationJob``,
+  ``CohortJob`` and the spec dataclasses they transitively embed).
+  Adding, removing, renaming or re-annotating a field changes every
+  content-addressed cache key without any test noticing.
+* **event log** — the :class:`~repro.replay.events.EventKind` registry,
+  the ``*_META_FIELDS`` tier routing and the
+  ``EVENT_SCHEMA_VERSION`` reader ceiling. Recorded logs outlive the
+  writer that produced them.
+* **framing** — the on-disk magics and struct formats in
+  :mod:`repro.framing`. These are *forever*: bytes already written to
+  disk do not migrate.
+* **CLI grammar** — the ``repro-abr`` subcommand/flag surface scripts
+  and CI pipelines depend on.
+
+Each surface is extracted from source into a canonical JSON snapshot
+committed under ``surfaces/``. The ``SURF-*`` rules re-extract on every
+lint run and fire on any mismatch; ``repro-abr lint --update-surfaces``
+regenerates the snapshots once a change is *deliberate*. The
+bump-vs-refresh decision is intentionally **not** auto-fixable — only a
+human can decide whether a drift is a semantic change (bump the
+governing ``*_SCHEMA_VERSION``, then refresh) or a refactor that must
+be reverted.
+
+Snapshot comparisons are scoped so that linting a file set that does
+not contain the snapshot's recorded module still works (fixtures,
+partial lints): a snapshot entry is compared against a document when
+the document *is* the recorded module, or when the recorded module is
+absent from the run entirely (name-matched fallback). When the
+recorded module is in the run, other documents never shadow it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from .code_engine import ClassSummary, ProgramIndex, PySource
+from .context import RuleContext
+from .findings import Severity
+from .registry import Category, Kind, rule
+
+#: Snapshot files, by surface name. ``load_surfaces`` returns a dict
+#: keyed by the left column.
+SURFACE_FILES = {
+    "spec_keys": "spec_keys.json",
+    "events": "events.json",
+    "framing": "framing.json",
+    "cli": "cli.json",
+}
+
+_UPDATE_HINT = "refresh with `repro-abr lint --update-surfaces`"
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _norm(path: str) -> str:
+    """Normalize a document/module path for snapshot comparison."""
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+def load_surfaces(directory: str) -> Dict[str, dict]:
+    """Load committed snapshots; missing/unreadable files are absent.
+
+    Tolerating a broken file as *missing* keeps a half-written snapshot
+    from masking drift findings behind a parse crash — the rules then
+    report "no committed snapshot" instead.
+    """
+    out: Dict[str, dict] = {}
+    for name, filename in SURFACE_FILES.items():
+        path = os.path.join(directory, filename)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(data, dict):
+            out[name] = data
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Spec-key closure (whole-program, from the index)
+# ---------------------------------------------------------------------------
+
+
+def keyed_spec_closure(program: ProgramIndex) -> Dict[str, ClassSummary]:
+    """Dataclasses whose layout feeds a content-addressed ``key()``.
+
+    Roots are dataclasses defining ``key()``; the closure follows field
+    *annotations* through the program index (``Optional[FailureSpec]``
+    reaches ``FailureSpec``), so a nested spec edited three modules
+    away from ``SimulationJob`` still counts as key-churn.
+    """
+    cached = getattr(program, "_surf_keyed_closure", None)
+    if cached is not None:
+        return cached
+    classes = {
+        name: summary
+        for name, summary in program.classes.items()
+        if summary is not None and summary.is_dataclass
+    }
+    pending = sorted(
+        name for name, summary in classes.items() if summary.has_key
+    )
+    closure: Dict[str, ClassSummary] = {}
+    while pending:
+        name = pending.pop(0)
+        if name in closure:
+            continue
+        summary = classes[name]
+        closure[name] = summary
+        referenced: Set[str] = set()
+        for _field, annotation in summary.fields:
+            referenced.update(_IDENT_RE.findall(annotation))
+        pending.extend(
+            sorted(ref for ref in referenced if ref in classes)
+        )
+    program._surf_keyed_closure = closure  # type: ignore[attr-defined]
+    return closure
+
+
+def _spec_snapshot(program: ProgramIndex) -> dict:
+    closure = keyed_spec_closure(program)
+    modules = {_norm(summary.module) for summary in closure.values()}
+    versions: Dict[str, dict] = {}
+    for module, constants in sorted(program.schema_versions.items()):
+        if _norm(module) not in modules:
+            continue
+        for name, value in constants:
+            versions[name] = {"value": value, "module": _norm(module)}
+    entries: Dict[str, dict] = {}
+    for name in sorted(closure):
+        summary = closure[name]
+        module = _norm(summary.module)
+        governing = sorted(
+            vname
+            for vname, ventry in versions.items()
+            if ventry["module"] == module
+        )
+        entries[name] = {
+            "module": module,
+            "fields": [f"{fname}: {ann}" for fname, ann in summary.fields],
+            "spec_keys": (
+                list(summary.spec_dict_keys)
+                if summary.spec_dict_keys is not None
+                else None
+            ),
+            "versions": governing,
+        }
+    return {"surface": "spec-keys", "versions": versions, "classes": entries}
+
+
+# ---------------------------------------------------------------------------
+# Per-document extraction: events / framing / CLI grammar
+# ---------------------------------------------------------------------------
+
+
+class EventsSurface:
+    """Extracted event-log surface of one document (+ anchor nodes)."""
+
+    def __init__(self) -> None:
+        self.kinds: Dict[str, str] = {}
+        self.schema_version: Optional[int] = None
+        self.base_version: Optional[int] = None
+        self.meta_fields: Dict[str, List[str]] = {}
+        self.writer_max: Optional[int] = None
+        self.class_node: Optional[ast.ClassDef] = None
+        self.version_node: Optional[ast.AST] = None
+        self.writer_max_node: Optional[ast.AST] = None
+
+    def snapshot(self, module: str) -> dict:
+        return {
+            "surface": "events",
+            "module": _norm(module),
+            "schema_version": self.schema_version,
+            "base_version": self.base_version,
+            "writer_max": self.writer_max,
+            "kinds": dict(sorted(self.kinds.items())),
+            "meta_fields": {
+                name: list(fields)
+                for name, fields in sorted(self.meta_fields.items())
+            },
+        }
+
+
+def _str_sequence(node: ast.AST) -> Optional[List[str]]:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    items: List[str] = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        items.append(element.value)
+    return items
+
+
+def extract_events(src: PySource) -> Optional[EventsSurface]:
+    """The event-log surface, or None when the document has none.
+
+    A document is an event-log domain when it defines both a class
+    named ``EventKind`` with string members and an
+    ``EVENT_SCHEMA_VERSION`` integer constant.
+    """
+    surface = EventsSurface()
+    int_constants: Dict[str, int] = {}
+    for stmt in src.tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == "EventKind":
+            surface.class_node = stmt
+            for inner in stmt.body:
+                if (
+                    isinstance(inner, ast.Assign)
+                    and len(inner.targets) == 1
+                    and isinstance(inner.targets[0], ast.Name)
+                    and isinstance(inner.value, ast.Constant)
+                    and isinstance(inner.value.value, str)
+                ):
+                    surface.kinds[inner.targets[0].id] = inner.value.value
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, int
+            ) and not isinstance(value.value, bool):
+                int_constants[target.id] = value.value
+                if target.id == "EVENT_SCHEMA_VERSION":
+                    surface.schema_version = value.value
+                    surface.version_node = stmt
+                elif target.id == "EVENT_SCHEMA_BASE_VERSION":
+                    surface.base_version = value.value
+            elif target.id.endswith("_META_FIELDS"):
+                fields = _str_sequence(value)
+                if fields is not None:
+                    surface.meta_fields[target.id] = fields
+    if not surface.kinds or surface.schema_version is None:
+        return None
+    for stmt in src.tree.body:
+        if (
+            isinstance(stmt, ast.FunctionDef)
+            and stmt.name == "schema_for_meta"
+        ):
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Return) or node.value is None:
+                    continue
+                returned: Optional[int] = None
+                if isinstance(node.value, ast.Constant) and isinstance(
+                    node.value.value, int
+                ):
+                    returned = node.value.value
+                elif isinstance(node.value, ast.Name):
+                    returned = int_constants.get(node.value.id)
+                if returned is None:
+                    continue
+                if surface.writer_max is None or returned > surface.writer_max:
+                    surface.writer_max = returned
+                    surface.writer_max_node = node
+    return surface
+
+
+class FramingSurface:
+    """Extracted framing constants of one document (+ anchor nodes)."""
+
+    def __init__(self) -> None:
+        self.magics: Dict[str, str] = {}  # name -> hex bytes
+        self.structs: Dict[str, str] = {}  # name -> format string
+        self.nodes: Dict[str, ast.AST] = {}
+
+    def snapshot(self, module: str) -> dict:
+        return {
+            "surface": "framing",
+            "module": _norm(module),
+            "magics": dict(sorted(self.magics.items())),
+            "structs": dict(sorted(self.structs.items())),
+        }
+
+
+def extract_framing(src: PySource) -> Optional[FramingSurface]:
+    """Framing surface: ``*_MAGIC`` bytes + ``struct.Struct`` formats."""
+    surface = FramingSurface()
+    for stmt in src.tree.body:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            continue
+        name = stmt.targets[0].id
+        value = stmt.value
+        if (
+            name.endswith("_MAGIC")
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, bytes)
+        ):
+            surface.magics[name] = value.value.hex()
+            surface.nodes[name] = stmt
+        elif isinstance(value, ast.Call):
+            func = value.func
+            is_struct = (
+                isinstance(func, ast.Attribute) and func.attr == "Struct"
+            ) or (isinstance(func, ast.Name) and func.id == "Struct")
+            if (
+                is_struct
+                and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and isinstance(value.args[0].value, str)
+            ):
+                surface.structs[name] = value.args[0].value
+                surface.nodes[name] = stmt
+    if not surface.magics:
+        return None
+    return surface
+
+
+class CliSurface:
+    """Extracted ``repro-abr`` subcommand/flag grammar (+ anchors)."""
+
+    def __init__(self) -> None:
+        #: subcommand -> {argument name -> record}
+        self.subcommands: Dict[str, Dict[str, dict]] = {}
+        self.command_nodes: Dict[str, ast.AST] = {}
+        self.argument_nodes: Dict[Tuple[str, str], ast.AST] = {}
+
+    def snapshot(self, module: str) -> dict:
+        return {
+            "surface": "cli",
+            "module": _norm(module),
+            "subcommands": {
+                command: {
+                    "arguments": dict(sorted(arguments.items()))
+                }
+                for command, arguments in sorted(self.subcommands.items())
+            },
+        }
+
+
+def _constant_value(node: ast.AST):
+    """JSON-safe constant value, or the marker ``"<expr>"``."""
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (str, int, float, bool, type(None))
+    ):
+        return node.value
+    return "<expr>"
+
+
+def _argument_record(call: ast.Call) -> Optional[Tuple[str, dict]]:
+    names = [
+        arg.value
+        for arg in call.args
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+    ]
+    if not names:
+        return None
+    record: dict = {}
+    if len(names) > 1:
+        record["aliases"] = names[1:]
+    for keyword in call.keywords:
+        if keyword.arg == "choices":
+            record["choices"] = _str_sequence(keyword.value)
+        elif keyword.arg == "default":
+            record["default"] = _constant_value(keyword.value)
+        elif keyword.arg == "action":
+            record["action"] = _constant_value(keyword.value)
+        elif keyword.arg == "nargs":
+            record["nargs"] = _constant_value(keyword.value)
+        elif keyword.arg == "type" and isinstance(keyword.value, ast.Name):
+            record["type"] = keyword.value.id
+    return names[0], record
+
+
+def extract_cli(src: PySource) -> Optional[CliSurface]:
+    """CLI grammar: ``add_parser``/``add_argument`` calls, including
+    flags attached through helper functions (``add_runner_flags``)."""
+    surface = CliSurface()
+    var_to_command: Dict[str, str] = {}
+    # Pass 1: subcommands (assigned or bare add_parser calls).
+    for node in ast.walk(src.tree):
+        call = None
+        var = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            if isinstance(node.targets[0], ast.Name) and isinstance(
+                node.value, ast.Call
+            ):
+                call = node.value
+                var = node.targets[0].id
+        elif isinstance(node, ast.Call):
+            call = node
+        if call is None or not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "add_parser"
+            and call.args
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, str)
+        ):
+            continue
+        command = call.args[0].value
+        surface.subcommands.setdefault(command, {})
+        surface.command_nodes.setdefault(command, call)
+        if var is not None:
+            var_to_command[var] = command
+    if not surface.subcommands:
+        return None
+    # Pass 2: helper functions whose first parameter receives
+    # add_argument calls (e.g. ``def add_runner_flags(parser): ...``).
+    helpers: Dict[str, List[Tuple[str, dict, ast.AST]]] = {}
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.FunctionDef) or not node.args.args:
+            continue
+        param = node.args.args[0].arg
+        records: List[Tuple[str, dict, ast.AST]] = []
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "add_argument"
+                and isinstance(inner.func.value, ast.Name)
+                and inner.func.value.id == param
+            ):
+                entry = _argument_record(inner)
+                if entry is not None:
+                    records.append((entry[0], entry[1], inner))
+        if records:
+            helpers[node.name] = records
+    # Pass 3: direct add_argument calls on subcommand variables, and
+    # helper invocations ``add_runner_flags(run_parser)``.
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in var_to_command
+        ):
+            command = var_to_command[node.func.value.id]
+            entry = _argument_record(node)
+            if entry is not None:
+                surface.subcommands[command][entry[0]] = entry[1]
+                surface.argument_nodes[(command, entry[0])] = node
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id in helpers
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in var_to_command
+        ):
+            command = var_to_command[node.args[0].id]
+            for arg_name, record, anchor in helpers[node.func.id]:
+                surface.subcommands[command][arg_name] = dict(record)
+                surface.argument_nodes[(command, arg_name)] = anchor
+    return surface
+
+
+# ---------------------------------------------------------------------------
+# Snapshot writing (the ``--update-surfaces`` path)
+# ---------------------------------------------------------------------------
+
+
+def build_snapshots(
+    sources: Mapping[str, PySource], program: Optional[ProgramIndex]
+) -> Dict[str, dict]:
+    """Extract every surface present in the given sources.
+
+    When several documents define the same domain the lexically first
+    one wins, keeping the output deterministic.
+    """
+    snapshots: Dict[str, dict] = {}
+    if program is not None and keyed_spec_closure(program):
+        snapshots["spec_keys"] = _spec_snapshot(program)
+    for name in sorted(sources):
+        src = sources[name]
+        if "events" not in snapshots:
+            events = extract_events(src)
+            if events is not None:
+                snapshots["events"] = events.snapshot(name)
+        if "framing" not in snapshots:
+            framing = extract_framing(src)
+            if framing is not None:
+                snapshots["framing"] = framing.snapshot(name)
+        if "cli" not in snapshots:
+            cli = extract_cli(src)
+            if cli is not None:
+                snapshots["cli"] = cli.snapshot(name)
+    return snapshots
+
+
+def write_surfaces(
+    directory: str,
+    sources: Mapping[str, PySource],
+    program: Optional[ProgramIndex],
+) -> List[str]:
+    """Write canonical snapshot JSON; returns the filenames written.
+
+    Output is byte-deterministic (sorted keys, two-space indent,
+    trailing newline), so re-running on an unchanged tree is a no-op
+    and snapshots diff cleanly in review.
+    """
+    snapshots = build_snapshots(sources, program)
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for name in sorted(snapshots):
+        path = os.path.join(directory, SURFACE_FILES[name])
+        payload = (
+            json.dumps(snapshots[name], indent=2, sort_keys=True) + "\n"
+        )
+        existing: Optional[str] = None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = handle.read()
+        except OSError:
+            pass
+        if existing != payload:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        written.append(SURFACE_FILES[name])
+    return written
+
+
+# ---------------------------------------------------------------------------
+# Comparison helpers shared by the rules
+# ---------------------------------------------------------------------------
+
+
+def _run_docs(ctx: RuleContext) -> Set[str]:
+    return {_norm(name) for name in ctx.documents}
+
+
+def _snapshot_for(
+    ctx: RuleContext, surface: str, doc_name: str
+) -> Tuple[Optional[dict], bool]:
+    """(snapshot, applicable): the snapshot to compare this doc against.
+
+    Not applicable when the snapshot's recorded module is a *different*
+    document of the same run — the recorded module's own lint pass does
+    the comparison, so partial lints and fixtures never double-report.
+    """
+    if ctx.surfaces is None:
+        return None, False
+    snap = ctx.surfaces.get(surface)
+    if snap is None:
+        return None, True  # configured but missing: report it
+    module = _norm(str(snap.get("module", "")))
+    if module and module != doc_name and module in _run_docs(ctx):
+        return None, False
+    return snap, True
+
+
+def _diff_names(
+    current: Set[str], recorded: Set[str]
+) -> Tuple[List[str], List[str]]:
+    """(added, removed), sorted."""
+    return sorted(current - recorded), sorted(recorded - current)
+
+
+# ---------------------------------------------------------------------------
+# SURF-KEY-CHURN
+# ---------------------------------------------------------------------------
+
+
+def _class_node(src: PySource, name: str) -> Optional[ast.ClassDef]:
+    for stmt in src.tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _doc_version_nodes(src: PySource) -> Dict[str, Tuple[int, ast.AST]]:
+    out: Dict[str, Tuple[int, ast.AST]] = {}
+    for stmt in src.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id.endswith("_SCHEMA_VERSION")
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, int)
+            and not isinstance(stmt.value.value, bool)
+        ):
+            out[stmt.targets[0].id] = (stmt.value.value, stmt)
+    return out
+
+
+def _field_drift(current: List[str], recorded: List[str]) -> str:
+    cur_names = {entry.split(":", 1)[0] for entry in current}
+    rec_names = {entry.split(":", 1)[0] for entry in recorded}
+    added, removed = _diff_names(cur_names, rec_names)
+    parts = []
+    if added:
+        parts.append("adds " + ", ".join(added))
+    if removed:
+        parts.append("removes " + ", ".join(removed))
+    if not parts:
+        retyped = sorted(
+            entry.split(":", 1)[0]
+            for entry in set(current) - set(recorded)
+        )
+        if retyped:
+            parts.append("re-annotates " + ", ".join(retyped))
+        else:
+            parts.append("reorders fields")
+    return "; ".join(parts)
+
+
+@rule(
+    "SURF-KEY-CHURN",
+    Severity.ERROR,
+    Category.SURF,
+    Kind.PYTHON,
+    summary="keyed spec dataclasses must match the committed surface",
+    reference="runner cache contract (PR 2); surfaces/spec_keys.json",
+)
+def check_key_churn(src: PySource, ctx: RuleContext):
+    program = ctx.program
+    if program is None:
+        return
+    closure = keyed_spec_closure(program)
+    doc_name = _norm(src.doc.name)
+    local = {
+        name: summary
+        for name, summary in closure.items()
+        if _norm(summary.module) == doc_name
+    }
+    if ctx.surfaces is None:
+        return
+    snap = ctx.surfaces.get("spec_keys")
+    if snap is None:
+        if local:
+            first = closure[sorted(local)[0]]
+            node = _class_node(src, first.name) or src.tree
+            yield check_key_churn.rule.finding(
+                "no committed spec-keys surface found; content-addressed "
+                f"key layouts are unguarded — {_UPDATE_HINT} and commit "
+                "surfaces/spec_keys.json",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+        return
+    snap_classes = snap.get("classes", {})
+    snap_versions = snap.get("versions", {})
+    snap_modules = {
+        _norm(str(entry.get("module", "")))
+        for entry in list(snap_classes.values()) + list(snap_versions.values())
+    }
+    run_docs = _run_docs(ctx)
+    doc_versions = _doc_version_nodes(src)
+
+    for name in sorted(local):
+        summary = local[name]
+        node = _class_node(src, name)
+        if node is None:
+            continue
+        entry = snap_classes.get(name)
+        if entry is None:
+            if doc_name in snap_modules:
+                yield check_key_churn.rule.finding(
+                    f"keyed dataclass {name} is not in the committed "
+                    "spec-keys surface; its cache keys are unguarded — "
+                    f"{_UPDATE_HINT}",
+                    src.span(node),
+                    line_text=src.line_text(node),
+                )
+            continue
+        recorded_module = _norm(str(entry.get("module", "")))
+        if recorded_module != doc_name and recorded_module in run_docs:
+            continue
+        current_fields = [f"{n}: {a}" for n, a in summary.fields]
+        current_keys = (
+            list(summary.spec_dict_keys)
+            if summary.spec_dict_keys is not None
+            else None
+        )
+        drifted = []
+        if current_fields != list(entry.get("fields", [])):
+            drifted.append(
+                "field layout "
+                + _field_drift(current_fields, list(entry.get("fields", [])))
+            )
+        if current_keys != entry.get("spec_keys"):
+            drifted.append("spec_dict() key layout changed")
+        if not drifted:
+            continue
+        governing = [str(v) for v in entry.get("versions", [])]
+        bumped = any(
+            vname in doc_versions
+            and isinstance(snap_versions.get(vname), dict)
+            and doc_versions[vname][0] != snap_versions[vname].get("value")
+            for vname in governing
+        )
+        what = "; ".join(drifted)
+        if bumped:
+            yield check_key_churn.rule.finding(
+                f"{name} drifted from the committed spec-keys surface "
+                f"({what}) and its schema version was bumped — "
+                f"{_UPDATE_HINT} to record the new layout",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+        else:
+            version_hint = (
+                " and ".join(governing)
+                if governing
+                else "the governing *_SCHEMA_VERSION"
+            )
+            yield check_key_churn.rule.finding(
+                f"{name} drifted from the committed spec-keys surface "
+                f"({what}); this silently changes every content-addressed "
+                f"cache key. If the change is semantic, bump {version_hint} "
+                f"then {_UPDATE_HINT}; if not, revert it. The bump-vs-"
+                "refresh decision is deliberately not auto-fixable",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+
+    # Classes the snapshot records in THIS module but that left the
+    # keyed closure (renamed, deleted, or lost @dataclass/key()).
+    doc_class_names = {
+        stmt.name
+        for stmt in src.tree.body
+        if isinstance(stmt, ast.ClassDef)
+    }
+    for name in sorted(snap_classes):
+        entry = snap_classes[name]
+        if _norm(str(entry.get("module", ""))) != doc_name:
+            continue
+        if name in local:
+            continue
+        if name in doc_class_names:
+            node = _class_node(src, name) or src.tree
+            yield check_key_churn.rule.finding(
+                f"{name} left the keyed-spec surface (lost its key() "
+                "method, dataclass decorator, or reachability from a "
+                "keyed root) but surfaces/spec_keys.json still records "
+                f"it; {_UPDATE_HINT} if deliberate",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+        else:
+            yield check_key_churn.rule.finding(
+                f"keyed dataclass {name} recorded in "
+                "surfaces/spec_keys.json no longer exists in this module; "
+                "existing cache entries keyed by it are orphaned — "
+                f"{_UPDATE_HINT} if the removal is deliberate",
+                src.span(src.tree),
+                line_text=src.doc.line_text(1),
+            )
+
+    # Version constants this module owns: a bump without a snapshot
+    # refresh (or a deleted constant) is stale-surface drift too.
+    for vname in sorted(snap_versions):
+        ventry = snap_versions[vname]
+        if not isinstance(ventry, dict):
+            continue
+        if _norm(str(ventry.get("module", ""))) != doc_name:
+            continue
+        if vname not in doc_versions:
+            yield check_key_churn.rule.finding(
+                f"schema version constant {vname} recorded in "
+                "surfaces/spec_keys.json was removed; keyed specs in this "
+                "module lost their version gate",
+                src.span(src.tree),
+                line_text=src.doc.line_text(1),
+            )
+            continue
+        value, node = doc_versions[vname]
+        if value != ventry.get("value"):
+            yield check_key_churn.rule.finding(
+                f"{vname} is {value} but surfaces/spec_keys.json records "
+                f"{ventry.get('value')}; once the accompanying layout "
+                f"change is deliberate, {_UPDATE_HINT}",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+
+
+# ---------------------------------------------------------------------------
+# SURF-EVENT-DRIFT and SURF-READER-CEILING
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "SURF-EVENT-DRIFT",
+    Severity.ERROR,
+    Category.SURF,
+    Kind.PYTHON,
+    summary="event-log schema must match the committed surface",
+    reference="repro.replay versioning policy; surfaces/events.json",
+)
+def check_event_drift(src: PySource, ctx: RuleContext):
+    surface = extract_events(src)
+    if surface is None:
+        return
+    doc_name = _norm(src.doc.name)
+    snap, applicable = _snapshot_for(ctx, "events", doc_name)
+    if not applicable:
+        return
+    anchor = surface.class_node or src.tree
+    if snap is None:
+        yield check_event_drift.rule.finding(
+            "no committed event-log surface found; recorded logs are "
+            f"unguarded against schema drift — {_UPDATE_HINT} and commit "
+            "surfaces/events.json",
+            src.span(anchor),
+            line_text=src.line_text(anchor),
+        )
+        return
+    recorded_kinds = {
+        str(k): str(v) for k, v in (snap.get("kinds") or {}).items()
+    }
+    added, removed = _diff_names(
+        set(surface.kinds), set(recorded_kinds)
+    )
+    changed = sorted(
+        name
+        for name in set(surface.kinds) & set(recorded_kinds)
+        if surface.kinds[name] != recorded_kinds[name]
+    )
+    if removed or changed:
+        details = []
+        if removed:
+            details.append("removed " + ", ".join(removed))
+        if changed:
+            details.append("re-valued " + ", ".join(changed))
+        yield check_event_drift.rule.finding(
+            "event kinds " + "; ".join(details) + " vs the committed "
+            "surface; recorded logs on disk still carry the old kinds — "
+            "this is a breaking schema change: bump EVENT_SCHEMA_VERSION, "
+            f"keep readers accepting the old kinds, then {_UPDATE_HINT}",
+            src.span(anchor),
+            line_text=src.line_text(anchor),
+        )
+    elif added:
+        yield check_event_drift.rule.finding(
+            "new event kind(s) " + ", ".join(added) + " are not in the "
+            "committed surface; per the versioning policy additions are "
+            f"backward compatible (no version bump) — {_UPDATE_HINT} to "
+            "record them",
+            src.span(anchor),
+            line_text=src.line_text(anchor),
+        )
+    recorded_meta = {
+        str(k): [str(x) for x in v]
+        for k, v in (snap.get("meta_fields") or {}).items()
+    }
+    if surface.meta_fields != recorded_meta:
+        yield check_event_drift.rule.finding(
+            "meta-field tier routing changed vs the committed surface "
+            f"({', '.join(sorted(set(surface.meta_fields) | set(recorded_meta)))}); "
+            "schema_for_meta assigns versions from these tuples, so old "
+            "logs may now parse under the wrong schema tier — bump the "
+            f"schema version if semantics changed, then {_UPDATE_HINT}",
+            src.span(anchor),
+            line_text=src.line_text(anchor),
+        )
+    for attr, label in (
+        ("schema_version", "EVENT_SCHEMA_VERSION"),
+        ("base_version", "EVENT_SCHEMA_BASE_VERSION"),
+    ):
+        current = getattr(surface, attr)
+        recorded = snap.get(attr)
+        if recorded is not None and current != recorded:
+            node = surface.version_node or anchor
+            yield check_event_drift.rule.finding(
+                f"{label} is {current} but the committed surface records "
+                f"{recorded}; once the accompanying schema change is "
+                f"deliberate, {_UPDATE_HINT}",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+
+
+@rule(
+    "SURF-READER-CEILING",
+    Severity.ERROR,
+    Category.SURF,
+    Kind.PYTHON,
+    summary="writers must never emit past the reader version ceiling",
+    reference="repro.replay versioning policy (PR 4)",
+)
+def check_reader_ceiling(src: PySource, ctx: RuleContext):
+    surface = extract_events(src)
+    if surface is None:
+        return
+    if (
+        surface.writer_max is not None
+        and surface.schema_version is not None
+        and surface.writer_max > surface.schema_version
+    ):
+        node = surface.writer_max_node or surface.class_node or src.tree
+        yield check_reader_ceiling.rule.finding(
+            f"schema_for_meta can stamp v{surface.writer_max} events but "
+            f"EVENT_SCHEMA_VERSION (the reader ceiling) is "
+            f"v{surface.schema_version}; readers will refuse logs this "
+            "writer just produced — raise EVENT_SCHEMA_VERSION in the "
+            "same change that adds the new tier",
+            src.span(node),
+            line_text=src.line_text(node),
+        )
+
+
+# ---------------------------------------------------------------------------
+# SURF-FRAMING-CONST
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "SURF-FRAMING-CONST",
+    Severity.ERROR,
+    Category.SURF,
+    Kind.PYTHON,
+    summary="on-disk framing constants are forever",
+    reference="repro.framing (PR 4); surfaces/framing.json",
+)
+def check_framing_const(src: PySource, ctx: RuleContext):
+    surface = extract_framing(src)
+    if surface is None:
+        return
+    doc_name = _norm(src.doc.name)
+    snap, applicable = _snapshot_for(ctx, "framing", doc_name)
+    if not applicable:
+        return
+    first_magic = sorted(surface.magics)[0]
+    default_anchor = surface.nodes.get(first_magic, src.tree)
+    if snap is None:
+        yield check_framing_const.rule.finding(
+            "no committed framing surface found; on-disk magics are "
+            f"unguarded — {_UPDATE_HINT} and commit surfaces/framing.json",
+            src.span(default_anchor),
+            line_text=src.line_text(default_anchor),
+        )
+        return
+    for kind, current, recorded in (
+        ("magic", surface.magics, snap.get("magics") or {}),
+        ("struct format", surface.structs, snap.get("structs") or {}),
+    ):
+        recorded = {str(k): str(v) for k, v in recorded.items()}
+        for name in sorted(set(current) | set(recorded)):
+            node = surface.nodes.get(name, default_anchor)
+            if name not in recorded:
+                if _norm(str(snap.get("module", ""))) == doc_name:
+                    yield check_framing_const.rule.finding(
+                        f"new framing {kind} {name} is not in the "
+                        "committed surface; new on-disk formats must be "
+                        f"recorded — {_UPDATE_HINT}",
+                        src.span(node),
+                        line_text=src.line_text(node),
+                    )
+            elif name not in current:
+                yield check_framing_const.rule.finding(
+                    f"framing {kind} {name} recorded in "
+                    "surfaces/framing.json was removed; files already on "
+                    "disk still use it — keep decoding the old format or "
+                    "document the compatibility break, then "
+                    f"{_UPDATE_HINT}",
+                    src.span(default_anchor),
+                    line_text=src.line_text(default_anchor),
+                )
+            elif current[name] != recorded[name]:
+                yield check_framing_const.rule.finding(
+                    f"framing {kind} {name} changed "
+                    f"({recorded[name]!r} -> {current[name]!r}); bytes "
+                    "already written to disk do not migrate — revert, or "
+                    "introduce a NEW versioned constant alongside and "
+                    "keep decoding the old one; refresh the snapshot "
+                    "only with a deliberate compatibility story",
+                    src.span(node),
+                    line_text=src.line_text(node),
+                )
+
+
+# ---------------------------------------------------------------------------
+# SURF-CLI-DRIFT
+# ---------------------------------------------------------------------------
+
+_SURFACE_ARG_KEYS = ("aliases", "choices", "default", "action", "nargs", "type")
+
+
+@rule(
+    "SURF-CLI-DRIFT",
+    Severity.ERROR,
+    Category.SURF,
+    Kind.PYTHON,
+    summary="the repro-abr CLI grammar must match the committed surface",
+    reference="surfaces/cli.json; PR-3 manifest-lint deprecation window",
+)
+def check_cli_drift(src: PySource, ctx: RuleContext):
+    surface = extract_cli(src)
+    if surface is None:
+        return
+    doc_name = _norm(src.doc.name)
+    # Snapshot-independent contract: the retired repro.manifest.validate
+    # entry points promised `lint --format dash|hls` keeps parsing for a
+    # release after their removal.
+    lint_args = surface.subcommands.get("lint")
+    if lint_args and "--format" in lint_args:
+        choices = lint_args["--format"].get("choices")
+        if choices is not None and not {"dash", "hls"} <= set(choices):
+            node = surface.argument_nodes.get(("lint", "--format"), src.tree)
+            yield check_cli_drift.rule.finding(
+                "lint --format dropped the deprecated 'dash'/'hls' "
+                "aliases; the repro.manifest.validate retirement promised "
+                "they keep parsing (mapped to text) for one more release "
+                "— restore the aliases",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+    snap, applicable = _snapshot_for(ctx, "cli", doc_name)
+    if not applicable:
+        return
+    if snap is None:
+        first = sorted(surface.subcommands)[0]
+        node = surface.command_nodes.get(first, src.tree)
+        yield check_cli_drift.rule.finding(
+            "no committed CLI surface found; the repro-abr flag grammar "
+            f"is unguarded against drift — {_UPDATE_HINT} and commit "
+            "surfaces/cli.json",
+            src.span(node),
+            line_text=src.line_text(node),
+        )
+        return
+    recorded_subs = snap.get("subcommands") or {}
+    added, removed = _diff_names(
+        set(surface.subcommands), set(recorded_subs)
+    )
+    is_snap_module = _norm(str(snap.get("module", ""))) == doc_name
+    if added:
+        first = added[0]
+        node = surface.command_nodes.get(first, src.tree)
+        yield check_cli_drift.rule.finding(
+            "new subcommand(s) " + ", ".join(added) + " are not in the "
+            f"committed CLI surface; {_UPDATE_HINT} to record them",
+            src.span(node),
+            line_text=src.line_text(node),
+        )
+    if removed and is_snap_module:
+        yield check_cli_drift.rule.finding(
+            "subcommand(s) " + ", ".join(removed) + " recorded in "
+            "surfaces/cli.json no longer exist; scripts invoking them "
+            f"break — restore them or {_UPDATE_HINT} if the removal is "
+            "deliberate",
+            src.span(src.tree),
+            line_text=src.doc.line_text(1),
+        )
+    for command in sorted(set(surface.subcommands) & set(recorded_subs)):
+        current_args = surface.subcommands[command]
+        recorded_args = (recorded_subs[command] or {}).get("arguments") or {}
+        arg_added, arg_removed = _diff_names(
+            set(current_args), set(recorded_args)
+        )
+        arg_changed = sorted(
+            name
+            for name in set(current_args) & set(recorded_args)
+            if any(
+                current_args[name].get(key) != recorded_args[name].get(key)
+                for key in _SURFACE_ARG_KEYS
+            )
+        )
+        details = []
+        if arg_removed:
+            details.append("removed " + ", ".join(arg_removed))
+        if arg_changed:
+            details.append(
+                "changed choices/default/type of " + ", ".join(arg_changed)
+            )
+        if details:
+            anchor_name = (arg_changed or [command])[0]
+            node = surface.argument_nodes.get(
+                (command, anchor_name),
+                surface.command_nodes.get(command, src.tree),
+            )
+            yield check_cli_drift.rule.finding(
+                f"`repro-abr {command}` grammar drifted from the "
+                "committed surface: " + "; ".join(details) + "; removing "
+                "or re-typing flags breaks scripts and CI pipelines — "
+                f"restore them or {_UPDATE_HINT} if deliberate",
+                src.span(node),
+                line_text=src.line_text(node),
+            )
+        elif arg_added:
+            node = surface.argument_nodes.get(
+                (command, arg_added[0]),
+                surface.command_nodes.get(command, src.tree),
+            )
+            yield check_cli_drift.rule.finding(
+                f"`repro-abr {command}` grew flag(s) "
+                + ", ".join(arg_added)
+                + " not in the committed surface; additions are "
+                f"compatible but must be recorded — {_UPDATE_HINT}",
+                src.span(node),
+                line_text=src.line_text(node),
+            )

@@ -36,6 +36,11 @@ class RuleContext:
     #: Whole-program index over the run's Python documents (call graph,
     #: function/class summaries); None for manifest-only runs.
     program: Optional["ProgramIndex"] = None
+    #: Committed compatibility-surface snapshots loaded from
+    #: ``AnalyzerConfig.surfaces_dir`` (``{surface name: parsed JSON}``);
+    #: None when no snapshot directory is configured — the ``SURF-*``
+    #: drift rules then skip their snapshot comparisons.
+    surfaces: Optional[Dict[str, dict]] = None
 
     @property
     def media_playlists(self) -> Dict[str, ScannedPlaylist]:

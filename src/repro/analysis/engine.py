@@ -56,6 +56,13 @@ class AnalyzerConfig:
     selected: Optional[frozenset] = None
     #: Known findings to suppress (see :class:`Baseline`).
     baseline: Optional[Baseline] = None
+    #: Directory of committed compatibility-surface snapshots
+    #: (``surfaces/*.json``). ``None`` disables the ``SURF-*`` snapshot
+    #: comparisons; a path that does not exist behaves like an empty
+    #: directory. The path is read from disk in :func:`prepare`, so the
+    #: parallel lint workers (which re-run ``prepare`` per batch) load
+    #: the identical snapshots a serial run sees.
+    surfaces_dir: Optional[str] = None
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.disabled:
@@ -113,6 +120,10 @@ def prepare(
     """
     prepared: List[AnalyzedDocument] = []
     ctx = RuleContext(config=config or DEFAULT_CONFIG)
+    if config is not None and config.surfaces_dir is not None:
+        from .code_surfaces import load_surfaces
+
+        ctx.surfaces = load_surfaces(config.surfaces_dir)
     for name, text in files.items():
         doc = Document(name=name, text=text)
         kind = classify_name(name, text)

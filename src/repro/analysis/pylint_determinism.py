@@ -49,6 +49,8 @@ from .code_engine import (  # noqa: F401  (re-exported for back-compat)
     WALLCLOCK_DATETIME_FUNCS,
     WALLCLOCK_TIME_FUNCS,
     parse_python,
+    unseeded_random_call,
+    wallclock_call,
 )
 from .findings import Finding, Severity
 from .registry import Category, Kind, rule
@@ -91,26 +93,9 @@ def check_unseeded_random(src: PySource, ctx) -> Iterator[Finding]:
     for node in ast.walk(src.tree):
         if not isinstance(node, ast.Call):
             continue
-        func = node.func
-        flagged = None
-        if (
-            isinstance(func, ast.Attribute)
-            and isinstance(func.value, ast.Name)
-            and func.value.id in imports.random_modules
-        ):
-            if func.attr in RANDOM_MODULE_FUNCS:
-                flagged = f"random.{func.attr}()"
-            elif func.attr in {"Random", "seed"} and not (
-                node.args or node.keywords
-            ):
-                flagged = f"random.{func.attr}() without a seed"
-        elif isinstance(func, ast.Name) and func.id in imports.random_funcs:
-            original = imports.random_funcs[func.id]
-            if original == "seed":
-                if not (node.args or node.keywords):
-                    flagged = "seed() without a seed value"
-            else:
-                flagged = f"{original}() imported from random"
+        # Detection lives in code_engine.unseeded_random_call so the
+        # function summaries (and POLICY-NONDETERMINISM) share it.
+        flagged = unseeded_random_call(node, imports)
         if flagged:
             yield check_unseeded_random.rule.finding(
                 f"{flagged} draws from the process-global RNG; thread an "
@@ -134,32 +119,8 @@ def check_wallclock(src: PySource, ctx) -> Iterator[Finding]:
     for node in ast.walk(src.tree):
         if not isinstance(node, ast.Call):
             continue
-        func = node.func
-        flagged = None
-        if isinstance(func, ast.Attribute):
-            base = func.value
-            if (
-                isinstance(base, ast.Name)
-                and base.id in imports.time_modules
-                and func.attr in WALLCLOCK_TIME_FUNCS
-            ):
-                flagged = f"time.{func.attr}()"
-            elif (
-                isinstance(base, ast.Name)
-                and base.id in imports.datetime_classes
-                and func.attr in WALLCLOCK_DATETIME_FUNCS
-            ):
-                flagged = f"datetime.{func.attr}()"
-            elif (
-                isinstance(base, ast.Attribute)
-                and isinstance(base.value, ast.Name)
-                and base.value.id in imports.datetime_modules
-                and base.attr in {"datetime", "date"}
-                and func.attr in WALLCLOCK_DATETIME_FUNCS
-            ):
-                flagged = f"datetime.{base.attr}.{func.attr}()"
-        elif isinstance(func, ast.Name) and func.id in imports.time_funcs:
-            flagged = f"{imports.time_funcs[func.id]}() imported from time"
+        # Detection lives in code_engine.wallclock_call; see above.
+        flagged = wallclock_call(node, imports)
         if flagged:
             yield check_wallclock.rule.finding(
                 f"{flagged} reads the wall clock; simulated time must come "

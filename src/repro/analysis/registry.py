@@ -39,6 +39,8 @@ class Category:
     HYGIENE = "lint-hygiene"
     SHARE = "shared-state-safety"
     HOT = "hot-path-discipline"
+    SURF = "compatibility-surface"
+    POLICY = "player-contract"
 
 
 class Kind:

@@ -258,7 +258,11 @@ def _collect_lint_files(paths):
     for path in paths:
         if os.path.isdir(path):
             hits = []
-            for root, _dirs, names in os.walk(path):
+            for root, dirs, names in os.walk(path):
+                # Lint-fixture corpora are deliberately broken inputs;
+                # skip them when recursing (explicit file arguments
+                # still lint them).
+                dirs[:] = [d for d in dirs if d != "fixtures"]
                 for name in names:
                     if name.lower().endswith(_LINTABLE_SUFFIXES):
                         hits.append(os.path.join(root, name))
@@ -312,10 +316,30 @@ def cmd_lint(args) -> int:
         except (OSError, ValueError) as exc:
             print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
             return 2
+    import os
+
+    surfaces_given = args.surfaces is not None
+    if args.surfaces is None:
+        args.surfaces = "surfaces"
+    surfaces_dir = args.surfaces
+    if not os.path.isdir(surfaces_dir) and not args.update_surfaces:
+        # The default "surfaces" only arms the SURF comparisons when
+        # the snapshot directory actually exists (linting an arbitrary
+        # tree must not demand one); an explicit missing path is a
+        # usage error.
+        if surfaces_given:
+            print(
+                f"surfaces directory {surfaces_dir!r} does not exist "
+                "(run `repro-abr lint --update-surfaces` to create it)",
+                file=sys.stderr,
+            )
+            return 2
+        surfaces_dir = None
     config = analysis.AnalyzerConfig(
         disabled=disabled,
         selected=selected or None,
         baseline=baseline,
+        surfaces_dir=surfaces_dir,
     )
 
     from_disk = bool(args.paths)
@@ -328,6 +352,30 @@ def cmd_lint(args) -> int:
     except OSError as exc:
         print(f"cannot read input: {exc}", file=sys.stderr)
         return 2
+
+    if args.update_surfaces:
+        if not from_disk:
+            print(
+                "--update-surfaces needs explicit path arguments (the "
+                "surfaces are extracted from the source tree)",
+                file=sys.stderr,
+            )
+            return 2
+        from .analysis.code_surfaces import write_surfaces
+        from .analysis.engine import prepare
+
+        try:
+            prepared, ctx = prepare(files, analysis.AnalyzerConfig())
+        except analysis.AnalysisParseFailure as exc:
+            print(f"parse failure: {exc}", file=sys.stderr)
+            return 2
+        sources = {a.name: a.python for a in prepared if a.python is not None}
+        written = write_surfaces(args.surfaces, sources, ctx.program)
+        print(
+            f"wrote {len(written)} surface snapshot(s) to {args.surfaces}: "
+            + ", ".join(written),
+            file=sys.stderr,
+        )
 
     if args.fix:
         if not from_disk:
@@ -857,7 +905,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="static-analyze manifests (RFC 8216 / DASH-IF / Section 4.1) "
         "and Python sources (determinism DET-*, units/dimension flow "
         "UNIT-*, pickle/fork safety POOL-*, shared-state SHARE-*, "
-        "hot-path discipline HOT-*)",
+        "hot-path discipline HOT-*, compatibility surfaces SURF-*, "
+        "player contract POLICY-*)",
     )
     lint_parser.add_argument(
         "paths",
@@ -929,6 +978,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         metavar="FILE",
         help="record current findings as the new baseline",
+    )
+    lint_parser.add_argument(
+        "--surfaces",
+        default=None,
+        metavar="DIR",
+        help="directory of committed compatibility-surface snapshots "
+        "the SURF-* rules compare against (default: surfaces/ when it "
+        "exists)",
+    )
+    lint_parser.add_argument(
+        "--update-surfaces",
+        action="store_true",
+        help="re-extract the compatibility surfaces from the given "
+        "paths and rewrite the snapshot files before linting",
     )
     lint_parser.set_defaults(func=cmd_lint)
 

@@ -19,14 +19,19 @@ from typing import Dict
 from ..media.tracks import MediaType
 from ..players.base import BasePlayer
 from ..players.bola import BolaState, bola_quality, build_bola_state
-from ..sim.decisions import Decision, Download
+from ..sim.decisions import Decision, download_for
 from ..sim.records import DownloadRecord
 from .balancer import PrefetchBalancer
 from .combinations import Combination, CombinationSet
 
 
-class JointBolaPlayer(BasePlayer):
-    """Buffer-based joint A/V adaptation over allowed combinations."""
+class JointBolaPlayer(BasePlayer):  # policy: inherit-failure
+    """Buffer-based joint A/V adaptation over allowed combinations.
+
+    Failure handling deliberately stays on BasePlayer's default: BOLA
+    carries no bandwidth estimator to poison, and the retry machinery
+    in the session kernel already re-polls ``choose_next``.
+    """
 
     name = "bola-joint"
 
@@ -91,8 +96,8 @@ class JointBolaPlayer(BasePlayer):
             return buffer_gate
         combo = self._selection_at(ctx.next_chunk_index(medium), ctx)
         if medium is MediaType.VIDEO:
-            return Download(track_id=combo.video.track_id)
-        return Download(track_id=combo.audio.track_id)
+            return download_for(combo.video.track_id)
+        return download_for(combo.audio.track_id)
 
     def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
         # Pure buffer-based control: no bandwidth estimator at all.

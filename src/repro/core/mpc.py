@@ -26,7 +26,7 @@ from ..errors import PlayerError
 from ..media.tracks import MediaType
 from ..players.base import BasePlayer
 from ..players.estimators import SharedThroughputEstimator
-from ..sim.decisions import Decision, Download
+from ..sim.decisions import Decision, download_for
 from ..sim.records import DownloadRecord
 from .balancer import PrefetchBalancer
 from .combinations import Combination, CombinationSet
@@ -64,8 +64,13 @@ class MpcConfig:
             raise PlayerError(f"max_step must be >= 1, got {self.max_step}")
 
 
-class MpcPlayer(BasePlayer):
-    """Horizon-optimizing joint A/V player over allowed combinations."""
+class MpcPlayer(BasePlayer):  # policy: inherit-failure
+    """Horizon-optimizing joint A/V player over allowed combinations.
+
+    Failure handling deliberately stays on BasePlayer's default; the
+    throughput estimator only observes *completed* downloads, so a
+    failed request cannot poison the horizon prediction.
+    """
 
     name = "mpc"
 
@@ -164,8 +169,8 @@ class MpcPlayer(BasePlayer):
             return buffer_gate
         combo = self._selection_at(ctx.next_chunk_index(medium), ctx)
         if medium is MediaType.VIDEO:
-            return Download(track_id=combo.video.track_id)
-        return Download(track_id=combo.audio.track_id)
+            return download_for(combo.video.track_id)
+        return download_for(combo.audio.track_id)
 
     def on_chunk_complete(self, record: DownloadRecord, ctx) -> None:
         self._estimator.observe_download(record)

@@ -25,6 +25,12 @@ module.
 :func:`append_line` is the O_APPEND single-write append idiom proven by
 the chaos event log: concurrent writers (worker processes and their
 parent) interleave whole lines, never fragments.
+
+The magics and header ``struct`` formats in this module are a guarded
+compatibility surface: they are snapshotted in ``surfaces/framing.json``
+and any edit fails ``repro-abr lint`` (``SURF-FRAMING-CONST``). On-disk
+framing constants are forever — a new format gets a *new* magic, and
+readers keep accepting the old one.
 """
 
 from __future__ import annotations

@@ -1,4 +1,12 @@
-"""Manifest substrate: DASH MPD and HLS playlist models, writers, parsers."""
+"""Manifest substrate: DASH MPD and HLS playlist models, writers, parsers.
+
+Manifest *linting* lives in :mod:`repro.analysis` (text-level, with
+source spans, SARIF output and a rule registry). The old object-level
+``repro.manifest.validate`` shim is gone; its rules live on in the
+analyzer under their original IDs, and the legacy CLI spelling
+``repro-abr lint --format dash|hls`` still parses for one more release
+(guarded by the ``SURF-CLI-DRIFT`` rule).
+"""
 
 from .dash import (
     DashAdaptationSet,
@@ -28,27 +36,12 @@ from .packager import (
     package_hls_multilanguage,
     write_dash_package,
 )
-from .validate import (
-    Finding,
-    Severity,
-    lint_dash_manifest,
-    lint_hls_master,
-    lint_hls_package,
-    worst_severity,
-)
-
 __all__ = [
     "AUDIO_GROUP_ID",
     "DashAdaptationSet",
     "DashManifest",
     "DashRepresentation",
     "DashSegmentTemplate",
-    "Finding",
-    "Severity",
-    "lint_dash_manifest",
-    "lint_hls_master",
-    "lint_hls_package",
-    "worst_severity",
     "HlsMasterPlaylist",
     "HlsMediaPlaylist",
     "HlsPackage",

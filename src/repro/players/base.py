@@ -5,6 +5,14 @@ is asked which track to fetch next for a medium (or to wait), and it is
 told about every completed chunk so it can update its bandwidth
 estimators. Everything else — buffers, the playback clock, the network —
 belongs to the simulator.
+
+Subclasses are linted against the replay/fast-forward contract
+(``POLICY-*`` in ``repro-abr lint``): interned decision objects from
+``choose_next``, transitively deterministic methods, mutation confined
+to the lifecycle hooks declared here, an explicit failure story
+(``on_failure``/``on_download_failed`` or ``# policy:
+inherit-failure``), and base-exact hook parameter names. See the
+player-author checklist in ``docs/static_analysis.md``.
 """
 
 from __future__ import annotations

@@ -15,8 +15,11 @@ from ..sim.decisions import WAIT_FOREVER, Decision, download_for
 from .base import BasePlayer
 
 
-class FixedTracksPlayer(BasePlayer):
+class FixedTracksPlayer(BasePlayer):  # policy: inherit-failure
     """Always fetches the same (video, audio) pair.
+
+    A non-adaptive control has nothing to adapt on failure, so it
+    deliberately inherits BasePlayer's silent failure default.
 
     :param balanced: when true, downloads alternate per chunk (video
         *i*, audio *i*, video *i+1*, ...); when false, each medium

@@ -30,6 +30,14 @@ property that makes replayed metrics *byte*-identical, not merely
 close. Non-finite floats (a player waiting forever is ``inf``) are
 encoded as the strings ``"inf"``/``"-inf"``/``"nan"`` so the payload
 stays strict JSON.
+
+The schema itself — the :class:`EventKind` members, the version
+constants, the per-kind meta fields — is a guarded compatibility
+surface, snapshotted in ``surfaces/events.json``. Drifting it without
+``repro-abr lint --update-surfaces`` fails the lint
+(``SURF-EVENT-DRIFT``), and a writer stamping a version above
+:data:`EVENT_SCHEMA_VERSION` is caught snapshot-free
+(``SURF-READER-CEILING``).
 """
 
 from __future__ import annotations

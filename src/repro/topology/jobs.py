@@ -13,6 +13,12 @@ The fault schedule serializes into the key via its round-trippable
 spec string (:meth:`~repro.topology.faults.FaultDomainSchedule.spec`),
 so two jobs agree on their key exactly when they would replay the
 identical storm.
+
+Like :class:`~repro.runner.jobs.SimulationJob`, the cohort key layout
+is part of the keyed-spec compatibility surface pinned in
+``surfaces/spec_keys.json`` and guarded by ``SURF-KEY-CHURN``; layout
+changes go through ``repro-abr lint --update-surfaces`` (plus a
+:data:`COHORT_SPEC_SCHEMA_VERSION` bump when semantic).
 """
 
 from __future__ import annotations

@@ -1,0 +1,15 @@
+"""Seeded mutation: choose_next constructs a fresh Download(...) —
+the replay and fast-forward kernels compare decisions by interned
+canonical value, and fresh construction defeats the intern cache on
+the hottest call path."""
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import Download
+
+
+class RawDecisionPlayer(BasePlayer):
+    def choose_next(self, medium, ctx):
+        return Download(track_id="V1")
+
+    def on_failure(self, medium, failure, ctx):
+        return None

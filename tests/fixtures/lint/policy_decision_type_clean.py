@@ -1,0 +1,13 @@
+"""Clean twin: decisions come from the intern cache, so identical
+decisions stay identity-stable and allocation-free."""
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import download_for
+
+
+class RawDecisionPlayer(BasePlayer):
+    def choose_next(self, medium, ctx):
+        return download_for("V1")
+
+    def on_failure(self, medium, failure, ctx):
+        return None

@@ -1,0 +1,21 @@
+"""Seeded mutation: a public non-hook method mutates player state —
+observers call these between events during replay, so a mutating
+getter makes outcomes depend on observer presence."""
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import download_for
+
+
+class CountingPlayer(BasePlayer):
+    def __init__(self):
+        self._polls = 0
+
+    def choose_next(self, medium, ctx):
+        return download_for("V1")
+
+    def rung_estimate(self, ctx):
+        self._polls += 1
+        return self._polls
+
+    def on_download_failed(self, record, ctx):
+        return None

@@ -1,0 +1,22 @@
+"""Clean twin: state changes only inside declared lifecycle hooks;
+the public introspection surface stays read-only."""
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import download_for
+
+
+class CountingPlayer(BasePlayer):
+    def __init__(self):
+        self._polls = 0
+
+    def choose_next(self, medium, ctx):
+        return download_for("V1")
+
+    def on_chunk_complete(self, record, ctx):
+        self._polls += 1
+
+    def rung_estimate(self, ctx):
+        return self._polls
+
+    def on_download_failed(self, record, ctx):
+        return None

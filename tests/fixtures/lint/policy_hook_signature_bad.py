@@ -1,0 +1,14 @@
+"""Seeded mutation: an overridden hook renames the base parameters —
+the kernel and tests call hooks by keyword, and the suffixed names
+carry the unit conventions the UNIT rules check."""
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import download_for
+
+
+class RenamedArgsPlayer(BasePlayer):
+    def choose_next(self, media, context):
+        return download_for("V1")
+
+    def on_failure(self, medium, failure, ctx):
+        return None

@@ -1,0 +1,13 @@
+"""Clean twin: overridden hooks keep BasePlayer's exact parameter
+names."""
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import download_for
+
+
+class RenamedArgsPlayer(BasePlayer):
+    def choose_next(self, medium, ctx):
+        return download_for("V1")
+
+    def on_failure(self, medium, failure, ctx):
+        return None

@@ -1,0 +1,11 @@
+"""Seeded mutation: a concrete player defines choose_next but no
+failure hook and no explicit acknowledgement — BasePlayer's default
+silently swallows download failures."""
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import download_for
+
+
+class SilentPlayer(BasePlayer):
+    def choose_next(self, medium, ctx):
+        return download_for("V1")

@@ -1,0 +1,10 @@
+"""Clean twin: the silent inherited failure handling is recorded as a
+deliberate choice with the inherit-failure annotation."""
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import download_for
+
+
+class SilentPlayer(BasePlayer):  # policy: inherit-failure
+    def choose_next(self, medium, ctx):
+        return download_for("V1")

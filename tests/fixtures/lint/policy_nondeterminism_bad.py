@@ -1,0 +1,24 @@
+"""Seeded mutation: the player consults the wall clock *through a
+helper* — the direct-call DET rules cannot see it from choose_next,
+but the transitive closure over the program index can."""
+
+import time
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import download_for
+
+
+def _startup_jitter():
+    # Deliberately impure helper; the waiver keeps the direct-call DET
+    # rule quiet so the fixture isolates the transitive conviction.
+    return time.time() % 1.0  # lint: allow[DET-WALLCLOCK]
+
+
+class JitterPlayer(BasePlayer):
+    def choose_next(self, medium, ctx):
+        if _startup_jitter() > 0.5:
+            return download_for("V2")
+        return download_for("V1")
+
+    def on_failure(self, medium, failure, ctx):
+        return None

@@ -1,0 +1,20 @@
+"""Clean twin: the phase helper reads event-loop state threaded
+through the session context, so replay sees the same values as the
+live run."""
+
+from repro.players.base import BasePlayer
+from repro.sim.decisions import download_for
+
+
+def _startup_phase(ctx):
+    return ctx.tick % 2
+
+
+class JitterPlayer(BasePlayer):
+    def choose_next(self, medium, ctx):
+        if _startup_phase(ctx) == 0:
+            return download_for("V2")
+        return download_for("V1")
+
+    def on_failure(self, medium, failure, ctx):
+        return None

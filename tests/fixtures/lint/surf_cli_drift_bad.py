@@ -1,0 +1,17 @@
+"""Seeded mutation: the lint subcommand drops the deprecated
+--format dash|hls aliases the manifest-shim retirement promised would
+keep parsing for one more release."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="fixture-cli")
+    commands = parser.add_subparsers(dest="command")
+    lint_parser = commands.add_parser("lint")
+    lint_parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json", "sarif"],
+    )
+    return parser

@@ -1,0 +1,16 @@
+"""Clean twin: the deprecated --format dash|hls aliases stay in the
+choices list for the promised deprecation window."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="fixture-cli")
+    commands = parser.add_subparsers(dest="command")
+    lint_parser = commands.add_parser("lint")
+    lint_parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json", "sarif", "dash", "hls"],
+    )
+    return parser

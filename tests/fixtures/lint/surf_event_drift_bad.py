@@ -1,0 +1,22 @@
+"""Seeded mutation: an event kind is removed from the registry while
+the committed surface (and recorded logs on disk) still carry it — a
+breaking schema change with no version bump."""
+
+import enum
+
+EVENT_SCHEMA_BASE_VERSION = 1
+EVENT_SCHEMA_VERSION = 2
+
+FIXTURE_META_FIELDS = ("edge_id",)
+
+
+class EventKind(str, enum.Enum):
+    SESSION_META = "session_meta"
+    VERDICT = "verdict"
+
+
+def schema_for_meta(meta):
+    for field in FIXTURE_META_FIELDS:
+        if field in meta:
+            return EVENT_SCHEMA_VERSION
+    return EVENT_SCHEMA_BASE_VERSION

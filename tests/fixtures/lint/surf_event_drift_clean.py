@@ -1,0 +1,22 @@
+"""Clean twin: the event-kind registry, tier routing and schema
+versions all match the committed events surface snapshot."""
+
+import enum
+
+EVENT_SCHEMA_BASE_VERSION = 1
+EVENT_SCHEMA_VERSION = 2
+
+FIXTURE_META_FIELDS = ("edge_id",)
+
+
+class EventKind(str, enum.Enum):
+    SESSION_META = "session_meta"
+    CHUNK = "chunk"
+    VERDICT = "verdict"
+
+
+def schema_for_meta(meta):
+    for field in FIXTURE_META_FIELDS:
+        if field in meta:
+            return EVENT_SCHEMA_VERSION
+    return EVENT_SCHEMA_BASE_VERSION

@@ -1,0 +1,8 @@
+"""Seeded mutation: an on-disk framing magic is re-valued — bytes
+already written with the old magic do not migrate, so every existing
+log becomes unreadable."""
+
+import struct
+
+SEGMENT_MAGIC = b"XSEG"
+_SEGMENT_HEADER = struct.Struct(">QI")

@@ -1,0 +1,7 @@
+"""Clean twin: framing magics and struct formats match the committed
+framing surface snapshot byte for byte."""
+
+import struct
+
+SEGMENT_MAGIC = b"RSEG"
+_SEGMENT_HEADER = struct.Struct(">QI")

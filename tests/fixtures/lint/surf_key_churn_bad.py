@@ -1,0 +1,28 @@
+"""Seeded mutation: a keyed spec dataclass grows a field (and a new
+spec_dict key) without bumping its governing schema version — every
+content-addressed cache key changes silently."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+FIXTURE_SPEC_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FixtureJob:
+    label: str
+    seed: int
+    retries: int = 0
+
+    def spec_dict(self):
+        return {
+            "schema": FIXTURE_SPEC_SCHEMA_VERSION,
+            "label": self.label,
+            "seed": self.seed,
+            "retries": self.retries,
+        }
+
+    def key(self):
+        payload = json.dumps(self.spec_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

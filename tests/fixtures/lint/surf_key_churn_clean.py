@@ -1,0 +1,26 @@
+"""Clean twin: the keyed spec dataclass matches the committed
+spec-keys surface snapshot exactly (fields, spec_dict keys, governing
+schema version)."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+FIXTURE_SPEC_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FixtureJob:
+    label: str
+    seed: int
+
+    def spec_dict(self):
+        return {
+            "schema": FIXTURE_SPEC_SCHEMA_VERSION,
+            "label": self.label,
+            "seed": self.seed,
+        }
+
+    def key(self):
+        payload = json.dumps(self.spec_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,22 @@
+"""Seeded mutation: schema_for_meta stamps v2 events but the reader
+ceiling EVENT_SCHEMA_VERSION stayed at 1 — readers refuse logs this
+writer just produced."""
+
+import enum
+
+EVENT_SCHEMA_BASE_VERSION = 1
+EVENT_SCHEMA_VERSION = 1
+
+FIXTURE_META_FIELDS = ("edge_id",)
+
+
+class EventKind(str, enum.Enum):
+    SESSION_META = "session_meta"
+    CHUNK = "chunk"
+
+
+def schema_for_meta(meta):
+    for field in FIXTURE_META_FIELDS:
+        if field in meta:
+            return 2
+    return EVENT_SCHEMA_BASE_VERSION

@@ -1,0 +1,21 @@
+"""Clean twin: the reader ceiling was raised in the same change that
+added the v2 writer tier, so every stamped version is readable."""
+
+import enum
+
+EVENT_SCHEMA_BASE_VERSION = 1
+EVENT_SCHEMA_VERSION = 2
+
+FIXTURE_META_FIELDS = ("edge_id",)
+
+
+class EventKind(str, enum.Enum):
+    SESSION_META = "session_meta"
+    CHUNK = "chunk"
+
+
+def schema_for_meta(meta):
+    for field in FIXTURE_META_FIELDS:
+        if field in meta:
+            return EVENT_SCHEMA_VERSION
+    return EVENT_SCHEMA_BASE_VERSION

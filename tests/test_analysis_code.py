@@ -35,8 +35,25 @@ def rule_id_of(fixture: Path) -> str:
     return stem.upper().replace("_", "-")
 
 
+def surfaces_dir_for(path: Path):
+    """Sidecar snapshot dir for snapshot-dependent SURF fixtures.
+
+    ``surf_key_churn_bad.py`` compares against
+    ``fixtures/lint/surfaces/surf_key_churn/``; fixtures without a
+    sidecar lint with no snapshots configured (the SURF comparisons
+    then stay silent, which keeps unrelated fixtures inert).
+    """
+    stem = path.stem
+    for suffix in ("_bad", "_clean"):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+    sidecar = FIXTURES / "surfaces" / stem
+    return str(sidecar) if sidecar.is_dir() else None
+
+
 def lint(path: Path):
-    return analyze_text(path.name, path.read_text())
+    config = AnalyzerConfig(surfaces_dir=surfaces_dir_for(path))
+    return analyze_text(path.name, path.read_text(), config)
 
 
 BAD_FIXTURES = sorted(FIXTURES.glob("*_bad.py"))
@@ -45,7 +62,7 @@ CLEAN_FIXTURES = sorted(FIXTURES.glob("*_clean.py"))
 
 class TestFixtureCorpus:
     def test_corpus_is_paired(self):
-        assert len(BAD_FIXTURES) == len(CLEAN_FIXTURES) == 19
+        assert len(BAD_FIXTURES) == len(CLEAN_FIXTURES) == 29
         assert [rule_id_of(p) for p in BAD_FIXTURES] == [
             rule_id_of(p) for p in CLEAN_FIXTURES
         ]
@@ -56,7 +73,7 @@ class TestFixtureCorpus:
             r.rule_id
             for r in REGISTRY
             if r.rule_id.startswith(
-                ("UNIT-", "POOL-", "LINT-", "SHARE-", "HOT-")
+                ("UNIT-", "POOL-", "LINT-", "SHARE-", "HOT-", "SURF-", "POLICY-")
             )
         }
         assert covered == new_rules
@@ -144,7 +161,8 @@ class TestSuppressionGrammar:
         assert SARIF_LEVELS[finding.severity] == "note"
 
     def test_deprecation_note_itself_can_be_waived(self):
-        # The DET rule needs its own token now that det: allow is inert.
+        # The DET rule needs its own token now that the legacy
+        # grammar is inert.
         text = self.BUG.format(
             comment="  # det: allow  "
             "# lint: allow[LINT-DEPRECATED-SUPPRESS, DET-UNSEEDED-RANDOM]"
@@ -360,3 +378,71 @@ class TestEngineIntegration:
         assert len(files) > 50
         findings = analyze_files(files)
         assert findings == [], [str(f) for f in findings]
+
+
+class TestWaiverAudit:
+    """Every ``# lint: allow[...]`` waiver in the src tree must be
+    load-bearing: stripping the token re-fires exactly the waived rule
+    on that line. A waiver that proves nothing is deleted, not kept —
+    this pins the tree-wide audit so stale waivers cannot accrete."""
+
+    @staticmethod
+    def _src_waivers():
+        """[(path, line_no, [tokens])] via the engine's own tokenizer
+        (docstrings that merely *mention* the grammar don't count)."""
+        from repro.analysis.engine import prepare
+
+        files = {
+            str(p.relative_to(SRC_REPRO.parent)): p.read_text()
+            for p in sorted(SRC_REPRO.rglob("*.py"))
+        }
+        prepared, _ctx = prepare(files, AnalyzerConfig())
+        waivers = []
+        for artifact in prepared:
+            if artifact.python is None:
+                continue
+            for line_no, tokens in sorted(
+                artifact.python.allow_tokens().items()
+            ):
+                waivers.append((artifact.name, line_no, tokens))
+        return waivers
+
+    def test_waiver_census_is_pinned(self):
+        """Adding a waiver is a reviewed decision: update this census
+        (and the justification comment at the site) deliberately."""
+        census = {}
+        for name, _line, tokens in self._src_waivers():
+            for token in tokens:
+                census[(name, token)] = census.get((name, token), 0) + 1
+        assert census == {
+            ("repro/experiments/base.py", "POOL-GLOBAL-MUTABLE"): 1,
+            ("repro/runner/engine.py", "POOL-GLOBAL-MUTABLE"): 2,
+            ("repro/runner/jobs.py", "POOL-GLOBAL-MUTABLE"): 1,
+            ("repro/sim/decisions.py", "POOL-GLOBAL-MUTABLE"): 1,
+            ("repro/sim/session.py", "HOT-ALLOC-IN-LOOP"): 9,
+        }
+
+    def test_every_waiver_is_load_bearing(self):
+        import re
+
+        strip = re.compile(r"\s*# lint: allow\[[^\]]*\].*$")
+        by_file = {}
+        for name, line_no, tokens in self._src_waivers():
+            by_file.setdefault(name, []).append((line_no, tokens))
+        assert by_file  # the census test pins the exact population
+        for name, sites in by_file.items():
+            path = SRC_REPRO.parent / name
+            lines = path.read_text().splitlines(keepends=True)
+            for line_no, tokens in sites:
+                stripped = strip.sub("", lines[line_no - 1].rstrip("\n"))
+                mutated = "".join(
+                    stripped + "\n" if i == line_no - 1 else original
+                    for i, original in enumerate(lines)
+                )
+                fired = {
+                    f.rule
+                    for f in analyze_text(name, mutated)
+                    if f.span.line == line_no
+                }
+                for token in tokens:
+                    assert token in fired, (name, line_no, token)

@@ -1,0 +1,208 @@
+"""The POLICY-* player-contract family: the signature table is pinned
+to the real BasePlayer, convictions travel across modules through the
+program index, and the shipped players hold the contract."""
+
+import inspect
+from pathlib import Path
+
+from repro.analysis import AnalyzerConfig, analyze_files, analyze_text
+from repro.analysis.code_policy import (
+    HOOK_SIGNATURES,
+    INHERIT_FAILURE_MARK,
+    PLAYER_HOOKS,
+)
+from repro.analysis.parallel import analyze_files_parallel
+from repro.players.base import BasePlayer
+
+REPO_ROOT = Path(__file__).parent.parent
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+POLICY_RULES = frozenset(
+    {
+        "POLICY-DECISION-TYPE",
+        "POLICY-NONDETERMINISM",
+        "POLICY-HOOK-MUTATION",
+        "POLICY-MISSING-FAILURE-HOOK",
+        "POLICY-HOOK-SIGNATURE",
+    }
+)
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestSignatureTablePinned:
+    def test_hook_signatures_match_the_real_baseplayer(self):
+        """The lint's signature table cannot silently drift from the
+        class it polices."""
+        for hook, expected in HOOK_SIGNATURES.items():
+            actual = tuple(
+                inspect.signature(getattr(BasePlayer, hook)).parameters
+            )
+            assert actual == expected, hook
+
+    def test_every_signature_hook_is_a_declared_lifecycle_hook(self):
+        assert set(HOOK_SIGNATURES) <= PLAYER_HOOKS
+        # __init__ is a lifecycle hook (mutation is legal there) but
+        # its signature is the subclass's own business.
+        assert PLAYER_HOOKS - set(HOOK_SIGNATURES) == {"__init__"}
+
+    def test_declared_hooks_exist_on_baseplayer(self):
+        for hook in PLAYER_HOOKS:
+            assert hasattr(BasePlayer, hook), hook
+
+
+class TestCrossModuleConviction:
+    PLAYER = (
+        "from repro.players.base import BasePlayer\n"
+        "from helpers import pick_track\n"
+        "from repro.sim.decisions import download_for\n"
+        "\n"
+        "\n"
+        "class RemotePlayer(BasePlayer):\n"
+        "    def choose_next(self, medium, ctx):\n"
+        "        return download_for(pick_track())\n"
+        "\n"
+        "    def on_failure(self, medium, failure, ctx):\n"
+        "        return None\n"
+    )
+
+    def test_impure_helper_in_another_module_convicts(self):
+        helpers = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def pick_track():\n"
+            "    return roll()\n"
+            "\n"
+            "\n"
+            "def roll():\n"
+            "    return random.random()  # lint: allow[DET-UNSEEDED-RANDOM]\n"
+        )
+        findings = analyze_files(
+            {"player.py": self.PLAYER, "helpers.py": helpers}
+        )
+        policy = [f for f in findings if f.rule in POLICY_RULES]
+        assert [f.rule for f in policy] == ["POLICY-NONDETERMINISM"]
+        assert policy[0].span.file == "player.py"
+        # The conviction names the helper two calls away.
+        assert "roll()" in policy[0].message
+
+    def test_pure_helper_chain_is_silent(self):
+        helpers = (
+            "def pick_track():\n"
+            "    return choose()\n"
+            "\n"
+            "\n"
+            "def choose():\n"
+            '    return "V1"\n'
+        )
+        findings = analyze_files(
+            {"player.py": self.PLAYER, "helpers.py": helpers}
+        )
+        assert not rules(findings) & POLICY_RULES
+
+    def test_indirect_subclass_through_other_module_is_checked(self):
+        """A player two inheritance hops from BasePlayer, with the
+        intermediate class in a different file, is still policed."""
+        base_mod = (
+            "from repro.players.base import BasePlayer\n"
+            "\n"
+            "\n"
+            "class IntermediatePlayer(BasePlayer):\n"
+            "    def on_failure(self, medium, failure, ctx):\n"
+            "        return None\n"
+        )
+        leaf_mod = (
+            "from intermediate import IntermediatePlayer\n"
+            "\n"
+            "\n"
+            "class LeafPlayer(IntermediatePlayer):\n"
+            "    def choose_next(self, medium, ctx):\n"
+            "        return 42\n"
+        )
+        findings = analyze_files(
+            {"intermediate.py": base_mod, "leaf.py": leaf_mod}
+        )
+        policy = [f for f in findings if f.rule in POLICY_RULES]
+        # DECISION-TYPE fires on the raw return; MISSING-FAILURE-HOOK
+        # must NOT fire — the intermediate base defines on_failure.
+        assert [f.rule for f in policy] == ["POLICY-DECISION-TYPE"]
+
+    def test_non_player_class_is_ignored(self):
+        text = (
+            "class Estimator:\n"
+            "    def choose_next(self, anything, at_all):\n"
+            "        return 42\n"
+        )
+        assert not rules(analyze_text("m.py", text)) & POLICY_RULES
+
+
+class TestInheritFailureMark:
+    def test_mark_on_line_above_is_honored(self):
+        text = (
+            "from repro.players.base import BasePlayer\n"
+            "from repro.sim.decisions import download_for\n"
+            "\n"
+            "\n"
+            f"# {INHERIT_FAILURE_MARK}: the default is intended here\n"
+            "class QuietPlayer(BasePlayer):\n"
+            "    def choose_next(self, medium, ctx):\n"
+            '        return download_for("V1")\n'
+        )
+        assert not rules(analyze_text("m.py", text)) & POLICY_RULES
+
+    def test_unmarked_concrete_player_fires(self):
+        text = (
+            "from repro.players.base import BasePlayer\n"
+            "from repro.sim.decisions import download_for\n"
+            "\n"
+            "\n"
+            "class QuietPlayer(BasePlayer):\n"
+            "    def choose_next(self, medium, ctx):\n"
+            '        return download_for("V1")\n'
+        )
+        assert rules(analyze_text("m.py", text)) & POLICY_RULES == {
+            "POLICY-MISSING-FAILURE-HOOK"
+        }
+
+    def test_abstract_player_without_choose_next_is_not_concrete(self):
+        text = (
+            "from repro.players.base import BasePlayer\n"
+            "\n"
+            "\n"
+            "class MixinPlayer(BasePlayer):\n"
+            "    def on_session_start(self, ctx):\n"
+            "        return None\n"
+        )
+        assert not rules(analyze_text("m.py", text)) & POLICY_RULES
+
+
+class TestShippedPlayersHoldTheContract:
+    def test_src_tree_has_zero_policy_findings(self):
+        files = {
+            p.relative_to(REPO_ROOT).as_posix(): p.read_text()
+            for p in sorted(SRC_REPRO.rglob("*.py"))
+        }
+        config = AnalyzerConfig(selected=POLICY_RULES)
+        findings = analyze_files(files, config)
+        assert findings == [], [str(f) for f in findings]
+
+    def test_policy_findings_parallel_parity(self):
+        """A seeded violation reports byte-identically under one and
+        two workers (the whole-program index is rebuilt per worker)."""
+        files = {
+            p.relative_to(REPO_ROOT).as_posix(): p.read_text()
+            for p in sorted(SRC_REPRO.rglob("*.py"))
+        }
+        bola = files["src/repro/core/bola_joint.py"]
+        assert "# policy: inherit-failure" in bola
+        files["src/repro/core/bola_joint.py"] = bola.replace(
+            "  # policy: inherit-failure", "", 1
+        )
+        config = AnalyzerConfig(selected=POLICY_RULES)
+        serial = analyze_files(files, config)
+        parallel = analyze_files_parallel(files, config, jobs=2)
+        assert [str(f) for f in serial] == [str(f) for f in parallel]
+        assert rules(serial) == {"POLICY-MISSING-FAILURE-HOOK"}

@@ -1,0 +1,305 @@
+"""Compatibility-surface snapshots: extraction determinism, committed
+snapshots vs the tree, the ``--update-surfaces`` CLI path, and
+serial/parallel parity for the SURF-* family."""
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import AnalyzerConfig, analyze_files
+from repro.analysis.code_surfaces import (
+    SURFACE_FILES,
+    build_snapshots,
+    keyed_spec_closure,
+    load_surfaces,
+    write_surfaces,
+)
+from repro.analysis.engine import prepare
+from repro.analysis.parallel import analyze_files_parallel
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).parent.parent
+SRC = REPO_ROOT / "src"
+SURFACES = REPO_ROOT / "surfaces"
+
+
+def _tree_files():
+    """The src tree keyed the way the CLI keys it (repo-relative posix
+    paths), so module names line up with the committed snapshots."""
+    return {
+        p.relative_to(REPO_ROOT).as_posix(): p.read_text()
+        for p in sorted(SRC.rglob("*.py"))
+    }
+
+
+def _prepare(files):
+    prepared, ctx = prepare(files, AnalyzerConfig())
+    sources = {a.name: a.python for a in prepared if a.python is not None}
+    return sources, ctx.program
+
+
+SPEC_MODULE = '''\
+import hashlib
+import json
+from dataclasses import dataclass
+
+GEN_SPEC_SCHEMA_VERSION = {version}
+GEN_MAGIC = {magic!r}
+
+
+@dataclass(frozen=True)
+class GenJob:
+{field_lines}
+
+    def spec_dict(self):
+        return {spec_dict}
+
+    def key(self):
+        payload = json.dumps(self.spec_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+'''
+
+
+def _spec_module(field_names, version, magic):
+    field_lines = "\n".join(f"    {name}: int" for name in field_names)
+    spec_dict = (
+        "{"
+        + ", ".join(f'"{name}": self.{name}' for name in field_names)
+        + "}"
+    )
+    return SPEC_MODULE.format(
+        version=version,
+        magic=magic,
+        field_lines=field_lines,
+        spec_dict=spec_dict,
+    )
+
+
+class TestCommittedSnapshots:
+    def test_committed_snapshots_exist(self):
+        for filename in SURFACE_FILES.values():
+            assert (SURFACES / filename).is_file(), filename
+
+    def test_committed_snapshots_match_tree(self):
+        """The acceptance pin: re-extracting the four surfaces from the
+        current tree reproduces surfaces/*.json exactly. Any mismatch
+        means someone changed a surface without --update-surfaces (and
+        the SURF-* rules would fire on the next lint)."""
+        sources, program = _prepare(_tree_files())
+        snapshots = build_snapshots(sources, program)
+        assert set(snapshots) == set(SURFACE_FILES)
+        for name, filename in SURFACE_FILES.items():
+            committed = json.loads((SURFACES / filename).read_text())
+            assert snapshots[name] == committed, filename
+
+    def test_keyed_closure_covers_both_job_roots(self):
+        _sources, program = _prepare(_tree_files())
+        closure = keyed_spec_closure(program)
+        assert {"SimulationJob", "CohortJob"} <= set(closure)
+        # Nested specs reached through annotations, not just the roots.
+        assert {"TraceSpec", "FailureSpec", "TopologySpec"} <= set(closure)
+
+    def test_load_surfaces_tolerates_broken_files(self, tmp_path):
+        (tmp_path / "events.json").write_text("{not json")
+        (tmp_path / "framing.json").write_text('["not", "a", "dict"]')
+        (tmp_path / "cli.json").write_text('{"surface": "cli"}')
+        loaded = load_surfaces(str(tmp_path))
+        assert set(loaded) == {"cli"}
+
+
+class TestExtractionDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        suffixes=st.lists(
+            st.text(alphabet="abcdefghij", min_size=1, max_size=6),
+            unique=True,
+            min_size=1,
+            max_size=5,
+        ),
+        version=st.integers(min_value=0, max_value=9),
+        magic=st.binary(min_size=1, max_size=4),
+    )
+    def test_snapshot_extraction_is_deterministic_and_idempotent(
+        self, suffixes, version, magic
+    ):
+        """Two independent parses of the same module extract identical
+        snapshots, and writing them twice is byte-stable (the second
+        run rewrites nothing)."""
+        field_names = [f"field_{suffix}" for suffix in suffixes]
+        text = _spec_module(field_names, version, magic)
+        files = {"gen_module.py": text}
+        first = build_snapshots(*_prepare(files))
+        second = build_snapshots(*_prepare(files))
+        assert first == second
+        assert set(first) == {"spec_keys", "framing"}
+
+        with tempfile.TemporaryDirectory() as directory:
+            sources, program = _prepare(files)
+            written = write_surfaces(directory, sources, program)
+            bytes_one = {
+                name: (Path(directory) / name).read_bytes()
+                for name in written
+            }
+            # Second write from a fresh parse: same files, same bytes.
+            sources2, program2 = _prepare(files)
+            written2 = write_surfaces(directory, sources2, program2)
+            assert written2 == written
+            for name in written:
+                assert (Path(directory) / name).read_bytes() == bytes_one[
+                    name
+                ]
+            # The canonical form round-trips through load_surfaces.
+            loaded = load_surfaces(directory)
+            assert loaded["spec_keys"] == first["spec_keys"]
+            assert loaded["framing"] == first["framing"]
+
+    def test_recorded_layout_matches_runtime_key(self):
+        """The spec-keys snapshot records exactly the keys SimulationJob
+        feeds into sha256 — extraction and runtime cannot disagree."""
+        from repro.runner.jobs import SimulationJob
+
+        snap = json.loads((SURFACES / "spec_keys.json").read_text())
+        recorded = snap["classes"]["SimulationJob"]["spec_keys"]
+        job = SimulationJob()
+        assert recorded == list(job.spec_dict().keys())
+
+
+class TestUpdateSurfacesCli:
+    def _spec_file(self, tmp_path):
+        target = tmp_path / "gen_module.py"
+        target.write_text(_spec_module(["field_a", "field_b"], 1, b"\x01G"))
+        return target
+
+    def test_update_creates_snapshots_then_lints_clean(
+        self, tmp_path, capsys
+    ):
+        target = self._spec_file(tmp_path)
+        surf = tmp_path / "surf"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(target),
+                    "--surfaces",
+                    str(surf),
+                    "--update-surfaces",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "surface snapshot" in err
+        assert (surf / "spec_keys.json").is_file()
+        assert (surf / "framing.json").is_file()
+        # A plain lint against the fresh snapshots is clean.
+        assert main(["lint", str(target), "--surfaces", str(surf)]) == 0
+
+    def test_update_is_idempotent_byte_for_byte(self, tmp_path):
+        target = self._spec_file(tmp_path)
+        surf = tmp_path / "surf"
+        argv = [
+            "lint",
+            str(target),
+            "--surfaces",
+            str(surf),
+            "--update-surfaces",
+        ]
+        assert main(argv) == 0
+        before = {
+            p.name: p.read_bytes() for p in sorted(surf.iterdir())
+        }
+        assert main(argv) == 0
+        after = {p.name: p.read_bytes() for p in sorted(surf.iterdir())}
+        assert after == before
+
+    def test_drift_fires_then_update_clears(self, tmp_path, capsys):
+        target = self._spec_file(tmp_path)
+        surf = tmp_path / "surf"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(target),
+                    "--surfaces",
+                    str(surf),
+                    "--update-surfaces",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Grow a field without bumping the governing version: key churn.
+        text = target.read_text().replace(
+            "    field_a: int\n", "    field_a: int\n    field_z: int\n"
+        )
+        target.write_text(text)
+        assert main(["lint", str(target), "--surfaces", str(surf)]) == 1
+        out = capsys.readouterr().out
+        assert "SURF-KEY-CHURN" in out
+        assert "GEN_SPEC_SCHEMA_VERSION" in out
+        # Deliberate change: refresh the snapshot, lint is clean again.
+        assert (
+            main(
+                [
+                    "lint",
+                    str(target),
+                    "--surfaces",
+                    str(surf),
+                    "--update-surfaces",
+                ]
+            )
+            == 0
+        )
+        assert main(["lint", str(target), "--surfaces", str(surf)]) == 0
+
+    def test_explicit_missing_surfaces_dir_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        target = self._spec_file(tmp_path)
+        assert (
+            main(
+                [
+                    "lint",
+                    str(target),
+                    "--surfaces",
+                    str(tmp_path / "nope"),
+                ]
+            )
+            == 2
+        )
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_default_surfaces_dir_absent_is_tolerated(
+        self, tmp_path, monkeypatch
+    ):
+        target = self._spec_file(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(target)]) == 0
+
+    def test_update_requires_disk_paths(self, capsys):
+        assert main(["lint", "--update-surfaces"]) == 2
+        assert "explicit path" in capsys.readouterr().err
+
+
+class TestParallelParity:
+    def test_surf_findings_identical_serial_vs_parallel(self, tmp_path):
+        """Drifted tree linted with snapshots armed: two workers and
+        one worker must report byte-identical SURF findings."""
+        files = _tree_files()
+        # Mutate one keyed spec in-memory: parity must hold on a tree
+        # that actually produces SURF findings, not just on silence.
+        jobs = files["src/repro/runner/jobs.py"]
+        marker = "    rtt_s: float = 0.0"
+        assert marker in jobs
+        files["src/repro/runner/jobs.py"] = jobs.replace(
+            marker, marker + "\n    drifted_field: int = 0", 1
+        )
+        config = AnalyzerConfig(surfaces_dir=str(SURFACES))
+        serial = analyze_files(files, config)
+        parallel = analyze_files_parallel(files, config, jobs=2)
+        assert [str(f) for f in serial] == [str(f) for f in parallel]
+        assert any(f.rule == "SURF-KEY-CHURN" for f in serial)

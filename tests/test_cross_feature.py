@@ -6,8 +6,9 @@ from repro.core.chunk_aware import ChunkAwarePlayer
 from repro.core.combinations import curated_combinations, hsub_combinations
 from repro.core.mpc import MpcPlayer
 from repro.core.player import RecommendedPlayer
+from repro.analysis import analyze_text
+from repro.manifest.hls import write_master_playlist
 from repro.manifest.packager import package_hls, package_hls_multilanguage
-from repro.manifest.validate import lint_hls_master
 from repro.media.content import drama_show
 from repro.media.languages import make_catalog
 from repro.media.muxed import muxed_content
@@ -88,7 +89,8 @@ class TestLanguagesPlusChunkAwarePlusLint:
         package = package_hls_multilanguage(
             catalog, combinations=hsub_combinations(content)
         )
-        assert lint_hls_master(package.master) == []
+        text = write_master_playlist(package.master)
+        assert analyze_text("master.m3u8", text) == []
 
 
 class TestMuxedPlusDiagnosis:

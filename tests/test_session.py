@@ -230,14 +230,14 @@ class TestBufferCaps:
             assert sample.audio_level_s >= -1e-9
 
 
-class _WrongMediumPlayer(BasePlayer):
+class _WrongMediumPlayer(BasePlayer):  # lint: allow[POLICY-MISSING-FAILURE-HOOK]
     def choose_next(self, medium, ctx):
-        return Download(track_id="A1" if medium is V else "V1")
+        return Download(track_id="A1" if medium is V else "V1")  # lint: allow[POLICY-DECISION-TYPE]
 
 
-class _GarbagePlayer(BasePlayer):
+class _GarbagePlayer(BasePlayer):  # lint: allow[POLICY-MISSING-FAILURE-HOOK]
     def choose_next(self, medium, ctx):
-        return "download please"
+        return "download please"  # lint: allow[POLICY-DECISION-TYPE]
 
 
 class TestErrorHandling:

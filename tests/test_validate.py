@@ -1,18 +1,67 @@
-"""Manifest linter (Section 4.1 as machine-checkable rules)."""
+"""Manifest linter (Section 4.1 as machine-checkable rules).
+
+These tests originally exercised the object-level
+``repro.manifest.validate`` wrappers; that shim is retired, so they now
+drive :func:`repro.analysis.analyze_files` directly on the *serialized*
+manifests — the same text path the CLI lints. The selected rule subsets
+mirror what each legacy entry point reported, keeping the assertions'
+meaning identical across the migration.
+"""
 
 import pytest
 
-from repro.core.combinations import hsub_combinations
-from repro.manifest.hls import HlsMasterPlaylist, HlsRendition, HlsVariant
-from repro.manifest.packager import package_dash, package_hls
-from repro.manifest.validate import (
+from repro.analysis import (
+    AnalyzerConfig,
     Finding,
     Severity,
-    lint_dash_manifest,
-    lint_hls_master,
-    lint_hls_package,
+    analyze_files,
     worst_severity,
 )
+from repro.analysis.spans import SourceSpan
+from repro.core.combinations import hsub_combinations
+from repro.manifest.dash import write_mpd
+from repro.manifest.hls import (
+    HlsMasterPlaylist,
+    HlsRendition,
+    HlsVariant,
+    write_master_playlist,
+)
+from repro.manifest.packager import package_dash, package_hls
+
+#: Rule IDs the legacy entry points reported, preserved per call shape.
+MASTER_RULES = frozenset(
+    {
+        "HLS-CURATED",
+        "HLS-AVERAGE-BANDWIDTH",
+        "HLS-VARIANT-ORDER",
+        "HLS-AUDIO-COVERAGE",
+    }
+)
+PACKAGE_RULES = MASTER_RULES | {"HLS-TRACK-BITRATES", "HLS-BITRATE-TAG"}
+DASH_RULES = frozenset({"DASH-COMBINATIONS", "DASH-BANDWIDTH-SANITY"})
+
+
+def lint_hls_master(master):
+    """Lint a master playlist in isolation (no media playlists)."""
+    return analyze_files(
+        {"master.m3u8": write_master_playlist(master)},
+        AnalyzerConfig(selected=MASTER_RULES),
+    )
+
+
+def lint_hls_package(package):
+    """Lint a full packaging: master + media playlists."""
+    return analyze_files(
+        package.write_all(), AnalyzerConfig(selected=PACKAGE_RULES)
+    )
+
+
+def lint_dash_manifest(manifest):
+    """Lint a serialized DASH manifest."""
+    return analyze_files(
+        {"manifest.mpd": write_mpd(manifest)},
+        AnalyzerConfig(selected=DASH_RULES),
+    )
 
 
 def rules(findings):
@@ -137,52 +186,57 @@ class TestDashLint:
         assert "DASH-BANDWIDTH-SANITY" in rules(lint_dash_manifest(manifest))
 
 
+def _finding(rule, severity):
+    return Finding(
+        rule=rule,
+        severity=severity,
+        message="msg",
+        span=SourceSpan(file="f", line=1, col=1),
+        category="test",
+    )
+
+
 class TestSeverity:
     def test_worst_of_empty_is_none(self):
         assert worst_severity([]) is None
 
     def test_error_dominates(self):
         findings = [
-            Finding("A", Severity.INFO, "x"),
-            Finding("B", Severity.ERROR, "y"),
-            Finding("C", Severity.WARNING, "z"),
+            _finding("A", Severity.INFO),
+            _finding("B", Severity.ERROR),
+            _finding("C", Severity.WARNING),
         ]
         assert worst_severity(findings) is Severity.ERROR
 
     def test_finding_str(self):
-        text = str(Finding("R", Severity.WARNING, "msg"))
+        text = str(_finding("R", Severity.WARNING))
         assert "WARNING" in text and "R" in text and "msg" in text
 
 
-class TestDeprecationShim:
-    """The shim must warn with stacklevel=2 so the warning is
-    attributed to the *caller's* file, not the shim module."""
+class TestShimRetirement:
+    """The deprecated object-level wrappers are gone for good, but the
+    CLI spellings they popularized keep parsing for one more release."""
 
-    def _capture(self, call):
-        import warnings
+    def test_validate_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.manifest.validate  # noqa: F401
 
-        with warnings.catch_warnings(record=True) as captured:
-            warnings.simplefilter("always")
-            call()
-        relevant = [
-            w for w in captured if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(relevant) == 1
-        return relevant[0]
+    def test_manifest_package_no_longer_reexports_linting(self):
+        import repro.manifest as manifest
 
-    def test_warning_points_at_caller_file(self, hls_sub):
-        warning = self._capture(lambda: lint_hls_package(hls_sub))
-        assert warning.filename == __file__
+        for legacy in (
+            "lint_hls_master",
+            "lint_hls_package",
+            "lint_dash_manifest",
+            "Finding",
+            "worst_severity",
+        ):
+            assert not hasattr(manifest, legacy)
+            assert legacy not in manifest.__all__
 
-    def test_master_and_dash_entry_points_too(self, hls_sub, content):
-        from repro.manifest.packager import package_dash
+    @pytest.mark.parametrize("alias", ["dash", "hls"])
+    def test_legacy_cli_format_aliases_still_parse(self, alias):
+        from repro.cli import build_parser
 
-        warning = self._capture(lambda: lint_hls_master(hls_sub.master))
-        assert warning.filename == __file__
-        manifest = package_dash(content)
-        warning = self._capture(lambda: lint_dash_manifest(manifest))
-        assert warning.filename == __file__
-
-    def test_message_names_the_replacement(self, hls_sub):
-        warning = self._capture(lambda: lint_hls_package(hls_sub))
-        assert "repro.analysis.analyze_files" in str(warning.message)
+        args = build_parser().parse_args(["lint", "--format", alias])
+        assert args.format == alias
